@@ -1,0 +1,40 @@
+# Development targets for the Download library. Everything is stdlib Go;
+# no external tools are required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build vet test race bench conform experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet: build
+	gofmt -l . && $(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/live/ ./internal/netrt/ ./download/
+
+bench:
+	$(GO) test -bench=. -benchmem . | tee bench_output.txt
+
+conform:
+	$(GO) run ./cmd/drconform -n 16 -L 2048 -seeds 3
+
+experiments:
+	$(GO) run ./cmd/drbench -suite all | tee experiments_full.txt
+
+# Short coverage-guided fuzzing passes over the schedule and wire fuzzers.
+fuzz:
+	$(GO) test -fuzz=FuzzCrashKSchedules -fuzztime=30s ./internal/des/
+	$(GO) test -fuzz=FuzzCrash1Schedules -fuzztime=30s ./internal/des/
+	$(GO) test -fuzz=FuzzCommitteeSchedules -fuzztime=30s ./internal/des/
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/wire/
+
+clean:
+	rm -rf internal/des/testdata internal/wire/testdata

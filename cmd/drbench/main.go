@@ -1,0 +1,78 @@
+// Command drbench regenerates the paper's evaluation: Table 1 and every
+// per-theorem experiment and ablation listed in DESIGN.md / EXPERIMENTS.md.
+//
+// Examples:
+//
+//	drbench -list
+//	drbench -suite all
+//	drbench -suite T1,E2,E7 -quick
+//	drbench -suite E10 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		suite = flag.String("suite", "all", "comma-separated experiment IDs, or 'all'")
+		quick = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed  = flag.Int64("seed", 7, "suite seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	var selected []experiments.Experiment
+	if strings.EqualFold(*suite, "all") {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*suite, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "drbench: unknown experiment %q (try -list)\n", id)
+				return 2
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	failures := 0
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drbench: %s failed: %v\n", e.ID, err)
+			failures++
+			continue
+		}
+		if *csv {
+			table.CSV(os.Stdout)
+		} else {
+			table.Fprint(os.Stdout)
+			fmt.Printf("  [%s completed in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,136 @@
+// Command drconform runs the full conformance grid: every protocol
+// against every compatible fault behavior across several seeds, on the
+// deterministic runtime (and optionally the concurrent one), printing a
+// pass/fail matrix. It is the library's smoke-screen for regressions that
+// individual unit tests might miss.
+//
+// Example:
+//
+//	drconform -n 16 -L 2048 -seeds 5
+//	drconform -live -seeds 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/download"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// behaviorsFor returns the fault behaviors meaningful for a protocol's
+// fault model, plus the failure-free baseline.
+func behaviorsFor(info download.Info) []download.FaultBehavior {
+	switch info.FaultModel {
+	case "crash":
+		return []download.FaultBehavior{
+			download.NoFaults, download.CrashImmediate, download.CrashRandom,
+		}
+	case "byzantine":
+		return []download.FaultBehavior{
+			download.NoFaults, download.CrashRandom, download.Silent,
+			download.Spam, download.Liar, download.Equivocate,
+		}
+	default: // "any"
+		return []download.FaultBehavior{
+			download.NoFaults, download.CrashImmediate, download.Silent,
+			download.Spam, download.Liar,
+		}
+	}
+}
+
+// faultBoundFor picks the maximal T the protocol's resilience permits.
+func faultBoundFor(info download.Info, n int) int {
+	switch {
+	case info.Protocol == download.Crash1:
+		return 1
+	case info.FaultModel == "crash":
+		return 3 * n / 4
+	case info.FaultModel == "byzantine":
+		return n/2 - 1
+	default:
+		return n / 2
+	}
+}
+
+func run() int {
+	var (
+		n      = flag.Int("n", 16, "peers")
+		l      = flag.Int("L", 2048, "input bits")
+		seeds  = flag.Int("seeds", 3, "seeds per cell")
+		liveRT = flag.Bool("live", false, "also run the concurrent runtime")
+	)
+	flag.Parse()
+
+	type cell struct {
+		proto    download.Protocol
+		behavior download.FaultBehavior
+		pass     int
+		fail     int
+		lastFail string
+	}
+	var cells []*cell
+	failures := 0
+
+	runtimes := []bool{false}
+	if *liveRT {
+		runtimes = append(runtimes, true)
+	}
+
+	for _, info := range download.Protocols() {
+		tBound := faultBoundFor(info, *n)
+		for _, behavior := range behaviorsFor(info) {
+			c := &cell{proto: info.Protocol, behavior: behavior}
+			cells = append(cells, c)
+			for seed := 0; seed < *seeds; seed++ {
+				for _, live := range runtimes {
+					rep, err := download.Run(download.Options{
+						Protocol: info.Protocol,
+						N:        *n, T: tBound, L: *l,
+						Seed:     int64(seed),
+						Behavior: behavior,
+						Live:     live,
+					})
+					switch {
+					case err != nil:
+						c.fail++
+						c.lastFail = err.Error()
+					case !rep.Correct:
+						c.fail++
+						if len(rep.Failures) > 0 {
+							c.lastFail = rep.Failures[0]
+						}
+					default:
+						c.pass++
+					}
+				}
+			}
+			failures += c.fail
+		}
+	}
+
+	name := func(b download.FaultBehavior) string {
+		if b == download.NoFaults {
+			return "(none)"
+		}
+		return string(b)
+	}
+	fmt.Printf("%-12s %-14s %-6s %-6s %s\n", "PROTOCOL", "BEHAVIOR", "PASS", "FAIL", "LAST FAILURE")
+	for _, c := range cells {
+		last := ""
+		if c.fail > 0 {
+			last = c.lastFail
+		}
+		fmt.Printf("%-12s %-14s %-6d %-6d %s\n", c.proto, name(c.behavior), c.pass, c.fail, last)
+	}
+	if failures > 0 {
+		fmt.Printf("\nFAILED: %d cell-runs failed\n", failures)
+		return 1
+	}
+	fmt.Printf("\nOK: %d cells, all runs correct\n", len(cells))
+	return 0
+}

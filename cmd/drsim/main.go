@@ -1,0 +1,103 @@
+// Command drsim runs a single Download execution in the DR-model
+// simulator and prints its complexity report.
+//
+// Examples:
+//
+//	drsim -list
+//	drsim -protocol crashk -n 32 -t 24 -L 65536 -behavior crash-random
+//	drsim -protocol committee -n 16 -t 7 -L 4096 -behavior liar -v
+//	drsim -protocol twocycle -n 256 -t 64 -L 16384 -behavior liar -live
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/download"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		list     = flag.Bool("list", false, "list protocols and exit")
+		protocol = flag.String("protocol", "crashk", "protocol to run")
+		n        = flag.Int("n", 16, "number of peers")
+		t        = flag.Int("t", 4, "fault bound t")
+		l        = flag.Int("L", 4096, "input length in bits")
+		b        = flag.Int("b", 0, "message size in bits (0: max(64, L/n))")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		faulty   = flag.Int("faulty", 0, "actually faulty peers (0: t when behavior set)")
+		behavior = flag.String("behavior", "", "fault behavior: crash|crash-random|silent|spam|liar|equivocate")
+		liveRT   = flag.Bool("live", false, "run on the concurrent goroutine runtime")
+		tcpRT    = flag.Bool("tcp", false, "run over real TCP sockets (crash-from-start faults only)")
+		verbose  = flag.Bool("v", false, "print per-peer stats")
+		trace    = flag.Bool("trace", false, "print event trace to stderr")
+		traceOut = flag.String("tracejson", "", "write a structured JSONL event trace to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-12s %-14s %-11s %-22s %-20s %s\n",
+			"PROTOCOL", "DETERMINISM", "FAULTS", "RESILIENCE", "QUERY", "SOURCE")
+		for _, info := range download.Protocols() {
+			fmt.Printf("%-12s %-14s %-11s %-22s %-20s %s\n",
+				info.Protocol, info.Determinism, info.FaultModel,
+				info.Resilience, info.Query, info.Theorem)
+		}
+		return 0
+	}
+
+	opts := download.Options{
+		Protocol: download.Protocol(*protocol),
+		N:        *n, T: *t, L: *l, MsgBits: *b,
+		Seed:     *seed,
+		Faulty:   *faulty,
+		Behavior: download.FaultBehavior(*behavior),
+		Live:     *liveRT,
+		TCP:      *tcpRT,
+	}
+	if *trace {
+		opts.Trace = os.Stderr
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drsim: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		opts.TraceJSONL = f
+	}
+	rep, err := download.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drsim: %v\n", err)
+		return 2
+	}
+
+	fmt.Printf("protocol    %s  (n=%d t=%d L=%d seed=%d behavior=%q)\n",
+		*protocol, *n, *t, *l, *seed, *behavior)
+	fmt.Printf("correct     %v\n", rep.Correct)
+	fmt.Printf("Q           %d bits/peer (max over honest; avg %.1f; naive would be %d)\n",
+		rep.Q, rep.AvgQ, *l)
+	fmt.Printf("messages    %d (%d payload bits)\n", rep.Msgs, rep.MsgBits)
+	fmt.Printf("time        %.2f (virtual units; 1 = max network latency)\n", rep.Time)
+	for _, f := range rep.Failures {
+		fmt.Printf("FAILURE     %s\n", f)
+	}
+	if *verbose {
+		fmt.Printf("%-5s %-7s %-8s %-11s %-10s %s\n",
+			"PEER", "HONEST", "CRASHED", "TERMINATED", "QUERYBITS", "MSGS")
+		for _, p := range rep.PerPeer {
+			fmt.Printf("%-5d %-7v %-8v %-11v %-10d %d\n",
+				p.ID, p.Honest, p.Crashed, p.Terminated, p.QueryBits, p.MsgsSent)
+		}
+	}
+	if !rep.Correct {
+		return 1
+	}
+	return 0
+}

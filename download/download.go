@@ -1,0 +1,419 @@
+// Package download is the public API of the asynchronous distributed
+// Download library — a from-scratch implementation of "Distributed
+// Download from an External Data Source in Asynchronous Faulty Settings"
+// (Augustine, Chatterjee, King, Kumar, Meir, Peleg; companion of the
+// PODC 2025 brief announcement on Byzantine-majority settings).
+//
+// The Data Retrieval model: n peers on a complete asynchronous network
+// plus a trusted external source holding an L-bit array X. Peers learn X
+// via cheap messages or expensive source queries; up to t = βn peers are
+// faulty. Download requires every nonfaulty peer to output X exactly
+// while minimizing the per-peer query complexity Q.
+//
+// The library ships every protocol from the paper:
+//
+//   - Naive           — Q = L, tolerates anything (the β ≥ 1/2 optimum)
+//   - Crash1          — deterministic, 1 crash, Q = O(L/n)     (Thm 2.3)
+//   - CrashK          — deterministic, ANY β < 1 crashes, Q = O(L/n) (Thm 2.13)
+//   - CrashKFast      — CrashK with the fast stage-3 rule      (Thm 2.13)
+//   - Committee       — deterministic, Byzantine β < 1/2, Q ≈ 2βL (Thm 3.4)
+//   - TwoCycle        — randomized, Byzantine β < 1/2, Q = Õ(L/n) whp (Thm 3.7)
+//   - MultiCycle      — randomized, Byzantine β < 1/2, better E[Q] (Thm 3.12)
+//
+// Use Run for one-call executions, or assemble sim.Spec values directly
+// (internal packages) for finer control. Package internal/lowerbound
+// demonstrates Theorems 3.1/3.2 constructively, and internal/oracle
+// builds the paper's Section 4 blockchain-oracle application on top.
+package download
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/adversary"
+	"repro/internal/bitarray"
+	"repro/internal/des"
+	"repro/internal/live"
+	"repro/internal/netrt"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/multicycle"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/segproto"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Protocol names a Download protocol implementation.
+type Protocol string
+
+// The implemented protocols.
+const (
+	Naive      Protocol = "naive"
+	Crash1     Protocol = "crash1"
+	CrashK     Protocol = "crashk"
+	CrashKFast Protocol = "crashk-fast"
+	Committee  Protocol = "committee"
+	TwoCycle   Protocol = "twocycle"
+	MultiCycle Protocol = "multicycle"
+)
+
+// Info describes a protocol for discovery and help output.
+type Info struct {
+	Protocol    Protocol
+	Determinism string // "deterministic" | "randomized"
+	FaultModel  string // "any" | "crash" | "byzantine"
+	Resilience  string
+	Query       string // asymptotic query complexity
+	Theorem     string
+}
+
+// Protocols lists all implementations with their paper provenance.
+func Protocols() []Info {
+	return []Info{
+		{Naive, "deterministic", "any", "any β < 1", "L", "folklore; optimal for β ≥ 1/2 (Thm 3.1/3.2)"},
+		{Crash1, "deterministic", "crash", "t = 1", "L/n + L/(n(n−1))", "Thm 2.3"},
+		{CrashK, "deterministic", "crash", "any β < 1", "O(L/n)", "Thm 2.13 (Alg. 2)"},
+		{CrashKFast, "deterministic", "crash", "any β < 1", "O(L/n), better time", "Thm 2.13 (modified)"},
+		{Committee, "deterministic", "byzantine", "β < 1/2", "L(2t+1)/n ≈ 2βL", "Thm 3.4"},
+		{TwoCycle, "randomized", "byzantine", "β < 1/2", "Õ(L/n) whp", "Thm 3.7 (Protocol 4)"},
+		{MultiCycle, "randomized", "byzantine", "β < 1/2", "Õ(L/n) expected", "Thm 3.12"},
+	}
+}
+
+// Factory returns the peer constructor for a protocol.
+func (p Protocol) Factory() (func(sim.PeerID) sim.Peer, error) {
+	switch p {
+	case Naive:
+		return naive.New, nil
+	case Crash1:
+		return crash1.New, nil
+	case CrashK:
+		return crashk.New, nil
+	case CrashKFast:
+		return crashk.NewFast, nil
+	case Committee:
+		return committee.New, nil
+	case TwoCycle:
+		return twocycle.New, nil
+	case MultiCycle:
+		return multicycle.New, nil
+	default:
+		return nil, fmt.Errorf("download: unknown protocol %q", p)
+	}
+}
+
+// FaultBehavior names an adversarial behavior for the faulty peers.
+type FaultBehavior string
+
+// The available fault behaviors. Crash behaviors stop peers; Byzantine
+// behaviors replace them. "liar" picks the strongest protocol-aware
+// attacker for the protocol under test.
+const (
+	NoFaults       FaultBehavior = ""
+	CrashImmediate FaultBehavior = "crash"
+	CrashRandom    FaultBehavior = "crash-random"
+	Silent         FaultBehavior = "silent"
+	Spam           FaultBehavior = "spam"
+	Liar           FaultBehavior = "liar"
+	Equivocate     FaultBehavior = "equivocate"
+)
+
+// Behaviors lists the supported fault behaviors.
+func Behaviors() []FaultBehavior {
+	return []FaultBehavior{NoFaults, CrashImmediate, CrashRandom, Silent, Spam, Liar, Equivocate}
+}
+
+// Options configures one execution.
+type Options struct {
+	// Protocol selects the implementation. Required.
+	Protocol Protocol
+	// N, T, L are the model parameters: peers, fault bound, input bits.
+	N, T, L int
+	// MsgBits is the message-size parameter b; 0 derives max(64, L/N).
+	MsgBits int
+	// Seed drives the input array, peer coins, delays, and crash points.
+	Seed int64
+	// Input optionally fixes the source array (length L); nil generates
+	// a seeded random input.
+	Input []bool
+	// Faulty is the number of actually faulty peers (≤ T); 0 with a
+	// non-empty Behavior defaults to T.
+	Faulty int
+	// Behavior selects the fault behavior; empty means no faults.
+	Behavior FaultBehavior
+	// Live runs the goroutine runtime instead of the deterministic
+	// discrete-event runtime.
+	Live bool
+	// TCP runs the real-socket runtime (internal/netrt): peers exchange
+	// wire-encoded frames through a local hub. Only crash-from-start
+	// faults are supported there (Behavior CrashImmediate); other
+	// behaviors are rejected. Mutually exclusive with Live.
+	TCP bool
+	// Trace receives per-event tracing when non-nil.
+	Trace io.Writer
+	// TraceJSONL, when non-nil, receives one JSON object per structured
+	// runtime event (sends, deliveries, queries, crashes, terminations)
+	// — see internal/trace for the analyzer. des runtime only.
+	TraceJSONL io.Writer
+}
+
+// PeerReport is the per-peer outcome.
+type PeerReport struct {
+	ID         int
+	Honest     bool
+	Crashed    bool
+	Terminated bool
+	QueryBits  int
+	MsgsSent   int
+	Correct    bool
+}
+
+// Report is the outcome of one execution.
+type Report struct {
+	// Q is the query complexity: max bits queried by a nonfaulty peer.
+	Q int
+	// AvgQ is the mean over nonfaulty peers.
+	AvgQ float64
+	// Msgs and MsgBits are the message complexity of nonfaulty peers.
+	Msgs    int
+	MsgBits int
+	// Time is the virtual (or scaled wall) time of the last honest
+	// termination.
+	Time float64
+	// Correct reports that every nonfaulty peer output X exactly.
+	Correct bool
+	// Failures describes violations when Correct is false.
+	Failures []string
+	// PerPeer has one entry per peer, by ID.
+	PerPeer []PeerReport
+	// Output is the first honest peer's output (the downloaded array).
+	Output []bool
+}
+
+// Run executes one Download and reports the outcome. Configuration
+// errors are returned; protocol-level failures are reported in the
+// Report (Correct=false with Failures).
+func Run(opts Options) (*Report, error) {
+	if opts.TCP {
+		return runTCP(opts)
+	}
+	spec, err := buildSpec(opts)
+	if err != nil {
+		return nil, err
+	}
+	var rec *trace.Recorder
+	if opts.TraceJSONL != nil {
+		rec = trace.NewRecorder(opts.TraceJSONL)
+		spec.Observer = rec
+	}
+	var rt sim.Runtime = des.New()
+	if opts.Live {
+		rt = live.New()
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		if err := rec.Flush(); err != nil {
+			return nil, fmt.Errorf("download: trace: %w", err)
+		}
+	}
+	return buildReport(res), nil
+}
+
+// runTCP maps the options onto the real-socket runtime.
+func runTCP(opts Options) (*Report, error) {
+	if opts.Live {
+		return nil, errors.New("download: Live and TCP are mutually exclusive")
+	}
+	factory, err := opts.Protocol.Factory()
+	if err != nil {
+		return nil, err
+	}
+	var absent []sim.PeerID
+	switch opts.Behavior {
+	case NoFaults:
+	case CrashImmediate:
+		count := opts.Faulty
+		if count == 0 {
+			count = opts.T
+		}
+		absent = adversary.SpreadFaulty(opts.N, count)
+	default:
+		return nil, fmt.Errorf("download: behavior %q unsupported on TCP (only crash-from-start)", opts.Behavior)
+	}
+	var input *bitarray.Array
+	if opts.Input != nil {
+		if len(opts.Input) != opts.L {
+			return nil, fmt.Errorf("download: input length %d != L=%d", len(opts.Input), opts.L)
+		}
+		input = bitarray.FromBools(opts.Input)
+	}
+	msgBits := opts.MsgBits
+	if msgBits == 0 {
+		msgBits = opts.L / maxInt(opts.N, 1)
+		if msgBits < 64 {
+			msgBits = 64
+		}
+	}
+	res, err := netrt.Run(netrt.Config{
+		N: opts.N, T: opts.T, L: opts.L, MsgBits: msgBits,
+		Seed: opts.Seed, NewPeer: factory, Absent: absent, Input: input,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildReport(res), nil
+}
+
+func buildSpec(opts Options) (*sim.Spec, error) {
+	factory, err := opts.Protocol.Factory()
+	if err != nil {
+		return nil, err
+	}
+	msgBits := opts.MsgBits
+	if msgBits == 0 {
+		msgBits = opts.L / maxInt(opts.N, 1)
+		if msgBits < 64 {
+			msgBits = 64
+		}
+	}
+	var input *bitarray.Array
+	if opts.Input != nil {
+		if len(opts.Input) != opts.L {
+			return nil, fmt.Errorf("download: input length %d != L=%d", len(opts.Input), opts.L)
+		}
+		input = bitarray.FromBools(opts.Input)
+	}
+	spec := &sim.Spec{
+		Config: sim.Config{
+			N: opts.N, T: opts.T, L: opts.L,
+			MsgBits: msgBits, Seed: opts.Seed, Input: input,
+		},
+		NewPeer: factory,
+		Delays:  adversary.NewRandomUnit(opts.Seed + 1000003),
+		Trace:   opts.Trace,
+	}
+	faults, err := buildFaults(opts)
+	if err != nil {
+		return nil, err
+	}
+	spec.Faults = faults
+	return spec, nil
+}
+
+func buildFaults(opts Options) (sim.FaultSpec, error) {
+	if opts.Behavior == NoFaults {
+		if opts.Faulty != 0 {
+			return sim.FaultSpec{}, errors.New("download: faulty peers given without a behavior")
+		}
+		return sim.FaultSpec{Model: sim.FaultNone}, nil
+	}
+	count := opts.Faulty
+	if count == 0 {
+		count = opts.T
+	}
+	if count > opts.T {
+		return sim.FaultSpec{}, fmt.Errorf("download: %d faulty exceeds bound T=%d", count, opts.T)
+	}
+	faulty := adversary.SpreadFaulty(opts.N, count)
+	switch opts.Behavior {
+	case CrashImmediate:
+		return sim.FaultSpec{
+			Model: sim.FaultCrash, Faulty: faulty,
+			Crash: &adversary.CrashAll{Point: 0},
+		}, nil
+	case CrashRandom:
+		return sim.FaultSpec{
+			Model: sim.FaultCrash, Faulty: faulty,
+			Crash: adversary.NewCrashRandom(opts.Seed+9, faulty, 100*opts.N),
+		}, nil
+	case Silent:
+		return sim.FaultSpec{
+			Model: sim.FaultByzantine, Faulty: faulty,
+			NewByzantine: adversary.NewSilent,
+		}, nil
+	case Spam:
+		return sim.FaultSpec{
+			Model: sim.FaultByzantine, Faulty: faulty,
+			NewByzantine: adversary.NewSpammer(8, 512),
+		}, nil
+	case Liar, Equivocate:
+		return sim.FaultSpec{
+			Model: sim.FaultByzantine, Faulty: faulty,
+			NewByzantine: liarFor(opts.Protocol, opts.Behavior),
+		}, nil
+	default:
+		return sim.FaultSpec{}, fmt.Errorf("download: unknown behavior %q", opts.Behavior)
+	}
+}
+
+// liarFor picks the strongest protocol-aware attacker available.
+func liarFor(p Protocol, b FaultBehavior) func(sim.PeerID, *sim.Knowledge) sim.Peer {
+	switch p {
+	case Committee:
+		if b == Equivocate {
+			return committee.NewEquivocator
+		}
+		return committee.NewLiar
+	case TwoCycle, MultiCycle:
+		if b == Equivocate {
+			return segproto.NewScatterLiar
+		}
+		return segproto.NewColludingLiar
+	default:
+		// Crash protocols have no Byzantine-aware attacker; silence is
+		// the strongest valid behavior in their model.
+		return adversary.NewSilent
+	}
+}
+
+func buildReport(res *sim.Result) *Report {
+	rep := &Report{
+		Q:        res.Q,
+		AvgQ:     res.AvgQ(),
+		Msgs:     res.Msgs,
+		MsgBits:  res.MsgBits,
+		Time:     res.Time,
+		Correct:  res.Correct,
+		Failures: append([]string(nil), res.Failures...),
+	}
+	ids := make([]int, 0, len(res.PerPeer))
+	for i := range res.PerPeer {
+		ids = append(ids, int(res.PerPeer[i].ID))
+	}
+	sort.Ints(ids)
+	for i := range res.PerPeer {
+		ps := &res.PerPeer[i]
+		rep.PerPeer = append(rep.PerPeer, PeerReport{
+			ID:         int(ps.ID),
+			Honest:     ps.Honest,
+			Crashed:    ps.Crashed,
+			Terminated: ps.Terminated,
+			QueryBits:  ps.QueryBits,
+			MsgsSent:   ps.MsgsSent,
+			Correct:    ps.OutputCorrect,
+		})
+		if rep.Output == nil && ps.Honest && ps.OutputCorrect {
+			out := make([]bool, ps.Output.Len())
+			for j := range out {
+				out[j] = ps.Output.Get(j)
+			}
+			rep.Output = out
+		}
+	}
+	return rep
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

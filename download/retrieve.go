@@ -1,0 +1,71 @@
+package download
+
+// The paper's general Data Retrieval problem asks every nonfaulty peer to
+// output f(X) for a computable f; it reduces to Download followed by a
+// local computation (the reduction the paper calls Download "fundamental"
+// for). Retrieve packages that reduction.
+
+// Retrieve runs a Download per opts and applies f to the downloaded
+// array, returning f's value alongside the execution report. If the
+// execution is not fully correct, the zero value of T is returned with
+// the report describing the failure.
+func Retrieve[T any](opts Options, f func(x []bool) T) (T, *Report, error) {
+	var zero T
+	rep, err := Run(opts)
+	if err != nil {
+		return zero, nil, err
+	}
+	if !rep.Correct || rep.Output == nil {
+		return zero, rep, nil
+	}
+	return f(rep.Output), rep, nil
+}
+
+// Parity returns the XOR of all bits — the classic 1-bit retrieval
+// function.
+func Parity(x []bool) bool {
+	p := false
+	for _, b := range x {
+		p = p != b
+	}
+	return p
+}
+
+// OnesCount returns the number of set bits.
+func OnesCount(x []bool) int {
+	c := 0
+	for _, b := range x {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Cells decodes the array as consecutive little-endian w-bit unsigned
+// values (trailing bits that do not fill a cell are ignored) — the
+// "binary array extends to numbers" reading used by the oracle
+// application.
+func Cells(w int) func(x []bool) []uint64 {
+	return func(x []bool) []uint64 {
+		if w <= 0 || w > 64 {
+			return nil
+		}
+		out := make([]uint64, 0, len(x)/w)
+		for start := 0; start+w <= len(x); start += w {
+			var v uint64
+			for b := 0; b < w; b++ {
+				if x[start+b] {
+					v |= 1 << uint(b)
+				}
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+}
+
+// MajorityBit returns the most common bit value (ties go to false).
+func MajorityBit(x []bool) bool {
+	return OnesCount(x)*2 > len(x)
+}

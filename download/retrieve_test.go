@@ -1,0 +1,89 @@
+package download_test
+
+import (
+	"testing"
+
+	"repro/download"
+)
+
+func TestRetrieveParity(t *testing.T) {
+	input := make([]bool, 101)
+	want := false
+	for i := range input {
+		input[i] = i%7 == 0
+		want = want != input[i]
+	}
+	got, rep, err := download.Retrieve(download.Options{
+		Protocol: download.CrashK,
+		N:        6, T: 2, L: 101, Seed: 1,
+		Input:    input,
+		Behavior: download.CrashRandom,
+	}, download.Parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Correct {
+		t.Fatalf("incorrect: %v", rep.Failures)
+	}
+	if got != want {
+		t.Fatalf("parity = %v, want %v", got, want)
+	}
+}
+
+func TestRetrieveOnesCountAndMajority(t *testing.T) {
+	input := make([]bool, 64)
+	for i := 0; i < 40; i++ {
+		input[i] = true
+	}
+	count, rep, err := download.Retrieve(download.Options{
+		Protocol: download.Committee,
+		N:        7, T: 3, L: 64, Seed: 2,
+		Input:    input,
+		Behavior: download.Liar,
+	}, download.OnesCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Correct || count != 40 {
+		t.Fatalf("count = %d (correct=%v), want 40", count, rep.Correct)
+	}
+	if !download.MajorityBit(input) {
+		t.Fatal("majority should be true")
+	}
+}
+
+func TestRetrieveCells(t *testing.T) {
+	// Two 8-bit cells: 0b00000011 = 3 and 0b00000101 = 5 (little-endian
+	// bit order), plus 3 trailing bits that must be ignored.
+	input := []bool{
+		true, true, false, false, false, false, false, false,
+		true, false, true, false, false, false, false, false,
+		true, true, true,
+	}
+	cells, rep, err := download.Retrieve(download.Options{
+		Protocol: download.Naive,
+		N:        3, T: 0, L: len(input), Seed: 3,
+		Input: input,
+	}, download.Cells(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Correct {
+		t.Fatalf("incorrect: %v", rep.Failures)
+	}
+	if len(cells) != 2 || cells[0] != 3 || cells[1] != 5 {
+		t.Fatalf("cells = %v, want [3 5]", cells)
+	}
+	if download.Cells(0)(input) != nil || download.Cells(65)(input) != nil {
+		t.Fatal("invalid widths should return nil")
+	}
+}
+
+func TestRetrieveFailurePath(t *testing.T) {
+	// Invalid options propagate the error.
+	if _, _, err := download.Retrieve(download.Options{
+		Protocol: "bogus", N: 4, T: 1, L: 8,
+	}, download.Parity); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,74 @@
+// Oracle: the paper's Section 4 application. A blockchain-oracle network
+// must publish price feeds drawn from external data sources, some of
+// which lie. Classical oracle designs (Chainlink OCR, DORA) have every
+// node read every cell from every source; Theorem 4.2 replaces those
+// reads with one Download execution per source while preserving the
+// honest-range (ODD) guarantee.
+//
+// The savings depend on the network's fault model, mirroring Table 1:
+// a crash-fault network runs the optimal deterministic Download
+// (Q = O(L/n), savings ≈ n), while a Byzantine-minority network runs the
+// committee protocol (Q ≈ 2βL, savings ≈ 1/(2β), flat in n — the
+// randomized protocols recover the ≈ n/polylog factor once the network
+// is a few hundred nodes).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adversary"
+	"repro/internal/oracle"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crashk"
+	"repro/internal/sim"
+)
+
+func main() {
+	fmt.Println("5 sources (2 Byzantine outliers), 32 cells of 64 bits each")
+	fmt.Println()
+	for _, nodes := range []int{8, 16, 32, 64} {
+		cfg := &oracle.Config{
+			Nodes:        nodes,
+			NodeFaults:   nodes / 4,
+			SourceFaults: 2,
+			Cells:        32,
+			Seed:         42,
+		}
+		feeds, err := oracle.GenerateFeeds(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := oracle.RunBaseline(cfg, feeds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		faulty := adversary.SpreadFaulty(cfg.Nodes, cfg.NodeFaults)
+
+		crash, err := oracle.RunDownload(cfg, feeds, oracle.NewRunner(cfg, crashk.New,
+			sim.FaultSpec{
+				Model: sim.FaultCrash, Faulty: faulty,
+				Crash: adversary.NewCrashRandom(cfg.Seed, faulty, 50*nodes),
+			}, adversary.NewRandomUnit(cfg.Seed)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		byz, err := oracle.RunDownload(cfg, feeds, oracle.NewRunner(cfg, committee.New,
+			sim.FaultSpec{
+				Model: sim.FaultByzantine, Faulty: faulty,
+				NewByzantine: committee.NewLiar,
+			}, adversary.NewRandomUnit(cfg.Seed+1)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !crash.ODDHolds || !byz.ODDHolds || !crash.AllAgree || !byz.AllAgree {
+			log.Fatalf("n=%d: ODD/agreement violated", nodes)
+		}
+		fmt.Printf("n=%2d  baseline %6d bits/node | crash-net download %5d (%4.1fx) | byz-net download %5d (%4.1fx)\n",
+			nodes, base.PerNodeQueryBits,
+			crash.PerNodeQueryBits, float64(base.PerNodeQueryBits)/float64(crash.PerNodeQueryBits),
+			byz.PerNodeQueryBits, float64(base.PerNodeQueryBits)/float64(byz.PerNodeQueryBits))
+	}
+	fmt.Println("\ncrash-network savings grow ≈ linearly in n (optimal Q = O(L/n), Thm 2.13);")
+	fmt.Println("byzantine-network savings are ≈ 1/(2β) with the deterministic committee (Thm 3.4).")
+}

@@ -1,0 +1,151 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFixed(t *testing.T) {
+	f := NewFixed(0.5)
+	if d := f.MessageDelay(0, 1, 10, 100); d != 0.5 {
+		t.Errorf("MessageDelay = %v", d)
+	}
+	if d := f.QueryDelay(0, 10); d != 0.5 {
+		t.Errorf("QueryDelay = %v", d)
+	}
+	if d := f.StartDelay(3); d != 0 {
+		t.Errorf("StartDelay = %v", d)
+	}
+}
+
+func TestRandomBounds(t *testing.T) {
+	r := NewRandom(1, 0.25, 2.0)
+	for i := 0; i < 1000; i++ {
+		d := r.MessageDelay(0, 1, 0, 8)
+		if d <= 0.25 || d > 2.0 {
+			t.Fatalf("delay %v out of (0.25, 2]", d)
+		}
+		q := r.QueryDelay(0, 0)
+		if q <= 0.25 || q > 2.0 {
+			t.Fatalf("query delay %v out of (0.25, 2]", q)
+		}
+		s := r.StartDelay(0)
+		if s <= 0 || s > 1.75 {
+			t.Fatalf("start delay %v out of (0, 1.75]", s)
+		}
+	}
+}
+
+func TestRandomRejectsBadBounds(t *testing.T) {
+	for _, tc := range []struct{ min, max float64 }{{-1, 1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRandom(%v, %v) did not panic", tc.min, tc.max)
+				}
+			}()
+			NewRandom(1, tc.min, tc.max)
+		}()
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, b := NewRandomUnit(7), NewRandomUnit(7)
+	for i := 0; i < 100; i++ {
+		if a.MessageDelay(0, 1, 0, 0) != b.MessageDelay(0, 1, 0, 0) {
+			t.Fatal("same-seed policies diverged")
+		}
+	}
+}
+
+func TestTargetedSlow(t *testing.T) {
+	base := NewFixed(0.1)
+	ts := NewTargetedSlow(base, []sim.PeerID{2, 5}, 1000)
+	if d := ts.MessageDelay(2, 0, 0, 0); d != 1000 {
+		t.Errorf("slow outgoing = %v", d)
+	}
+	if d := ts.MessageDelay(0, 2, 0, 0); d != 0.1 {
+		t.Errorf("incoming to slow should be base: %v", d)
+	}
+	ts.SlowIncoming = true
+	if d := ts.MessageDelay(0, 2, 0, 0); d != 1000 {
+		t.Errorf("SlowIncoming not applied: %v", d)
+	}
+	if d := ts.MessageDelay(0, 1, 0, 0); d != 0.1 {
+		t.Errorf("unaffected pair delayed: %v", d)
+	}
+	if d := ts.QueryDelay(2, 0); d != 0.1 {
+		t.Errorf("queries should not be slowed: %v", d)
+	}
+}
+
+func TestSlowQueries(t *testing.T) {
+	sq := &SlowQueries{Base: NewFixed(0.5), Factor: 10}
+	if d := sq.QueryDelay(0, 0); d != 5.0 {
+		t.Errorf("QueryDelay = %v", d)
+	}
+	if d := sq.MessageDelay(0, 1, 0, 0); d != 0.5 {
+		t.Errorf("MessageDelay = %v", d)
+	}
+}
+
+func TestCrashPolicies(t *testing.T) {
+	m := CrashMap{3: 7}
+	if m.CrashPoint(3) != 7 || m.CrashPoint(4) >= 0 {
+		t.Error("CrashMap wrong")
+	}
+	all := &CrashAll{Point: 5}
+	if all.CrashPoint(0) != 5 || all.CrashPoint(99) != 5 {
+		t.Error("CrashAll wrong")
+	}
+	peers := []sim.PeerID{0, 1, 2}
+	cr := NewCrashRandom(9, peers, 100)
+	for _, p := range peers {
+		pt := cr.CrashPoint(p)
+		if pt < 0 || pt > 100 {
+			t.Errorf("random crash point %d out of range", pt)
+		}
+	}
+	if cr.CrashPoint(50) >= 0 {
+		t.Error("non-listed peer got a crash point")
+	}
+	cr2 := NewCrashRandom(9, peers, 100)
+	for _, p := range peers {
+		if cr.CrashPoint(p) != cr2.CrashPoint(p) {
+			t.Error("CrashRandom not deterministic per seed")
+		}
+	}
+	if (NeverCrash{}).CrashPoint(0) <= 1<<40 {
+		t.Error("NeverCrash point too small")
+	}
+}
+
+func TestFaultyPeerSets(t *testing.T) {
+	if got := FaultyPeers(3); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("FaultyPeers = %v", got)
+	}
+	for _, tc := range []struct{ n, tf int }{{10, 3}, {12, 5}, {8, 7}, {5, 5}, {6, 0}} {
+		got := SpreadFaulty(tc.n, tc.tf)
+		if len(got) != tc.tf {
+			t.Fatalf("SpreadFaulty(%d,%d) len = %d", tc.n, tc.tf, len(got))
+		}
+		seen := make(map[sim.PeerID]bool)
+		for _, p := range got {
+			if p < 0 || int(p) >= tc.n {
+				t.Fatalf("peer %d out of range", p)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate peer %d", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestJunkSize(t *testing.T) {
+	j := &Junk{Bits: 77}
+	if j.SizeBits() != 77 {
+		t.Errorf("SizeBits = %d", j.SizeBits())
+	}
+}

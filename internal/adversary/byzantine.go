@@ -1,0 +1,143 @@
+package adversary
+
+import (
+	"repro/internal/sim"
+)
+
+// Generic, protocol-agnostic Byzantine behaviors. Protocol-aware attackers
+// (which forge well-formed protocol messages) live in the protocol
+// packages; these generic ones exercise silence, noise, and echo faults
+// that every protocol must already survive.
+
+// Silent is a Byzantine peer that never sends anything — indistinguishable
+// from an initially-crashed peer, the canonical adversary for "wait for
+// n−t" reasoning.
+type Silent struct{}
+
+var _ sim.Peer = (*Silent)(nil)
+
+// NewSilent builds Silent behaviors, ignoring the adversary knowledge.
+func NewSilent(sim.PeerID, *sim.Knowledge) sim.Peer { return &Silent{} }
+
+// Init implements sim.Peer.
+func (*Silent) Init(sim.Context) {}
+
+// OnMessage implements sim.Peer.
+func (*Silent) OnMessage(sim.PeerID, sim.Message) {}
+
+// OnQueryReply implements sim.Peer.
+func (*Silent) OnQueryReply(sim.QueryReply) {}
+
+// Junk is an opaque garbage message of a chosen size.
+type Junk struct {
+	// Bits is the advertised payload size.
+	Bits int
+}
+
+var _ sim.Message = (*Junk)(nil)
+
+// SizeBits implements sim.Message.
+func (j *Junk) SizeBits() int { return j.Bits }
+
+// Spammer floods: at start, and in reaction to every received message, it
+// broadcasts junk. It stops after Budget broadcasts to keep executions
+// finite (the model's adversary cannot prevent honest termination anyway,
+// but simulation event queues appreciate the bound).
+type Spammer struct {
+	ctx    sim.Context
+	budget int
+	size   int
+}
+
+var _ sim.Peer = (*Spammer)(nil)
+
+// NewSpammer returns a Byzantine factory producing spammers that send
+// `budget` junk broadcasts of `sizeBits` bits each.
+func NewSpammer(budget, sizeBits int) func(sim.PeerID, *sim.Knowledge) sim.Peer {
+	return func(sim.PeerID, *sim.Knowledge) sim.Peer {
+		return &Spammer{budget: budget, size: sizeBits}
+	}
+}
+
+// Init implements sim.Peer.
+func (s *Spammer) Init(ctx sim.Context) {
+	s.ctx = ctx
+	s.spam()
+}
+
+// OnMessage implements sim.Peer.
+func (s *Spammer) OnMessage(sim.PeerID, sim.Message) { s.spam() }
+
+// OnQueryReply implements sim.Peer.
+func (s *Spammer) OnQueryReply(sim.QueryReply) { s.spam() }
+
+func (s *Spammer) spam() {
+	if s.budget <= 0 {
+		return
+	}
+	s.budget--
+	s.ctx.Broadcast(&Junk{Bits: s.size})
+}
+
+// Echo reflects every message it receives back to all peers, creating
+// duplicated and out-of-context traffic. Bounded like Spammer.
+type Echo struct {
+	ctx    sim.Context
+	budget int
+}
+
+var _ sim.Peer = (*Echo)(nil)
+
+// NewEcho returns a Byzantine factory producing echoers with the given
+// reflection budget.
+func NewEcho(budget int) func(sim.PeerID, *sim.Knowledge) sim.Peer {
+	return func(sim.PeerID, *sim.Knowledge) sim.Peer { return &Echo{budget: budget} }
+}
+
+// Init implements sim.Peer.
+func (e *Echo) Init(ctx sim.Context) { e.ctx = ctx }
+
+// OnMessage implements sim.Peer.
+func (e *Echo) OnMessage(_ sim.PeerID, m sim.Message) {
+	if e.budget <= 0 {
+		return
+	}
+	e.budget--
+	e.ctx.Broadcast(m)
+}
+
+// OnQueryReply implements sim.Peer.
+func (*Echo) OnQueryReply(sim.QueryReply) {}
+
+// FaultyPeers returns the canonical faulty set {0, …, t−1}. Protocol
+// assignments must not depend on IDs being honest, so tests also use
+// SpreadFaulty for non-contiguous faulty sets.
+func FaultyPeers(t int) []sim.PeerID {
+	out := make([]sim.PeerID, t)
+	for i := range out {
+		out[i] = sim.PeerID(i)
+	}
+	return out
+}
+
+// SpreadFaulty returns t faulty peers spread evenly across [0, n).
+func SpreadFaulty(n, t int) []sim.PeerID {
+	if t == 0 {
+		return nil
+	}
+	out := make([]sim.PeerID, 0, t)
+	for i := 0; i < t; i++ {
+		out = append(out, sim.PeerID(i*n/t))
+	}
+	// Deduplicate in the degenerate n≈t case.
+	seen := make(map[sim.PeerID]bool, t)
+	uniq := out[:0]
+	for _, p := range out {
+		for seen[p] {
+			p = (p + 1) % sim.PeerID(n)
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	return uniq
+}

@@ -1,0 +1,135 @@
+package adversary
+
+import (
+	"repro/internal/sim"
+)
+
+// Rotating implements the *dynamic Byzantine* adversary of the companion
+// paper ("Distributed Download from an External Data Source in Byzantine
+// Majority Settings", DISC 2025), where the corrupted set may change over
+// the execution: a peer is adversary-controlled only during a window of
+// virtual time and behaves honestly before and after.
+//
+// Mechanics: the honest protocol instance receives every event throughout
+// (so a recovered peer resumes with consistent state — the standard
+// dynamic-corruption semantics), but while the window is active its
+// outgoing peer-to-peer traffic is suppressed and a Byzantine behavior
+// runs alongside with full sending rights. Source queries keep flowing in
+// both directions — muting them would corrupt the honest instance's state
+// rather than model corruption of its network voice.
+//
+// Windows are per-peer, so experiments can bound the number of
+// *concurrently* corrupted peers while letting the *union* of
+// ever-corrupted peers exceed t — exactly the knob the dynamic model
+// turns (experiment A5).
+type Rotating struct {
+	honest sim.Peer
+	byz    sim.Peer
+	win    Window
+	gate   *sendGate
+}
+
+// Window is a half-open virtual-time corruption interval [Start, End).
+type Window struct {
+	Start, End float64
+}
+
+// Active reports whether the window covers time now.
+func (w Window) Active(now float64) bool { return now >= w.Start && now < w.End }
+
+var _ sim.Peer = (*Rotating)(nil)
+
+// NewRotating returns a dynamic-Byzantine factory: peer id is corrupted
+// during windows[id] (zero window = never) and runs byz behavior while
+// corrupted.
+func NewRotating(
+	honest func(sim.PeerID) sim.Peer,
+	byz func(sim.PeerID, *sim.Knowledge) sim.Peer,
+	windows map[sim.PeerID]Window,
+) func(sim.PeerID, *sim.Knowledge) sim.Peer {
+	return func(id sim.PeerID, k *sim.Knowledge) sim.Peer {
+		return &Rotating{
+			honest: honest(id),
+			byz:    byz(id, k),
+			win:    windows[id],
+			gate:   &sendGate{open: true},
+		}
+	}
+}
+
+// Init implements sim.Peer.
+func (r *Rotating) Init(ctx sim.Context) {
+	r.gate.now = ctx.Now
+	r.gate.win = r.win
+	r.honest.Init(&mutedCtx{Context: ctx, gate: r.gate})
+	if r.win.Active(ctx.Now()) || r.win.Start == 0 && r.win.End > 0 {
+		r.byz.Init(ctx)
+		r.gate.byzStarted = true
+	} else {
+		// Delay the Byzantine behavior's Init to its window; remember
+		// the context for that moment.
+		r.gate.ctx = ctx
+	}
+}
+
+// OnMessage implements sim.Peer.
+func (r *Rotating) OnMessage(from sim.PeerID, m sim.Message) {
+	r.tick()
+	r.honest.OnMessage(from, m)
+	if r.gate.byzActive() {
+		r.byz.OnMessage(from, m)
+	}
+}
+
+// OnQueryReply implements sim.Peer.
+func (r *Rotating) OnQueryReply(q sim.QueryReply) {
+	r.tick()
+	r.honest.OnQueryReply(q)
+	if r.gate.byzActive() {
+		r.byz.OnQueryReply(q)
+	}
+}
+
+// tick lazily starts the Byzantine behavior when its window opens.
+func (r *Rotating) tick() {
+	g := r.gate
+	if !g.byzStarted && g.ctx != nil && r.win.Active(g.ctx.Now()) {
+		g.byzStarted = true
+		r.byz.Init(g.ctx)
+	}
+}
+
+// sendGate decides whether the honest instance's sends pass through.
+type sendGate struct {
+	open       bool
+	now        func() float64
+	win        Window
+	ctx        sim.Context
+	byzStarted bool
+}
+
+func (g *sendGate) honestMuted() bool { return g.win.Active(g.now()) }
+func (g *sendGate) byzActive() bool   { return g.byzStarted && g.win.Active(g.now()) }
+
+// mutedCtx suppresses Send/Broadcast while the corruption window is
+// active; everything else passes through.
+type mutedCtx struct {
+	sim.Context
+	gate *sendGate
+}
+
+// Send implements sim.Context.
+func (c *mutedCtx) Send(to sim.PeerID, m sim.Message) {
+	if c.gate.honestMuted() {
+		return
+	}
+	c.Context.Send(to, m)
+}
+
+// Broadcast implements sim.Context.
+func (c *mutedCtx) Broadcast(m sim.Message) {
+	if c.gate.honestMuted() {
+		return
+	}
+	c.Context.Broadcast(m)
+}

@@ -1,0 +1,245 @@
+// Package bitarray provides compact, fixed-length bit arrays and the
+// segment (contiguous sub-array) operations used throughout the Data
+// Retrieval model: the source's input array X, per-peer output arrays,
+// known-bit trackers, and the bit-string values exchanged in messages.
+//
+// All operations are word-parallel where possible; FirstDiff and Count are
+// O(words), not O(bits). Indices are 0-based bit positions.
+package bitarray
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+)
+
+const wordBits = 64
+
+// ErrLengthMismatch is returned by operations requiring equal-length arrays.
+var ErrLengthMismatch = errors.New("bitarray: length mismatch")
+
+// Array is a fixed-length array of bits. The zero value is an empty array;
+// use New to create one with a given length.
+type Array struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero Array of n bits. It panics if n is negative.
+func New(n int) *Array {
+	if n < 0 {
+		panic(fmt.Sprintf("bitarray: negative length %d", n))
+	}
+	return &Array{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Random returns an Array of n bits drawn uniformly from rng.
+func Random(rng *rand.Rand, n int) *Array {
+	a := New(n)
+	for i := range a.words {
+		a.words[i] = rng.Uint64()
+	}
+	a.clearTail()
+	return a
+}
+
+// FromBools builds an Array from a slice of booleans.
+func FromBools(vals []bool) *Array {
+	a := New(len(vals))
+	for i, v := range vals {
+		if v {
+			a.Set(i, true)
+		}
+	}
+	return a
+}
+
+// Len returns the number of bits in the array.
+func (a *Array) Len() int { return a.n }
+
+// Get returns bit i. It panics if i is out of range.
+func (a *Array) Get(i int) bool {
+	a.check(i)
+	return a.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Bit returns bit i as 0 or 1. It panics if i is out of range.
+func (a *Array) Bit(i int) byte {
+	if a.Get(i) {
+		return 1
+	}
+	return 0
+}
+
+// Set assigns bit i. It panics if i is out of range.
+func (a *Array) Set(i int, v bool) {
+	a.check(i)
+	if v {
+		a.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+	} else {
+		a.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+	}
+}
+
+// SetBit assigns bit i from a 0/1 byte. Any nonzero byte sets the bit.
+func (a *Array) SetBit(i int, v byte) { a.Set(i, v != 0) }
+
+// Fill sets every bit to v.
+func (a *Array) Fill(v bool) {
+	var w uint64
+	if v {
+		w = ^uint64(0)
+	}
+	for i := range a.words {
+		a.words[i] = w
+	}
+	a.clearTail()
+}
+
+// Clone returns a deep copy of the array.
+func (a *Array) Clone() *Array {
+	c := &Array{n: a.n, words: make([]uint64, len(a.words))}
+	copy(c.words, a.words)
+	return c
+}
+
+// Equal reports whether a and b have the same length and contents.
+func (a *Array) Equal(b *Array) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i, w := range a.words {
+		if w != b.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (a *Array) Count() int {
+	c := 0
+	for _, w := range a.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// FirstDiff returns the smallest index at which a and b differ, or -1 if
+// they are equal. It returns ErrLengthMismatch if the lengths differ.
+func (a *Array) FirstDiff(b *Array) (int, error) {
+	if a.n != b.n {
+		return 0, ErrLengthMismatch
+	}
+	for i, w := range a.words {
+		if x := w ^ b.words[i]; x != 0 {
+			return i*wordBits + bits.TrailingZeros64(x), nil
+		}
+	}
+	return -1, nil
+}
+
+// Slice returns a new Array holding bits [start, start+length).
+// It panics if the range is out of bounds.
+func (a *Array) Slice(start, length int) *Array {
+	if start < 0 || length < 0 || start+length > a.n {
+		panic(fmt.Sprintf("bitarray: slice [%d,%d) out of range of %d bits", start, start+length, a.n))
+	}
+	s := New(length)
+	s.copyBits(a, start, 0, length)
+	return s
+}
+
+// CopyFrom copies length bits from src starting at srcStart into a starting
+// at dstStart. It panics if either range is out of bounds.
+func (a *Array) CopyFrom(src *Array, srcStart, dstStart, length int) {
+	if srcStart < 0 || length < 0 || srcStart+length > src.n {
+		panic(fmt.Sprintf("bitarray: source range [%d,%d) out of range of %d bits", srcStart, srcStart+length, src.n))
+	}
+	if dstStart < 0 || dstStart+length > a.n {
+		panic(fmt.Sprintf("bitarray: destination range [%d,%d) out of range of %d bits", dstStart, dstStart+length, a.n))
+	}
+	a.copyBits(src, srcStart, dstStart, length)
+}
+
+// copyBits copies without bounds checks (callers validate).
+func (a *Array) copyBits(src *Array, srcStart, dstStart, length int) {
+	// Word-aligned fast path.
+	if srcStart%wordBits == 0 && dstStart%wordBits == 0 {
+		full := length / wordBits
+		copy(a.words[dstStart/wordBits:dstStart/wordBits+full], src.words[srcStart/wordBits:srcStart/wordBits+full])
+		for i := full * wordBits; i < length; i++ {
+			a.Set(dstStart+i, src.Get(srcStart+i))
+		}
+		return
+	}
+	for i := 0; i < length; i++ {
+		a.Set(dstStart+i, src.Get(srcStart+i))
+	}
+}
+
+// Bytes serializes the array as length-prefixed little-endian bytes.
+func (a *Array) Bytes() []byte {
+	out := make([]byte, 8+len(a.words)*8)
+	binary.LittleEndian.PutUint64(out, uint64(a.n))
+	for i, w := range a.words {
+		binary.LittleEndian.PutUint64(out[8+i*8:], w)
+	}
+	return out
+}
+
+// FromBytes deserializes an Array produced by Bytes.
+func FromBytes(data []byte) (*Array, error) {
+	if len(data) < 8 {
+		return nil, errors.New("bitarray: truncated header")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if n < 0 {
+		return nil, errors.New("bitarray: negative length")
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if len(data) < 8+nw*8 {
+		return nil, fmt.Errorf("bitarray: need %d bytes, have %d", 8+nw*8, len(data))
+	}
+	a := New(n)
+	for i := 0; i < nw; i++ {
+		a.words[i] = binary.LittleEndian.Uint64(data[8+i*8:])
+	}
+	a.clearTail()
+	return a, nil
+}
+
+// String renders the bits as a 0/1 string, most significant index last
+// (i.e., index order). Long arrays are elided in the middle.
+func (a *Array) String() string {
+	const maxShown = 64
+	var sb strings.Builder
+	show := a.n
+	if show > maxShown {
+		show = maxShown
+	}
+	for i := 0; i < show; i++ {
+		sb.WriteByte('0' + a.Bit(i))
+	}
+	if a.n > maxShown {
+		fmt.Fprintf(&sb, "…(+%d bits)", a.n-maxShown)
+	}
+	return sb.String()
+}
+
+func (a *Array) check(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("bitarray: index %d out of range of %d bits", i, a.n))
+	}
+}
+
+// clearTail zeroes bits beyond Len in the final word so Equal/Count are
+// well defined.
+func (a *Array) clearTail() {
+	if a.n%wordBits != 0 && len(a.words) > 0 {
+		a.words[len(a.words)-1] &= (1 << (uint(a.n) % wordBits)) - 1
+	}
+}

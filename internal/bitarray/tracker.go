@@ -1,0 +1,132 @@
+package bitarray
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Tracker maintains a peer's partial view of the input array: the bit
+// values learned so far plus a "known" mask. Protocols use it to decide
+// which bits still need querying and to assemble the final output.
+type Tracker struct {
+	vals    *Array
+	known   *Array
+	unknown int
+}
+
+// NewTracker returns a Tracker over n bits with every bit unknown.
+func NewTracker(n int) *Tracker {
+	return &Tracker{vals: New(n), known: New(n), unknown: n}
+}
+
+// Len returns the tracked array length in bits.
+func (t *Tracker) Len() int { return t.vals.n }
+
+// Known reports whether bit i has been learned.
+func (t *Tracker) Known(i int) bool { return t.known.Get(i) }
+
+// Get returns the learned value of bit i; ok is false if i is unknown.
+func (t *Tracker) Get(i int) (v, ok bool) {
+	if !t.known.Get(i) {
+		return false, false
+	}
+	return t.vals.Get(i), true
+}
+
+// Learn records bit i as value v. The first learned value wins: learning
+// an already-known bit again is a no-op, and the return value reports
+// whether the new value conflicted with the stored one. Honest executions
+// never conflict; conflicts arise only when Byzantine-forged strings were
+// (low-probability) accepted, in which case the protocol's output is
+// wrong rather than the process crashing — matching the paper's w.h.p.
+// correctness guarantees.
+func (t *Tracker) Learn(i int, v bool) (conflict bool) {
+	if t.known.Get(i) {
+		return t.vals.Get(i) != v
+	}
+	t.known.Set(i, true)
+	t.vals.Set(i, v)
+	t.unknown--
+	return false
+}
+
+// LearnFromSource records bit i as value v, overwriting any previously
+// learned value: the source is trusted, so its answer always wins. The
+// return value reports whether an overwrite happened.
+func (t *Tracker) LearnFromSource(i int, v bool) (overwrote bool) {
+	if t.known.Get(i) {
+		if t.vals.Get(i) != v {
+			t.vals.Set(i, v)
+			return true
+		}
+		return false
+	}
+	t.known.Set(i, true)
+	t.vals.Set(i, v)
+	t.unknown--
+	return false
+}
+
+// LearnSegment records bits [start, start+seg.Len()) from a segment value.
+func (t *Tracker) LearnSegment(start int, seg *Array) {
+	for i := 0; i < seg.Len(); i++ {
+		t.Learn(start+i, seg.Get(i))
+	}
+}
+
+// UnknownCount returns the number of bits not yet learned.
+func (t *Tracker) UnknownCount() int { return t.unknown }
+
+// Complete reports whether every bit is known.
+func (t *Tracker) Complete() bool { return t.unknown == 0 }
+
+// UnknownIn returns the indices in [start, start+length) not yet known,
+// appended to dst.
+func (t *Tracker) UnknownIn(dst []int, start, length int) []int {
+	for i := start; i < start+length; i++ {
+		if !t.known.Get(i) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// UnknownAll returns every unknown index, in increasing order.
+func (t *Tracker) UnknownAll() []int {
+	dst := make([]int, 0, t.unknown)
+	for wi, w := range t.known.words {
+		inv := ^w
+		if wi == len(t.known.words)-1 && t.vals.n%wordBits != 0 {
+			inv &= (1 << (uint(t.vals.n) % wordBits)) - 1
+		}
+		for inv != 0 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(inv))
+			inv &= inv - 1
+		}
+	}
+	return dst
+}
+
+// KnownSegment extracts bits [start, start+length) as an Array; ok is
+// false if any bit in the range is unknown.
+func (t *Tracker) KnownSegment(start, length int) (*Array, bool) {
+	for i := start; i < start+length; i++ {
+		if !t.known.Get(i) {
+			return nil, false
+		}
+	}
+	return t.vals.Slice(start, length), true
+}
+
+// Snapshot returns a copy of the current values array. Unknown positions
+// are zero. If the tracker is complete this is the peer's output.
+func (t *Tracker) Snapshot() *Array { return t.vals.Clone() }
+
+// Output returns the values array if complete, or an error naming the
+// number of still-unknown bits.
+func (t *Tracker) Output() (*Array, error) {
+	if !t.Complete() {
+		return nil, fmt.Errorf("bitarray: output requested with %d unknown bits", t.unknown)
+	}
+	return t.vals.Clone(), nil
+}

@@ -1,0 +1,172 @@
+package bitarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrackerBasics(t *testing.T) {
+	tr := NewTracker(10)
+	if tr.Len() != 10 || tr.UnknownCount() != 10 || tr.Complete() {
+		t.Fatalf("fresh tracker state wrong: %d unknown", tr.UnknownCount())
+	}
+	if _, ok := tr.Get(3); ok {
+		t.Fatal("unknown bit reported known")
+	}
+	tr.Learn(3, true)
+	if v, ok := tr.Get(3); !ok || !v {
+		t.Fatal("learned bit not retrievable")
+	}
+	if tr.UnknownCount() != 9 {
+		t.Fatalf("unknown = %d, want 9", tr.UnknownCount())
+	}
+	// Re-learning same value: no-op, no conflict.
+	if tr.Learn(3, true) {
+		t.Fatal("same-value relearn reported conflict")
+	}
+	// Conflicting learn: first value wins, conflict reported.
+	if !tr.Learn(3, false) {
+		t.Fatal("conflicting learn not reported")
+	}
+	if v, _ := tr.Get(3); !v {
+		t.Fatal("first-learned value overwritten by Learn")
+	}
+	// Source overwrites.
+	if !tr.LearnFromSource(3, false) {
+		t.Fatal("source overwrite not reported")
+	}
+	if v, _ := tr.Get(3); v {
+		t.Fatal("source value did not win")
+	}
+	if tr.UnknownCount() != 9 {
+		t.Fatalf("unknown changed on relearn: %d", tr.UnknownCount())
+	}
+}
+
+func TestTrackerOutput(t *testing.T) {
+	tr := NewTracker(4)
+	if _, err := tr.Output(); err == nil {
+		t.Fatal("incomplete output did not error")
+	}
+	for i := 0; i < 4; i++ {
+		tr.Learn(i, i%2 == 0)
+	}
+	out, err := tr.Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if out.Get(i) != (i%2 == 0) {
+			t.Errorf("output bit %d wrong", i)
+		}
+	}
+}
+
+func TestTrackerUnknownAll(t *testing.T) {
+	tr := NewTracker(200)
+	known := map[int]bool{0: true, 63: true, 64: true, 100: true, 199: true}
+	for i := range known {
+		tr.Learn(i, true)
+	}
+	got := tr.UnknownAll()
+	if len(got) != 200-len(known) {
+		t.Fatalf("UnknownAll len = %d", len(got))
+	}
+	prev := -1
+	for _, x := range got {
+		if known[x] {
+			t.Errorf("known bit %d in UnknownAll", x)
+		}
+		if x <= prev {
+			t.Errorf("UnknownAll not increasing at %d", x)
+		}
+		prev = x
+	}
+}
+
+func TestTrackerUnknownIn(t *testing.T) {
+	tr := NewTracker(20)
+	tr.Learn(5, true)
+	tr.Learn(7, false)
+	got := tr.UnknownIn(nil, 4, 5)
+	want := []int{4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("UnknownIn = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UnknownIn = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTrackerSegments(t *testing.T) {
+	tr := NewTracker(100)
+	seg := FromBools([]bool{true, true, false, true})
+	tr.LearnSegment(10, seg)
+	got, ok := tr.KnownSegment(10, 4)
+	if !ok || !got.Equal(seg) {
+		t.Fatal("KnownSegment mismatch")
+	}
+	if _, ok := tr.KnownSegment(9, 4); ok {
+		t.Fatal("partially unknown segment reported known")
+	}
+	snap := tr.Snapshot()
+	if snap.Len() != 100 || !snap.Get(10) {
+		t.Fatal("snapshot wrong")
+	}
+}
+
+// Property: learning a random permutation of all bits yields the source
+// array, and UnknownCount decreases monotonically to zero.
+func TestQuickTrackerFullLearn(t *testing.T) {
+	f := func(seed int64, nU uint8) bool {
+		n := int(nU)%300 + 1
+		rng := rand.New(rand.NewSource(seed))
+		src := Random(rng, n)
+		tr := NewTracker(n)
+		perm := rng.Perm(n)
+		prev := n
+		for _, i := range perm {
+			tr.Learn(i, src.Get(i))
+			if tr.UnknownCount() >= prev {
+				return false
+			}
+			prev = tr.UnknownCount()
+		}
+		out, err := tr.Output()
+		return err == nil && out.Equal(src) && tr.Complete()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnknownAll ∪ known indices partitions [0, n).
+func TestQuickTrackerPartition(t *testing.T) {
+	f := func(seed int64, nU uint8, kU uint8) bool {
+		n := int(nU)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTracker(n)
+		learned := make(map[int]bool)
+		for i := 0; i < int(kU); i++ {
+			x := rng.Intn(n)
+			tr.Learn(x, true)
+			learned[x] = true
+		}
+		unk := tr.UnknownAll()
+		if len(unk)+len(learned) != n {
+			return false
+		}
+		for _, x := range unk {
+			if learned[x] {
+				return false
+			}
+		}
+		return tr.UnknownCount() == len(unk)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

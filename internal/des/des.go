@@ -1,0 +1,431 @@
+// Package des is the deterministic discrete-event runtime for the DR-model
+// simulation. Peers are event-driven state machines (sim.Peer); the engine
+// maintains a virtual clock and a priority queue of pending deliveries
+// whose latencies are chosen by the adversary's sim.DelayPolicy. Given a
+// seed, executions are fully reproducible: ties in delivery time break by
+// insertion sequence.
+//
+// The engine implements the paper's failure semantics:
+//
+//   - Crash faults stop a peer at an adversary-chosen action count; a
+//     crash point falling between the individual sends of one Broadcast
+//     reproduces "sent some, but perhaps not all, of the messages".
+//   - Byzantine faults replace the honest protocol with adversary-built
+//     behaviors that know the input and coordinate via a shared blackboard.
+//
+// The engine also detects global deadlock (no pending events while some
+// honest peer has not terminated) — the failure mode the paper's
+// "wait for n−t, never n" rules exist to avoid — and enforces an event cap
+// as a non-termination backstop.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitarray"
+	"repro/internal/sim"
+)
+
+// Runtime executes specs deterministically on a virtual clock.
+type Runtime struct{}
+
+var _ sim.Runtime = (*Runtime)(nil)
+
+// New returns a discrete-event runtime.
+func New() *Runtime { return &Runtime{} }
+
+// Run executes the spec to completion. The returned Result is fully
+// populated (Finalize has been called). An error is returned only for
+// invalid specs; protocol-level failures (wrong outputs, deadlock, event
+// cap) are reported inside the Result.
+func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("des: %w", err)
+	}
+	e := newEngine(spec)
+	e.run()
+	return e.result(), nil
+}
+
+type eventKind int
+
+const (
+	evStart eventKind = iota + 1
+	evMessage
+	evQueryReply
+)
+
+type event struct {
+	at   float64
+	seq  int64
+	kind eventKind
+	to   sim.PeerID
+	from sim.PeerID // evMessage only
+	msg  sim.Message
+	qr   sim.QueryReply
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+type peerState struct {
+	id         sim.PeerID
+	honest     bool
+	impl       sim.Peer
+	ctx        *peerCtx
+	rng        *rand.Rand
+	crashed    bool
+	terminated bool
+	started    bool
+	crashPoint int // negative: never crashes
+	actions    int
+	// pending buffers events that arrive before the peer's start event
+	// (the model allows non-simultaneous starts); they are delivered in
+	// arrival order right after Init.
+	pending []*event
+	stats   sim.PeerStats
+}
+
+type engine struct {
+	spec    *sim.Spec
+	cfg     sim.Config
+	input   *bitarray.Array
+	queue   eventQueue
+	seq     int64
+	now     float64
+	peers   []*peerState
+	current sim.PeerID // peer whose handler is executing; -1 otherwise
+	events  int
+	cap     int
+	res     sim.Result
+}
+
+func newEngine(spec *sim.Spec) *engine {
+	cfg := spec.Config
+	e := &engine{
+		spec:    spec,
+		cfg:     cfg,
+		input:   cfg.ResolveInput(),
+		peers:   make([]*peerState, cfg.N),
+		current: -1,
+		cap:     cfg.EventCap(),
+	}
+	var know *sim.Knowledge
+	if spec.Faults.Model == sim.FaultByzantine {
+		know = &sim.Knowledge{
+			Input:  e.input,
+			Config: cfg,
+			Faulty: append([]sim.PeerID(nil), spec.Faults.Faulty...),
+			Rand:   rand.New(rand.NewSource(cfg.Seed ^ 0x0bad5eed)),
+			Shared: make(map[string]any),
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := sim.PeerID(i)
+		p := &peerState{
+			id:         id,
+			honest:     true,
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(i)*0x9e3779b97f4a7c + 1)),
+			crashPoint: -1,
+			stats:      sim.PeerStats{ID: id, Honest: true},
+		}
+		if spec.Faults.IsFaulty(id) {
+			p.honest = false
+			p.stats.Honest = false
+			switch spec.Faults.Model {
+			case sim.FaultCrash:
+				p.crashPoint = spec.Faults.Crash.CrashPoint(id)
+				p.impl = spec.NewPeer(id)
+			case sim.FaultByzantine:
+				p.impl = spec.Faults.NewByzantine(id, know)
+			}
+		} else {
+			p.impl = spec.NewPeer(id)
+		}
+		p.ctx = &peerCtx{e: e, p: p}
+		e.peers[i] = p
+	}
+	// Schedule starts.
+	for _, p := range e.peers {
+		e.push(&event{at: spec.Delays.StartDelay(p.id), kind: evStart, to: p.id})
+	}
+	heap.Init(&e.queue)
+	return e
+}
+
+func (e *engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+func (e *engine) run() {
+	for len(e.queue) > 0 {
+		if e.allHonestTerminated() {
+			return
+		}
+		if e.events >= e.cap {
+			e.res.EventCapHit = true
+			return
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		p := e.peers[ev.to]
+		if p.terminated || p.crashed {
+			continue
+		}
+		if !p.started && ev.kind != evStart {
+			p.pending = append(p.pending, ev)
+			continue
+		}
+		if !e.dispatch(p, ev) {
+			continue
+		}
+		if ev.kind == evStart {
+			// Drain events that arrived before the start.
+			for _, buf := range p.pending {
+				if p.terminated || p.crashed {
+					break
+				}
+				e.dispatch(p, buf)
+			}
+			p.pending = nil
+		}
+	}
+	if !e.allHonestTerminated() {
+		e.res.Deadlocked = true
+	}
+}
+
+// dispatch performs the crash check and delivers one event; it reports
+// whether the event was actually delivered.
+func (e *engine) dispatch(p *peerState, ev *event) bool {
+	e.events++
+	// A delivery is an action; the adversary may crash the peer here
+	// instead of letting it process the event.
+	if !p.honest && p.crashPoint >= 0 {
+		p.actions++
+		if p.actions > p.crashPoint {
+			e.crash(p)
+			return false
+		}
+	}
+	e.deliver(p, ev)
+	return true
+}
+
+func (e *engine) deliver(p *peerState, ev *event) {
+	e.current = p.id
+	defer func() { e.current = -1 }()
+	switch ev.kind {
+	case evStart:
+		p.started = true
+		e.observe("start", p.id, -1, "", 0)
+		p.impl.Init(p.ctx)
+	case evMessage:
+		e.observe("deliver", p.id, ev.from, msgTypeName(ev.msg), ev.msg.SizeBits())
+		p.impl.OnMessage(ev.from, ev.msg)
+	case evQueryReply:
+		e.observe("qreply", p.id, -1, "", len(ev.qr.Indices))
+		p.impl.OnQueryReply(ev.qr)
+	}
+}
+
+func (e *engine) crash(p *peerState) {
+	p.crashed = true
+	p.stats.Crashed = true
+	e.observe("crash", p.id, -1, "", 0)
+	e.tracef("t=%.3f peer %d CRASH (actions=%d)", e.now, p.id, p.actions)
+}
+
+func (e *engine) allHonestTerminated() bool {
+	for _, p := range e.peers {
+		if p.honest && !p.terminated {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *engine) result() *sim.Result {
+	e.res.PerPeer = make([]sim.PeerStats, len(e.peers))
+	for i, p := range e.peers {
+		e.res.PerPeer[i] = p.stats
+	}
+	e.res.Events = e.events
+	e.res.Finalize(e.input)
+	return &e.res
+}
+
+// observe forwards a structured event to the spec's Observer.
+func (e *engine) observe(kind string, peer, other sim.PeerID, msgType string, bits int) {
+	if e.spec.Observer == nil {
+		return
+	}
+	e.spec.Observer.OnEvent(sim.ObservedEvent{
+		Time: e.now, Kind: kind, Peer: peer, Other: other,
+		MsgType: msgType, Bits: bits,
+	})
+}
+
+func (e *engine) tracef(format string, args ...any) {
+	if e.spec.Trace != nil {
+		fmt.Fprintf(e.spec.Trace, format+"\n", args...)
+	}
+}
+
+// msgTypeName returns a short type label for observers.
+func msgTypeName(m sim.Message) string {
+	return fmt.Sprintf("%T", m)
+}
+
+// peerCtx implements sim.Context for one peer.
+type peerCtx struct {
+	e *engine
+	p *peerState
+}
+
+var _ sim.Context = (*peerCtx)(nil)
+
+func (c *peerCtx) ID() sim.PeerID { return c.p.id }
+func (c *peerCtx) N() int         { return c.e.cfg.N }
+func (c *peerCtx) T() int         { return c.e.cfg.T }
+func (c *peerCtx) L() int         { return c.e.cfg.L }
+func (c *peerCtx) MsgBits() int   { return c.e.cfg.MsgBits }
+
+func (c *peerCtx) active() bool {
+	if c.e.current != c.p.id {
+		panic(fmt.Sprintf("des: context of peer %d used outside its handler (current=%d)",
+			c.p.id, c.e.current))
+	}
+	return !c.p.crashed && !c.p.terminated
+}
+
+func (c *peerCtx) Send(to sim.PeerID, m sim.Message) {
+	if !c.active() {
+		return
+	}
+	if to < 0 || int(to) >= c.e.cfg.N || to == c.p.id {
+		return
+	}
+	p := c.p
+	// Each send is an action: the adversary may crash the peer between
+	// the sends of a single broadcast.
+	if !p.honest && p.crashPoint >= 0 {
+		p.actions++
+		if p.actions > p.crashPoint {
+			c.e.crash(p)
+			return
+		}
+	}
+	size := m.SizeBits()
+	chunks := (size + c.e.cfg.MsgBits - 1) / c.e.cfg.MsgBits
+	if chunks < 1 {
+		chunks = 1
+	}
+	p.stats.MsgsSent += chunks
+	p.stats.MsgBitsSent += size
+	c.e.observe("send", p.id, to, msgTypeName(m), size)
+	delay := c.e.spec.Delays.MessageDelay(p.id, to, c.e.now, size)
+	if delay <= 0 {
+		delay = 1e-9
+	}
+	// A payload larger than b is ⌈size/b⌉ consecutive b-bit messages on
+	// the link; the receiver acts on the full payload when the last
+	// chunk lands. This is what makes the paper's T = O(L/(nb) + …)
+	// time bounds — and their dependence on b — observable.
+	c.e.push(&event{at: c.e.now + delay*float64(chunks), kind: evMessage, to: to, from: p.id, msg: m})
+}
+
+func (c *peerCtx) Broadcast(m sim.Message) {
+	for i := 0; i < c.e.cfg.N; i++ {
+		if sim.PeerID(i) != c.p.id {
+			c.Send(sim.PeerID(i), m)
+		}
+	}
+}
+
+func (c *peerCtx) Query(tag int, indices []int) {
+	if !c.active() {
+		return
+	}
+	p := c.p
+	if !p.honest && p.crashPoint >= 0 {
+		p.actions++
+		if p.actions > p.crashPoint {
+			c.e.crash(p)
+			return
+		}
+	}
+	bits := bitarray.New(len(indices))
+	for j, idx := range indices {
+		if idx < 0 || idx >= c.e.cfg.L {
+			panic(fmt.Sprintf("des: peer %d queried out-of-range index %d", p.id, idx))
+		}
+		bits.Set(j, c.e.input.Get(idx))
+	}
+	p.stats.QueryBits += len(indices)
+	p.stats.QueryCalls++
+	c.e.observe("query", p.id, -1, "", len(indices))
+	idxCopy := append([]int(nil), indices...)
+	delay := c.e.spec.Delays.QueryDelay(p.id, c.e.now)
+	if delay <= 0 {
+		delay = 1e-9
+	}
+	c.e.push(&event{
+		at:   c.e.now + delay,
+		kind: evQueryReply,
+		to:   p.id,
+		qr:   sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: bits},
+	})
+}
+
+func (c *peerCtx) Output(out *bitarray.Array) {
+	if !c.active() {
+		return
+	}
+	c.p.stats.Output = out.Clone()
+}
+
+func (c *peerCtx) Terminate() {
+	if !c.active() {
+		return
+	}
+	c.p.terminated = true
+	c.p.stats.Terminated = true
+	c.p.stats.TermTime = c.e.now
+	c.e.observe("terminate", c.p.id, -1, "", 0)
+	c.e.tracef("t=%.3f peer %d TERMINATE (qbits=%d msgs=%d)",
+		c.e.now, c.p.id, c.p.stats.QueryBits, c.p.stats.MsgsSent)
+}
+
+func (c *peerCtx) Rand() *rand.Rand { return c.p.rng }
+func (c *peerCtx) Now() float64     { return c.e.now }
+
+func (c *peerCtx) Logf(format string, args ...any) {
+	if c.e.spec.Trace != nil {
+		fmt.Fprintf(c.e.spec.Trace, "t=%.3f peer %d: "+format+"\n",
+			append([]any{c.e.now, c.p.id}, args...)...)
+	}
+}

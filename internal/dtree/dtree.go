@@ -1,0 +1,189 @@
+// Package dtree implements the decision trees of Protocol 3 ("Determine")
+// from the paper. Given a set of mutually inconsistent candidate versions
+// of one input segment (some possibly forged by Byzantine peers), the tree
+// isolates, for each pair of conflicting versions, a separating index where
+// they differ. Querying the trusted source at the internal-node indices —
+// exactly |versions|−1 queries — eliminates every version that disagrees
+// with the source, leaving a single consistent version. As long as the
+// correct version is among the candidates, Determine returns it: Byzantine
+// peers can add versions (raising the query cost by one each) but can
+// never displace the truth, because the source is trusted.
+package dtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bitarray"
+)
+
+// Segment locates a contiguous bit range [Start, Start+Len) of the input
+// array X.
+type Segment struct {
+	Start int
+	Len   int
+}
+
+// End returns the exclusive end index.
+func (s Segment) End() int { return s.Start + s.Len }
+
+// node is a decision-tree node: internal nodes carry a separating index
+// (relative to the segment), leaves carry a candidate version.
+type node struct {
+	sepIdx int // relative separating index; valid when leaf == nil
+	leaf   *bitarray.Array
+	zero   *node // child whose versions have bit sepIdx == 0
+	one    *node
+}
+
+// Tree is a built decision tree for one segment.
+type Tree struct {
+	seg      Segment
+	root     *node
+	leaves   int
+	internal int
+}
+
+// ErrNoVersions is returned when Build receives an empty candidate set.
+var ErrNoVersions = errors.New("dtree: no candidate versions")
+
+// Build constructs a decision tree for the candidate versions of segment
+// seg. Duplicates are collapsed; every version must have length seg.Len.
+// The tree has one leaf per distinct version and (#leaves − 1) internal
+// nodes, matching the paper's query-cost bound.
+func Build(seg Segment, versions []*bitarray.Array) (*Tree, error) {
+	if len(versions) == 0 {
+		return nil, ErrNoVersions
+	}
+	distinct := Dedupe(versions)
+	for _, v := range distinct {
+		if v.Len() != seg.Len {
+			return nil, fmt.Errorf("dtree: version length %d != segment length %d", v.Len(), seg.Len)
+		}
+	}
+	t := &Tree{seg: seg}
+	t.root = t.build(distinct)
+	return t, nil
+}
+
+func (t *Tree) build(versions []*bitarray.Array) *node {
+	if len(versions) == 1 {
+		t.leaves++
+		return &node{leaf: versions[0]}
+	}
+	// Pick two versions and find their first separating index; since
+	// versions are distinct and equal-length, one exists.
+	d, err := versions[0].FirstDiff(versions[1])
+	if err != nil || d < 0 {
+		panic("dtree: indistinct versions after dedupe")
+	}
+	var zeros, ones []*bitarray.Array
+	for _, v := range versions {
+		if v.Get(d) {
+			ones = append(ones, v)
+		} else {
+			zeros = append(zeros, v)
+		}
+	}
+	t.internal++
+	return &node{sepIdx: d, zero: t.build(zeros), one: t.build(ones)}
+}
+
+// Segment returns the segment the tree resolves.
+func (t *Tree) Segment() Segment { return t.seg }
+
+// Leaves returns the number of distinct candidate versions.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// InternalCount returns the number of internal nodes — the query cost of
+// resolving the tree.
+func (t *Tree) InternalCount() int { return t.internal }
+
+// InternalIndices returns the absolute input indices at the internal
+// nodes, sorted and deduplicated. Querying the source at exactly these
+// indices suffices to Resolve the tree; because the set is fixed once the
+// tree is built, protocols can issue all queries in a single batch rather
+// than walking the tree adaptively.
+func (t *Tree) InternalIndices() []int {
+	var rel []int
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.leaf != nil {
+			return
+		}
+		rel = append(rel, n.sepIdx)
+		walk(n.zero)
+		walk(n.one)
+	}
+	walk(t.root)
+	abs := make([]int, len(rel))
+	for i, r := range rel {
+		abs[i] = t.seg.Start + r
+	}
+	sort.Ints(abs)
+	// Dedupe (different internal nodes may share a separating index).
+	out := abs[:0]
+	for i, v := range abs {
+		if i == 0 || v != abs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Resolve walks the tree using source bits supplied by lookup (absolute
+// index into X) and returns the unique candidate consistent with every
+// queried separating index. If the correct version was among the
+// candidates, the result equals it.
+func (t *Tree) Resolve(lookup func(absIdx int) bool) *bitarray.Array {
+	n := t.root
+	for n.leaf == nil {
+		if lookup(t.seg.Start + n.sepIdx) {
+			n = n.one
+		} else {
+			n = n.zero
+		}
+	}
+	return n.leaf
+}
+
+// Dedupe returns the distinct arrays of versions, preserving first-seen
+// order.
+func Dedupe(versions []*bitarray.Array) []*bitarray.Array {
+	seen := make(map[string]bool, len(versions))
+	out := make([]*bitarray.Array, 0, len(versions))
+	for _, v := range versions {
+		k := string(v.Bytes())
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Frequent returns the distinct versions appearing at least k times in the
+// multiset, preserving first-seen order — the paper's k-frequent strings.
+// Each version's multiplicity counts distinct senders; callers are
+// responsible for counting each sender at most once.
+func Frequent(versions []*bitarray.Array, k int) []*bitarray.Array {
+	counts := make(map[string]int, len(versions))
+	var order []string
+	byKey := make(map[string]*bitarray.Array, len(versions))
+	for _, v := range versions {
+		key := string(v.Bytes())
+		if counts[key] == 0 {
+			order = append(order, key)
+			byKey[key] = v
+		}
+		counts[key]++
+	}
+	var out []*bitarray.Array
+	for _, key := range order {
+		if counts[key] >= k {
+			out = append(out, byKey[key])
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitarray"
+)
+
+func randVersions(rng *rand.Rand, segLen, count int) []*bitarray.Array {
+	out := make([]*bitarray.Array, count)
+	for i := range out {
+		out[i] = bitarray.Random(rng, segLen)
+	}
+	return out
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Segment{0, 4}, nil); err == nil {
+		t.Error("empty candidate set accepted")
+	}
+	bad := []*bitarray.Array{bitarray.New(3)}
+	if _, err := Build(Segment{0, 4}, bad); err == nil {
+		t.Error("wrong-length version accepted")
+	}
+}
+
+func TestSingleVersion(t *testing.T) {
+	v := bitarray.FromBools([]bool{true, false, true})
+	tree, err := Build(Segment{10, 3}, []*bitarray.Array{v, v.Clone()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Leaves() != 1 || tree.InternalCount() != 0 {
+		t.Fatalf("leaves=%d internal=%d, want 1/0", tree.Leaves(), tree.InternalCount())
+	}
+	got := tree.Resolve(func(int) bool { t.Fatal("no queries expected"); return false })
+	if !got.Equal(v) {
+		t.Fatal("wrong resolution")
+	}
+}
+
+func TestTwoVersions(t *testing.T) {
+	a := bitarray.FromBools([]bool{false, false, true, false})
+	b := bitarray.FromBools([]bool{false, true, true, true})
+	tree, err := Build(Segment{100, 4}, []*bitarray.Array{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Leaves() != 2 || tree.InternalCount() != 1 {
+		t.Fatalf("leaves=%d internal=%d", tree.Leaves(), tree.InternalCount())
+	}
+	idx := tree.InternalIndices()
+	if len(idx) != 1 || idx[0] != 101 {
+		t.Fatalf("internal indices = %v, want [101] (first diff, absolute)", idx)
+	}
+	// Source says bit 101 of X is 1 → version b.
+	got := tree.Resolve(func(abs int) bool { return abs == 101 })
+	if !got.Equal(b) {
+		t.Fatal("resolved wrong version")
+	}
+}
+
+func TestInternalCountBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		segLen := 1 + rng.Intn(64)
+		count := 1 + rng.Intn(20)
+		versions := randVersions(rng, segLen, count)
+		distinct := len(Dedupe(versions))
+		tree, err := Build(Segment{0, segLen}, versions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tree.Leaves() != distinct {
+			t.Fatalf("leaves = %d, distinct = %d", tree.Leaves(), distinct)
+		}
+		if tree.InternalCount() != distinct-1 {
+			t.Fatalf("internal = %d, want leaves-1 = %d", tree.InternalCount(), distinct-1)
+		}
+	}
+}
+
+func TestResolveFindsTruthWhenPresent(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		segLen := 1 + rng.Intn(48)
+		start := rng.Intn(100)
+		truth := bitarray.Random(rng, segLen)
+		versions := append(randVersions(rng, segLen, rng.Intn(10)), truth)
+		tree, err := Build(Segment{start, segLen}, versions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := 0
+		got := tree.Resolve(func(abs int) bool {
+			queries++
+			rel := abs - start
+			if rel < 0 || rel >= segLen {
+				t.Fatalf("query outside segment: %d", abs)
+			}
+			return truth.Get(rel)
+		})
+		if !got.Equal(truth) {
+			t.Fatalf("trial %d: truth not recovered", trial)
+		}
+		if queries > tree.InternalCount() {
+			t.Fatalf("used %d queries > %d internal nodes", queries, tree.InternalCount())
+		}
+	}
+}
+
+func TestInternalIndicesCoverResolvePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		segLen := 1 + rng.Intn(32)
+		truth := bitarray.Random(rng, segLen)
+		versions := append(randVersions(rng, segLen, 6), truth)
+		tree, err := Build(Segment{50, segLen}, versions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allowed := make(map[int]bool)
+		for _, x := range tree.InternalIndices() {
+			allowed[x] = true
+		}
+		tree.Resolve(func(abs int) bool {
+			if !allowed[abs] {
+				t.Fatalf("resolve queried %d outside InternalIndices", abs)
+			}
+			return truth.Get(abs - 50)
+		})
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	a := bitarray.FromBools([]bool{true, false})
+	b := bitarray.FromBools([]bool{true, false})
+	c := bitarray.FromBools([]bool{false, false})
+	got := Dedupe([]*bitarray.Array{a, b, c, a})
+	if len(got) != 2 {
+		t.Fatalf("Dedupe kept %d, want 2", len(got))
+	}
+	if got[0] != a || got[1] != c {
+		t.Fatal("Dedupe did not preserve first-seen order")
+	}
+}
+
+func TestFrequent(t *testing.T) {
+	a := bitarray.FromBools([]bool{true})
+	b := bitarray.FromBools([]bool{false})
+	multiset := []*bitarray.Array{a, b, a.Clone(), a, b.Clone()}
+	if got := Frequent(multiset, 3); len(got) != 1 || !got[0].Equal(a) {
+		t.Fatalf("Frequent k=3 = %v", got)
+	}
+	if got := Frequent(multiset, 2); len(got) != 2 {
+		t.Fatalf("Frequent k=2 kept %d", len(got))
+	}
+	if got := Frequent(multiset, 4); len(got) != 0 {
+		t.Fatalf("Frequent k=4 kept %d", len(got))
+	}
+	if got := Frequent(nil, 1); len(got) != 0 {
+		t.Fatalf("Frequent(nil) kept %d", len(got))
+	}
+}
+
+func TestSegmentOfNesting(t *testing.T) {
+	// Dyadic nesting: parent segment j at level m equals children 2j,
+	// 2j+1 at level 2m — for awkward L too.
+	for _, L := range []int{16, 100, 10007, 1 << 14} {
+		for m := 1; m <= 32; m *= 2 {
+			if 2*m > L {
+				break
+			}
+			for j := 0; j < m; j++ {
+				parent := SegmentOf(L, m, j)
+				left := SegmentOf(L, 2*m, 2*j)
+				right := SegmentOf(L, 2*m, 2*j+1)
+				if left.Start != parent.Start || right.End() != parent.End() || left.End() != right.Start {
+					t.Fatalf("L=%d m=%d j=%d: nesting broken: %+v %+v %+v",
+						L, m, j, parent, left, right)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentOfPartition(t *testing.T) {
+	for _, L := range []int{1, 5, 64, 999} {
+		for _, m := range []int{1, 2, 3, 5, 64} {
+			if m > L {
+				continue
+			}
+			covered := 0
+			for j := 0; j < m; j++ {
+				s := SegmentOf(L, m, j)
+				if s.Len <= 0 {
+					t.Fatalf("L=%d m=%d j=%d: empty segment", L, m, j)
+				}
+				covered += s.Len
+			}
+			if covered != L {
+				t.Fatalf("L=%d m=%d: covered %d", L, m, covered)
+			}
+		}
+	}
+}
+
+// Property: the truth is always recovered when present, regardless of how
+// many forged versions accompany it.
+func TestQuickResolveTruth(t *testing.T) {
+	f := func(seed int64, lenU, forgedU uint8) bool {
+		segLen := int(lenU)%40 + 1
+		rng := rand.New(rand.NewSource(seed))
+		truth := bitarray.Random(rng, segLen)
+		versions := randVersions(rng, segLen, int(forgedU)%15)
+		versions = append(versions, truth)
+		tree, err := Build(Segment{0, segLen}, versions)
+		if err != nil {
+			return false
+		}
+		got := tree.Resolve(func(abs int) bool { return truth.Get(abs) })
+		return got.Equal(truth)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,12 @@
+package dtree
+
+// SegmentOf returns the j-th of m near-equal segments of an L-bit input:
+// [⌊jL/m⌋, ⌊(j+1)L/m⌋). The floor form guarantees exact nesting across
+// dyadic refinements: if m' = 2m, then SegmentOf(L, m, j) is precisely the
+// union of SegmentOf(L, m', 2j) and SegmentOf(L, m', 2j+1) — the property
+// the multi-cycle protocol's parent/child segment relation relies on.
+func SegmentOf(L, m, j int) Segment {
+	lo := j * L / m
+	hi := (j + 1) * L / m
+	return Segment{Start: lo, Len: hi - lo}
+}

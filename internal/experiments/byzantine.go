@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/multicycle"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/segproto"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// E4Committee sweeps β < 1/2 for the deterministic committee protocol
+// (Theorem 3.4). Series: Q = L(2t+1)/n grows linearly in β·L, against
+// the strongest consistent-lie attack.
+func E4Committee(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "deterministic Byzantine committee Download (Thm 3.4)",
+		Columns: []string{"beta", "n", "t", "Q", "L(2t+1)/n", "Q/naive", "time"},
+		Notes:   []string{"faulty peers run the consistent-lie attack"},
+	}
+	n, L := 32, 1<<14
+	if cfg.Quick {
+		n, L = 16, 1<<11
+	}
+	for _, beta := range []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.45} {
+		tf := int(beta * float64(n))
+		var faults sim.FaultSpec
+		if tf > 0 {
+			faults = sim.FaultSpec{
+				Model:        sim.FaultByzantine,
+				Faulty:       adversary.SpreadFaulty(n, tf),
+				NewByzantine: committee.NewLiar,
+			}
+		}
+		res, err := run(&sim.Spec{
+			Config:  sim.Config{N: n, T: tf, L: L, MsgBits: msgBitsFor(L, n), Seed: cfg.Seed},
+			NewPeer: committee.New,
+			Delays:  adversary.NewRandomUnit(cfg.Seed + int64(tf)),
+			Faults:  faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Correct {
+			return nil, fmt.Errorf("E4 beta=%.2f: %v", beta, res.Failures)
+		}
+		theory := L * committee.CommitteeSize(tf) / n
+		t.AddRow(ftoa(beta), itoa(n), itoa(tf), itoa(res.Q), itoa(theory),
+			ratio(res.Q, L), ftoa(res.Time))
+	}
+	return t, nil
+}
+
+// E5TwoCycle sweeps L for the 2-cycle randomized protocol against the
+// committee and naive baselines (Theorems 3.4/3.7). Series: the
+// randomized protocol's Q grows like Õ(L/n) and crosses below the
+// deterministic committee cost (≈ 2βL) as L grows — randomization beats
+// determinism at scale, the gap the paper's Table 1 displays.
+func E5TwoCycle(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: "2-cycle randomized vs deterministic baselines (Thm 3.7)",
+		Columns: []string{"L", "Q(twocycle)", "Q(committee)", "Q(naive)",
+			"two/committee", "params"},
+		Notes: []string{
+			"n fixed; Byzantine peers collude on a forged k-frequent string",
+			"crossover: randomized wins once L ≫ n — Table 1's randomized-vs-deterministic gap",
+		},
+	}
+	n := 256
+	Ls := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	if cfg.Quick {
+		n = 128
+		Ls = []int{1 << 10, 1 << 12}
+	}
+	tf := n / 4
+	faulty := adversary.SpreadFaulty(n, tf)
+	for _, L := range Ls {
+		two, err := run(&sim.Spec{
+			Config:  sim.Config{N: n, T: tf, L: L, MsgBits: msgBitsFor(L, n), Seed: cfg.Seed},
+			NewPeer: twocycle.New,
+			Delays:  adversary.NewRandomUnit(cfg.Seed + int64(L)),
+			Faults: sim.FaultSpec{
+				Model: sim.FaultByzantine, Faulty: faulty,
+				NewByzantine: segproto.NewColludingLiar,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !two.Correct {
+			return nil, fmt.Errorf("E5 L=%d: %v", L, two.Failures)
+		}
+		com, err := run(&sim.Spec{
+			Config:  sim.Config{N: n, T: tf, L: L, MsgBits: msgBitsFor(L, n), Seed: cfg.Seed},
+			NewPeer: committee.New,
+			Delays:  adversary.NewRandomUnit(cfg.Seed + int64(L) + 1),
+			Faults: sim.FaultSpec{
+				Model: sim.FaultByzantine, Faulty: faulty,
+				NewByzantine: committee.NewLiar,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !com.Correct {
+			return nil, fmt.Errorf("E5 committee L=%d: %v", L, com.Failures)
+		}
+		p := segproto.Derive(n, tf, L, 0)
+		params := "naive-regime"
+		if !p.Naive {
+			params = fmt.Sprintf("m=%d k=%d", p.Segments, p.Threshold(p.Segments))
+		}
+		t.AddRow(itoa(L), itoa(two.Q), itoa(com.Q), itoa(L),
+			ratio(two.Q, com.Q), params)
+	}
+	return t, nil
+}
+
+// E6MultiCycle compares the multi-cycle protocol's expected cost with the
+// 2-cycle protocol and naive across seeds (Theorem 3.12). Series: the
+// multi-cycle average stays comparable while its messages grow with the
+// doubling segments.
+func E6MultiCycle(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "multi-cycle randomized Download, expected cost (Thm 3.12)",
+		Columns: []string{"protocol", "avgQ (mean ± std)", "maxQ(worst seed)", "msgs(mean)", "time(mean)"},
+		Notes:   []string{"n, L fixed; silent Byzantine faults; per-seed statistics"},
+	}
+	n, L := 256, 1<<14
+	seeds := 5
+	if cfg.Quick {
+		n, L = 128, 1<<12
+		seeds = 2
+	}
+	tf := n / 4
+	faulty := adversary.SpreadFaulty(n, tf)
+	protocols := []struct {
+		name    string
+		factory func(sim.PeerID) sim.Peer
+	}{
+		{"twocycle", twocycle.New},
+		{"multicycle", multicycle.New},
+		{"naive", naive.New},
+	}
+	for _, p := range protocols {
+		var avgQ, msgs, times stats.Sample
+		maxQ := 0
+		for s := 0; s < seeds; s++ {
+			res, err := run(&sim.Spec{
+				Config:  sim.Config{N: n, T: tf, L: L, MsgBits: msgBitsFor(L, n), Seed: cfg.Seed + int64(s)},
+				NewPeer: p.factory,
+				Delays:  adversary.NewRandomUnit(cfg.Seed + int64(s)*31),
+				Faults: sim.FaultSpec{
+					Model: sim.FaultByzantine, Faulty: faulty,
+					NewByzantine: adversary.NewSilent,
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !res.Correct {
+				return nil, fmt.Errorf("E6 %s seed %d: %v", p.name, s, res.Failures)
+			}
+			avgQ.Add(res.AvgQ())
+			if res.Q > maxQ {
+				maxQ = res.Q
+			}
+			msgs.AddInt(res.Msgs)
+			times.Add(res.Time)
+		}
+		t.AddRow(p.name,
+			fmt.Sprintf("%.1f ± %.1f", avgQ.Mean(), avgQ.Std()),
+			itoa(maxQ), ftoa(msgs.Mean()), ftoa(times.Mean()))
+	}
+	return t, nil
+}
+
+// A1Threshold sweeps the 2-cycle frequency threshold k: too low admits
+// more forged candidates (higher determine cost), too high empties
+// candidate sets (direct-query fallback). The derived k sits in the
+// efficient valley.
+func A1Threshold(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "A1",
+		Title:   "2-cycle frequency threshold ablation",
+		Columns: []string{"k", "Q", "correct", "note"},
+	}
+	n, L := 256, 1<<14
+	if cfg.Quick {
+		n, L = 128, 1<<12
+	}
+	tf := n / 4
+	faulty := adversary.SpreadFaulty(n, tf)
+	p := segproto.Derive(n, tf, L, 0)
+	if p.Naive {
+		t.Notes = append(t.Notes, "parameters degenerate at this scale; no sweep")
+		return t, nil
+	}
+	derived := p.Threshold(p.Segments)
+	for _, k := range []int{1, derived / 2, derived, derived * 2, derived * 8} {
+		if k < 1 {
+			continue
+		}
+		note := ""
+		if k == derived {
+			note = "derived k"
+		}
+		res, err := run(&sim.Spec{
+			Config:  sim.Config{N: n, T: tf, L: L, MsgBits: msgBitsFor(L, n), Seed: cfg.Seed},
+			NewPeer: twocycle.NewWithOptions(twocycle.Options{ForceThreshold: k}),
+			Delays:  adversary.NewRandomUnit(cfg.Seed + int64(k)),
+			Faults: sim.FaultSpec{
+				Model: sim.FaultByzantine, Faulty: faulty,
+				NewByzantine: segproto.NewColludingLiar,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(k), itoa(res.Q), fmt.Sprintf("%v", res.Correct), note)
+	}
+	return t, nil
+}
+
+// A2Adversaries runs each Byzantine-tolerant protocol against every
+// adversary strategy, reporting Q and correctness — the robustness grid.
+func A2Adversaries(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "A2",
+		Title:   "adversary-strategy grid",
+		Columns: []string{"protocol", "adversary", "Q", "correct", "time"},
+	}
+	n, L := 256, 1<<13
+	if cfg.Quick {
+		n, L = 128, 1<<11
+	}
+	tf := n / 4
+	faulty := adversary.SpreadFaulty(n, tf)
+	protocols := []struct {
+		name    string
+		factory func(sim.PeerID) sim.Peer
+		liar    func(sim.PeerID, *sim.Knowledge) sim.Peer
+	}{
+		{"committee", committee.New, committee.NewLiar},
+		{"twocycle", twocycle.New, segproto.NewColludingLiar},
+		{"multicycle", multicycle.New, segproto.NewColludingLiar},
+	}
+	for _, p := range protocols {
+		strategies := map[string]func(sim.PeerID, *sim.Knowledge) sim.Peer{
+			"silent":  adversary.NewSilent,
+			"spammer": adversary.NewSpammer(6, 512),
+			"echo":    adversary.NewEcho(6),
+			"liar":    p.liar,
+		}
+		for _, name := range []string{"silent", "spammer", "echo", "liar"} {
+			res, err := run(&sim.Spec{
+				Config:  sim.Config{N: n, T: tf, L: L, MsgBits: msgBitsFor(L, n), Seed: cfg.Seed},
+				NewPeer: p.factory,
+				Delays:  adversary.NewRandomUnit(cfg.Seed + int64(len(name))),
+				Faults: sim.FaultSpec{
+					Model: sim.FaultByzantine, Faulty: faulty,
+					NewByzantine: strategies[name],
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(p.name, name, itoa(res.Q), fmt.Sprintf("%v", res.Correct), ftoa(res.Time))
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,141 @@
+// Package experiments regenerates every table and figure-equivalent of
+// the paper's evaluation (see DESIGN.md's experiment index). The paper is
+// a theory paper whose only display is Table 1 (the protocol comparison);
+// each theorem's stated complexity is treated as a series to reproduce
+// empirically. Experiments run on the deterministic des runtime so every
+// number is reproducible from the seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/des"
+	"repro/internal/sim"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// Config scales the suite.
+type Config struct {
+	// Seed drives all executions.
+	Seed int64
+	// Quick shrinks sizes for smoke runs (CI); full sizes match
+	// EXPERIMENTS.md.
+	Quick bool
+}
+
+// Experiment is a named generator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Table, error)
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Table 1: protocol comparison (measured)", Table1},
+		{"E1", "Thm 2.3: single-crash deterministic Download, Q vs n", E1Crash1},
+		{"E2", "Thm 2.13: t-crash deterministic Download, Q vs β", E2CrashKBeta},
+		{"E3", "Claim 4: per-phase unknown-bit decay", E3Decay},
+		{"E4", "Thm 3.4: committee Download, Q vs β (< 1/2)", E4Committee},
+		{"E5", "Thm 3.7: 2-cycle randomized Download, Q vs L crossover", E5TwoCycle},
+		{"E6", "Thm 3.12: multi-cycle randomized Download, expected Q", E6MultiCycle},
+		{"E7", "Thm 3.1: deterministic lower bound attack (β ≥ 1/2)", E7DetAttack},
+		{"E8", "Thm 3.2: randomized lower bound attack (β ≥ 1/2)", E8RandAttack},
+		{"E9", "Thm 2.13: time complexity vs message size b", E9TimeVsB},
+		{"E10", "Thm 4.2: oracle ODC — baseline vs Download-based", E10Oracle},
+		{"A1", "Ablation: 2-cycle frequency threshold k", A1Threshold},
+		{"A2", "Ablation: adversary strategies per protocol", A2Adversaries},
+		{"A3", "Ablation: Thm 2.13 fast variant vs base Algorithm 2", A3FastVariant},
+		{"A4", "Ablation: synchronous lockstep vs adversarial asynchrony", A4Synchrony},
+		{"A5", "Extension: dynamic Byzantine (rotating corruption)", A5DynamicByzantine},
+		{"A6", "Ablation: Algorithm 2 reassignment strategy (hash vs rotation)", A6Reassign},
+		{"A7", "Verification: bounded-exhaustive schedule enumeration", A7Exhaustive},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// run executes a spec on the des runtime.
+func run(spec *sim.Spec) (*sim.Result, error) {
+	return des.New().Run(spec)
+}
+
+// msgBitsFor derives the default message size b = max(64, L/n).
+func msgBitsFor(L, n int) int {
+	b := L / n
+	if b < 64 {
+		b = 64
+	}
+	return b
+}
+
+func itoa(v int) string          { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string      { return fmt.Sprintf("%.2f", v) }
+func ratio(a, b int) string      { return fmt.Sprintf("%.2f", float64(a)/float64(b)) }
+func fratio(a, b float64) string { return fmt.Sprintf("%.2f", a/b) }

@@ -1,0 +1,105 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := experiments.Config{Seed: 7, Quick: true}
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			table, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if table.ID != e.ID {
+				t.Errorf("table ID %q != %q", table.ID, e.ID)
+			}
+			if len(table.Columns) == 0 {
+				t.Error("no columns")
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Columns) {
+					t.Errorf("row width %d != %d columns", len(row), len(table.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			table.Fprint(&buf)
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Error("Fprint missing table ID")
+			}
+			var csv bytes.Buffer
+			table.CSV(&csv)
+			if lines := strings.Count(csv.String(), "\n"); lines != len(table.Rows)+1 {
+				t.Errorf("CSV has %d lines, want %d", lines, len(table.Rows)+1)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := experiments.ByID("T1"); !ok {
+		t.Error("T1 not found")
+	}
+	if _, ok := experiments.ByID("e5"); !ok {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := experiments.ByID("nope"); ok {
+		t.Error("bogus ID found")
+	}
+}
+
+func TestExperimentShapes(t *testing.T) {
+	// Spot-check the load-bearing shapes on the quick configuration.
+	cfg := experiments.Config{Seed: 11, Quick: true}
+
+	t.Run("E2 flat in beta", func(t *testing.T) {
+		table, err := experiments.E2CrashKBeta(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Column 5 is Q·(n−t)/L; it must stay within a small constant.
+		for _, row := range table.Rows {
+			v := row[5]
+			if v >= "9" && len(v) == 4 { // crude: "x.yz" < 9
+				t.Errorf("beta=%s: normalized Q %s not Θ(1)", row[0], v)
+			}
+		}
+	})
+
+	t.Run("E4 linear in beta", func(t *testing.T) {
+		table, err := experiments.E4Committee(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := -1
+		for _, row := range table.Rows {
+			var q int
+			if _, err := fmtSscan(row[3], &q); err != nil {
+				t.Fatal(err)
+			}
+			if q < prev {
+				t.Errorf("committee Q decreased: %d after %d", q, prev)
+			}
+			prev = q
+		}
+	})
+}
+
+func fmtSscan(s string, v *int) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	*v = n
+	return n, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/multicycle"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/segproto"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+)
+
+// Table1 reproduces the paper's Table 1 — the protocol comparison — with
+// measured numbers: every implemented protocol runs at a common scale
+// under its maximal tolerable fault pattern, reporting measured Q next to
+// the theoretical bound, fault model, resilience, and protocol type.
+// (The prior-work synchronous rows of the paper's table are represented
+// by our asynchronous adaptations: the committee protocol is [3]'s
+// deterministic construction adapted per Theorem 3.4, and the 2-cycle /
+// multi-cycle protocols are [4]'s randomized protocols adapted per
+// Theorems 3.7/3.12.)
+func Table1(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "T1",
+		Title: "protocol comparison at common scale (paper Table 1, measured)",
+		Columns: []string{"protocol", "fault model", "resilience", "type",
+			"Q(measured)", "Q(theory)", "time", "msgs"},
+	}
+	n, L := 256, 1<<14
+	if cfg.Quick {
+		n, L = 128, 1<<12
+	}
+	type row struct {
+		name       string
+		factory    func(sim.PeerID) sim.Peer
+		faults     sim.FaultSpec
+		tf         int
+		faultModel string
+		resilience string
+		kind       string
+		theory     string
+	}
+	mkByz := func(tf int, liar func(sim.PeerID, *sim.Knowledge) sim.Peer) sim.FaultSpec {
+		return sim.FaultSpec{
+			Model:        sim.FaultByzantine,
+			Faulty:       adversary.SpreadFaulty(n, tf),
+			NewByzantine: liar,
+		}
+	}
+	mkCrash := func(tf int) sim.FaultSpec {
+		f := adversary.SpreadFaulty(n, tf)
+		return sim.FaultSpec{
+			Model: sim.FaultCrash, Faulty: f,
+			Crash: adversary.NewCrashRandom(cfg.Seed, f, 20*n),
+		}
+	}
+	tQuarter, tHalfMinus, tNineTenths := n/4, n/2-1, 9*n/10
+	rows := []row{
+		{"naive", naive.New, mkByz(tNineTenths, adversary.NewSilent), tNineTenths,
+			"byzantine", "any β < 1", "det", fmt.Sprintf("L = %d", L)},
+		{"crash1 (Thm 2.3)", crash1.New, mkCrash(1), 1,
+			"crash", "t = 1", "det", fmt.Sprintf("≈ L/n = %d", L/n)},
+		{"crashk (Thm 2.13)", crashk.NewFast, mkCrash(tNineTenths), tNineTenths,
+			"crash", "any β < 1", "det", fmt.Sprintf("O(L/n), L/(n−t) = %d", L/(n-tNineTenths))},
+		{"committee (Thm 3.4)", committee.New, mkByz(tQuarter, committee.NewLiar), tQuarter,
+			"byzantine", "β < 1/2", "det", fmt.Sprintf("L(2t+1)/n = %d", L*(2*tQuarter+1)/n)},
+		{"twocycle (Thm 3.7)", twocycle.New, mkByz(tQuarter, segproto.NewColludingLiar), tQuarter,
+			"byzantine", "β < 1/2", "rand", "Õ(L/n) whp"},
+		{"multicycle (Thm 3.12)", multicycle.New, mkByz(tQuarter, segproto.NewColludingLiar), tQuarter,
+			"byzantine", "β < 1/2", "rand", "Õ(L/n) expected"},
+		{"committee@β≥1/2", committee.New, mkByz(tHalfMinus+1, adversary.NewSilent), tHalfMinus + 1,
+			"byzantine", "β ≥ 1/2 ⇒ Q = L (Thm 3.1)", "det", fmt.Sprintf("L = %d", L)},
+	}
+	for _, r := range rows {
+		res, err := run(&sim.Spec{
+			Config:  sim.Config{N: n, T: r.tf, L: L, MsgBits: msgBitsFor(L, n), Seed: cfg.Seed},
+			NewPeer: r.factory,
+			Delays:  adversary.NewRandomUnit(cfg.Seed + int64(len(r.name))),
+			Faults:  r.faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Correct {
+			return nil, fmt.Errorf("T1 %s: %v", r.name, res.Failures)
+		}
+		t.AddRow(r.name, r.faultModel, r.resilience, r.kind,
+			itoa(res.Q), r.theory, ftoa(res.Time), itoa(res.Msgs))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("n = %d, L = %d, b = %d; all runs seeded and adversarial", n, L, msgBitsFor(L, n)),
+		"shapes to check: crash protocols at O(L/n) for any β; committee at ≈2βL; randomized at Õ(L/n); β ≥ 1/2 forces L")
+	return t, nil
+}

@@ -1,0 +1,169 @@
+package explore_test
+
+import (
+	"testing"
+
+	"repro/internal/bitarray"
+	"repro/internal/explore"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/naive"
+	"repro/internal/sim"
+)
+
+func TestNaiveExhaustive(t *testing.T) {
+	rep, err := explore.Run(explore.Config{
+		N: 3, T: 0, L: 8, Seed: 1,
+		NewPeer:    naive.New,
+		MaxChoices: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exhaustive {
+		t.Fatalf("naive at n=3 should be exhaustively explorable: %v", rep)
+	}
+	if !rep.Ok() {
+		t.Fatalf("failures found: %v (first bad: %v)", rep, rep.FirstBad)
+	}
+	if rep.Executions < 2 {
+		t.Fatalf("suspiciously few executions: %v", rep)
+	}
+}
+
+func TestCrash1AllSchedules(t *testing.T) {
+	// Exhaustive over the first 5 decisions, every crash point of the
+	// victim in the interesting range. This is the configuration family
+	// in which the coverage-guided fuzzer found the termination
+	// deadlock; post-fix, every schedule must be clean.
+	for point := 0; point <= 10; point++ {
+		rep, err := explore.Run(explore.Config{
+			N: 3, T: 1, L: 12, Seed: 2,
+			NewPeer:     crash1.New,
+			CrashPoints: map[sim.PeerID]int{0: point},
+			MaxChoices:  5,
+			Budget:      120000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Ok() {
+			correct, deadlocked, rerr := explore.Replay(explore.Config{
+				N: 3, T: 1, L: 12, Seed: 2,
+				NewPeer:     crash1.New,
+				CrashPoints: map[sim.PeerID]int{0: point},
+				MaxChoices:  5,
+			}, rep.FirstBad)
+			t.Fatalf("point=%d: %v (replay: correct=%v deadlocked=%v err=%v)",
+				point, rep, correct, deadlocked, rerr)
+		}
+	}
+}
+
+func TestCrashKSampledSchedules(t *testing.T) {
+	rep, err := explore.Run(explore.Config{
+		N: 4, T: 2, L: 16, Seed: 3,
+		NewPeer:     crashk.New,
+		CrashPoints: map[sim.PeerID]int{0: 3, 2: 9},
+		MaxChoices:  4,
+		Budget:      30000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("schedule broke crashk: %v (first bad: %v)", rep, rep.FirstBad)
+	}
+	if rep.Executions < 10 {
+		t.Fatalf("too few schedules explored: %v", rep)
+	}
+}
+
+// brokenWaitAll waits for messages from ALL other peers — the liveness
+// anti-pattern the paper's n−t rules exist to avoid. With one crashed
+// peer, every schedule deadlocks; the explorer must report that and the
+// replay must reproduce it.
+type brokenWaitAll struct {
+	ctx   sim.Context
+	heard map[sim.PeerID]bool
+}
+
+type ping struct{}
+
+func (ping) SizeBits() int { return 8 }
+
+func (b *brokenWaitAll) Init(ctx sim.Context) {
+	b.ctx = ctx
+	b.heard = map[sim.PeerID]bool{}
+	ctx.Broadcast(ping{})
+}
+
+func (b *brokenWaitAll) OnMessage(from sim.PeerID, _ sim.Message) {
+	b.heard[from] = true
+	if len(b.heard) == b.ctx.N()-1 {
+		b.ctx.Output(bitarray.New(b.ctx.L()))
+		b.ctx.Terminate()
+	}
+}
+
+func (b *brokenWaitAll) OnQueryReply(sim.QueryReply) {}
+
+func TestExplorerFindsLivenessBug(t *testing.T) {
+	cfg := explore.Config{
+		N: 3, T: 1, L: 4, Seed: 4,
+		NewPeer:     func(sim.PeerID) sim.Peer { return &brokenWaitAll{} },
+		CrashPoints: map[sim.PeerID]int{0: 0},
+		MaxChoices:  6,
+	}
+	rep, err := explore.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deadlocks == 0 {
+		t.Fatalf("explorer missed the guaranteed deadlock: %v", rep)
+	}
+	if rep.FirstBad == nil {
+		t.Fatal("no replayable witness")
+	}
+	_, deadlocked, err := explore.Replay(cfg, rep.FirstBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deadlocked {
+		t.Fatal("witness did not replay to a deadlock")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := explore.Run(explore.Config{N: 3, T: 0, L: 8}); err == nil {
+		t.Error("missing NewPeer accepted")
+	}
+	if _, err := explore.Run(explore.Config{
+		N: 3, T: 0, L: 8, NewPeer: naive.New,
+		CrashPoints: map[sim.PeerID]int{0: 1},
+	}); err == nil {
+		t.Error("crash points beyond t accepted")
+	}
+}
+
+func TestBudgetCutoff(t *testing.T) {
+	rep, err := explore.Run(explore.Config{
+		N: 4, T: 1, L: 24, Seed: 5,
+		NewPeer:     crash1.New,
+		CrashPoints: map[sim.PeerID]int{1: 5},
+		MaxChoices:  10,
+		Budget:      50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exhaustive {
+		t.Fatalf("depth-10 tree cannot fit in 50 executions: %v", rep)
+	}
+	if rep.Executions != 50 {
+		t.Fatalf("budget not respected: %v", rep)
+	}
+	if !rep.Ok() {
+		t.Fatalf("sampled schedules broke crash1: %v", rep)
+	}
+}

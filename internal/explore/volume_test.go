@@ -1,0 +1,39 @@
+package explore_test
+
+import (
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/protocols/crash1"
+	"repro/internal/sim"
+)
+
+// TestExplorationVolumeGrowsWithDepth sanity-checks the odometer: deeper
+// exploration must strictly widen the schedule tree.
+func TestExplorationVolumeGrowsWithDepth(t *testing.T) {
+	prev := 0
+	for _, depth := range []int{2, 4, 6} {
+		rep, err := explore.Run(explore.Config{
+			N: 3, T: 1, L: 12, Seed: 2,
+			NewPeer:     crash1.New,
+			CrashPoints: map[sim.PeerID]int{0: 6},
+			MaxChoices:  depth,
+			Budget:      2000000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Exhaustive {
+			t.Fatalf("depth %d exceeded budget: %v", depth, rep)
+		}
+		if !rep.Ok() {
+			t.Fatalf("depth %d: %v", depth, rep)
+		}
+		t.Logf("depth %d: %v", depth, rep)
+		if rep.Executions <= prev {
+			t.Fatalf("depth %d explored %d ≤ depth-%d's %d",
+				depth, rep.Executions, depth-2, prev)
+		}
+		prev = rep.Executions
+	}
+}

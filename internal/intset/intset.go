@@ -1,0 +1,151 @@
+// Package intset provides a compact sorted integer-set representation as
+// coalesced half-open ranges. Download protocols exchange large index sets
+// (e.g., "send me the values of bits 0..32767") whose natural structure is
+// a few contiguous runs plus stragglers; ranges keep both the in-memory
+// footprint and the accounted message size proportional to the run count
+// rather than the element count.
+package intset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Range is the half-open interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Set is a sorted sequence of disjoint, non-adjacent ranges. The zero
+// value is the empty set. Construct with Builder or FromSorted to maintain
+// the invariant.
+type Set struct {
+	ranges []Range
+}
+
+// FromSorted builds a Set from indices in strictly increasing order,
+// coalescing adjacent runs. It panics if the input is not strictly
+// increasing (a protocol bug, not an input condition).
+func FromSorted(indices []int) Set {
+	var s Set
+	for _, x := range indices {
+		s.appendOne(x)
+	}
+	return s
+}
+
+// FromRange returns the set [lo, hi).
+func FromRange(lo, hi int) Set {
+	if hi <= lo {
+		return Set{}
+	}
+	return Set{ranges: []Range{{lo, hi}}}
+}
+
+func (s *Set) appendOne(x int) {
+	n := len(s.ranges)
+	if n > 0 {
+		last := &s.ranges[n-1]
+		if x < last.Hi {
+			panic(fmt.Sprintf("intset: indices not strictly increasing at %d", x))
+		}
+		if x == last.Hi {
+			last.Hi++
+			return
+		}
+	}
+	s.ranges = append(s.ranges, Range{x, x + 1})
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int {
+	n := 0
+	for _, r := range s.ranges {
+		n += r.Hi - r.Lo
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool { return len(s.ranges) == 0 }
+
+// RangeCount returns the number of coalesced ranges — the wire cost unit.
+func (s Set) RangeCount() int { return len(s.ranges) }
+
+// Contains reports membership.
+func (s Set) Contains(x int) bool {
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].Hi > x })
+	return i < len(s.ranges) && s.ranges[i].Lo <= x
+}
+
+// ForEachRange calls fn for every coalesced range [lo, hi) in increasing
+// order — the natural unit for wire encoding.
+func (s Set) ForEachRange(fn func(lo, hi int)) {
+	for _, r := range s.ranges {
+		fn(r.Lo, r.Hi)
+	}
+}
+
+// ForEach calls fn for every element in increasing order.
+func (s Set) ForEach(fn func(x int)) {
+	for _, r := range s.ranges {
+		for x := r.Lo; x < r.Hi; x++ {
+			fn(x)
+		}
+	}
+}
+
+// Elements materializes the set as a sorted slice.
+func (s Set) Elements() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(x int) { out = append(out, x) })
+	return out
+}
+
+// SizeBits returns the accounted wire size: two idxBits words per range.
+func (s Set) SizeBits(idxBits int) int { return 2 * idxBits * len(s.ranges) }
+
+// String renders the set compactly for traces.
+func (s Set) String() string {
+	out := "{"
+	for i, r := range s.ranges {
+		if i > 0 {
+			out += ","
+		}
+		if r.Hi == r.Lo+1 {
+			out += fmt.Sprintf("%d", r.Lo)
+		} else {
+			out += fmt.Sprintf("%d-%d", r.Lo, r.Hi-1)
+		}
+	}
+	return out + "}"
+}
+
+// Builder accumulates strictly increasing indices into a Set.
+type Builder struct {
+	set Set
+}
+
+// Add appends x, which must exceed every previously added index.
+func (b *Builder) Add(x int) { b.set.appendOne(x) }
+
+// AddRange appends [lo, hi), which must start at or after the current end.
+func (b *Builder) AddRange(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	if n := len(b.set.ranges); n > 0 {
+		last := &b.set.ranges[n-1]
+		if lo < last.Hi {
+			panic(fmt.Sprintf("intset: range [%d,%d) overlaps existing end %d", lo, hi, last.Hi))
+		}
+		if lo == last.Hi {
+			last.Hi = hi
+			return
+		}
+	}
+	b.set.ranges = append(b.set.ranges, Range{lo, hi})
+}
+
+// Set returns the accumulated set.
+func (b *Builder) Set() Set { return b.set }

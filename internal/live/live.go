@@ -1,0 +1,456 @@
+// Package live executes DR-model protocols as real concurrent goroutines:
+// every peer runs its own event loop over a channel-fed queue, message and
+// query latencies are wall-clock sleeps (virtual units scaled by
+// TimeScale), and delivery interleavings come from the Go scheduler rather
+// than a deterministic event queue.
+//
+// The point of this runtime is validation: a protocol that passes under
+// package des might still harbor hidden assumptions about atomic handler
+// execution ordering. Running the same sim.Peer implementations under true
+// concurrency — with the race detector on — flushes those out. Executions
+// are not reproducible; tests assert properties, not traces.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/bitarray"
+	"repro/internal/sim"
+)
+
+// Runtime runs peers as goroutines with wall-clock delays.
+type Runtime struct {
+	// TimeScale converts one virtual time unit to wall time. The default
+	// is 2ms, keeping unit-latency executions around a few hundred
+	// milliseconds for typical protocols.
+	TimeScale time.Duration
+	// Deadline aborts the execution after this much wall time; peers
+	// that have not terminated are reported as such. Default 30s.
+	Deadline time.Duration
+}
+
+var _ sim.Runtime = (*Runtime)(nil)
+
+// New returns a live runtime with default scaling.
+func New() *Runtime {
+	return &Runtime{TimeScale: 2 * time.Millisecond, Deadline: 30 * time.Second}
+}
+
+// Run implements sim.Runtime.
+func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	scale := rt.TimeScale
+	if scale <= 0 {
+		scale = 2 * time.Millisecond
+	}
+	deadline := rt.Deadline
+	if deadline <= 0 {
+		deadline = 30 * time.Second
+	}
+	w := &world{
+		spec:  spec,
+		cfg:   spec.Config,
+		input: spec.Config.ResolveInput(),
+		scale: scale,
+		start: time.Now(),
+		peers: make([]*livePeer, spec.Config.N),
+		done:  make(chan struct{}),
+	}
+	var know *sim.Knowledge
+	if spec.Faults.Model == sim.FaultByzantine {
+		know = &sim.Knowledge{
+			Input:  w.input,
+			Config: w.cfg,
+			Faulty: append([]sim.PeerID(nil), spec.Faults.Faulty...),
+			Rand:   rand.New(rand.NewSource(w.cfg.Seed ^ 0x0bad5eed)),
+			Shared: make(map[string]any),
+		}
+	}
+	for i := 0; i < w.cfg.N; i++ {
+		id := sim.PeerID(i)
+		p := &livePeer{
+			w:          w,
+			id:         id,
+			honest:     true,
+			crashPoint: -1,
+			rng:        rand.New(rand.NewSource(w.cfg.Seed + int64(i)*0x9e3779b97f4a7c + 1)),
+			stats:      sim.PeerStats{ID: id, Honest: true},
+		}
+		p.cond = sync.NewCond(&p.mu)
+		if spec.Faults.IsFaulty(id) {
+			p.honest = false
+			p.stats.Honest = false
+			switch spec.Faults.Model {
+			case sim.FaultCrash:
+				p.crashPoint = spec.Faults.Crash.CrashPoint(id)
+				p.impl = spec.NewPeer(id)
+			case sim.FaultByzantine:
+				p.impl = spec.Faults.NewByzantine(id, know)
+			}
+		} else {
+			p.impl = spec.NewPeer(id)
+		}
+		w.peers[i] = p
+		w.liveHonest += btoi(p.honest)
+	}
+	w.runAll(deadline)
+
+	res := &sim.Result{PerPeer: make([]sim.PeerStats, w.cfg.N)}
+	for i, p := range w.peers {
+		p.mu.Lock()
+		res.PerPeer[i] = p.stats
+		p.mu.Unlock()
+	}
+	res.Finalize(w.input)
+	return res, nil
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type deliveryKind int
+
+const (
+	dlMessage deliveryKind = iota + 1
+	dlQueryReply
+	dlStop
+)
+
+type delivery struct {
+	kind deliveryKind
+	from sim.PeerID
+	msg  sim.Message
+	qr   sim.QueryReply
+}
+
+type world struct {
+	spec  *sim.Spec
+	cfg   sim.Config
+	input *bitarray.Array
+	scale time.Duration
+	start time.Time
+
+	peers []*livePeer
+
+	mu         sync.Mutex
+	liveHonest int // honest peers not yet terminated
+	done       chan struct{}
+	doneOnce   sync.Once
+
+	timers sync.WaitGroup
+}
+
+func (w *world) now() float64 {
+	return float64(time.Since(w.start)) / float64(w.scale)
+}
+
+// honestDone records an honest termination; when the last honest peer
+// terminates the run can end without waiting for stragglers.
+func (w *world) honestDone() {
+	w.mu.Lock()
+	w.liveHonest--
+	last := w.liveHonest == 0
+	w.mu.Unlock()
+	if last {
+		w.doneOnce.Do(func() { close(w.done) })
+	}
+}
+
+func (w *world) runAll(deadline time.Duration) {
+	var loops sync.WaitGroup
+	for _, p := range w.peers {
+		loops.Add(1)
+		go func(p *livePeer) {
+			defer loops.Done()
+			p.loop()
+		}(p)
+		// Staggered starts per the delay policy.
+		startDelay := w.spec.Delays.StartDelay(p.id)
+		w.after(startDelay, func() { p.enqueueStart() })
+	}
+
+	select {
+	case <-w.done:
+	case <-time.After(deadline):
+	}
+	// Stop all loops and wait for them plus in-flight timers.
+	for _, p := range w.peers {
+		p.stop()
+	}
+	loops.Wait()
+	w.timers.Wait()
+}
+
+// after schedules fn once the scaled delay elapses, tracking the timer so
+// Run can join all goroutines before returning (no fire-and-forget).
+func (w *world) after(units float64, fn func()) {
+	if units < 0 {
+		units = 0
+	}
+	w.timers.Add(1)
+	d := time.Duration(units * float64(w.scale))
+	time.AfterFunc(d, func() {
+		defer w.timers.Done()
+		fn()
+	})
+}
+
+// livePeer is one peer's goroutine-facing state. The handler loop is the
+// only goroutine that touches impl and stats (except for the final
+// collection after the loop exits), so protocol code stays lock-free.
+type livePeer struct {
+	w          *world
+	id         sim.PeerID
+	honest     bool
+	impl       sim.Peer
+	rng        *rand.Rand
+	crashPoint int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []delivery
+	started bool
+	stopped bool
+
+	// Fields below are owned by the loop goroutine (guarded by mu only
+	// for the final stats snapshot in Run).
+	crashed    bool
+	terminated bool
+	actions    int
+	stats      sim.PeerStats
+}
+
+var _ sim.Context = (*livePeer)(nil)
+
+func (p *livePeer) enqueueStart() {
+	p.mu.Lock()
+	p.started = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *livePeer) enqueue(d delivery) {
+	p.mu.Lock()
+	p.queue = append(p.queue, d)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *livePeer) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *livePeer) loop() {
+	// Wait for start.
+	p.mu.Lock()
+	for !p.started && !p.stopped {
+		p.cond.Wait()
+	}
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+
+	p.impl.Init(p)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.stopped {
+			p.cond.Wait()
+		}
+		if p.stopped || p.terminated || p.crashed {
+			p.mu.Unlock()
+			return
+		}
+		d := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		if d.kind == dlStop {
+			return
+		}
+		if !p.dispatch(d) {
+			return
+		}
+		p.mu.Lock()
+		dead := p.terminated || p.crashed
+		p.mu.Unlock()
+		if dead {
+			return
+		}
+	}
+}
+
+// dispatch applies the crash check and invokes the handler; it reports
+// whether the peer is still running.
+func (p *livePeer) dispatch(d delivery) bool {
+	if !p.honest && p.crashPoint >= 0 {
+		p.actions++
+		if p.actions > p.crashPoint {
+			p.setCrashed()
+			return false
+		}
+	}
+	switch d.kind {
+	case dlMessage:
+		p.impl.OnMessage(d.from, d.msg)
+	case dlQueryReply:
+		p.impl.OnQueryReply(d.qr)
+	}
+	return true
+}
+
+func (p *livePeer) setCrashed() {
+	p.mu.Lock()
+	p.crashed = true
+	p.stats.Crashed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+func (p *livePeer) isDead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.crashed || p.terminated
+}
+
+// --- sim.Context implementation (called from the loop goroutine) ---
+
+// ID implements sim.Context.
+func (p *livePeer) ID() sim.PeerID { return p.id }
+
+// N implements sim.Context.
+func (p *livePeer) N() int { return p.w.cfg.N }
+
+// T implements sim.Context.
+func (p *livePeer) T() int { return p.w.cfg.T }
+
+// L implements sim.Context.
+func (p *livePeer) L() int { return p.w.cfg.L }
+
+// MsgBits implements sim.Context.
+func (p *livePeer) MsgBits() int { return p.w.cfg.MsgBits }
+
+// Send implements sim.Context.
+func (p *livePeer) Send(to sim.PeerID, m sim.Message) {
+	if p.isDead() {
+		return
+	}
+	if to < 0 || int(to) >= p.w.cfg.N || to == p.id {
+		return
+	}
+	if !p.honest && p.crashPoint >= 0 {
+		p.actions++
+		if p.actions > p.crashPoint {
+			p.setCrashed()
+			return
+		}
+	}
+	size := m.SizeBits()
+	chunks := (size + p.w.cfg.MsgBits - 1) / p.w.cfg.MsgBits
+	if chunks < 1 {
+		chunks = 1
+	}
+	p.mu.Lock()
+	p.stats.MsgsSent += chunks
+	p.stats.MsgBitsSent += size
+	p.mu.Unlock()
+	delay := p.w.spec.Delays.MessageDelay(p.id, to, p.w.now(), size)
+	target := p.w.peers[to]
+	// Chunked transmission, as in the des runtime: the payload arrives
+	// once all ⌈size/b⌉ b-bit messages have crossed the link.
+	p.w.after(delay*float64(chunks), func() { target.enqueue(delivery{kind: dlMessage, from: p.id, msg: m}) })
+}
+
+// Broadcast implements sim.Context.
+func (p *livePeer) Broadcast(m sim.Message) {
+	for i := 0; i < p.w.cfg.N; i++ {
+		if sim.PeerID(i) != p.id {
+			p.Send(sim.PeerID(i), m)
+		}
+	}
+}
+
+// Query implements sim.Context.
+func (p *livePeer) Query(tag int, indices []int) {
+	if p.isDead() {
+		return
+	}
+	if !p.honest && p.crashPoint >= 0 {
+		p.actions++
+		if p.actions > p.crashPoint {
+			p.setCrashed()
+			return
+		}
+	}
+	bits := bitarray.New(len(indices))
+	for j, idx := range indices {
+		if idx < 0 || idx >= p.w.cfg.L {
+			panic(fmt.Sprintf("live: peer %d queried out-of-range index %d", p.id, idx))
+		}
+		bits.Set(j, p.w.input.Get(idx))
+	}
+	p.mu.Lock()
+	p.stats.QueryBits += len(indices)
+	p.stats.QueryCalls++
+	p.mu.Unlock()
+	idxCopy := append([]int(nil), indices...)
+	delay := p.w.spec.Delays.QueryDelay(p.id, p.w.now())
+	p.w.after(delay, func() {
+		p.enqueue(delivery{kind: dlQueryReply, qr: sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: bits}})
+	})
+}
+
+// Output implements sim.Context.
+func (p *livePeer) Output(out *bitarray.Array) {
+	if p.isDead() {
+		return
+	}
+	c := out.Clone()
+	p.mu.Lock()
+	p.stats.Output = c
+	p.mu.Unlock()
+}
+
+// Terminate implements sim.Context.
+func (p *livePeer) Terminate() {
+	p.mu.Lock()
+	if p.terminated || p.crashed {
+		p.mu.Unlock()
+		return
+	}
+	p.terminated = true
+	p.stats.Terminated = true
+	p.stats.TermTime = p.w.now()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if p.honest {
+		p.w.honestDone()
+	}
+}
+
+// Rand implements sim.Context.
+func (p *livePeer) Rand() *rand.Rand { return p.rng }
+
+// Now implements sim.Context.
+func (p *livePeer) Now() float64 { return p.w.now() }
+
+// Logf implements sim.Context.
+func (p *livePeer) Logf(format string, args ...any) {
+	if p.w.spec.Trace != nil {
+		fmt.Fprintf(p.w.spec.Trace, "t=%.3f peer %d: "+format+"\n",
+			append([]any{p.w.now(), p.id}, args...)...)
+	}
+}

@@ -1,0 +1,103 @@
+package live_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/live"
+	"repro/internal/protocols/multicycle"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/segproto"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+)
+
+// The randomized protocols under true concurrency: n must be large enough
+// to leave the naive fallback, so the time scale is dropped aggressively.
+func bigRuntime() *live.Runtime {
+	rt := live.New()
+	rt.TimeScale = 100 * time.Microsecond
+	rt.Deadline = 60 * time.Second
+	return rt
+}
+
+func TestTwoCycleLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many goroutines")
+	}
+	const n, tf, L = 128, 16, 1 << 11
+	faulty := adversary.SpreadFaulty(n, tf)
+	res, err := bigRuntime().Run(&sim.Spec{
+		Config:  sim.Config{N: n, T: tf, L: L, MsgBits: 128, Seed: 21},
+		NewPeer: twocycle.New,
+		Delays:  adversary.NewRandomUnit(21),
+		Faults: sim.FaultSpec{
+			Model: sim.FaultByzantine, Faulty: faulty,
+			NewByzantine: segproto.NewColludingLiar,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	if res.Q >= L {
+		t.Errorf("Q = %d fell back to naive", res.Q)
+	}
+}
+
+func TestMultiCycleLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many goroutines")
+	}
+	const n, tf, L = 128, 16, 1 << 11
+	faulty := adversary.SpreadFaulty(n, tf)
+	res, err := bigRuntime().Run(&sim.Spec{
+		Config:  sim.Config{N: n, T: tf, L: L, MsgBits: 128, Seed: 22},
+		NewPeer: multicycle.New,
+		Delays:  adversary.NewRandomUnit(22),
+		Faults: sim.FaultSpec{
+			Model: sim.FaultByzantine, Faulty: faulty,
+			NewByzantine: adversary.NewSilent,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+}
+
+// TestRotatingLive runs the dynamic-Byzantine wrapper under true
+// concurrency (its gate logic must be single-goroutine-safe per peer).
+func TestRotatingLive(t *testing.T) {
+	const n, tf, L = 10, 4, 400
+	faulty := adversary.SpreadFaulty(n, tf)
+	windows := map[sim.PeerID]adversary.Window{}
+	for i, p := range faulty {
+		windows[p] = adversary.Window{Start: float64(i), End: float64(i) + 2}
+	}
+	rt := live.New()
+	rt.TimeScale = time.Millisecond
+	res, err := rt.Run(&sim.Spec{
+		Config:  sim.Config{N: n, T: tf, L: L, MsgBits: 128, Seed: 23},
+		NewPeer: naiveFactory(),
+		Delays:  adversary.NewRandomUnit(23),
+		Faults: sim.FaultSpec{
+			Model: sim.FaultByzantine, Faulty: faulty,
+			NewByzantine: adversary.NewRotating(naiveFactory(), adversary.NewSilent, windows),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+}
+
+// naiveFactory avoids an import cycle in test helpers.
+func naiveFactory() func(sim.PeerID) sim.Peer { return naive.New }

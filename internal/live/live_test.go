@@ -1,0 +1,156 @@
+package live_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/live"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/naive"
+	"repro/internal/sim"
+)
+
+// fastRuntime keeps wall-clock runs short.
+func fastRuntime() *live.Runtime {
+	rt := live.New()
+	rt.TimeScale = 500 * time.Microsecond
+	rt.Deadline = 20 * time.Second
+	return rt
+}
+
+func TestNaiveLive(t *testing.T) {
+	res, err := fastRuntime().Run(&sim.Spec{
+		Config:  sim.Config{N: 6, T: 0, L: 128, MsgBits: 64, Seed: 1},
+		NewPeer: naive.New,
+		Delays:  adversary.NewRandomUnit(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+}
+
+func TestCrashKLive(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		faulty := adversary.SpreadFaulty(8, 3)
+		res, err := fastRuntime().Run(&sim.Spec{
+			Config:  sim.Config{N: 8, T: 3, L: 1024, MsgBits: 128, Seed: seed},
+			NewPeer: crashk.New,
+			Delays:  adversary.NewRandomUnit(seed),
+			Faults: sim.FaultSpec{
+				Model:  sim.FaultCrash,
+				Faulty: faulty,
+				Crash:  adversary.NewCrashRandom(seed, faulty, 100),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("seed %d incorrect: %v", seed, res)
+		}
+	}
+}
+
+func TestCrash1Live(t *testing.T) {
+	res, err := fastRuntime().Run(&sim.Spec{
+		Config:  sim.Config{N: 6, T: 1, L: 600, MsgBits: 128, Seed: 4},
+		NewPeer: crash1.New,
+		Delays:  adversary.NewRandomUnit(4),
+		Faults: sim.FaultSpec{
+			Model:  sim.FaultCrash,
+			Faulty: []sim.PeerID{2},
+			Crash:  &adversary.CrashAll{Point: 4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+}
+
+func TestCommitteeLiveWithLiars(t *testing.T) {
+	faulty := adversary.SpreadFaulty(9, 4)
+	res, err := fastRuntime().Run(&sim.Spec{
+		Config:  sim.Config{N: 9, T: 4, L: 270, MsgBits: 256, Seed: 5},
+		NewPeer: committee.New,
+		Delays:  adversary.NewRandomUnit(5),
+		Faults: sim.FaultSpec{
+			Model:        sim.FaultByzantine,
+			Faulty:       faulty,
+			NewByzantine: committee.NewLiar,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+}
+
+func TestLiveDeadlineReportsNonTermination(t *testing.T) {
+	rt := live.New()
+	rt.TimeScale = time.Millisecond
+	rt.Deadline = 200 * time.Millisecond
+	// Peers that wait forever.
+	res, err := rt.Run(&sim.Spec{
+		Config:  sim.Config{N: 3, T: 0, L: 8, MsgBits: 64, Seed: 1},
+		NewPeer: func(sim.PeerID) sim.Peer { return stuckPeer{} },
+		Delays:  adversary.NewFixed(0.1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct {
+		t.Fatal("stuck run reported correct")
+	}
+	for _, ps := range res.PerPeer {
+		if ps.Terminated {
+			t.Fatal("stuck peer terminated")
+		}
+	}
+}
+
+type stuckPeer struct{}
+
+func (stuckPeer) Init(sim.Context)                  {}
+func (stuckPeer) OnMessage(sim.PeerID, sim.Message) {}
+func (stuckPeer) OnQueryReply(sim.QueryReply)       {}
+
+func TestLiveManySeedsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock heavy")
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			faulty := adversary.SpreadFaulty(10, 4)
+			res, err := fastRuntime().Run(&sim.Spec{
+				Config:  sim.Config{N: 10, T: 4, L: 500, MsgBits: 64, Seed: seed},
+				NewPeer: crashk.NewFast,
+				Delays:  adversary.NewRandomUnit(seed * 3),
+				Faults: sim.FaultSpec{
+					Model:  sim.FaultCrash,
+					Faulty: faulty,
+					Crash:  adversary.NewCrashRandom(seed, faulty, 300),
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Correct {
+				t.Fatalf("incorrect: %v", res)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package lowerbound_test
+
+import (
+	"testing"
+
+	"repro/internal/lowerbound"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/twocycle"
+)
+
+func TestDeterministicAttackBreaksSubNaiveProtocol(t *testing.T) {
+	// crashk is deterministic with Q ≪ L; per Theorem 3.1 it cannot be
+	// correct against a Byzantine majority — the harness must produce a
+	// concrete violating execution.
+	for _, seed := range []int64{1, 2, 3} {
+		rep, err := lowerbound.AttackDeterministic(lowerbound.AttackConfig{
+			N: 8, L: 512, Seed: seed, NewPeer: crashk.New,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FullCoverage {
+			t.Fatalf("seed %d: crashk unexpectedly queried everything", seed)
+		}
+		if !rep.Succeeded {
+			t.Errorf("seed %d: attack failed: %v", seed, rep)
+		}
+		if rep.ProbeQ >= 512 {
+			t.Errorf("seed %d: probe Q = %d not sub-naive", seed, rep.ProbeQ)
+		}
+	}
+}
+
+func TestDeterministicAttackCannotTouchNaive(t *testing.T) {
+	// The naive protocol queries everything: the theorem's boundary.
+	rep, err := lowerbound.AttackDeterministic(lowerbound.AttackConfig{
+		N: 6, L: 128, Seed: 4, NewPeer: naive.New,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullCoverage {
+		t.Fatalf("naive protocol should be immune: %v", rep)
+	}
+	if rep.Succeeded {
+		t.Fatal("attack cannot succeed against naive")
+	}
+}
+
+func TestRandomizedAttackBeatsSubHalfProtocols(t *testing.T) {
+	// Theorem 3.2: with β ≥ 1/2, any randomized protocol whose peers
+	// query ≤ L/2 bits fails on some executions. The 2-cycle protocol in
+	// its naive regime queries everything, so attack a thin wrapper that
+	// queries only its own block — a stand-in for "some protocol with
+	// q ≤ L/2".
+	reports, err := lowerbound.AttackRandomized(lowerbound.AttackConfig{
+		N: 8, L: 256, Seed: 10, NewPeer: crashk.New,
+	}, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := lowerbound.SuccessRate(reports)
+	if rate < 0.5 {
+		t.Errorf("success rate %.2f too low for a sub-naive protocol", rate)
+	}
+}
+
+func TestRandomizedProtocolNaiveRegimeSurvives(t *testing.T) {
+	// At these sizes the 2-cycle protocol detects the Byzantine-majority
+	// regime and queries everything — so the attack must fail.
+	reports, err := lowerbound.AttackRandomized(lowerbound.AttackConfig{
+		N: 8, L: 128, Seed: 20, NewPeer: twocycle.New,
+	}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := lowerbound.SuccessRate(reports); rate > 0 {
+		t.Errorf("success rate %.2f against a naive-regime protocol", rate)
+	}
+}
+
+func TestAttackConfigValidation(t *testing.T) {
+	bad := []lowerbound.AttackConfig{
+		{N: 2, L: 64, NewPeer: naive.New},
+		{N: 8, L: 1, NewPeer: naive.New},
+		{N: 8, L: 64},
+	}
+	for i, cfg := range bad {
+		if _, err := lowerbound.AttackDeterministic(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := lowerbound.AttackRandomized(lowerbound.AttackConfig{
+		N: 8, L: 64, NewPeer: naive.New,
+	}, 0, 1); err == nil {
+		t.Error("zero training runs accepted")
+	}
+}

@@ -1,0 +1,714 @@
+// Package netrt runs Download protocols over real TCP sockets: every peer
+// is a client holding one connection to a hub, which routes peer-to-peer
+// frames and serves source queries. Messages travel as actual bytes
+// (package wire), so this runtime exercises the full stack — protocol
+// logic, codec, framing, concurrency — under genuine network I/O, which
+// neither simulation runtime does.
+//
+// The hub plays the network and the trusted source of the DR model:
+//
+//	peer ──TCP──▶ hub ──TCP──▶ peer      (MSG frames, wire-encoded)
+//	peer ──TCP──▶ hub (source) ──▶ peer  (QUERY/QREPLY frames)
+//
+// Fault injection is crash-from-start: absent peers never connect, so the
+// protocols' n−t waiting rules are what keeps the run live. Timing is
+// wall-clock; executions are not reproducible — tests assert outcomes.
+//
+// Frame format (all integers big-endian or uvarint):
+//
+//	[4B length][1B kind][payload]
+//	hello:  uvarint peerID
+//	msg:    uvarint to/from, then a wire-encoded protocol message
+//	query:  uvarint tag(zig-zag), uvarint count, delta-uvarint indices
+//	qreply: same header, then length-prefixed bitarray bytes
+//	done:   length-prefixed output bitarray bytes
+package netrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/bitarray"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Frame kinds.
+const (
+	kHello byte = iota + 1
+	kMsg
+	kQuery
+	kQReply
+	kDone
+)
+
+// maxFrame bounds a frame's size (hostile or buggy peers).
+const maxFrame = 64 << 20
+
+var debugNetrt = os.Getenv("DEBUG_NETRT") != ""
+
+func dbg(format string, args ...any) {
+	if debugNetrt {
+		fmt.Fprintf(os.Stderr, "netrt: "+format+"\n", args...)
+	}
+}
+
+// Config describes one networked execution.
+type Config struct {
+	// N, T, L, MsgBits are the DR-model parameters.
+	N, T, L, MsgBits int
+	// Seed drives the input array and peer randomness.
+	Seed int64
+	// NewPeer constructs the protocol instance per peer.
+	NewPeer func(sim.PeerID) sim.Peer
+	// Absent lists peers that crash before starting (never connect);
+	// must satisfy len(Absent) ≤ T.
+	Absent []sim.PeerID
+	// KillAfter crashes peers mid-run: the hub severs each listed
+	// peer's connection after the given wall duration. Killed peers
+	// count toward T together with Absent ones.
+	KillAfter map[sim.PeerID]time.Duration
+	// Timeout bounds the whole run (default 30s).
+	Timeout time.Duration
+	// Input optionally fixes the source array.
+	Input *bitarray.Array
+}
+
+func (c *Config) validate() error {
+	sc := sim.Config{N: c.N, T: c.T, L: c.L, MsgBits: c.MsgBits, Seed: c.Seed, Input: c.Input}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if c.NewPeer == nil {
+		return errors.New("netrt: missing NewPeer")
+	}
+	faulty := len(c.Absent) + len(c.KillAfter)
+	for _, p := range c.Absent {
+		if _, both := c.KillAfter[p]; both {
+			return fmt.Errorf("netrt: peer %d both absent and killed", p)
+		}
+	}
+	if faulty > c.T {
+		return fmt.Errorf("netrt: %d faulty peers exceeds t=%d", faulty, c.T)
+	}
+	return nil
+}
+
+// Run executes the configuration and reports the outcome in the same
+// Result shape as the simulation runtimes. Absent peers are reported as
+// crashed/faulty.
+func Run(cfg Config) (*sim.Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	input := (&sim.Config{N: cfg.N, T: cfg.T, L: cfg.L, MsgBits: cfg.MsgBits,
+		Seed: cfg.Seed, Input: cfg.Input}).ResolveInput()
+
+	h, err := newHub(cfg, input)
+	if err != nil {
+		return nil, err
+	}
+	defer h.close()
+
+	// faulty covers both never-connecting and mid-run-killed peers; the
+	// Result exempts them from correctness and metrics.
+	faulty := make(map[sim.PeerID]bool, len(cfg.Absent)+len(cfg.KillAfter))
+	absent := make(map[sim.PeerID]bool, len(cfg.Absent))
+	for _, p := range cfg.Absent {
+		absent[p] = true
+		faulty[p] = true
+	}
+	for p := range cfg.KillAfter {
+		faulty[p] = true
+	}
+
+	var clients sync.WaitGroup
+	errs := make(chan error, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		id := sim.PeerID(i)
+		if absent[id] {
+			continue
+		}
+		clients.Add(1)
+		go func(id sim.PeerID) {
+			defer clients.Done()
+			if err := runClient(&cfg, id, h.addr); err != nil {
+				errs <- fmt.Errorf("peer %d: %w", id, err)
+			}
+		}(id)
+	}
+
+	select {
+	case <-h.allDone:
+	case <-time.After(timeout):
+	case err := <-errs:
+		h.close()
+		clients.Wait()
+		return nil, err
+	}
+	h.close()
+	clients.Wait()
+
+	res := h.result(faulty)
+	res.Finalize(input)
+	return res, nil
+}
+
+// --- hub ---------------------------------------------------------------
+
+type hubPeer struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu         sync.Mutex
+	queryBits  int
+	queryCalls int
+	msgsSent   int
+	msgBits    int
+	output     *bitarray.Array
+	terminated bool
+	termTime   float64
+}
+
+type hub struct {
+	cfg    Config
+	input  *bitarray.Array
+	ln     net.Listener
+	addr   string
+	start  time.Time
+	expect int
+
+	// faulty marks absent and killed peers: their terminations never
+	// count toward the completion quota (a killed peer may finish
+	// before its kill fires; ending the run on its DONE would abandon
+	// honest peers mid-protocol).
+	faulty map[sim.PeerID]bool
+
+	mu    sync.Mutex
+	peers map[sim.PeerID]*hubPeer
+	// pending buffers MSG frames addressed to peers that have not
+	// completed their hello yet; dropping them would lose Init-time
+	// broadcasts forever, which no asynchronous-model adversary may do.
+	pending map[sim.PeerID][][]byte
+	// timers holds pending KillAfter triggers so close can cancel them.
+	timers  []*time.Timer
+	done    int
+	closed  bool
+	allDone chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newHub(cfg Config, input *bitarray.Array) (*hub, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netrt: listen: %w", err)
+	}
+	faulty := make(map[sim.PeerID]bool, len(cfg.Absent)+len(cfg.KillAfter))
+	for _, p := range cfg.Absent {
+		faulty[p] = true
+	}
+	for p := range cfg.KillAfter {
+		faulty[p] = true
+	}
+	h := &hub{
+		cfg:     cfg,
+		input:   input,
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		start:   time.Now(),
+		expect:  cfg.N - len(faulty),
+		faulty:  faulty,
+		peers:   make(map[sim.PeerID]*hubPeer),
+		pending: make(map[sim.PeerID][][]byte),
+		allDone: make(chan struct{}),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+func (h *hub) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.serve(conn)
+		}()
+	}
+}
+
+func (h *hub) serve(conn net.Conn) {
+	kind, payload, err := readFrame(conn)
+	if err != nil || kind != kHello {
+		conn.Close()
+		return
+	}
+	id64, _ := binary.Uvarint(payload)
+	id := sim.PeerID(id64)
+	hp := &hubPeer{conn: conn}
+	h.mu.Lock()
+	if _, dup := h.peers[id]; dup || int(id) >= h.cfg.N {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
+	h.peers[id] = hp
+	backlog := h.pending[id]
+	delete(h.pending, id)
+	h.mu.Unlock()
+	dbg("peer %d registered, backlog=%d", id, len(backlog))
+	if d, killed := h.cfg.KillAfter[id]; killed {
+		// Mid-run crash: sever the connection after d. The peer's
+		// goroutine sees a read error and stops; in-flight frames it
+		// already wrote keep flowing — a partial broadcast, like the
+		// simulators' mid-broadcast crash points.
+		h.wg.Add(1)
+		timer := time.AfterFunc(d, func() {
+			defer h.wg.Done()
+			conn.Close()
+		})
+		h.mu.Lock()
+		h.timers = append(h.timers, timer)
+		h.mu.Unlock()
+	}
+	for _, frame := range backlog {
+		writeFrame(hp.conn, &hp.writeMu, kMsg, frame)
+	}
+
+	for {
+		kind, payload, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		switch kind {
+		case kMsg:
+			h.route(id, hp, payload)
+		case kQuery:
+			dbg("peer %d query %dB", id, len(payload))
+			h.answerQuery(id, hp, payload)
+		case kDone:
+			dbg("peer %d done", id)
+			h.markDone(id, hp, payload)
+		}
+	}
+}
+
+// route forwards a MSG frame (payload: uvarint dest, wire bytes) to its
+// destination, rewriting the header to carry the sender.
+func (h *hub) route(from sim.PeerID, hp *hubPeer, payload []byte) {
+	to64, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return
+	}
+	body := payload[n:]
+	hp.mu.Lock()
+	chunks := (len(body)*8 + h.cfg.MsgBits - 1) / h.cfg.MsgBits
+	if chunks < 1 {
+		chunks = 1
+	}
+	hp.msgsSent += chunks
+	hp.msgBits += len(body) * 8
+	hp.mu.Unlock()
+
+	out := make([]byte, 0, len(body)+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(from))
+	out = append(out, body...)
+
+	to := sim.PeerID(to64)
+	h.mu.Lock()
+	dest := h.peers[to]
+	if dest == nil {
+		// Not yet connected: buffer unless the peer is absent forever.
+		if int(to) < h.cfg.N && !h.absent(to) {
+			h.pending[to] = append(h.pending[to], out)
+		}
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	if err := writeFrame(dest.conn, &dest.writeMu, kMsg, out); err != nil {
+		dbg("route %d->%d write error: %v", from, to, err)
+	}
+}
+
+// answerQuery serves the source: decode tag + delta indices, reply with
+// the requested bits.
+func (h *hub) answerQuery(_ sim.PeerID, hp *hubPeer, payload []byte) {
+	tag, indices, ok := decodeQuery(payload)
+	if !ok {
+		return
+	}
+	bits := bitarray.New(len(indices))
+	for j, idx := range indices {
+		if idx < 0 || idx >= h.cfg.L {
+			return
+		}
+		bits.Set(j, h.input.Get(idx))
+	}
+	hp.mu.Lock()
+	hp.queryBits += len(indices)
+	hp.queryCalls++
+	hp.mu.Unlock()
+
+	out := encodeQueryHeader(tag, indices)
+	raw := bits.Bytes()
+	out = binary.AppendUvarint(out, uint64(len(raw)))
+	out = append(out, raw...)
+	if err := writeFrame(hp.conn, &hp.writeMu, kQReply, out); err != nil {
+		dbg("qreply write error: %v", err)
+	}
+}
+
+func (h *hub) markDone(id sim.PeerID, hp *hubPeer, payload []byte) {
+	n64, n := binary.Uvarint(payload)
+	if n <= 0 || int(n64) > len(payload[n:]) {
+		return
+	}
+	out, err := bitarray.FromBytes(payload[n : n+int(n64)])
+	if err != nil {
+		return
+	}
+	hp.mu.Lock()
+	already := hp.terminated
+	hp.terminated = true
+	hp.output = out
+	hp.termTime = time.Since(h.start).Seconds()
+	hp.mu.Unlock()
+	if already || h.faulty[id] {
+		return
+	}
+	h.mu.Lock()
+	h.done++
+	fin := h.done >= h.expect && !h.closed
+	h.mu.Unlock()
+	if fin {
+		close(h.allDone)
+	}
+}
+
+// absent reports whether id never connects (crash-from-start).
+func (h *hub) absent(id sim.PeerID) bool {
+	for _, p := range h.cfg.Absent {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (h *hub) close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	peers := make([]*hubPeer, 0, len(h.peers))
+	for _, hp := range h.peers {
+		peers = append(peers, hp)
+	}
+	timers := h.timers
+	h.timers = nil
+	h.mu.Unlock()
+	for _, timer := range timers {
+		if timer.Stop() {
+			h.wg.Done() // the kill callback will never run
+		}
+	}
+	h.ln.Close()
+	for _, hp := range peers {
+		hp.conn.Close()
+	}
+	h.wg.Wait()
+}
+
+func (h *hub) result(absent map[sim.PeerID]bool) *sim.Result {
+	res := &sim.Result{PerPeer: make([]sim.PeerStats, h.cfg.N)}
+	for i := 0; i < h.cfg.N; i++ {
+		id := sim.PeerID(i)
+		ps := sim.PeerStats{ID: id, Honest: !absent[id], Crashed: absent[id]}
+		h.mu.Lock()
+		hp := h.peers[id]
+		h.mu.Unlock()
+		if hp != nil {
+			hp.mu.Lock()
+			ps.QueryBits = hp.queryBits
+			ps.QueryCalls = hp.queryCalls
+			ps.MsgsSent = hp.msgsSent
+			ps.MsgBitsSent = hp.msgBits
+			ps.Terminated = hp.terminated
+			ps.TermTime = hp.termTime
+			ps.Output = hp.output
+			hp.mu.Unlock()
+		}
+		res.PerPeer[i] = ps
+	}
+	return res
+}
+
+// --- client ------------------------------------------------------------
+
+// runClient dials the hub and drives one protocol instance.
+func runClient(cfg *Config, id sim.PeerID, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	c := &client{
+		cfg:   cfg,
+		id:    id,
+		conn:  conn,
+		rng:   rand.New(rand.NewSource(cfg.Seed + int64(id)*0x9e3779b97f4a7c + 1)),
+		impl:  cfg.NewPeer(id),
+		start: time.Now(),
+		done:  make(chan struct{}),
+	}
+	hello := binary.AppendUvarint(nil, uint64(id))
+	if err := writeFrame(conn, &c.writeMu, kHello, hello); err != nil {
+		return err
+	}
+	c.impl.Init(c)
+	dbg("client %d init done, entering loop", id)
+	c.loop()
+	dbg("client %d loop exited (terminated=%v)", id, c.terminated)
+	// Graceful shutdown: a hard Close with unread inbound data (late
+	// messages from still-running peers) would RST the connection and
+	// destroy the in-flight DONE frame — the hub would wait for this
+	// peer's termination forever. Half-close the write side and drain
+	// until the hub closes, so the DONE frame is guaranteed delivery.
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+	_, _ = io.Copy(io.Discard, conn)
+	return nil
+}
+
+type client struct {
+	cfg     *Config
+	id      sim.PeerID
+	conn    net.Conn
+	writeMu sync.Mutex
+	rng     *rand.Rand
+	impl    sim.Peer
+	start   time.Time
+
+	terminated bool
+	output     *bitarray.Array
+	done       chan struct{}
+}
+
+var _ sim.Context = (*client)(nil)
+
+// loop reads frames and dispatches handlers until termination or
+// connection close. Handlers run on this single goroutine, preserving
+// the sim.Peer sequential contract.
+func (c *client) loop() {
+	for !c.terminated {
+		kind, payload, err := readFrame(c.conn)
+		if err != nil {
+			dbg("client %d read error: %v", c.id, err)
+			return
+		}
+		switch kind {
+		case kMsg:
+			from64, n := binary.Uvarint(payload)
+			if n <= 0 {
+				continue
+			}
+			m, err := wire.Unmarshal(payload[n:], c.cfg.L)
+			if err != nil {
+				dbg("client %d: malformed msg from %d: %v", c.id, from64, err)
+				continue // malformed frame: drop, like line noise
+			}
+			c.impl.OnMessage(sim.PeerID(from64), m)
+		case kQReply:
+			tag, indices, ok := decodeQuery(payload)
+			if !ok {
+				dbg("client %d: malformed qreply", c.id)
+				continue
+			}
+			rest := payload[queryHeaderLen(tag, indices):]
+			n64, n := binary.Uvarint(rest)
+			if n <= 0 || int(n64) > len(rest[n:]) {
+				continue
+			}
+			bits, err := bitarray.FromBytes(rest[n : n+int(n64)])
+			if err != nil {
+				continue
+			}
+			c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+		}
+	}
+}
+
+// ID implements sim.Context.
+func (c *client) ID() sim.PeerID { return c.id }
+
+// N implements sim.Context.
+func (c *client) N() int { return c.cfg.N }
+
+// T implements sim.Context.
+func (c *client) T() int { return c.cfg.T }
+
+// L implements sim.Context.
+func (c *client) L() int { return c.cfg.L }
+
+// MsgBits implements sim.Context.
+func (c *client) MsgBits() int { return c.cfg.MsgBits }
+
+// Send implements sim.Context.
+func (c *client) Send(to sim.PeerID, m sim.Message) {
+	if c.terminated || to == c.id || to < 0 || int(to) >= c.cfg.N {
+		return
+	}
+	body, err := wire.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("netrt: unencodable message %T: %v", m, err))
+	}
+	out := binary.AppendUvarint(nil, uint64(to))
+	out = append(out, body...)
+	_ = writeFrame(c.conn, &c.writeMu, kMsg, out)
+}
+
+// Broadcast implements sim.Context.
+func (c *client) Broadcast(m sim.Message) {
+	for i := 0; i < c.cfg.N; i++ {
+		if sim.PeerID(i) != c.id {
+			c.Send(sim.PeerID(i), m)
+		}
+	}
+}
+
+// Query implements sim.Context.
+func (c *client) Query(tag int, indices []int) {
+	if c.terminated {
+		return
+	}
+	out := encodeQueryHeader(tag, indices)
+	_ = writeFrame(c.conn, &c.writeMu, kQuery, out)
+}
+
+// Output implements sim.Context.
+func (c *client) Output(out *bitarray.Array) {
+	if !c.terminated {
+		c.output = out.Clone()
+	}
+}
+
+// Terminate implements sim.Context.
+func (c *client) Terminate() {
+	if c.terminated {
+		return
+	}
+	c.terminated = true
+	var raw []byte
+	if c.output != nil {
+		raw = c.output.Bytes()
+	}
+	body := binary.AppendUvarint(nil, uint64(len(raw)))
+	body = append(body, raw...)
+	_ = writeFrame(c.conn, &c.writeMu, kDone, body)
+}
+
+// Rand implements sim.Context.
+func (c *client) Rand() *rand.Rand { return c.rng }
+
+// Now implements sim.Context.
+func (c *client) Now() float64 { return time.Since(c.start).Seconds() }
+
+// Logf implements sim.Context.
+func (c *client) Logf(string, ...any) {}
+
+// --- framing -----------------------------------------------------------
+
+func writeFrame(conn net.Conn, mu *sync.Mutex, kind byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("netrt: frame too large: %d", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = kind
+	mu.Lock()
+	defer mu.Unlock()
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+func readFrame(conn net.Conn) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size < 1 || size > maxFrame {
+		return 0, nil, fmt.Errorf("netrt: bad frame size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// encodeQueryHeader encodes tag (zig-zag, tags may be negative) plus
+// delta-encoded indices.
+func encodeQueryHeader(tag int, indices []int) []byte {
+	out := binary.AppendVarint(nil, int64(tag))
+	out = binary.AppendUvarint(out, uint64(len(indices)))
+	prev := 0
+	for _, idx := range indices {
+		out = binary.AppendVarint(out, int64(idx-prev))
+		prev = idx
+	}
+	return out
+}
+
+func queryHeaderLen(tag int, indices []int) int {
+	return len(encodeQueryHeader(tag, indices))
+}
+
+func decodeQuery(payload []byte) (tag int, indices []int, ok bool) {
+	t64, n := binary.Varint(payload)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	payload = payload[n:]
+	cnt, n := binary.Uvarint(payload)
+	if n <= 0 || cnt > maxFrame {
+		return 0, nil, false
+	}
+	payload = payload[n:]
+	indices = make([]int, 0, cnt)
+	prev := int64(0)
+	for i := uint64(0); i < cnt; i++ {
+		d, n := binary.Varint(payload)
+		if n <= 0 {
+			return 0, nil, false
+		}
+		payload = payload[n:]
+		prev += d
+		indices = append(indices, int(prev))
+	}
+	return int(t64), indices, true
+}

@@ -1,0 +1,186 @@
+package netrt_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netrt"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+)
+
+func TestNaiveOverTCP(t *testing.T) {
+	res, err := netrt.Run(netrt.Config{
+		N: 4, T: 0, L: 512, MsgBits: 128, Seed: 1,
+		NewPeer: naive.New,
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	if res.Q != 512 {
+		t.Errorf("Q = %d", res.Q)
+	}
+}
+
+func TestCrashKOverTCPWithAbsentPeers(t *testing.T) {
+	// Three peers never connect: the n−t waiting rules must keep the
+	// run live over real sockets.
+	res, err := netrt.Run(netrt.Config{
+		N: 8, T: 3, L: 2048, MsgBits: 256, Seed: 2,
+		NewPeer: crashk.New,
+		Absent:  []sim.PeerID{1, 4, 6},
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	for _, id := range []sim.PeerID{1, 4, 6} {
+		if res.PerPeer[id].Terminated {
+			t.Errorf("absent peer %d terminated", id)
+		}
+	}
+	if res.Q >= 2048 {
+		t.Errorf("Q = %d not sublinear", res.Q)
+	}
+}
+
+func TestCrash1OverTCP(t *testing.T) {
+	res, err := netrt.Run(netrt.Config{
+		N: 6, T: 1, L: 600, MsgBits: 128, Seed: 3,
+		NewPeer: crash1.New,
+		Absent:  []sim.PeerID{2},
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+}
+
+func TestCommitteeOverTCP(t *testing.T) {
+	res, err := netrt.Run(netrt.Config{
+		N: 9, T: 2, L: 270, MsgBits: 256, Seed: 4,
+		NewPeer: committee.New,
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+}
+
+func TestTwoCycleOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many sockets")
+	}
+	// Sized into the non-naive regime; all peers honest-but-concurrent.
+	res, err := netrt.Run(netrt.Config{
+		N: 128, T: 16, L: 1 << 12, MsgBits: 256, Seed: 5,
+		NewPeer: twocycle.New,
+		Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	if res.Q >= 1<<12 {
+		t.Errorf("Q = %d fell back to naive", res.Q)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []netrt.Config{
+		{N: 1, T: 0, L: 8, MsgBits: 64, NewPeer: naive.New},
+		{N: 4, T: 1, L: 8, MsgBits: 64},
+		{N: 4, T: 1, L: 8, MsgBits: 64, NewPeer: naive.New, Absent: []sim.PeerID{0, 1}},
+	}
+	for i, cfg := range bad {
+		if _, err := netrt.Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestManySeedsSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock heavy")
+	}
+	for seed := int64(10); seed < 13; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err := netrt.Run(netrt.Config{
+				N: 6, T: 2, L: 1024, MsgBits: 128, Seed: seed,
+				NewPeer: crashk.NewFast,
+				Absent:  []sim.PeerID{0, 3},
+				Timeout: 20 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Correct {
+				t.Fatalf("incorrect: %v", res)
+			}
+		})
+	}
+}
+
+func TestKillAfterMidRun(t *testing.T) {
+	// Two peers lose their connections mid-run: the survivors must
+	// still complete (crashk tolerates it), and the killed peers are
+	// reported as faulty rather than failing the run.
+	killed := map[sim.PeerID]time.Duration{
+		1: 2 * time.Millisecond,
+		5: 5 * time.Millisecond,
+	}
+	res, err := netrt.Run(netrt.Config{
+		N: 8, T: 3, L: 2048, MsgBits: 256, Seed: 6,
+		NewPeer:   crashk.New,
+		KillAfter: killed,
+		Timeout:   30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	for id := range killed {
+		if res.PerPeer[id].Honest {
+			t.Errorf("killed peer %d counted as honest", id)
+		}
+	}
+}
+
+func TestKillAfterValidation(t *testing.T) {
+	if _, err := netrt.Run(netrt.Config{
+		N: 4, T: 1, L: 64, MsgBits: 64, NewPeer: crashk.New,
+		Absent:    []sim.PeerID{1},
+		KillAfter: map[sim.PeerID]time.Duration{1: time.Millisecond},
+	}); err == nil {
+		t.Error("absent+killed peer accepted")
+	}
+	if _, err := netrt.Run(netrt.Config{
+		N: 4, T: 1, L: 64, MsgBits: 64, NewPeer: crashk.New,
+		Absent:    []sim.PeerID{0},
+		KillAfter: map[sim.PeerID]time.Duration{1: time.Millisecond},
+	}); err == nil {
+		t.Error("2 faulty with t=1 accepted")
+	}
+}

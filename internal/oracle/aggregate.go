@@ -1,0 +1,104 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Aggregator selects how a node combines the per-source values of one
+// cell into the value it publishes (step 3 of the oracle pipeline).
+// With n_s = 2f_s+1 sources of which at most f_s are Byzantine, a rule is
+// ODD-safe iff its output provably lies in the honest range; the library
+// documents which rules are and tests both directions.
+type Aggregator int
+
+// Aggregation rules.
+const (
+	// AggMedian is the classical rule (OCR/DORA): ODD-safe, since at
+	// least f_s+1 of the 2f_s+1 values are honest and the median has
+	// honest values on both sides.
+	AggMedian Aggregator = iota
+	// AggTrimmedMean drops the f_s lowest and f_s highest values and
+	// averages the rest: ODD-safe — every surviving value is bounded by
+	// honest values on both sides, hence inside the honest range.
+	AggTrimmedMean
+	// AggMidRange averages the minimum and maximum: NOT ODD-safe — a
+	// single Byzantine outlier drags it arbitrarily far. Included as the
+	// cautionary baseline.
+	AggMidRange
+)
+
+// String implements fmt.Stringer.
+func (a Aggregator) String() string {
+	switch a {
+	case AggMedian:
+		return "median"
+	case AggTrimmedMean:
+		return "trimmed-mean"
+	case AggMidRange:
+		return "mid-range"
+	default:
+		return fmt.Sprintf("aggregator(%d)", int(a))
+	}
+}
+
+// Safe reports whether the rule is ODD-safe under an honest majority of
+// sources.
+func (a Aggregator) Safe() bool { return a == AggMedian || a == AggTrimmedMean }
+
+// Aggregate combines one cell's per-source values under the rule, with
+// fs the assumed bound on Byzantine sources.
+func Aggregate(rule Aggregator, vals []int64, fs int) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	switch rule {
+	case AggTrimmedMean:
+		if len(s) <= 2*fs {
+			return s[(len(s)-1)/2] // degenerate: fall back to median
+		}
+		kept := s[fs : len(s)-fs]
+		var sum int64
+		for _, v := range kept {
+			sum += v
+		}
+		return sum / int64(len(kept))
+	case AggMidRange:
+		return (s[0] + s[len(s)-1]) / 2
+	default: // AggMedian
+		return s[(len(s)-1)/2]
+	}
+}
+
+// SourceBehavior selects how Byzantine sources lie in GenerateFeeds.
+type SourceBehavior int
+
+// Byzantine source behaviors.
+const (
+	// SourceOutlier reports values orders of magnitude off — the blunt
+	// attack every safe aggregator kills.
+	SourceOutlier SourceBehavior = iota
+	// SourceOffset reports honest-looking values shifted by a constant
+	// multiple of the honest spread — the subtle attack that pulls any
+	// mean-like rule toward the offset while the median holds.
+	SourceOffset
+	// SourceStuck reports one frozen value for every cell, modeling a
+	// stale or halted feed.
+	SourceStuck
+)
+
+// String implements fmt.Stringer.
+func (b SourceBehavior) String() string {
+	switch b {
+	case SourceOutlier:
+		return "outlier"
+	case SourceOffset:
+		return "offset"
+	case SourceStuck:
+		return "stuck"
+	default:
+		return fmt.Sprintf("source-behavior(%d)", int(b))
+	}
+}

@@ -1,0 +1,139 @@
+package oracle_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/oracle"
+)
+
+func TestAggregateRules(t *testing.T) {
+	vals := []int64{100, 5, 110, -900000, 105} // fs = 2 worst case: two wild
+	if got := oracle.Aggregate(oracle.AggMedian, vals, 2); got != 100 {
+		t.Errorf("median = %d, want 100", got)
+	}
+	if got := oracle.Aggregate(oracle.AggTrimmedMean, vals, 2); got != 100 {
+		t.Errorf("trimmed mean = %d, want 100", got)
+	}
+	// Mid-range is dragged by the outlier.
+	if got := oracle.Aggregate(oracle.AggMidRange, vals, 2); got > 0 {
+		t.Errorf("mid-range = %d, expected outlier drag below 0", got)
+	}
+	if got := oracle.Aggregate(oracle.AggMedian, nil, 1); got != 0 {
+		t.Errorf("empty aggregate = %d", got)
+	}
+	// Degenerate trimmed mean falls back to median.
+	if got := oracle.Aggregate(oracle.AggTrimmedMean, []int64{7}, 2); got != 7 {
+		t.Errorf("degenerate trimmed mean = %d", got)
+	}
+}
+
+func TestAggregatorMetadata(t *testing.T) {
+	if !oracle.AggMedian.Safe() || !oracle.AggTrimmedMean.Safe() {
+		t.Error("safe rules misreported")
+	}
+	if oracle.AggMidRange.Safe() {
+		t.Error("mid-range reported safe")
+	}
+	for _, a := range []oracle.Aggregator{oracle.AggMedian, oracle.AggTrimmedMean, oracle.AggMidRange, oracle.Aggregator(99)} {
+		if a.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+	for _, b := range []oracle.SourceBehavior{oracle.SourceOutlier, oracle.SourceOffset, oracle.SourceStuck, oracle.SourceBehavior(99)} {
+		if b.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+// TestODDSafetyMatrix runs the baseline pipeline under every (rule,
+// source-behavior) pair: safe rules must always satisfy ODD; mid-range
+// must violate it under outliers.
+func TestODDSafetyMatrix(t *testing.T) {
+	rules := []oracle.Aggregator{oracle.AggMedian, oracle.AggTrimmedMean, oracle.AggMidRange}
+	lies := []oracle.SourceBehavior{oracle.SourceOutlier, oracle.SourceOffset, oracle.SourceStuck}
+	for _, rule := range rules {
+		for _, lie := range lies {
+			name := fmt.Sprintf("%v/%v", rule, lie)
+			t.Run(name, func(t *testing.T) {
+				cfg := &oracle.Config{
+					Nodes: 8, NodeFaults: 2, SourceFaults: 2, Cells: 24,
+					Seed: 11, Agg: rule, SourceLies: lie,
+				}
+				feeds, err := oracle.GenerateFeeds(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := oracle.RunBaseline(cfg, feeds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch {
+				case rule.Safe() && !res.ODDHolds:
+					t.Errorf("%s: safe rule violated ODD", name)
+				case rule == oracle.AggMidRange && lie == oracle.SourceOutlier && res.ODDHolds:
+					t.Errorf("%s: mid-range survived outliers — attack model too weak", name)
+				}
+			})
+		}
+	}
+}
+
+// TestQuickAggregateSafety: for safe rules, any mix of ≤ fs wild values
+// among 2fs+1 stays within the honest range.
+func TestQuickAggregateSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		fs := rng.Intn(4)
+		ns := 2*fs + 1
+		honest := make([]int64, 0, fs+1)
+		col := make([]int64, 0, ns)
+		for s := 0; s < ns; s++ {
+			if s < fs {
+				col = append(col, int64(rng.Uint64()>>1)-int64(rng.Uint64()>>1))
+			} else {
+				v := int64(5000 + rng.Intn(100))
+				honest = append(honest, v)
+				col = append(col, v)
+			}
+		}
+		lo, hi := honest[0], honest[0]
+		for _, v := range honest {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for _, rule := range []oracle.Aggregator{oracle.AggMedian, oracle.AggTrimmedMean} {
+			got := oracle.Aggregate(rule, col, fs)
+			if got < lo || got > hi {
+				t.Fatalf("trial %d: %v = %d outside honest [%d, %d] (fs=%d col=%v)",
+					trial, rule, got, lo, hi, fs, col)
+			}
+		}
+	}
+}
+
+// TestDownloadODCWithTrimmedMeanAndOffsetSources exercises the full
+// Download pipeline under the subtle-offset attack with the trimmed-mean
+// rule.
+func TestDownloadODCWithTrimmedMeanAndOffsetSources(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Agg = oracle.AggTrimmedMean
+	cfg.SourceLies = oracle.SourceOffset
+	feeds, err := oracle.GenerateFeeds(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := oracle.RunBaseline(cfg, feeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ODDHolds {
+		t.Fatal("trimmed mean must resist the offset attack")
+	}
+}

@@ -1,0 +1,153 @@
+package oracle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// OnChain models the oracle's on-chain component — the contract that
+// closes steps (2) and (3) of the paper's pipeline: nodes submit their
+// aggregated value arrays, and the contract publishes the first array
+// that NodeFaults+1 distinct nodes submitted identically. At least one of
+// those submitters is honest, so under a safe aggregation rule the
+// published array inherits the ODD honest-range guarantee; Byzantine
+// nodes alone can never clear the threshold. (Real systems add
+// signatures and incentive games; the quorum rule is the part the DR
+// model interacts with.)
+type OnChain struct {
+	need  int
+	votes map[[8]byte]*submission
+	// published is set once; later submissions are ignored, mirroring a
+	// contract that accepts one report per round.
+	published []int64
+}
+
+type submission struct {
+	vals  []int64
+	nodes map[sim.PeerID]bool
+}
+
+// NewOnChain returns a contract accepting with threshold nodeFaults+1.
+func NewOnChain(nodeFaults int) *OnChain {
+	return &OnChain{need: nodeFaults + 1, votes: make(map[[8]byte]*submission)}
+}
+
+// Submit records one node's report; it reports whether this submission
+// triggered publication. Duplicate submissions from one node for the same
+// array count once.
+func (c *OnChain) Submit(node sim.PeerID, vals []int64) bool {
+	if c.published != nil {
+		return false
+	}
+	key := hashVals(vals)
+	s := c.votes[key]
+	if s == nil {
+		s = &submission{vals: append([]int64(nil), vals...), nodes: make(map[sim.PeerID]bool)}
+		c.votes[key] = s
+	}
+	if s.nodes[node] {
+		return false
+	}
+	s.nodes[node] = true
+	if len(s.nodes) >= c.need {
+		c.published = s.vals
+		return true
+	}
+	return false
+}
+
+// Published returns the accepted array, if any.
+func (c *OnChain) Published() ([]int64, bool) {
+	if c.published == nil {
+		return nil, false
+	}
+	return append([]int64(nil), c.published...), true
+}
+
+// hashVals is an FNV-1a over the array (collision-resistance is not a
+// security property here: the quorum check re-verifies nothing, exactly
+// like the abstraction in the paper; the map key just buckets identical
+// arrays).
+func hashVals(vals []int64) [8]byte {
+	var h uint64 = 14695981039346656037
+	var buf [8]byte
+	for _, v := range vals {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	var out [8]byte
+	binary.LittleEndian.PutUint64(out[:], h)
+	return out
+}
+
+// PipelineResult is the outcome of the full three-step oracle pipeline.
+type PipelineResult struct {
+	// ODC is the data-collection result (step 1 + per-node aggregation).
+	ODC *Result
+	// Published is the on-chain array, nil if the quorum never formed.
+	Published []int64
+	// ODDHolds reports the published array lies in the honest range.
+	ODDHolds bool
+	// ForgedAccepted reports a Byzantine-only array got published — must
+	// always be false.
+	ForgedAccepted bool
+}
+
+// RunPipeline executes collection (Download-based ODC), per-node
+// aggregation, and on-chain publication. Byzantine oracle nodes submit a
+// forged array; the quorum rule must reject it and publish the honest
+// nodes' identical aggregate.
+func RunPipeline(cfg *Config, feeds *Feeds, run DownloadRunner, byzNodes []sim.PeerID) (*PipelineResult, error) {
+	odc, err := RunDownload(cfg, feeds, run)
+	if err != nil {
+		return nil, err
+	}
+	if odc.Published == nil {
+		return nil, fmt.Errorf("oracle: ODC produced no values")
+	}
+	chain := NewOnChain(cfg.NodeFaults)
+
+	// Byzantine nodes race to submit a forged array first.
+	forged := make([]int64, cfg.Cells)
+	for j := range forged {
+		forged[j] = 1 << 60
+	}
+	forgedPublished := false
+	for _, b := range byzNodes {
+		if chain.Submit(b, forged) {
+			forgedPublished = true
+		}
+	}
+
+	// Honest nodes each submit their own aggregate, in ID order (any
+	// order works; the quorum needs NodeFaults+1 identical submissions).
+	byz := make(map[sim.PeerID]bool, len(byzNodes))
+	for _, b := range byzNodes {
+		byz[b] = true
+	}
+	ids := make([]int, 0, len(odc.PerNode))
+	for id := range odc.PerNode {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, i := range ids {
+		id := sim.PeerID(i)
+		if byz[id] {
+			continue
+		}
+		chain.Submit(id, odc.PerNode[id])
+	}
+
+	res := &PipelineResult{ODC: odc, ForgedAccepted: forgedPublished}
+	if pub, ok := chain.Published(); ok {
+		res.Published = pub
+		res.ODDHolds = inHonestRange(feeds, pub)
+	}
+	return res, nil
+}

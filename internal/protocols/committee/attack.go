@@ -1,0 +1,97 @@
+package committee
+
+import (
+	"repro/internal/bitarray"
+	"repro/internal/sim"
+)
+
+// Protocol-aware Byzantine attackers used in tests and experiments. They
+// forge well-formed Reports, which is strictly stronger than the generic
+// noise behaviors in package adversary.
+
+// Liar is a Byzantine committee member that reports the complement of
+// every bit it is responsible for, identically to all peers — the
+// strongest consistent-lie attack against the t+1 acceptance threshold.
+type Liar struct {
+	know *sim.Knowledge
+	ctx  sim.Context
+}
+
+var _ sim.Peer = (*Liar)(nil)
+
+// NewLiar builds Liar behaviors.
+func NewLiar(_ sim.PeerID, k *sim.Knowledge) sim.Peer { return &Liar{know: k} }
+
+// Init implements sim.Peer.
+func (a *Liar) Init(ctx sim.Context) {
+	a.ctx = ctx
+	a.broadcastForged(flipAll)
+}
+
+// OnMessage implements sim.Peer.
+func (a *Liar) OnMessage(sim.PeerID, sim.Message) {}
+
+// OnQueryReply implements sim.Peer.
+func (a *Liar) OnQueryReply(sim.QueryReply) {}
+
+// Equivocator sends the true values to even-numbered peers and flipped
+// values to odd-numbered peers, probing for acceptance-rule asymmetries.
+type Equivocator struct {
+	know *sim.Knowledge
+	ctx  sim.Context
+}
+
+var _ sim.Peer = (*Equivocator)(nil)
+
+// NewEquivocator builds Equivocator behaviors.
+func NewEquivocator(_ sim.PeerID, k *sim.Knowledge) sim.Peer { return &Equivocator{know: k} }
+
+// Init implements sim.Peer.
+func (a *Equivocator) Init(ctx sim.Context) {
+	a.ctx = ctx
+	truth := a.forge(false)
+	lies := a.forge(true)
+	for j := 0; j < ctx.N(); j++ {
+		id := sim.PeerID(j)
+		if id == ctx.ID() {
+			continue
+		}
+		if j%2 == 0 {
+			ctx.Send(id, truth)
+		} else {
+			ctx.Send(id, lies)
+		}
+	}
+}
+
+// OnMessage implements sim.Peer.
+func (a *Equivocator) OnMessage(sim.PeerID, sim.Message) {}
+
+// OnQueryReply implements sim.Peer.
+func (a *Equivocator) OnQueryReply(sim.QueryReply) {}
+
+func flipAll(v bool) bool { return !v }
+
+func (a *Liar) broadcastForged(flip func(bool) bool) {
+	cfg := a.know.Config
+	mine := Assignments(a.ctx.ID(), cfg.L, cfg.N, cfg.T)
+	vals := bitarray.New(len(mine))
+	for k, idx := range mine {
+		vals.Set(k, flip(a.know.Input.Get(idx)))
+	}
+	a.ctx.Broadcast(&Report{Indices: mine, Bits: vals, IdxBits: indexBits(cfg.L)})
+}
+
+func (a *Equivocator) forge(flip bool) *Report {
+	cfg := a.know.Config
+	mine := Assignments(a.ctx.ID(), cfg.L, cfg.N, cfg.T)
+	vals := bitarray.New(len(mine))
+	for k, idx := range mine {
+		v := a.know.Input.Get(idx)
+		if flip {
+			v = !v
+		}
+		vals.Set(k, v)
+	}
+	return &Report{Indices: mine, Bits: vals, IdxBits: indexBits(cfg.L)}
+}

@@ -1,0 +1,212 @@
+// Package committee implements the deterministic asynchronous Byzantine
+// Download protocol of Theorem 3.4, for fault fractions β < 1/2.
+//
+// For every input index i a committee of s = 2t+1 peers is responsible for
+// it, chosen in round-robin order so each peer sits on at most ⌈Ls/n⌉
+// committees. Every committee member queries its bit and broadcasts the
+// value; a peer accepts value v for bit i once t+1 committee members
+// reported v identically. Safety: at most t members are Byzantine, so a
+// wrong value can never gather t+1 identical reports. Liveness: each
+// committee contains at least t+1 honest members whose (possibly delayed,
+// never forged) reports eventually arrive. The resulting query complexity
+// is Q = ⌈L(2t+1)/n⌉ ≈ 2βL — the deterministic optimum regime, since for
+// β ≥ 1/2 Theorem 3.1 forces Q = L.
+//
+// Peers whose configuration violates 2t+1 ≤ n (i.e., β ≥ 1/2) fall back to
+// querying the entire array: the only deterministic option in that regime.
+package committee
+
+import (
+	"math/bits"
+
+	"repro/internal/bitarray"
+	"repro/internal/sim"
+)
+
+const headerBits = 64
+
+func indexBits(L int) int {
+	if L <= 1 {
+		return 1
+	}
+	return bits.Len(uint(L - 1))
+}
+
+// Report carries a committee member's queried bits: Bits.Get(k) is the
+// value of index Indices[k]. One Report per peer covers all of its
+// committee assignments.
+type Report struct {
+	Indices []int
+	Bits    *bitarray.Array
+	IdxBits int
+}
+
+var _ sim.Message = (*Report)(nil)
+
+// SizeBits implements sim.Message.
+func (m *Report) SizeBits() int {
+	return headerBits + len(m.Indices)*(m.IdxBits+1)
+}
+
+// CommitteeSize returns s = 2t+1.
+func CommitteeSize(t int) int { return 2*t + 1 }
+
+// InCommittee reports whether peer p belongs to the committee of index i,
+// under the round-robin schedule C_i = {(i·s + j) mod n : 0 ≤ j < s}.
+func InCommittee(p sim.PeerID, i, n, t int) bool {
+	s := CommitteeSize(t)
+	if s >= n {
+		return true
+	}
+	d := (int(p) - i*s) % n
+	if d < 0 {
+		d += n
+	}
+	return d < s
+}
+
+// Assignments returns the indices peer p must query, in increasing order.
+func Assignments(p sim.PeerID, L, n, t int) []int {
+	var out []int
+	for i := 0; i < L; i++ {
+		if InCommittee(p, i, n, t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Peer is one protocol instance.
+type Peer struct {
+	ctx     sim.Context
+	idxBits int
+	track   *bitarray.Tracker
+	// votes[i] counts, per reported value, the distinct committee members
+	// of index i that reported it: votes[i][0] zeros, votes[i][1] ones.
+	votes [][2]int16
+	// seenReport deduplicates senders wholesale: honest members send
+	// exactly one Report, so only the first Report per sender counts.
+	// This is what keeps vote processing allocation-free — a per-index
+	// sender set would cost a map per input bit.
+	seenReport map[sim.PeerID]bool
+	accept     int // threshold t+1
+	naive      bool
+	// reported is set once this peer's own committee Report went out. A
+	// peer must never terminate before reporting: its votes may be the
+	// ones other peers need to reach the t+1 acceptance threshold, and a
+	// terminated peer sends nothing.
+	reported bool
+	done     bool
+}
+
+var _ sim.Peer = (*Peer)(nil)
+
+// New constructs a committee-protocol peer.
+func New(sim.PeerID) sim.Peer { return &Peer{} }
+
+// Init implements sim.Peer.
+func (p *Peer) Init(ctx sim.Context) {
+	p.ctx = ctx
+	p.idxBits = indexBits(ctx.L())
+	p.track = bitarray.NewTracker(ctx.L())
+	p.accept = ctx.T() + 1
+	if CommitteeSize(ctx.T()) > ctx.N() {
+		// β ≥ 1/2: deterministic protocols cannot beat naive (Thm 3.1).
+		p.naive = true
+		all := make([]int, ctx.L())
+		for i := range all {
+			all[i] = i
+		}
+		ctx.Query(0, all)
+		return
+	}
+	p.votes = make([][2]int16, ctx.L())
+	p.seenReport = make(map[sim.PeerID]bool, ctx.N())
+	mine := Assignments(ctx.ID(), ctx.L(), ctx.N(), ctx.T())
+	if len(mine) == 0 {
+		p.reported = true // nothing to report
+		return
+	}
+	ctx.Query(0, mine)
+}
+
+// OnQueryReply implements sim.Peer.
+func (p *Peer) OnQueryReply(r sim.QueryReply) {
+	if p.done {
+		return
+	}
+	for k, idx := range r.Indices {
+		p.track.LearnFromSource(idx, r.Bits.Get(k))
+	}
+	if p.naive {
+		p.maybeFinish()
+		return
+	}
+	// Broadcast my committee report.
+	vals := bitarray.New(len(r.Indices))
+	for k, idx := range r.Indices {
+		v, _ := p.track.Get(idx)
+		vals.Set(k, v)
+	}
+	p.ctx.Broadcast(&Report{Indices: append([]int(nil), r.Indices...), Bits: vals, IdxBits: p.idxBits})
+	p.reported = true
+	p.maybeFinish()
+}
+
+// OnMessage implements sim.Peer.
+func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
+	if p.done || p.naive {
+		return
+	}
+	rep, ok := m.(*Report)
+	if !ok {
+		return
+	}
+	if rep.Bits == nil || rep.Bits.Len() < len(rep.Indices) {
+		return // malformed (Byzantine)
+	}
+	if p.seenReport[from] {
+		return // one report per member; Byzantine repeats are dropped
+	}
+	p.seenReport[from] = true
+	accept := int16(p.accept)
+	prev := -1
+	for k, idx := range rep.Indices {
+		// Honest reports list strictly increasing indices; rejecting
+		// violations stops a Byzantine member double-voting one bit
+		// inside a single report.
+		if idx <= prev || idx >= p.ctx.L() {
+			continue
+		}
+		prev = idx
+		// Only committee members of idx may vote.
+		if !InCommittee(from, idx, p.ctx.N(), p.ctx.T()) {
+			continue
+		}
+		var v int
+		if rep.Bits.Get(k) {
+			v = 1
+		}
+		p.votes[idx][v]++
+		if p.votes[idx][v] >= accept && !p.track.Known(idx) {
+			p.track.Learn(idx, v == 1)
+		}
+	}
+	p.maybeFinish()
+}
+
+func (p *Peer) maybeFinish() {
+	if p.done || !p.track.Complete() {
+		return
+	}
+	if !p.naive && !p.reported {
+		return
+	}
+	out, err := p.track.Output()
+	if err != nil {
+		panic("committee: complete tracker failed to output: " + err.Error())
+	}
+	p.ctx.Output(out)
+	p.done = true
+	p.ctx.Terminate()
+}

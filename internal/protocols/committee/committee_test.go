@@ -1,0 +1,142 @@
+package committee_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/committee"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+func TestMembershipSchedule(t *testing.T) {
+	// Every committee has exactly 2t+1 members; every peer sits on at
+	// most ⌈L(2t+1)/n⌉ + (2t+1) committees.
+	const n, tf, L = 12, 3, 500
+	s := committee.CommitteeSize(tf)
+	perPeer := make([]int, n)
+	for i := 0; i < L; i++ {
+		members := 0
+		for p := 0; p < n; p++ {
+			if committee.InCommittee(sim.PeerID(p), i, n, tf) {
+				members++
+				perPeer[p]++
+			}
+		}
+		if members != s {
+			t.Fatalf("committee %d has %d members, want %d", i, members, s)
+		}
+	}
+	bound := L*s/n + s
+	for p, c := range perPeer {
+		if c > bound {
+			t.Errorf("peer %d on %d committees, bound %d", p, c, bound)
+		}
+	}
+}
+
+func TestAssignmentsMatchMembership(t *testing.T) {
+	const n, tf, L = 9, 2, 301
+	for p := 0; p < n; p++ {
+		assigned := committee.Assignments(sim.PeerID(p), L, n, tf)
+		seen := make(map[int]bool, len(assigned))
+		for _, i := range assigned {
+			if !committee.InCommittee(sim.PeerID(p), i, n, tf) {
+				t.Fatalf("peer %d assigned non-member index %d", p, i)
+			}
+			if seen[i] {
+				t.Fatalf("peer %d assigned index %d twice", p, i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestNoFaults(t *testing.T) {
+	for _, c := range []struct{ n, tf, L int }{{4, 1, 64}, {9, 2, 300}, {16, 7, 512}} {
+		label := fmt.Sprintf("n=%d t=%d L=%d", c.n, c.tf, c.L)
+		res := testutil.RunCorrect(t, &testutil.Case{
+			Name: label,
+			N:    c.n, T: c.tf, L: c.L, Seed: int64(c.n),
+			NewPeer: committee.New,
+		})
+		want := len(committee.Assignments(0, c.L, c.n, c.tf))
+		if res.Q > want+committee.CommitteeSize(c.tf)+8 {
+			t.Errorf("%s: Q = %d, want ≈ committee load %d", label, res.Q, want)
+		}
+	}
+}
+
+func byzCases() []struct {
+	name    string
+	factory func(sim.PeerID, *sim.Knowledge) sim.Peer
+} {
+	return []struct {
+		name    string
+		factory func(sim.PeerID, *sim.Knowledge) sim.Peer
+	}{
+		{"silent", adversary.NewSilent},
+		{"spammer", adversary.NewSpammer(5, 256)},
+		{"liar", committee.NewLiar},
+		{"equivocator", committee.NewEquivocator},
+	}
+}
+
+func TestByzantineMinority(t *testing.T) {
+	for _, c := range []struct{ n, tf, L int }{{7, 3, 210}, {12, 5, 400}, {16, 7, 256}} {
+		faulty := adversary.SpreadFaulty(c.n, c.tf)
+		for _, bc := range byzCases() {
+			for seed := int64(0); seed < 3; seed++ {
+				label := fmt.Sprintf("n=%d t=%d %s seed=%d", c.n, c.tf, bc.name, seed)
+				t.Run(label, func(t *testing.T) {
+					testutil.RunCorrect(t, &testutil.Case{
+						Name: label,
+						N:    c.n, T: c.tf, L: c.L, Seed: seed,
+						NewPeer: committee.New,
+						Faults:  testutil.ByzFaults(faulty, bc.factory),
+					})
+				})
+			}
+		}
+	}
+}
+
+func TestMajorityFallsBackToNaive(t *testing.T) {
+	// β ≥ 1/2: committees of size 2t+1 > n are impossible; the peer must
+	// query everything (Theorem 3.1 says that is the only option).
+	const n, tf, L = 8, 4, 128
+	faulty := adversary.SpreadFaulty(n, tf)
+	res := testutil.RunCorrect(t, &testutil.Case{
+		Name: "majority",
+		N:    n, T: tf, L: L, Seed: 2,
+		NewPeer: committee.New,
+		Faults:  testutil.ByzFaults(faulty, adversary.NewSilent),
+	})
+	if res.Q != L {
+		t.Errorf("Q = %d, want naive fallback L = %d", res.Q, L)
+	}
+}
+
+func TestQueryGrowsLinearlyInBeta(t *testing.T) {
+	// Theorem 3.4: Q ≈ L(2t+1)/n.
+	const n, L = 16, 1600
+	var prev int
+	for _, tf := range []int{1, 3, 5, 7} {
+		faulty := adversary.SpreadFaulty(n, tf)
+		res := testutil.RunCorrect(t, &testutil.Case{
+			Name: "linear",
+			N:    n, T: tf, L: L, Seed: int64(tf),
+			NewPeer: committee.New,
+			Faults:  testutil.ByzFaults(faulty, committee.NewLiar),
+		})
+		expect := L * committee.CommitteeSize(tf) / n
+		if res.Q < expect-committee.CommitteeSize(tf) || res.Q > expect+2*committee.CommitteeSize(tf) {
+			t.Errorf("t=%d: Q = %d, want ≈ %d", tf, res.Q, expect)
+		}
+		if res.Q <= prev {
+			t.Errorf("t=%d: Q = %d did not grow from %d", tf, res.Q, prev)
+		}
+		prev = res.Q
+	}
+}

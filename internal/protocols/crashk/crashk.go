@@ -1,0 +1,506 @@
+// Package crashk implements the paper's main deterministic result
+// (Algorithm 2 / Theorem 2.13): asynchronous Download tolerating up to
+// t = βn crash faults for ANY β < 1, with optimal query complexity
+// Q = O(L/n) per peer.
+//
+// The protocol runs in phases of three stages. In phase r each still-
+// unknown bit x has a globally agreed owner, owner(r, x): in phase 1 the
+// balanced block partition, in later phases a deterministic per-bit hash.
+// (The paper reassigns a missing peer's bits "evenly among all peers";
+// a global per-bit owner function realizes that reassignment while making
+// Claim 1 — any two honest peers agree on the owner of every bit neither
+// of them knows — hold by construction.)
+//
+//	Stage 1: query my own unknown owned bits; ask every other peer for the
+//	         values of my unknown bits it owns. A peer answers a stage-1
+//	         request once it finished its own stage-1 queries for that
+//	         phase, at which point it provably knows every requested bit.
+//	Stage 2: wait until stage-1 answers arrived from at least n−t peers
+//	         (counting myself) — waiting for all n risks deadlock. Ask all
+//	         peers about the silent set F: "did you hear q? send q's bits".
+//	Stage 3: wait for n−t stage-2 answers (counting myself), learn any
+//	         supplied values, then start phase r+1; bits still unknown are
+//	         implicitly reassigned by the phase-(r+1) owner function.
+//
+// Unknown bits shrink by roughly a factor t/n per phase; once at most
+// ~L/n remain, the peer queries them directly, broadcasts the full array
+// (so one termination releases everyone — Claim 2), outputs, and stops.
+//
+// The Fast option implements the Theorem 2.13 refinement: a peer in stage
+// 3 advances as soon as the bits it asked about are known, even before
+// n−t answers arrive, removing a Θ(n)-factor from the time bound.
+package crashk
+
+import (
+	"repro/internal/bitarray"
+	"repro/internal/intset"
+	"repro/internal/sim"
+)
+
+// Reassign selects the global owner function used to re-spread still-
+// unknown bits in phases ≥ 2 — the implementation of the paper's
+// "reassigns the bits evenly among all peers" (DESIGN.md reconstruction
+// #3; ablated in experiment A6).
+type Reassign int
+
+// Reassignment strategies.
+const (
+	// ReassignHash (default) owns bit x in phase r by a splitmix64-style
+	// hash of (x, r): near-even spread of ANY residual set, phase-fresh
+	// each round.
+	ReassignHash Reassign = iota
+	// ReassignRotate owns bit x in phase r by (x + r·stride) mod n. It
+	// is perfectly even on contiguous sets but correlated across phases:
+	// a residual set concentrated on few owners can stay concentrated,
+	// inflating per-peer query load.
+	ReassignRotate
+)
+
+// Options tune protocol variants; the zero value is the paper's base
+// Algorithm 2.
+type Options struct {
+	// Fast enables the Theorem 2.13 stage-3 early-exit modification.
+	Fast bool
+	// Threshold overrides the direct-query cutoff (default ceil(L/n)).
+	Threshold int
+	// MaxPhases bounds the phase count as a safety net; when exceeded the
+	// peer queries everything still unknown. Default 64.
+	MaxPhases int
+	// Reassign selects the phase ≥ 2 owner function.
+	Reassign Reassign
+}
+
+// New returns a factory for the base protocol.
+func New(id sim.PeerID) sim.Peer { return NewWithOptions(Options{})(id) }
+
+// NewFast returns a factory for the Theorem 2.13 fast variant.
+func NewFast(id sim.PeerID) sim.Peer { return NewWithOptions(Options{Fast: true})(id) }
+
+// NewWithOptions returns a peer factory with explicit options.
+func NewWithOptions(opts Options) func(sim.PeerID) sim.Peer {
+	return func(sim.PeerID) sim.Peer { return &Peer{opts: opts} }
+}
+
+// owner returns the globally agreed owner of bit x in phase r. Phase 1
+// uses the contiguous block partition (so stage-1 request sets compress to
+// single ranges); later phases use a splitmix64-style hash, which spreads
+// any residual unknown set near-evenly and is the same at every peer, so
+// the agreement property of Claim 1 holds by construction.
+func owner(strategy Reassign, r, x, L, n int) sim.PeerID {
+	if r == 1 {
+		return sim.BlockOwner(L, n, x)
+	}
+	if strategy == ReassignRotate {
+		return sim.PeerID((x + r*(n/2+1)) % n)
+	}
+	z := uint64(x)*0x9E3779B97F4A7C15 + uint64(r)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return sim.PeerID(z % uint64(n))
+}
+
+const (
+	stQuery = 1 // stage 1: waiting for own source queries
+	stWait1 = 2 // stage 2: waiting for stage-1 responses
+	stWait2 = 3 // stage 3: waiting for stage-2 responses
+	stFinal = 4 // direct-query completion
+	stDone  = 5
+)
+
+// Peer is one protocol instance.
+type Peer struct {
+	ctx  sim.Context
+	opts Options
+
+	track *bitarray.Tracker
+	phase int
+	stage int
+
+	idxBits int
+
+	// queryWait tracks outstanding stage-1 source queries for this phase.
+	queryWait int
+
+	// heard[r] is the set of peers whose Resp1 for phase r arrived
+	// (kept per phase: stage-2 answers about q require knowing whether q
+	// was heard in that phase).
+	heard map[int]map[sim.PeerID]bool
+
+	// needs is the per-silent-peer request content of the current phase's
+	// Req2, kept to evaluate the Fast early exit.
+	needs []Req2Item
+	// resp2Count counts stage-2 answers received for the current phase.
+	resp2Count int
+
+	// Deferred requests: stage-1 requests wait for my stage ≥ 2 of their
+	// phase; stage-2 requests wait for my stage ≥ 3 of their phase.
+	defer1 map[int][]deferred1
+	defer2 map[int][]deferred2
+}
+
+type deferred1 struct {
+	from sim.PeerID
+	req  *Req1
+}
+
+type deferred2 struct {
+	from sim.PeerID
+	req  *Req2
+}
+
+var _ sim.Peer = (*Peer)(nil)
+
+// Init implements sim.Peer.
+func (p *Peer) Init(ctx sim.Context) {
+	p.ctx = ctx
+	p.track = bitarray.NewTracker(ctx.L())
+	p.idxBits = indexBits(ctx.L())
+	p.heard = make(map[int]map[sim.PeerID]bool)
+	p.defer1 = make(map[int][]deferred1)
+	p.defer2 = make(map[int][]deferred2)
+	if p.opts.Threshold <= 0 {
+		p.opts.Threshold = (ctx.L() + ctx.N() - 1) / ctx.N()
+	}
+	if p.opts.MaxPhases <= 0 {
+		p.opts.MaxPhases = 64
+	}
+	p.startPhase(1)
+}
+
+func (p *Peer) startPhase(r int) {
+	if p.stage == stDone {
+		return
+	}
+	if p.track.UnknownCount() <= p.opts.Threshold || r > p.opts.MaxPhases {
+		p.finishDirect()
+		return
+	}
+	p.phase = r
+	p.stage = stQuery
+	p.heard[r] = make(map[sim.PeerID]bool)
+	p.needs = nil
+	p.resp2Count = 0
+
+	// Partition my unknown bits by this phase's owner.
+	byOwner := p.unknownByOwner(r)
+
+	// Stage 1: query my own bits, request the rest.
+	mine := byOwner[p.ctx.ID()]
+	p.queryWait = 0
+	if !mine.Empty() {
+		p.queryWait = 1
+		p.ctx.Query(r, mine.Elements())
+	}
+	for j := 0; j < p.ctx.N(); j++ {
+		id := sim.PeerID(j)
+		if id == p.ctx.ID() {
+			continue
+		}
+		p.ctx.Send(id, &Req1{Phase: r, Indices: byOwner[id], IdxBits: p.idxBits})
+	}
+	if p.queryWait == 0 {
+		p.enterWait1()
+	}
+}
+
+// unknownByOwner groups the currently unknown bits by their phase-r owner.
+func (p *Peer) unknownByOwner(r int) []intset.Set {
+	builders := make([]intset.Builder, p.ctx.N())
+	unknown := p.track.UnknownAll()
+	for _, x := range unknown {
+		builders[owner(p.opts.Reassign, r, x, p.ctx.L(), p.ctx.N())].Add(x)
+	}
+	sets := make([]intset.Set, p.ctx.N())
+	for i := range builders {
+		sets[i] = builders[i].Set()
+	}
+	return sets
+}
+
+// enterWait1 moves to stage 2: my own queries are done, so I can now
+// answer deferred stage-1 requests, and I wait for n−t stage-1 answers.
+func (p *Peer) enterWait1() {
+	p.stage = stWait1
+	r := p.phase
+	for _, d := range p.defer1[r] {
+		p.answerReq1(d.from, d.req)
+	}
+	delete(p.defer1, r)
+	p.checkWait1()
+}
+
+func (p *Peer) checkWait1() {
+	if p.stage != stWait1 {
+		return
+	}
+	// Count myself: wait for n−t−1 others.
+	if len(p.heard[p.phase]) < p.ctx.N()-p.ctx.T()-1 {
+		return
+	}
+	p.enterWait2()
+}
+
+// enterWait2 moves to stage 3: broadcast the Req2 about silent peers,
+// answer deferred stage-2 requests, and wait for n−t answers.
+func (p *Peer) enterWait2() {
+	r := p.phase
+	p.stage = stWait2
+
+	// Answer deferred stage-2 requests first: even if this peer has
+	// nothing missing and skips its own stage-3 wait, others may be
+	// blocked on its answer.
+	for _, d := range p.defer2[r] {
+		p.answerReq2(d.from, d.req)
+	}
+	delete(p.defer2, r)
+
+	byOwner := p.unknownByOwner(r)
+	var items []Req2Item
+	for j := 0; j < p.ctx.N(); j++ {
+		id := sim.PeerID(j)
+		if id == p.ctx.ID() || p.heard[r][id] {
+			continue
+		}
+		if byOwner[id].Empty() {
+			continue
+		}
+		items = append(items, Req2Item{Q: id, Indices: byOwner[id]})
+	}
+	p.needs = items
+	if len(items) == 0 {
+		// Nothing missing: skip the stage-3 wait.
+		p.endPhase()
+		return
+	}
+	p.ctx.Broadcast(&Req2{Phase: r, Items: items, IdxBits: p.idxBits})
+	p.checkWait2()
+}
+
+func (p *Peer) checkWait2() {
+	if p.stage != stWait2 {
+		return
+	}
+	if p.opts.Fast && p.needsSatisfied() {
+		p.endPhase()
+		return
+	}
+	if p.resp2Count < p.ctx.N()-p.ctx.T()-1 {
+		return
+	}
+	p.endPhase()
+}
+
+// needsSatisfied reports whether every bit this peer asked about in its
+// Req2 is now known — the Theorem 2.13 early-exit condition.
+func (p *Peer) needsSatisfied() bool {
+	for _, it := range p.needs {
+		satisfied := true
+		it.Indices.ForEach(func(x int) {
+			if !p.track.Known(x) {
+				satisfied = false
+			}
+		})
+		if !satisfied {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Peer) endPhase() {
+	if p.stage == stDone || p.stage == stFinal {
+		return
+	}
+	r := p.phase
+	p.needs = nil
+	p.startPhase(r + 1)
+}
+
+// finishDirect queries every remaining unknown bit, then terminates.
+func (p *Peer) finishDirect() {
+	p.stage = stFinal
+	unknown := p.track.UnknownAll()
+	if len(unknown) == 0 {
+		p.complete()
+		return
+	}
+	p.ctx.Query(-1, unknown)
+}
+
+// complete broadcasts the full array, outputs, and terminates.
+func (p *Peer) complete() {
+	out, err := p.track.Output()
+	if err != nil {
+		panic("crashk: complete() with unknown bits: " + err.Error())
+	}
+	p.ctx.Broadcast(&Full{Values: out})
+	p.ctx.Output(out)
+	p.stage = stDone
+	p.ctx.Terminate()
+}
+
+// OnQueryReply implements sim.Peer.
+func (p *Peer) OnQueryReply(r sim.QueryReply) {
+	for j, idx := range r.Indices {
+		p.track.LearnFromSource(idx, r.Bits.Get(j))
+	}
+	switch p.stage {
+	case stQuery:
+		if r.Tag == p.phase {
+			p.queryWait--
+			if p.queryWait <= 0 {
+				p.enterWait1()
+			}
+		}
+	case stFinal:
+		if p.track.Complete() {
+			p.complete()
+		}
+	}
+}
+
+// OnMessage implements sim.Peer.
+func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
+	if p.stage == stDone {
+		return
+	}
+	switch msg := m.(type) {
+	case *Req1:
+		// Answerable once my stage-1 queries for that phase are done:
+		// either I am past that phase, or in it with stage ≥ 2.
+		if p.phase > msg.Phase || (p.phase == msg.Phase && p.stage >= stWait1) || p.stage == stFinal {
+			p.answerReq1(from, msg)
+		} else {
+			p.defer1[msg.Phase] = append(p.defer1[msg.Phase], deferred1{from, msg})
+		}
+	case *Resp1:
+		if !validPayload(msg.Indices, msg.Values, p.ctx.L()) {
+			return // malformed (possible only from faulty senders)
+		}
+		p.learnSet(msg.Indices, msg.Values)
+		if h := p.heard[msg.Phase]; h != nil {
+			h[from] = true
+		}
+		if p.phase == msg.Phase {
+			p.checkWait1()
+		}
+		p.recheck()
+	case *Req2:
+		if p.phase > msg.Phase || (p.phase == msg.Phase && p.stage >= stWait2) || p.stage == stFinal {
+			p.answerReq2(from, msg)
+		} else {
+			p.defer2[msg.Phase] = append(p.defer2[msg.Phase], deferred2{from, msg})
+		}
+	case *Resp2:
+		for _, it := range msg.Items {
+			if !it.MeNeither && validPayload(it.Indices, it.Values, p.ctx.L()) {
+				p.learnSet(it.Indices, it.Values)
+			}
+		}
+		if p.phase == msg.Phase && p.stage == stWait2 {
+			p.resp2Count++
+			p.checkWait2()
+		}
+		p.recheck()
+	case *Full:
+		if msg.Values == nil || msg.Values.Len() != p.ctx.L() {
+			return // malformed
+		}
+		for i := 0; i < msg.Values.Len(); i++ {
+			p.track.Learn(i, msg.Values.Get(i))
+		}
+		// A full array always completes the tracker.
+		p.complete()
+	}
+}
+
+// recheck lets value learning (from late or out-of-phase responses)
+// trigger the Fast early exit.
+func (p *Peer) recheck() {
+	if p.opts.Fast && p.stage == stWait2 {
+		p.checkWait2()
+	}
+}
+
+func (p *Peer) answerReq1(from sim.PeerID, req *Req1) {
+	if !inRange(req.Indices, p.ctx.L()) {
+		return // malformed request
+	}
+	vals := bitarray.New(req.Indices.Len())
+	i := 0
+	complete := true
+	req.Indices.ForEach(func(x int) {
+		v, ok := p.track.Get(x)
+		if !ok {
+			complete = false
+		}
+		vals.Set(i, v)
+		i++
+	})
+	if !complete {
+		// Corollary 2.7 says this cannot happen for honest requesters;
+		// tolerate Byzantine-malformed requests by simply not answering.
+		return
+	}
+	p.ctx.Send(from, &Resp1{Phase: req.Phase, Indices: req.Indices, Values: vals, IdxBits: p.idxBits})
+}
+
+func (p *Peer) answerReq2(from sim.PeerID, req *Req2) {
+	items := make([]Resp2Item, 0, len(req.Items))
+	for _, it := range req.Items {
+		if !inRange(it.Indices, p.ctx.L()) {
+			items = append(items, Resp2Item{Q: it.Q, MeNeither: true})
+			continue
+		}
+		vals := bitarray.New(it.Indices.Len())
+		i := 0
+		knowAll := true
+		it.Indices.ForEach(func(x int) {
+			v, ok := p.track.Get(x)
+			if !ok {
+				knowAll = false
+			}
+			vals.Set(i, v)
+			i++
+		})
+		// Having heard q this phase implies knowing every requested
+		// bit (the stage-1 answer covered them); knowing them all
+		// without having heard q is just as good, so the answer rule
+		// is simply "values if I know them all, me-neither otherwise".
+		if knowAll {
+			items = append(items, Resp2Item{Q: it.Q, Indices: it.Indices, Values: vals})
+		} else {
+			items = append(items, Resp2Item{Q: it.Q, MeNeither: true})
+		}
+	}
+	p.ctx.Send(from, &Resp2{Phase: req.Phase, Items: items, IdxBits: p.idxBits})
+}
+
+// learnSet records values delivered alongside their index set.
+func (p *Peer) learnSet(set intset.Set, values *bitarray.Array) {
+	i := 0
+	set.ForEach(func(x int) {
+		p.track.Learn(x, values.Get(i))
+		i++
+	})
+}
+
+// validPayload checks an (indices, values) pair is internally consistent
+// and in-range; anything else is a forged or corrupted frame to drop.
+func validPayload(set intset.Set, values *bitarray.Array, L int) bool {
+	return values != nil && values.Len() == set.Len() && inRange(set, L)
+}
+
+// inRange reports whether every index of the set lies in [0, L).
+func inRange(set intset.Set, L int) bool {
+	ok := true
+	set.ForEachRange(func(lo, hi int) {
+		if lo < 0 || hi > L {
+			ok = false
+		}
+	})
+	return ok
+}

@@ -1,0 +1,127 @@
+package multicycle_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/multicycle"
+	"repro/internal/protocols/segproto"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+	"repro/internal/testutil"
+)
+
+// The parameter derivation is honest about constants: the randomized
+// protocols only leave the degenerate regime once n is a few hundred
+// (segments ≈ (1−2β)n/(c·ln n) must be ≥ 2 with room to spare).
+const (
+	bigN = 256
+	bigL = 1 << 14
+)
+
+func TestNoFaults(t *testing.T) {
+	tf := bigN / 4
+	res := testutil.RunCorrect(t, &testutil.Case{
+		Name: "nofaults",
+		N:    bigN, T: tf, L: bigL, Seed: 1,
+		NewPeer: multicycle.New,
+	})
+	if res.Q >= bigL/2 {
+		t.Errorf("Q = %d not sublinear in L = %d", res.Q, bigL)
+	}
+}
+
+func TestByzantineAttacks(t *testing.T) {
+	attacks := map[string]func(sim.PeerID, *sim.Knowledge) sim.Peer{
+		"silent":    adversary.NewSilent,
+		"colluding": segproto.NewColludingLiar,
+		"scatter":   segproto.NewScatterLiar,
+		"echo":      adversary.NewEcho(4),
+	}
+	for _, beta := range []float64{0.1, 0.25} {
+		tf := int(beta * float64(bigN))
+		faulty := adversary.SpreadFaulty(bigN, tf)
+		for name, factory := range attacks {
+			for seed := int64(0); seed < 2; seed++ {
+				label := fmt.Sprintf("beta=%.2f %s seed=%d", beta, name, seed)
+				t.Run(label, func(t *testing.T) {
+					res := testutil.RunCorrect(t, &testutil.Case{
+						Name: label,
+						N:    bigN, T: tf, L: bigL, Seed: seed,
+						NewPeer: multicycle.New,
+						Faults:  testutil.ByzFaults(faulty, factory),
+					})
+					if res.Q >= bigL {
+						t.Errorf("%s: Q = %d reached naive cost", label, res.Q)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestExpectedQueryCostBelowTwoCycle(t *testing.T) {
+	// Theorem 3.12's point: re-using determined segments across cycles
+	// keeps the expected per-peer cost at (roughly) one segment plus
+	// logarithmic determination overhead; the average should not exceed
+	// the 2-cycle protocol's, which pays one determination bit per
+	// received string across ALL segments.
+	tf := bigN / 4
+	var avgMulti, avgTwo float64
+	for seed := int64(0); seed < 3; seed++ {
+		multi := testutil.RunCorrect(t, &testutil.Case{
+			Name: "multi", N: bigN, T: tf, L: bigL, Seed: seed,
+			NewPeer: multicycle.New,
+		})
+		two := testutil.RunCorrect(t, &testutil.Case{
+			Name: "two", N: bigN, T: tf, L: bigL, Seed: seed,
+			NewPeer: twocycle.New,
+		})
+		avgMulti += multi.AvgQ()
+		avgTwo += two.AvgQ()
+	}
+	if avgMulti > 3*avgTwo+512 {
+		t.Errorf("multi-cycle avg Q %.0f ≫ 2-cycle avg Q %.0f", avgMulti/3, avgTwo/3)
+	}
+}
+
+func TestNaiveFallbackRegime(t *testing.T) {
+	res := testutil.RunCorrect(t, &testutil.Case{
+		Name: "fallback",
+		N:    8, T: 3, L: 256, Seed: 2,
+		NewPeer: multicycle.New,
+		Faults:  testutil.ByzFaults(adversary.SpreadFaulty(8, 3), adversary.NewSilent),
+	})
+	if res.Q != 256 {
+		t.Errorf("Q = %d, want naive fallback 256", res.Q)
+	}
+}
+
+func TestPowerOfTwoRounding(t *testing.T) {
+	for _, segs := range []int{2, 3, 5, 8, 9, 31, 64} {
+		p := segproto.Params{Segments: segs, Gap: 100}
+		m := p.PowerOfTwoSegments()
+		if m < 2 || m > segs || m&(m-1) != 0 {
+			t.Errorf("PowerOfTwoSegments(%d) = %d", segs, m)
+		}
+	}
+	if m := (segproto.Params{Naive: true}).PowerOfTwoSegments(); m != 0 {
+		t.Errorf("naive params gave m = %d, want 0", m)
+	}
+}
+
+func TestForcedSegmentsDeepRecursion(t *testing.T) {
+	// Force many cycles (m₁=64 → 7 cycles) and make sure the dyadic
+	// plumbing survives odd L.
+	tf := bigN / 5
+	res := testutil.RunCorrect(t, &testutil.Case{
+		Name: "deep",
+		N:    bigN, T: tf, L: 10007, Seed: 5, // prime L: uneven segments
+		NewPeer: multicycle.NewWithOptions(multicycle.Options{ForceSegments: 64}),
+		Faults:  testutil.ByzFaults(adversary.SpreadFaulty(bigN, tf), segproto.NewColludingLiar),
+	})
+	if res.Q >= 10007 {
+		t.Errorf("Q = %d reached naive cost", res.Q)
+	}
+}

@@ -1,0 +1,46 @@
+package multicycle_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adversary"
+	"repro/internal/des"
+	"repro/internal/protocols/multicycle"
+	"repro/internal/protocols/segproto"
+	"repro/internal/sim"
+)
+
+// TestQuickForcedSegments drives the multi-cycle protocol through random
+// forced segment counts, input lengths, and fault patterns: correctness
+// must hold for every dyadic refinement depth, including awkward L.
+func TestQuickForcedSegments(t *testing.T) {
+	f := func(seed int64, segPow, lU uint8, silent bool) bool {
+		m1 := 1 << (uint(segPow)%5 + 1) // 2..32
+		L := int(lU)%2000 + m1          // ≥ one bit per segment
+		const n = 128
+		tf := n / 5
+		faulty := adversary.SpreadFaulty(n, tf)
+		behavior := segproto.NewColludingLiar
+		if silent {
+			behavior = adversary.NewSilent
+		}
+		res, err := des.New().Run(&sim.Spec{
+			Config:  sim.Config{N: n, T: tf, L: L, MsgBits: 64, Seed: seed},
+			NewPeer: multicycle.NewWithOptions(multicycle.Options{ForceSegments: m1}),
+			Delays:  adversary.NewRandomUnit(seed + 1),
+			Faults: sim.FaultSpec{
+				Model: sim.FaultByzantine, Faulty: faulty,
+				NewByzantine: behavior,
+			},
+		})
+		if err != nil || !res.Correct {
+			t.Logf("m1=%d L=%d seed=%d silent=%v: err=%v res=%v", m1, L, seed, silent, err, res)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

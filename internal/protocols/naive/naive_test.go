@@ -1,0 +1,56 @@
+package naive_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/naive"
+	"repro/internal/testutil"
+)
+
+func TestExactQueryCost(t *testing.T) {
+	for _, L := range []int{1, 64, 1000} {
+		res := testutil.RunCorrect(t, &testutil.Case{
+			Name: fmt.Sprintf("L=%d", L),
+			N:    4, T: 0, L: L, Seed: int64(L),
+			NewPeer: naive.New,
+		})
+		if res.Q != L {
+			t.Errorf("L=%d: Q = %d", L, res.Q)
+		}
+		if res.Msgs != 0 || res.MsgBits != 0 {
+			t.Errorf("L=%d: naive sent traffic: %d msgs", L, res.Msgs)
+		}
+	}
+}
+
+func TestBatchedVariant(t *testing.T) {
+	for _, batch := range []int{1, 7, 64, 100, 1000} {
+		res := testutil.RunCorrect(t, &testutil.Case{
+			Name: fmt.Sprintf("batch=%d", batch),
+			N:    4, T: 0, L: 100, Seed: int64(batch),
+			NewPeer: naive.NewBatched(batch),
+		})
+		if res.Q != 100 {
+			t.Errorf("batch=%d: Q = %d", batch, res.Q)
+		}
+		wantCalls := (100 + batch - 1) / batch
+		for _, ps := range res.PerPeer {
+			if ps.QueryCalls != wantCalls {
+				t.Errorf("batch=%d: %d query calls, want %d", batch, ps.QueryCalls, wantCalls)
+			}
+		}
+	}
+}
+
+func TestToleratesAnything(t *testing.T) {
+	// Byzantine supermajority with spam: naive does not care.
+	faulty := adversary.SpreadFaulty(10, 9)
+	testutil.RunCorrect(t, &testutil.Case{
+		Name: "chaos",
+		N:    10, T: 9, L: 256, Seed: 3,
+		NewPeer: naive.NewBatched(32),
+		Faults:  testutil.ByzFaults(faulty, adversary.NewSpammer(20, 1024)),
+	})
+}

@@ -1,0 +1,125 @@
+package segproto
+
+import (
+	"repro/internal/bitarray"
+	"repro/internal/dtree"
+	"repro/internal/sim"
+)
+
+// ColludingLiar is the strongest protocol-aware attack on the randomized
+// protocols: every Byzantine peer derives the same parameters the honest
+// peers use and broadcasts an IDENTICAL forged value (all bits flipped)
+// for the same target segment in every cycle. With t ≥ k colluders the
+// forged string becomes k-frequent and enters every honest decision tree;
+// the protocols survive because the tree's separating-index queries are
+// answered by the trusted source, which the forgery cannot match. The
+// attack thus maximizes the honest peers' determination cost without
+// breaking correctness — exactly the adversary the paper's query-cost
+// analysis charges for.
+type ColludingLiar struct {
+	know *sim.Knowledge
+	ctx  sim.Context
+}
+
+var _ sim.Peer = (*ColludingLiar)(nil)
+
+// NewColludingLiar builds ColludingLiar behaviors.
+func NewColludingLiar(_ sim.PeerID, k *sim.Knowledge) sim.Peer {
+	return &ColludingLiar{know: k}
+}
+
+// Init implements sim.Peer.
+func (a *ColludingLiar) Init(ctx sim.Context) {
+	a.ctx = ctx
+	cfg := a.know.Config
+	params := Derive(cfg.N, cfg.T, cfg.L, 0)
+	if params.Naive {
+		return // honest peers ignore messages in the naive regime
+	}
+	// Forge for the 2-cycle partition and for every multi-cycle
+	// partition level; honest peers validate lengths per cycle, so each
+	// protocol picks up the messages that parse for it.
+	a.forgeCycle(1, params.Segments)
+	m := params.PowerOfTwoSegments()
+	if m >= 2 && m != params.Segments {
+		// Multi-cycle cycle-1 partition differs from the 2-cycle one
+		// only when rounding changed it; send that variant too.
+		a.forgeCycle(1, m)
+	}
+	cycle := 2
+	for m >= 4 { // cycles 2..D−1 broadcast partitions of m/2, m/4, …, 2
+		m >>= 1
+		a.forgeCycle(cycle, m)
+		cycle++
+	}
+}
+
+// forgeCycle broadcasts the flipped value of segment 0 in a partition of
+// m segments, labeled as the given cycle.
+func (a *ColludingLiar) forgeCycle(cycle, m int) {
+	seg := dtree.SegmentOf(a.know.Config.L, m, 0)
+	vals := bitarray.New(seg.Len)
+	for i := 0; i < seg.Len; i++ {
+		vals.Set(i, !a.know.Input.Get(seg.Start+i))
+	}
+	a.ctx.Broadcast(&SegValue{
+		Cycle:   cycle,
+		Seg:     0,
+		Values:  vals,
+		IdxBits: IndexBits(a.know.Config.L),
+	})
+}
+
+// OnMessage implements sim.Peer.
+func (*ColludingLiar) OnMessage(sim.PeerID, sim.Message) {}
+
+// OnQueryReply implements sim.Peer.
+func (*ColludingLiar) OnQueryReply(sim.QueryReply) {}
+
+// ScatterLiar broadcasts a distinct forged string per Byzantine peer
+// (flip pattern keyed by its ID) for a random segment each — inflating
+// tree sizes without ever reaching the frequency threshold. It probes the
+// protocols' robustness to sub-threshold noise.
+type ScatterLiar struct {
+	know *sim.Knowledge
+	ctx  sim.Context
+}
+
+var _ sim.Peer = (*ScatterLiar)(nil)
+
+// NewScatterLiar builds ScatterLiar behaviors.
+func NewScatterLiar(_ sim.PeerID, k *sim.Knowledge) sim.Peer {
+	return &ScatterLiar{know: k}
+}
+
+// Init implements sim.Peer.
+func (a *ScatterLiar) Init(ctx sim.Context) {
+	a.ctx = ctx
+	cfg := a.know.Config
+	params := Derive(cfg.N, cfg.T, cfg.L, 0)
+	if params.Naive {
+		return
+	}
+	segIdx := int(ctx.ID()) % params.Segments
+	seg := dtree.SegmentOf(cfg.L, params.Segments, segIdx)
+	vals := bitarray.New(seg.Len)
+	for i := 0; i < seg.Len; i++ {
+		v := a.know.Input.Get(seg.Start + i)
+		if (i+int(ctx.ID()))%3 == 0 {
+			v = !v
+		}
+		vals.Set(i, v)
+	}
+	a.ctx.Broadcast(&SegValue{
+		Cycle:   1,
+		Seg:     segIdx,
+		Values:  vals,
+		IdxBits: IndexBits(cfg.L),
+	})
+}
+
+// OnMessage implements sim.Peer.
+func (*ScatterLiar) OnMessage(sim.PeerID, sim.Message) {}
+
+// OnQueryReply implements sim.Peer.
+func (*ScatterLiar) OnQueryReply(sim.QueryReply) {}

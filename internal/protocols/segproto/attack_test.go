@@ -1,0 +1,138 @@
+package segproto
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitarray"
+	"repro/internal/dtree"
+	"repro/internal/sim"
+)
+
+// fakeCtx captures the messages a Byzantine behavior sends.
+type fakeCtx struct {
+	n, t, bits int
+	id         sim.PeerID
+	sent       []sim.Message
+	rng        *rand.Rand
+}
+
+var _ sim.Context = (*fakeCtx)(nil)
+
+func (c *fakeCtx) ID() sim.PeerID                   { return c.id }
+func (c *fakeCtx) N() int                           { return c.n }
+func (c *fakeCtx) T() int                           { return c.t }
+func (c *fakeCtx) L() int                           { return c.bits }
+func (c *fakeCtx) MsgBits() int                     { return 64 }
+func (c *fakeCtx) Send(_ sim.PeerID, m sim.Message) { c.sent = append(c.sent, m) }
+func (c *fakeCtx) Broadcast(m sim.Message) {
+	for i := 0; i < c.n-1; i++ {
+		c.sent = append(c.sent, m)
+	}
+}
+func (c *fakeCtx) Query(int, []int)       {}
+func (c *fakeCtx) Output(*bitarray.Array) {}
+func (c *fakeCtx) Terminate()             {}
+func (c *fakeCtx) Rand() *rand.Rand       { return c.rng }
+func (c *fakeCtx) Now() float64           { return 0 }
+func (c *fakeCtx) Logf(string, ...any)    {}
+
+func knowledgeFor(n, t, L int) *sim.Knowledge {
+	return &sim.Knowledge{
+		Input:  bitarray.Random(rand.New(rand.NewSource(1)), L),
+		Config: sim.Config{N: n, T: t, L: L, MsgBits: 64, Seed: 1},
+		Rand:   rand.New(rand.NewSource(2)),
+		Shared: map[string]any{},
+	}
+}
+
+func TestColludingLiarForgesFrequentableString(t *testing.T) {
+	const n, tf, L = 256, 64, 1 << 12
+	know := knowledgeFor(n, tf, L)
+	params := Derive(n, tf, L, 0)
+	if params.Naive {
+		t.Fatal("test scale too small")
+	}
+
+	// Two liars must broadcast IDENTICAL forged strings.
+	var all [][]sim.Message
+	for _, id := range []sim.PeerID{0, 1} {
+		ctx := &fakeCtx{n: n, t: tf, bits: L, id: id, rng: rand.New(rand.NewSource(int64(id)))}
+		liar := NewColludingLiar(id, know)
+		liar.Init(ctx)
+		if len(ctx.sent) == 0 {
+			t.Fatal("liar sent nothing")
+		}
+		all = append(all, ctx.sent)
+	}
+	sv0, ok0 := all[0][0].(*SegValue)
+	sv1, ok1 := all[1][0].(*SegValue)
+	if !ok0 || !ok1 {
+		t.Fatal("liar sent non-SegValue")
+	}
+	if sv0.Seg != sv1.Seg || sv0.Cycle != sv1.Cycle || !sv0.Values.Equal(sv1.Values) {
+		t.Fatal("liars did not collude on an identical string")
+	}
+	// The forgery must be well-formed (correct length for its segment)
+	// and wrong (differ from the truth).
+	seg := dtree.SegmentOf(L, params.Segments, sv0.Seg)
+	if sv0.Values.Len() != seg.Len {
+		t.Fatalf("forged length %d != segment length %d", sv0.Values.Len(), seg.Len)
+	}
+	truth := know.Input.Slice(seg.Start, seg.Len)
+	if sv0.Values.Equal(truth) {
+		t.Fatal("forgery equals the truth")
+	}
+}
+
+func TestColludingLiarSilentInNaiveRegime(t *testing.T) {
+	know := knowledgeFor(8, 3, 256) // degenerate scale
+	ctx := &fakeCtx{n: 8, t: 3, bits: 256, id: 0, rng: rand.New(rand.NewSource(3))}
+	NewColludingLiar(0, know).Init(ctx)
+	if len(ctx.sent) != 0 {
+		t.Fatalf("liar sent %d messages in the naive regime", len(ctx.sent))
+	}
+}
+
+func TestScatterLiarSendsWellFormedVariedStrings(t *testing.T) {
+	const n, tf, L = 256, 64, 1 << 12
+	know := knowledgeFor(n, tf, L)
+	params := Derive(n, tf, L, 0)
+	seen := map[int]bool{}
+	for id := sim.PeerID(0); id < 6; id++ {
+		ctx := &fakeCtx{n: n, t: tf, bits: L, id: id, rng: rand.New(rand.NewSource(int64(id)))}
+		NewScatterLiar(id, know).Init(ctx)
+		if len(ctx.sent) == 0 {
+			t.Fatalf("scatter liar %d sent nothing", id)
+		}
+		sv, ok := ctx.sent[0].(*SegValue)
+		if !ok {
+			t.Fatal("non-SegValue")
+		}
+		if sv.Seg < 0 || sv.Seg >= params.Segments {
+			t.Fatalf("segment %d out of range", sv.Seg)
+		}
+		if sv.Values.Len() != dtree.SegmentOf(L, params.Segments, sv.Seg).Len {
+			t.Fatal("malformed forged length")
+		}
+		seen[sv.Seg] = true
+	}
+	if len(seen) < 2 {
+		t.Error("scatter liars all picked the same segment")
+	}
+}
+
+func TestAttackersIgnoreTraffic(t *testing.T) {
+	know := knowledgeFor(256, 64, 1<<12)
+	for _, mk := range []func(sim.PeerID, *sim.Knowledge) sim.Peer{NewColludingLiar, NewScatterLiar} {
+		ctx := &fakeCtx{n: 256, t: 64, bits: 1 << 12, id: 0, rng: rand.New(rand.NewSource(4))}
+		a := mk(0, know)
+		a.Init(ctx)
+		before := len(ctx.sent)
+		a.OnMessage(1, &SegValue{Cycle: 1, Seg: 0, Values: bitarray.New(8)})
+		a.OnQueryReply(sim.QueryReply{})
+		if len(ctx.sent) != before {
+			t.Error("attacker reacted to traffic")
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package regression pins exact deterministic outcomes: the des runtime
+// promises bit-for-bit reproducibility from a seed, so any change to
+// these goldens signals a semantic change to the engine, the adversary
+// stream, or a protocol — which must be deliberate and documented.
+package regression
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/des"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/multicycle"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/segproto"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+)
+
+// golden captures one pinned execution.
+type golden struct {
+	name   string
+	spec   func() *sim.Spec
+	q      int
+	msgs   int
+	events int
+	time   string // %.4f
+}
+
+func freeze() []golden {
+	const seed = 1234
+	mk := func(n, t, L int, factory func(sim.PeerID) sim.Peer, faults sim.FaultSpec) func() *sim.Spec {
+		return func() *sim.Spec {
+			return &sim.Spec{
+				Config:  sim.Config{N: n, T: t, L: L, MsgBits: 128, Seed: seed},
+				NewPeer: factory,
+				Delays:  adversary.NewRandomUnit(seed),
+				Faults:  faults,
+			}
+		}
+	}
+	crash := func(n, t int) sim.FaultSpec {
+		f := adversary.SpreadFaulty(n, t)
+		return sim.FaultSpec{Model: sim.FaultCrash, Faulty: f,
+			Crash: adversary.NewCrashRandom(seed, f, 10*n)}
+	}
+	byz := func(n, t int, b func(sim.PeerID, *sim.Knowledge) sim.Peer) sim.FaultSpec {
+		return sim.FaultSpec{Model: sim.FaultByzantine,
+			Faulty: adversary.SpreadFaulty(n, t), NewByzantine: b}
+	}
+	return []golden{
+		{name: "naive", spec: mk(6, 2, 512, naive.New, byz(6, 2, adversary.NewSilent))},
+		{name: "crash1", spec: mk(8, 1, 1024, crash1.New, crash(8, 1))},
+		{name: "crashk", spec: mk(12, 6, 2048, crashk.New, crash(12, 6))},
+		{name: "crashk-fast", spec: mk(12, 6, 2048, crashk.NewFast, crash(12, 6))},
+		{name: "committee", spec: mk(9, 4, 540, committee.New, byz(9, 4, committee.NewLiar))},
+		{name: "twocycle", spec: mk(128, 16, 4096, twocycle.New, byz(128, 16, segproto.NewColludingLiar))},
+		{name: "multicycle", spec: mk(128, 16, 4096, multicycle.New, byz(128, 16, segproto.NewColludingLiar))},
+	}
+}
+
+// TestPrintGoldens regenerates the table to paste below when a semantic
+// change is intentional: go test ./internal/regression -run Print -v
+func TestPrintGoldens(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("run with -v to print")
+	}
+	for _, g := range freeze() {
+		res, err := des.New().Run(g.spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("{name: %q, q: %d, msgs: %d, events: %d, time: %q},",
+			g.name, res.Q, res.Msgs, res.Events, fmt.Sprintf("%.4f", res.Time))
+	}
+}
+
+// pinned values; regenerate with TestPrintGoldens when intentionally
+// changing engine or protocol semantics.
+var pinned = map[string]golden{
+	"naive":       {q: 512, msgs: 0, events: 10, time: "1.5720"},
+	"crash1":      {q: 128, msgs: 615, events: 91, time: "3.0884"},
+	"crashk":      {q: 171, msgs: 2109, events: 389, time: "7.5832"},
+	"crashk-fast": {q: 171, msgs: 1746, events: 319, time: "3.9958"},
+	"committee":   {q: 540, msgs: 1880, events: 15, time: "1.0496"},
+	"twocycle":    {q: 1025, msgs: 128016, events: 16371, time: "10.1124"},
+	"multicycle":  {q: 1025, msgs: 369824, events: 30859, time: "24.5388"},
+}
+
+func TestGoldens(t *testing.T) {
+	for _, g := range freeze() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			want, ok := pinned[g.name]
+			if !ok {
+				t.Fatalf("no pinned values for %s", g.name)
+			}
+			res, err := des.New().Run(g.spec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Correct {
+				t.Fatalf("incorrect: %v", res)
+			}
+			got := golden{q: res.Q, msgs: res.Msgs, events: res.Events,
+				time: fmt.Sprintf("%.4f", res.Time)}
+			if got.q != want.q || got.msgs != want.msgs || got.events != want.events || got.time != want.time {
+				t.Errorf("golden drift:\n got  q=%d msgs=%d events=%d time=%s\n want q=%d msgs=%d events=%d time=%s",
+					got.q, got.msgs, got.events, got.time,
+					want.q, want.msgs, want.events, want.time)
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockRangePartition(t *testing.T) {
+	for _, tc := range []struct{ L, n int }{
+		{100, 10}, {101, 10}, {7, 10}, {1, 2}, {64, 64}, {1000, 7}, {0, 3},
+	} {
+		covered := 0
+		prevEnd := 0
+		for p := 0; p < tc.n; p++ {
+			lo, hi := BlockRange(tc.L, tc.n, PeerID(p))
+			if lo != prevEnd {
+				t.Fatalf("L=%d n=%d p=%d: gap at %d (lo=%d)", tc.L, tc.n, p, prevEnd, lo)
+			}
+			if hi < lo {
+				t.Fatalf("L=%d n=%d p=%d: negative block", tc.L, tc.n, p)
+			}
+			covered += hi - lo
+			prevEnd = hi
+		}
+		if covered != tc.L {
+			t.Fatalf("L=%d n=%d: covered %d", tc.L, tc.n, covered)
+		}
+	}
+}
+
+func TestBlockRangeBalanced(t *testing.T) {
+	const L, n = 103, 10
+	min, max := L, 0
+	for p := 0; p < n; p++ {
+		lo, hi := BlockRange(L, n, PeerID(p))
+		size := hi - lo
+		if size < min {
+			min = size
+		}
+		if size > max {
+			max = size
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("imbalanced blocks: min=%d max=%d", min, max)
+	}
+}
+
+func TestBlockOwnerMatchesRange(t *testing.T) {
+	for _, tc := range []struct{ L, n int }{{100, 10}, {101, 10}, {7, 10}, {64, 64}, {999, 13}} {
+		for i := 0; i < tc.L; i++ {
+			p := BlockOwner(tc.L, tc.n, i)
+			lo, hi := BlockRange(tc.L, tc.n, p)
+			if i < lo || i >= hi {
+				t.Fatalf("L=%d n=%d: owner of %d is %d but block is [%d,%d)",
+					tc.L, tc.n, i, p, lo, hi)
+			}
+		}
+	}
+}
+
+func TestQuickBlockOwnerConsistency(t *testing.T) {
+	f := func(lU uint16, nU uint8, iU uint16) bool {
+		L := int(lU)%2000 + 1
+		n := int(nU)%64 + 2
+		i := int(iU) % L
+		p := BlockOwner(L, n, i)
+		lo, hi := BlockRange(L, n, p)
+		return lo <= i && i < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpreadOwnerBalance(t *testing.T) {
+	const m, n = 100, 7
+	counts := make([]int, n)
+	for j := 0; j < m; j++ {
+		counts[SpreadOwner(j, n)]++
+	}
+	for p, c := range counts {
+		if c < m/n || c > m/n+1 {
+			t.Errorf("peer %d got %d of %d items", p, c, m)
+		}
+	}
+}
+
+func TestSpreadSlots(t *testing.T) {
+	const m, n = 11, 4
+	seen := make(map[int]bool)
+	for p := 0; p < n; p++ {
+		for _, j := range SpreadSlots(m, n, PeerID(p)) {
+			if SpreadOwner(j, n) != PeerID(p) {
+				t.Fatalf("slot %d not owned by %d", j, p)
+			}
+			if seen[j] {
+				t.Fatalf("slot %d assigned twice", j)
+			}
+			seen[j] = true
+		}
+	}
+	if len(seen) != m {
+		t.Fatalf("covered %d of %d slots", len(seen), m)
+	}
+	if SpreadSlots(0, n, 0) != nil {
+		t.Error("empty spread not nil")
+	}
+}
+
+func TestConfigValidateAndDerived(t *testing.T) {
+	c := Config{N: 10, T: 3, L: 100, MsgBits: 16, Seed: 1}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b := c.Beta(); b != 0.3 {
+		t.Errorf("Beta = %v", b)
+	}
+	if c.EventCap() <= 0 {
+		t.Error("EventCap not positive")
+	}
+	c.MaxEvents = 42
+	if c.EventCap() != 42 {
+		t.Errorf("EventCap override = %d", c.EventCap())
+	}
+	in := c.ResolveInput()
+	if in.Len() != 100 {
+		t.Errorf("ResolveInput len = %d", in.Len())
+	}
+	in2 := c.ResolveInput()
+	if !in.Equal(in2) {
+		t.Error("ResolveInput not deterministic for same seed")
+	}
+	c.Seed = 2
+	if c.ResolveInput().Equal(in) {
+		t.Error("different seeds gave same input")
+	}
+}
+
+func TestFaultSpecIsFaulty(t *testing.T) {
+	f := FaultSpec{Faulty: []PeerID{1, 4}}
+	if !f.IsFaulty(1) || !f.IsFaulty(4) || f.IsFaulty(0) {
+		t.Error("IsFaulty wrong")
+	}
+}

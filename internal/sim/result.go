@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bitarray"
+)
+
+// PeerStats records one peer's accounting for an execution.
+type PeerStats struct {
+	ID         PeerID
+	Honest     bool
+	Crashed    bool
+	Terminated bool
+	// TermTime is the virtual time of termination (valid when Terminated).
+	TermTime float64
+	// QueryBits counts source bits requested (the paper's per-peer query
+	// complexity contribution).
+	QueryBits int
+	// QueryCalls counts Query invocations (batch requests).
+	QueryCalls int
+	// MsgsSent counts network messages after b-chunking: a message of s
+	// bits counts ceil(s/b).
+	MsgsSent int
+	// MsgBitsSent is the total payload bits sent.
+	MsgBitsSent int
+	// Output is the array the peer output, or nil.
+	Output *bitarray.Array
+	// OutputCorrect reports Output == X (meaningful for honest peers).
+	OutputCorrect bool
+}
+
+// Result aggregates an execution's outcome. Aggregates follow the paper's
+// definitions and cover nonfaulty peers only.
+type Result struct {
+	PerPeer []PeerStats
+	// Q is the query complexity: max QueryBits over honest peers.
+	Q int
+	// Msgs is the message complexity: total MsgsSent over honest peers.
+	Msgs int
+	// MsgBits is total payload bits sent by honest peers.
+	MsgBits int
+	// Time is the virtual time at which the last honest peer terminated.
+	Time float64
+	// Correct reports that every honest peer terminated with output X.
+	Correct bool
+	// Deadlocked reports the runtime found all live honest peers blocked
+	// with no deliverable events.
+	Deadlocked bool
+	// EventCapHit reports the execution was cut off by the event cap.
+	EventCapHit bool
+	// Failures lists human-readable correctness violations.
+	Failures []string
+	// Events is the number of delivered events (des runtime).
+	Events int
+}
+
+// Finalize computes aggregates and correctness from PerPeer against the
+// input array. Runtimes call it once at the end of Run.
+func (r *Result) Finalize(input *bitarray.Array) {
+	r.Correct = true
+	for i := range r.PerPeer {
+		s := &r.PerPeer[i]
+		if !s.Honest {
+			continue
+		}
+		s.OutputCorrect = s.Output != nil && s.Output.Equal(input)
+		if !s.Terminated {
+			r.Correct = false
+			r.Failures = append(r.Failures, fmt.Sprintf("peer %d: did not terminate", s.ID))
+			continue
+		}
+		if !s.OutputCorrect {
+			r.Correct = false
+			if s.Output == nil {
+				r.Failures = append(r.Failures, fmt.Sprintf("peer %d: terminated without output", s.ID))
+			} else if d, err := s.Output.FirstDiff(input); err != nil {
+				r.Failures = append(r.Failures, fmt.Sprintf("peer %d: output length %d != %d", s.ID, s.Output.Len(), input.Len()))
+			} else {
+				r.Failures = append(r.Failures, fmt.Sprintf("peer %d: output wrong at bit %d", s.ID, d))
+			}
+		}
+		if s.QueryBits > r.Q {
+			r.Q = s.QueryBits
+		}
+		r.Msgs += s.MsgsSent
+		r.MsgBits += s.MsgBitsSent
+		if s.TermTime > r.Time {
+			r.Time = s.TermTime
+		}
+	}
+	if r.Deadlocked {
+		r.Correct = false
+		r.Failures = append(r.Failures, "execution deadlocked")
+	}
+	if r.EventCapHit {
+		r.Correct = false
+		r.Failures = append(r.Failures, "event cap reached before termination")
+	}
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	status := "OK"
+	if !r.Correct {
+		status = "FAIL[" + strings.Join(r.Failures, "; ") + "]"
+	}
+	return fmt.Sprintf("Q=%d msgs=%d msgbits=%d time=%.2f events=%d %s",
+		r.Q, r.Msgs, r.MsgBits, r.Time, r.Events, status)
+}
+
+// HonestCount returns the number of honest peers in the result.
+func (r *Result) HonestCount() int {
+	c := 0
+	for i := range r.PerPeer {
+		if r.PerPeer[i].Honest {
+			c++
+		}
+	}
+	return c
+}
+
+// AvgQ returns the mean QueryBits over honest peers — useful alongside Q
+// for load-balance analysis.
+func (r *Result) AvgQ() float64 {
+	sum, c := 0, 0
+	for i := range r.PerPeer {
+		if r.PerPeer[i].Honest {
+			sum += r.PerPeer[i].QueryBits
+			c++
+		}
+	}
+	if c == 0 {
+		return 0
+	}
+	return float64(sum) / float64(c)
+}

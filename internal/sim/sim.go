@@ -1,0 +1,176 @@
+// Package sim defines the shared contract of the Data Retrieval (DR) model
+// simulation: the peer interface protocols implement, the context a runtime
+// provides to peers, fault and delay policies, and execution specs/results.
+//
+// The DR model (Augustine et al.): n peers on a complete asynchronous
+// network plus a trusted external source storing an L-bit array X. Peers
+// learn X either through cheap peer-to-peer messages of at most b bits or
+// through expensive source queries. Up to t = βn peers are faulty (crash or
+// Byzantine). The headline complexity measure is the query complexity Q —
+// the maximum number of bits queried by any nonfaulty peer.
+//
+// Two runtimes execute the same protocols: package des (deterministic
+// discrete-event, virtual time) and package live (real goroutines and
+// channels with wall-clock delays).
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/bitarray"
+)
+
+// PeerID identifies a peer; IDs are dense in [0, n).
+type PeerID int
+
+// Message is any protocol message. SizeBits is used for message-complexity
+// accounting: a message of s bits counts as ceil(s/b) network messages.
+type Message interface {
+	SizeBits() int
+}
+
+// QueryReply carries the source's answer to a Query call: Bits.Get(j) is
+// X[Indices[j]]. Tag echoes the tag passed to Query so protocols can
+// correlate replies with outstanding requests.
+type QueryReply struct {
+	Tag     int
+	Indices []int
+	Bits    *bitarray.Array
+}
+
+// Peer is an event-driven protocol state machine. A runtime calls Init
+// exactly once, then delivers events via OnMessage and OnQueryReply. All
+// calls for one peer happen sequentially (never concurrently), so peer
+// state needs no locking. Peers drive progress from inside handlers using
+// the Context captured in Init.
+type Peer interface {
+	// Init is called once before any event delivery. The peer must retain
+	// ctx for all subsequent sends, queries, and termination.
+	Init(ctx Context)
+	// OnMessage delivers a peer-to-peer message.
+	OnMessage(from PeerID, m Message)
+	// OnQueryReply delivers a source query response.
+	OnQueryReply(r QueryReply)
+}
+
+// Context is the runtime-provided environment for one peer. All methods
+// must be called only from the peer's own Init/OnMessage/OnQueryReply.
+type Context interface {
+	// ID returns this peer's identifier.
+	ID() PeerID
+	// N returns the number of peers.
+	N() int
+	// T returns the maximum number of faulty peers the execution tolerates.
+	T() int
+	// L returns the input array length in bits.
+	L() int
+	// MsgBits returns the message-size parameter b in bits.
+	MsgBits() int
+
+	// Send transmits m to peer `to`. Delivery is asynchronous with
+	// adversary-controlled finite delay. Self-sends are not delivered.
+	Send(to PeerID, m Message)
+	// Broadcast sends m to every other peer (n-1 individual sends; a
+	// crash may occur between them).
+	Broadcast(m Message)
+	// Query asynchronously requests the source values at the given
+	// indices; the reply arrives later via OnQueryReply carrying tag.
+	// Query complexity accounting charges len(indices) bits immediately.
+	Query(tag int, indices []int)
+
+	// Output records the peer's output array (its claim about X).
+	Output(out *bitarray.Array)
+	// Terminate halts the peer: no further events are delivered and
+	// further Send/Query calls are dropped.
+	Terminate()
+
+	// Rand returns this peer's private seeded randomness source.
+	Rand() *rand.Rand
+	// Now returns the current virtual time (des) or elapsed scaled time
+	// (live); message delays are normalized so one time unit is the
+	// maximum network latency under the default delay policy.
+	Now() float64
+	// Logf emits a trace line when tracing is enabled in the Spec.
+	Logf(format string, args ...any)
+}
+
+// DelayPolicy is the adversary's scheduling power: it assigns every
+// message and query a finite positive delay, per the asynchronous model.
+// Implementations must be deterministic given their own seed so that des
+// executions are reproducible.
+type DelayPolicy interface {
+	// MessageDelay returns the latency of a message from→to sent at now.
+	MessageDelay(from, to PeerID, now float64, sizeBits int) float64
+	// QueryDelay returns the round-trip latency of a source query by p.
+	QueryDelay(p PeerID, now float64) float64
+	// StartDelay returns when peer p begins executing (non-simultaneous
+	// start is allowed by the model).
+	StartDelay(p PeerID) float64
+}
+
+// CrashPolicy decides when crash-faulty peers stop. Actions are counted
+// per peer: each send attempt and each event delivery increments the
+// counter, so a crash point falling between two sends of one Broadcast
+// models the paper's "sent some, but perhaps not all" mid-operation crash.
+type CrashPolicy interface {
+	// CrashPoint returns the action count after which peer p crashes, or
+	// a negative value if p never crashes. Runtimes consult it only for
+	// peers listed as faulty in the FaultSpec.
+	CrashPoint(p PeerID) int
+}
+
+// FaultModel selects the failure semantics of the faulty set.
+type FaultModel int
+
+// Fault models. Start at 1 so the zero value is invalid and must be set
+// explicitly (FaultNone for failure-free executions).
+const (
+	// FaultNone runs a failure-free execution; the faulty set is empty.
+	FaultNone FaultModel = iota + 1
+	// FaultCrash stops faulty peers at their crash points; until then
+	// they follow the protocol honestly.
+	FaultCrash
+	// FaultByzantine replaces faulty peers with adversary-chosen
+	// behaviors constructed by FaultSpec.NewByzantine.
+	FaultByzantine
+)
+
+// Knowledge is what the adversary knows when constructing Byzantine
+// behaviors: the full input, the execution config, the faulty set, and a
+// shared mutable blackboard for coordination among Byzantine peers.
+type Knowledge struct {
+	Input  *bitarray.Array
+	Config Config
+	Faulty []PeerID
+	Rand   *rand.Rand
+	// Shared is a coordination blackboard. Runtimes deliver events to
+	// peers sequentially in des; in live, Byzantine behaviors sharing it
+	// must synchronize themselves.
+	Shared map[string]any
+}
+
+// FaultSpec describes the execution's failure pattern.
+type FaultSpec struct {
+	Model  FaultModel
+	Faulty []PeerID
+	// Crash is required when Model is FaultCrash.
+	Crash CrashPolicy
+	// NewByzantine is required when Model is FaultByzantine; it builds
+	// the behavior run in place of the honest protocol at faulty peers.
+	NewByzantine func(id PeerID, k *Knowledge) Peer
+	// AllowExcess permits |Faulty| > Config.T. Static fault models must
+	// leave it false; it exists for the dynamic-corruption model (see
+	// adversary.Rotating), where Faulty lists the *union* of peers ever
+	// corrupted while the number corrupted at any instant stays ≤ T.
+	AllowExcess bool
+}
+
+// IsFaulty reports whether p appears in the faulty set.
+func (f *FaultSpec) IsFaulty(p PeerID) bool {
+	for _, q := range f.Faulty {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

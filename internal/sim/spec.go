@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/bitarray"
+)
+
+// Config carries the DR-model parameters of one execution.
+type Config struct {
+	// N is the number of peers (n). Must be at least 2.
+	N int
+	// T is the maximum number of faulty peers (t = βn).
+	T int
+	// L is the input array length in bits.
+	L int
+	// MsgBits is the message-size parameter b in bits. Messages larger
+	// than b are accounted as multiple messages. Must be positive.
+	MsgBits int
+	// Seed drives all simulation randomness: the input array (when Input
+	// is nil), per-peer protocol randomness, and seeded delay policies
+	// constructed from it.
+	Seed int64
+	// Input optionally fixes the source array X; when nil a uniformly
+	// random array of L bits derived from Seed is used.
+	Input *bitarray.Array
+	// MaxEvents caps the number of delivered events as a non-termination
+	// safety net; 0 selects a generous default scaled to N and L.
+	MaxEvents int
+}
+
+// Beta returns the fault fraction t/n.
+func (c *Config) Beta() float64 { return float64(c.T) / float64(c.N) }
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("sim: need at least 2 peers, have %d", c.N)
+	case c.T < 0 || c.T >= c.N:
+		return fmt.Errorf("sim: fault bound t=%d outside [0, n) for n=%d", c.T, c.N)
+	case c.L <= 0:
+		return fmt.Errorf("sim: input length L=%d must be positive", c.L)
+	case c.MsgBits <= 0:
+		return fmt.Errorf("sim: message size b=%d must be positive", c.MsgBits)
+	case c.Input != nil && c.Input.Len() != c.L:
+		return fmt.Errorf("sim: input length %d does not match L=%d", c.Input.Len(), c.L)
+	}
+	return nil
+}
+
+// ResolveInput returns the execution's input array, generating a seeded
+// random one when Config.Input is nil.
+func (c *Config) ResolveInput() *bitarray.Array {
+	if c.Input != nil {
+		return c.Input
+	}
+	return bitarray.Random(rand.New(rand.NewSource(c.Seed^0x5eed1247)), c.L)
+}
+
+// EventCap returns the effective MaxEvents bound.
+func (c *Config) EventCap() int {
+	if c.MaxEvents > 0 {
+		return c.MaxEvents
+	}
+	// Generous: protocols here use O(n^2) messages per phase and
+	// O(log)-many phases; queries add O(n·L/b). Scale and floor.
+	capEvents := 600*c.N*c.N + 64*c.N*(c.L/c.MsgBits+1) + 1_000_000
+	return capEvents
+}
+
+// Spec fully describes one execution: parameters, honest protocol factory,
+// delay adversary, and fault pattern.
+type Spec struct {
+	Config Config
+	// NewPeer constructs the honest protocol instance for peer id.
+	NewPeer func(id PeerID) Peer
+	// Delays is the adversary's scheduling policy. Required.
+	Delays DelayPolicy
+	// Faults describes the failure pattern; zero value means FaultNone.
+	Faults FaultSpec
+	// Trace, when non-nil, receives Logf output and runtime traces.
+	Trace io.Writer
+	// Observer, when non-nil, receives a structured callback for every
+	// send, delivery, query, crash, and termination (des runtime only).
+	// See package trace for a JSONL recorder and analyzer.
+	Observer Observer
+}
+
+// Observer receives structured execution events from the des runtime.
+// Callbacks run synchronously on the engine's goroutine: implementations
+// must be fast and must not call back into the engine.
+type Observer interface {
+	OnEvent(ev ObservedEvent)
+}
+
+// ObservedEvent is one structured runtime event.
+type ObservedEvent struct {
+	// Time is the virtual time of the event.
+	Time float64 `json:"t"`
+	// Kind is one of "start", "send", "deliver", "query", "qreply",
+	// "crash", "terminate".
+	Kind string `json:"kind"`
+	// Peer is the acting peer (sender, receiver, querier, …).
+	Peer PeerID `json:"peer"`
+	// Other is the counterparty for send/deliver (receiver resp. sender).
+	Other PeerID `json:"other,omitempty"`
+	// MsgType is the Go type name of the message for send/deliver.
+	MsgType string `json:"msg,omitempty"`
+	// Bits is the payload size for send/deliver, or the number of
+	// queried bits for query/qreply.
+	Bits int `json:"bits,omitempty"`
+}
+
+// Validate reports spec-level errors.
+func (s *Spec) Validate() error {
+	if err := s.Config.Validate(); err != nil {
+		return err
+	}
+	if s.NewPeer == nil {
+		return errors.New("sim: spec missing NewPeer factory")
+	}
+	if s.Delays == nil {
+		return errors.New("sim: spec missing delay policy")
+	}
+	switch s.Faults.Model {
+	case 0, FaultNone:
+		if len(s.Faults.Faulty) != 0 {
+			return errors.New("sim: FaultNone with non-empty faulty set")
+		}
+	case FaultCrash:
+		if s.Faults.Crash == nil {
+			return errors.New("sim: FaultCrash requires a CrashPolicy")
+		}
+	case FaultByzantine:
+		if s.Faults.NewByzantine == nil {
+			return errors.New("sim: FaultByzantine requires NewByzantine")
+		}
+	default:
+		return fmt.Errorf("sim: unknown fault model %d", s.Faults.Model)
+	}
+	if len(s.Faults.Faulty) > s.Config.T && !s.Faults.AllowExcess {
+		return fmt.Errorf("sim: %d faulty peers exceeds bound t=%d",
+			len(s.Faults.Faulty), s.Config.T)
+	}
+	if len(s.Faults.Faulty) >= s.Config.N {
+		return fmt.Errorf("sim: %d faulty peers leaves no honest peer", len(s.Faults.Faulty))
+	}
+	seen := make(map[PeerID]bool, len(s.Faults.Faulty))
+	for _, p := range s.Faults.Faulty {
+		if p < 0 || int(p) >= s.Config.N {
+			return fmt.Errorf("sim: faulty peer %d out of range", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("sim: duplicate faulty peer %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// Runtime executes a Spec to completion and reports the outcome. Package
+// des provides the deterministic virtual-time runtime; package live runs
+// peers as real goroutines.
+type Runtime interface {
+	Run(spec *Spec) (*Result, error)
+}

@@ -1,0 +1,108 @@
+// Package stats provides the small summary-statistics kit the experiment
+// harness uses for multi-seed reporting: mean, sample standard deviation,
+// min/max, and percentiles. Randomized-protocol claims are about
+// expectations and tails, so single-seed numbers are not enough.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations.
+type Sample struct {
+	vals []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(v float64) { s.vals = append(s.vals, v) }
+
+// AddInt appends an integer observation.
+func (s *Sample) AddInt(v int) { s.Add(float64(v)) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Std returns the sample standard deviation (0 for fewer than two
+// observations).
+func (s *Sample) Std() float64 {
+	n := len(s.vals)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.vals {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s *Sample) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s *Sample) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) by nearest-rank
+// on the sorted sample.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.vals...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// String renders "mean ± std [min, max] (n)".
+func (s *Sample) String() string {
+	return fmt.Sprintf("%.1f ± %.1f [%.0f, %.0f] (n=%d)",
+		s.Mean(), s.Std(), s.Min(), s.Max(), s.N())
+}

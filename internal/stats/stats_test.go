@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample stats not zero")
+	}
+	if s.Percentile(50) != 0 {
+		t.Error("empty percentile not zero")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Mean() != 5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std()-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Percentile(50) != 4 {
+		t.Errorf("p50 = %v", s.Percentile(50))
+	}
+	if s.Percentile(0) != 2 || s.Percentile(100) != 9 {
+		t.Errorf("p0/p100 = %v/%v", s.Percentile(0), s.Percentile(100))
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.AddInt(7)
+	if s.Mean() != 7 || s.Std() != 0 || s.Percentile(99) != 7 {
+		t.Error("single-observation stats wrong")
+	}
+}
+
+// Property: min ≤ p25 ≤ mean-ish window ≤ p75 ≤ max, and Std ≥ 0.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.AddInt(int(v))
+		}
+		return s.Min() <= s.Percentile(25) &&
+			s.Percentile(25) <= s.Percentile(75) &&
+			s.Percentile(75) <= s.Max() &&
+			s.Std() >= 0 &&
+			s.Min() <= s.Mean() && s.Mean() <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

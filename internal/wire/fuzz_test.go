@@ -1,0 +1,73 @@
+package wire_test
+
+import (
+	"testing"
+
+	"repro/internal/bitarray"
+	"repro/internal/intset"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/segproto"
+	"repro/internal/wire"
+)
+
+// FuzzUnmarshal hammers the decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-marshal cleanly.
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: valid frames of several types plus junk.
+	seedMsgs := []interface{ SizeBits() int }{
+		&crashk.Req1{Phase: 1, Indices: intset.FromRange(0, 64), IdxBits: 12},
+		&crashk.Full{Values: bitarray.New(128)},
+		&segproto.SegValue{Cycle: 1, Seg: 0, Values: bitarray.New(32), IdxBits: 12},
+	}
+	for _, m := range seedMsgs {
+		raw, err := wire.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := wire.Unmarshal(data, 4096)
+		if err != nil {
+			return
+		}
+		if _, err := wire.Marshal(m); err != nil {
+			t.Fatalf("decoded message failed to re-marshal: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip drives structured inputs through encode/decode/encode:
+// the second encoding must equal the first (canonical form).
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(1, 0, []byte{1, 2, 3})
+	f.Add(3, 7, []byte{})
+	f.Fuzz(func(t *testing.T, cycle, seg int, bits []byte) {
+		if cycle < 1 || cycle > 1<<20 || seg < 0 || seg > 1<<20 || len(bits) > 1<<12 {
+			return
+		}
+		vals := bitarray.New(len(bits))
+		for i, b := range bits {
+			vals.Set(i, b&1 == 1)
+		}
+		m := &segproto.SegValue{Cycle: cycle, Seg: seg, Values: vals, IdxBits: 12}
+		raw1, err := wire.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := wire.Unmarshal(raw1, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw2, err := wire.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw1) != string(raw2) {
+			t.Fatal("non-canonical round trip")
+		}
+	})
+}

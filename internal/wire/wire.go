@@ -1,0 +1,362 @@
+// Package wire provides a compact binary encoding for every protocol
+// message in the library. The simulation runtimes pass messages as Go
+// values and account sizes semantically (sim.Message.SizeBits); this
+// package is what turns them into actual bytes — used by the TCP runtime
+// (package netrt) and by tests that check the semantic size accounting is
+// honest (encoded length tracks SizeBits within a small framing overhead).
+//
+// Frame format: one type byte, then a type-specific payload built from
+// unsigned varints (encoding/binary), length-prefixed bitarray payloads,
+// and index sets encoded as coalesced (start, length) range pairs —
+// matching the accounting model of package intset.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/bitarray"
+	"repro/internal/intset"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/segproto"
+	"repro/internal/sim"
+)
+
+// Message type tags. Start at 1; 0 is reserved as invalid.
+const (
+	tagCrashkReq1 byte = iota + 1
+	tagCrashkResp1
+	tagCrashkReq2
+	tagCrashkResp2
+	tagCrashkFull
+	tagCrash1Push
+	tagCrash1Who
+	tagCrash1Reply
+	tagCommitteeReport
+	tagSegValue
+	tagJunk
+)
+
+// ErrUnknownType reports an unregistered message type.
+var ErrUnknownType = errors.New("wire: unknown message type")
+
+// ErrTruncated reports malformed or short input.
+var ErrTruncated = errors.New("wire: truncated payload")
+
+// Marshal encodes any registered protocol message.
+func Marshal(m sim.Message) ([]byte, error) {
+	w := &writer{}
+	switch v := m.(type) {
+	case *crashk.Req1:
+		w.byte(tagCrashkReq1)
+		w.uvarint(uint64(v.Phase))
+		w.set(v.Indices)
+	case *crashk.Resp1:
+		w.byte(tagCrashkResp1)
+		w.uvarint(uint64(v.Phase))
+		w.set(v.Indices)
+		w.bits(v.Values)
+	case *crashk.Req2:
+		w.byte(tagCrashkReq2)
+		w.uvarint(uint64(v.Phase))
+		w.uvarint(uint64(len(v.Items)))
+		for _, it := range v.Items {
+			w.uvarint(uint64(it.Q))
+			w.set(it.Indices)
+		}
+	case *crashk.Resp2:
+		w.byte(tagCrashkResp2)
+		w.uvarint(uint64(v.Phase))
+		w.uvarint(uint64(len(v.Items)))
+		for _, it := range v.Items {
+			w.uvarint(uint64(it.Q))
+			if it.MeNeither {
+				w.byte(1)
+				continue
+			}
+			w.byte(0)
+			w.set(it.Indices)
+			w.bits(it.Values)
+		}
+	case *crashk.Full:
+		w.byte(tagCrashkFull)
+		w.bits(v.Values)
+	case *crash1.Push:
+		w.byte(tagCrash1Push)
+		w.uvarint(uint64(v.Phase))
+		w.set(v.Indices)
+		w.bits(v.Values)
+	case *crash1.WhoIsMissing:
+		w.byte(tagCrash1Who)
+		w.uvarint(uint64(v.Phase))
+		w.uvarint(uint64(v.Missing))
+	case *crash1.MissingReply:
+		w.byte(tagCrash1Reply)
+		w.uvarint(uint64(v.Phase))
+		w.uvarint(uint64(v.About))
+		if v.MeNeither {
+			w.byte(1)
+		} else {
+			w.byte(0)
+			w.set(v.Indices)
+			w.bits(v.Values)
+		}
+	case *committee.Report:
+		w.byte(tagCommitteeReport)
+		w.uvarint(uint64(len(v.Indices)))
+		prev := 0
+		for _, idx := range v.Indices {
+			w.uvarint(uint64(idx - prev)) // delta encoding
+			prev = idx
+		}
+		w.bits(v.Bits)
+	case *segproto.SegValue:
+		w.byte(tagSegValue)
+		w.uvarint(uint64(v.Cycle))
+		w.uvarint(uint64(v.Seg))
+		w.bits(v.Values)
+	case *adversary.Junk:
+		w.byte(tagJunk)
+		w.uvarint(uint64(v.Bits))
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownType, m)
+	}
+	return w.buf, nil
+}
+
+// Unmarshal decodes a frame produced by Marshal. L is the execution's
+// input length, needed to restore size-accounting fields.
+func Unmarshal(data []byte, L int) (sim.Message, error) {
+	if len(data) == 0 {
+		return nil, ErrTruncated
+	}
+	r := &reader{buf: data[1:]}
+	idxBits := segproto.IndexBits(L)
+	var m sim.Message
+	switch data[0] {
+	case tagCrashkReq1:
+		v := &crashk.Req1{IdxBits: idxBits}
+		v.Phase = int(r.uvarint())
+		v.Indices = r.set()
+		m = v
+	case tagCrashkResp1:
+		v := &crashk.Resp1{IdxBits: idxBits}
+		v.Phase = int(r.uvarint())
+		v.Indices = r.set()
+		v.Values = r.bits()
+		m = v
+	case tagCrashkReq2:
+		v := &crashk.Req2{IdxBits: idxBits}
+		v.Phase = int(r.uvarint())
+		n := int(r.uvarint())
+		if n > maxItems {
+			return nil, ErrTruncated
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			it := crashk.Req2Item{Q: sim.PeerID(r.uvarint())}
+			it.Indices = r.set()
+			v.Items = append(v.Items, it)
+		}
+		m = v
+	case tagCrashkResp2:
+		v := &crashk.Resp2{IdxBits: idxBits}
+		v.Phase = int(r.uvarint())
+		n := int(r.uvarint())
+		if n > maxItems {
+			return nil, ErrTruncated
+		}
+		for i := 0; i < n && r.err == nil; i++ {
+			it := crashk.Resp2Item{Q: sim.PeerID(r.uvarint())}
+			if r.byte() == 1 {
+				it.MeNeither = true
+			} else {
+				it.Indices = r.set()
+				it.Values = r.bits()
+			}
+			v.Items = append(v.Items, it)
+		}
+		m = v
+	case tagCrashkFull:
+		m = &crashk.Full{Values: r.bits()}
+	case tagCrash1Push:
+		v := &crash1.Push{IdxBits: idxBits}
+		v.Phase = int(r.uvarint())
+		v.Indices = r.set()
+		v.Values = r.bits()
+		m = v
+	case tagCrash1Who:
+		v := &crash1.WhoIsMissing{}
+		v.Phase = int(r.uvarint())
+		v.Missing = sim.PeerID(r.uvarint())
+		m = v
+	case tagCrash1Reply:
+		v := &crash1.MissingReply{IdxBits: idxBits}
+		v.Phase = int(r.uvarint())
+		v.About = sim.PeerID(r.uvarint())
+		if r.byte() == 1 {
+			v.MeNeither = true
+		} else {
+			v.Indices = r.set()
+			v.Values = r.bits()
+		}
+		m = v
+	case tagCommitteeReport:
+		v := &committee.Report{IdxBits: idxBits}
+		n := int(r.uvarint())
+		if n > maxItems {
+			return nil, ErrTruncated
+		}
+		prev := uint64(0)
+		for i := 0; i < n && r.err == nil; i++ {
+			prev += r.uvarint()
+			v.Indices = append(v.Indices, int(prev))
+		}
+		v.Bits = r.bits()
+		m = v
+	case tagSegValue:
+		v := &segproto.SegValue{IdxBits: idxBits}
+		v.Cycle = int(r.uvarint())
+		v.Seg = int(r.uvarint())
+		v.Values = r.bits()
+		m = v
+	case tagJunk:
+		m = &adversary.Junk{Bits: int(r.uvarint())}
+	default:
+		return nil, fmt.Errorf("%w: tag %d", ErrUnknownType, data[0])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}
+
+// maxItems bounds decoded collection sizes against hostile frames.
+const maxItems = 1 << 20
+
+type writer struct{ buf []byte }
+
+func (w *writer) byte(b byte)      { w.buf = append(w.buf, b) }
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) bytesField(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) bits(a *bitarray.Array) {
+	if a == nil {
+		w.bytesField(nil)
+		return
+	}
+	w.bytesField(a.Bytes())
+}
+
+func (w *writer) set(s intset.Set) {
+	w.uvarint(uint64(s.RangeCount()))
+	// Encode ranges as (gap-from-previous-end, length) pairs.
+	prevEnd := 0
+	s.ForEachRange(func(lo, hi int) {
+		w.uvarint(uint64(lo - prevEnd))
+		w.uvarint(uint64(hi - lo))
+		prevEnd = hi
+	})
+}
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil || len(r.buf) == 0 {
+		r.fail()
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) bytesField() []byte {
+	n := int(r.uvarint())
+	if r.err != nil || n < 0 || n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) bits() *bitarray.Array {
+	raw := r.bytesField()
+	if r.err != nil {
+		return nil
+	}
+	if len(raw) == 0 {
+		return bitarray.New(0)
+	}
+	a, err := bitarray.FromBytes(raw)
+	if err != nil {
+		r.fail()
+		return nil
+	}
+	return a
+}
+
+// maxIndex bounds decoded index values; hostile varints past it would
+// otherwise overflow int arithmetic into negative ranges.
+const maxIndex = 1 << 40
+
+func (r *reader) set() intset.Set {
+	n64 := r.uvarint()
+	if r.err != nil || n64 > maxItems {
+		r.fail()
+		return intset.Set{}
+	}
+	n := int(n64)
+	var b intset.Builder
+	prevEnd := 0
+	for i := 0; i < n && r.err == nil; i++ {
+		gap := r.uvarint()
+		length := r.uvarint()
+		if r.err != nil || gap > maxIndex || length == 0 || length > maxIndex {
+			r.fail()
+			break
+		}
+		lo := prevEnd + int(gap)
+		hi := lo + int(length)
+		if lo < prevEnd || hi < lo || hi > maxIndex {
+			r.fail()
+			break
+		}
+		b.AddRange(lo, hi)
+		prevEnd = hi
+	}
+	if r.err != nil {
+		return intset.Set{}
+	}
+	return b.Set()
+}
