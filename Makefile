@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench conform experiments fuzz clean
+.PHONY: all build vet test race bench conform chaos experiments fuzz clean
 
 all: build vet test
 
@@ -23,7 +23,13 @@ bench:
 	$(GO) test -bench=. -benchmem . | tee bench_output.txt
 
 conform:
-	$(GO) run ./cmd/drconform -n 16 -L 2048 -seeds 3
+	$(GO) run ./cmd/drconform -n 16 -L 2048 -seeds 3 -tcp
+
+# Tier-2 robustness gate: the chaos and live-runtime suites under the race
+# detector, then a quick drchaos survival sweep over real sockets.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestLive' ./...
+	$(GO) run ./cmd/drchaos -seeds 2
 
 experiments:
 	$(GO) run ./cmd/drbench -suite all | tee experiments_full.txt
@@ -35,6 +41,9 @@ fuzz:
 	$(GO) test -fuzz=FuzzCommitteeSchedules -fuzztime=30s ./internal/des/
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/wire/
 	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s -run '^$$' ./internal/netrt/
+	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=30s -run '^$$' ./internal/netrt/
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=30s -run '^$$' ./internal/netrt/
 
 clean:
 	rm -rf internal/des/testdata internal/wire/testdata

@@ -1,0 +1,233 @@
+// Command drchaos soaks Download protocols on the real-socket runtime
+// under seeded network chaos: it sweeps drop rate × connection flaps for
+// each protocol, layers on duplication, jitter with reordering, and an
+// optional healed partition, and prints a survival matrix. Every run's
+// fault schedule is a pure function of its seed, so a failing cell can be
+// replayed exactly.
+//
+// Example:
+//
+//	drchaos -seeds 3
+//	drchaos -protocols committee -drops 0,0.1,0.25 -flaps 0,3 -partition=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/download"
+	"repro/internal/adversary"
+	"repro/internal/netrt"
+	"repro/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// tally accumulates one protocol's robustness counters across its runs.
+type tally struct {
+	retries, reconnects, planDropped, planDuped, dupsDropped int
+}
+
+func (a *tally) add(res *sim.Result) {
+	a.retries += res.QueryRetries
+	a.reconnects += res.Reconnects
+	for i := range res.PerPeer {
+		ps := &res.PerPeer[i]
+		a.planDropped += ps.PlanDropped
+		a.planDuped += ps.PlanDuped
+		a.dupsDropped += ps.DupFramesDropped
+	}
+}
+
+// flapSchedule spreads `count` connection severs round-robin over the
+// first peers, staggered in time so the run sees them mid-protocol.
+func flapSchedule(n, count int) map[sim.PeerID][]time.Duration {
+	if count <= 0 {
+		return nil
+	}
+	flaps := make(map[sim.PeerID][]time.Duration)
+	for k := 0; k < count; k++ {
+		p := sim.PeerID(k % n)
+		at := 20*time.Millisecond + time.Duration(k)*60*time.Millisecond
+		flaps[p] = append(flaps[p], at)
+	}
+	return flaps
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run() int {
+	var (
+		protoList = flag.String("protocols", "naive,crashk,committee", "comma-separated protocols to soak")
+		n         = flag.Int("n", 6, "peers")
+		t         = flag.Int("t", 0, "fault bound")
+		faulty    = flag.Int("faulty", 0, "peers absent from the start (≤ t)")
+		l         = flag.Int("L", 512, "input bits")
+		b         = flag.Int("b", 128, "message size parameter")
+		drops     = flag.String("drops", "0,0.1,0.2", "comma-separated drop rates to sweep")
+		flaps     = flag.String("flaps", "0,2", "comma-separated flap counts to sweep")
+		dup       = flag.Float64("dup", 0.1, "duplication probability")
+		delay     = flag.Duration("delay", 2*time.Millisecond, "max jitter per delivery")
+		reorder   = flag.Float64("reorder", 0.05, "forced-reordering probability")
+		partition = flag.Bool("partition", true, "include one healed partition (needs n ≥ 4)")
+		seeds     = flag.Int("seeds", 3, "seeds per cell")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-run timeout")
+		verbose   = flag.Bool("v", false, "print every run")
+	)
+	flag.Parse()
+
+	dropRates, err := parseFloats(*drops)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drchaos: bad -drops: %v\n", err)
+		return 2
+	}
+	flapCounts, err := parseInts(*flaps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drchaos: bad -flaps: %v\n", err)
+		return 2
+	}
+	var absent []sim.PeerID
+	if *faulty > 0 {
+		absent = adversary.SpreadFaulty(*n, *faulty)
+	}
+
+	type combo struct {
+		drop  float64
+		flaps int
+	}
+	var combos []combo
+	for _, d := range dropRates {
+		for _, f := range flapCounts {
+			combos = append(combos, combo{d, f})
+		}
+	}
+
+	protos := strings.Split(*protoList, ",")
+	results := make(map[string][]string) // protocol → cell strings
+	tallies := make(map[string]*tally)
+	failures := 0
+
+	for _, ps := range protos {
+		proto := download.Protocol(strings.TrimSpace(ps))
+		factory, err := proto.Factory()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drchaos: %v\n", err)
+			return 2
+		}
+		tl := &tally{}
+		tallies[string(proto)] = tl
+		for _, c := range combos {
+			pass := 0
+			for seed := 1; seed <= *seeds; seed++ {
+				plan := &netrt.FaultPlan{
+					Seed:    int64(seed) * 7919,
+					Drop:    c.drop,
+					Dup:     *dup,
+					Delay:   *delay,
+					Reorder: *reorder,
+					Flaps:   flapSchedule(*n, c.flaps),
+				}
+				if *partition && *n >= 4 {
+					plan.Partitions = []netrt.Partition{{
+						A:     []sim.PeerID{0, 1},
+						B:     []sim.PeerID{2, 3},
+						Start: 40 * time.Millisecond,
+						Heal:  400 * time.Millisecond,
+					}}
+				}
+				res, err := netrt.Run(netrt.Config{
+					N: *n, T: *t, L: *l, MsgBits: *b,
+					Seed:    int64(seed),
+					NewPeer: factory,
+					Absent:  absent,
+					Faults:  plan,
+					Timeout: *timeout,
+					Resilience: netrt.Resilience{
+						QueryTimeout: 250 * time.Millisecond,
+						RTO:          60 * time.Millisecond,
+					},
+				})
+				ok := err == nil && res.Correct
+				if ok {
+					pass++
+				} else {
+					failures++
+				}
+				if res != nil {
+					tl.add(res)
+				}
+				if *verbose || !ok {
+					detail := "ok"
+					if err != nil {
+						detail = err.Error()
+					} else if !res.Correct {
+						detail = strings.Join(res.Failures, "; ")
+					}
+					fmt.Printf("  %-10s drop=%.2f flaps=%d seed=%d: %s\n",
+						proto, c.drop, c.flaps, seed, detail)
+				}
+			}
+			results[string(proto)] = append(results[string(proto)],
+				fmt.Sprintf("%d/%d", pass, *seeds))
+		}
+	}
+
+	fmt.Printf("\nsurvival matrix (pass/seeds; dup=%.2f delay=%v reorder=%.2f partition=%v):\n\n",
+		*dup, *delay, *reorder, *partition && *n >= 4)
+	fmt.Printf("%-12s", "PROTOCOL")
+	for _, c := range combos {
+		fmt.Printf(" %-12s", fmt.Sprintf("d=%.2f/f=%d", c.drop, c.flaps))
+	}
+	fmt.Println()
+	for _, ps := range protos {
+		p := strings.TrimSpace(ps)
+		fmt.Printf("%-12s", p)
+		for _, cell := range results[p] {
+			fmt.Printf(" %-12s", cell)
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nrecovery work (totals across all runs):\n")
+	for _, ps := range protos {
+		p := strings.TrimSpace(ps)
+		tl := tallies[p]
+		fmt.Printf("%-12s query-retries=%-5d reconnects=%-5d plan-dropped=%-6d plan-duped=%-5d dups-deduped=%d\n",
+			p, tl.retries, tl.reconnects, tl.planDropped, tl.planDuped, tl.dupsDropped)
+	}
+
+	if failures > 0 {
+		fmt.Printf("\nFAILED: %d runs did not survive\n", failures)
+		return 1
+	}
+	fmt.Printf("\nOK: all runs survived\n")
+	return 0
+}

@@ -1,19 +1,21 @@
 // Command drconform runs the full conformance grid: every protocol
-// against every compatible fault behavior across several seeds, on the
-// deterministic runtime (and optionally the concurrent one), printing a
-// pass/fail matrix. It is the library's smoke-screen for regressions that
-// individual unit tests might miss.
+// against every compatible fault behavior across several seeds, printing
+// a pass/fail matrix with one column per enabled runtime (deterministic,
+// and optionally the concurrent and real-socket ones). It is the
+// library's smoke-screen for regressions that individual unit tests might
+// miss.
 //
 // Example:
 //
 //	drconform -n 16 -L 2048 -seeds 5
-//	drconform -live -seeds 2
+//	drconform -live -tcp -seeds 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/download"
 )
@@ -57,59 +59,89 @@ func faultBoundFor(info download.Info, n int) int {
 	}
 }
 
+// runtimeSpec describes one runtime column of the grid.
+type runtimeSpec struct {
+	name string
+	live bool
+	tcp  bool
+}
+
+// supports reports whether the runtime can execute the behavior: the
+// real-socket runtime only injects crash-from-start faults (its richer
+// fault repertoire — drops, flaps, partitions — lives in drchaos).
+func (r runtimeSpec) supports(behavior download.FaultBehavior) bool {
+	if !r.tcp {
+		return true
+	}
+	return behavior == download.NoFaults || behavior == download.CrashImmediate
+}
+
 func run() int {
 	var (
 		n      = flag.Int("n", 16, "peers")
 		l      = flag.Int("L", 2048, "input bits")
 		seeds  = flag.Int("seeds", 3, "seeds per cell")
 		liveRT = flag.Bool("live", false, "also run the concurrent runtime")
+		tcpRT  = flag.Bool("tcp", false, "also run the real-socket runtime")
 	)
 	flag.Parse()
+
+	runtimes := []runtimeSpec{{name: "des"}}
+	if *liveRT {
+		runtimes = append(runtimes, runtimeSpec{name: "live", live: true})
+	}
+	if *tcpRT {
+		runtimes = append(runtimes, runtimeSpec{name: "tcp", tcp: true})
+	}
 
 	type cell struct {
 		proto    download.Protocol
 		behavior download.FaultBehavior
-		pass     int
-		fail     int
+		pass     map[string]int
+		fail     map[string]int
 		lastFail string
 	}
 	var cells []*cell
 	failures := 0
 
-	runtimes := []bool{false}
-	if *liveRT {
-		runtimes = append(runtimes, true)
-	}
-
 	for _, info := range download.Protocols() {
 		tBound := faultBoundFor(info, *n)
 		for _, behavior := range behaviorsFor(info) {
-			c := &cell{proto: info.Protocol, behavior: behavior}
+			c := &cell{
+				proto: info.Protocol, behavior: behavior,
+				pass: make(map[string]int), fail: make(map[string]int),
+			}
 			cells = append(cells, c)
 			for seed := 0; seed < *seeds; seed++ {
-				for _, live := range runtimes {
+				for _, rt := range runtimes {
+					if !rt.supports(behavior) {
+						continue
+					}
 					rep, err := download.Run(download.Options{
 						Protocol: info.Protocol,
 						N:        *n, T: tBound, L: *l,
 						Seed:     int64(seed),
 						Behavior: behavior,
-						Live:     live,
+						Live:     rt.live,
+						TCP:      rt.tcp,
 					})
 					switch {
 					case err != nil:
-						c.fail++
+						c.fail[rt.name]++
 						c.lastFail = err.Error()
 					case !rep.Correct:
-						c.fail++
+						c.fail[rt.name]++
 						if len(rep.Failures) > 0 {
 							c.lastFail = rep.Failures[0]
 						}
 					default:
-						c.pass++
+						c.pass[rt.name]++
 					}
 				}
 			}
-			failures += c.fail
+			for _, rt := range runtimes {
+				failures += c.fail[rt.name]
+			}
 		}
 	}
 
@@ -119,13 +151,25 @@ func run() int {
 		}
 		return string(b)
 	}
-	fmt.Printf("%-12s %-14s %-6s %-6s %s\n", "PROTOCOL", "BEHAVIOR", "PASS", "FAIL", "LAST FAILURE")
+	fmt.Printf("%-12s %-14s", "PROTOCOL", "BEHAVIOR")
+	for _, rt := range runtimes {
+		fmt.Printf(" %-8s", strings.ToUpper(rt.name))
+	}
+	fmt.Printf(" %s\n", "LAST FAILURE")
 	for _, c := range cells {
+		fmt.Printf("%-12s %-14s", c.proto, name(c.behavior))
+		for _, rt := range runtimes {
+			if !rt.supports(c.behavior) {
+				fmt.Printf(" %-8s", "-")
+				continue
+			}
+			fmt.Printf(" %-8s", fmt.Sprintf("%d/%d", c.pass[rt.name], c.fail[rt.name]))
+		}
 		last := ""
-		if c.fail > 0 {
+		if c.lastFail != "" {
 			last = c.lastFail
 		}
-		fmt.Printf("%-12s %-14s %-6d %-6d %s\n", c.proto, name(c.behavior), c.pass, c.fail, last)
+		fmt.Printf(" %s\n", last)
 	}
 	if failures > 0 {
 		fmt.Printf("\nFAILED: %d cell-runs failed\n", failures)

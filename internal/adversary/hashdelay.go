@@ -1,7 +1,6 @@
 package adversary
 
 import (
-	"math"
 	"sync"
 
 	"repro/internal/sim"
@@ -40,21 +39,6 @@ func NewHashDelay(seed int64, min, max float64) *HashDelay {
 		msgSeq: make(map[[2]sim.PeerID]uint64),
 		qrySeq: make(map[sim.PeerID]uint64),
 	}
-}
-
-func mix(z uint64) uint64 {
-	z ^= z >> 33
-	z *= 0xFF51AFD7ED558CCD
-	z ^= z >> 33
-	z *= 0xC4CEB9FE1A85EC53
-	z ^= z >> 33
-	return z
-}
-
-// unit maps a hash to (0, 1].
-func unit(h uint64) float64 {
-	u := float64(h%(1<<52)+1) / float64(uint64(1)<<52)
-	return math.Min(u, 1)
 }
 
 func (p *HashDelay) delay(h uint64) float64 {

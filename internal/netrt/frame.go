@@ -1,0 +1,152 @@
+package netrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Frame format v2 (v1 had no sequence number):
+//
+//	[4B length][1B kind][uvarint seq][payload]
+//
+// length is big-endian and covers kind + seq + payload. seq is the
+// sender's monotonic sequence number within one of its streams (see
+// docs/RUNTIMES.md); control frames (hello/ack/ping/reject) carry seq 0.
+//
+// Payloads:
+//
+//	hello:  uvarint peerID
+//	msg:    uvarint to/from, then a wire-encoded protocol message
+//	query:  uvarint tag(zig-zag), uvarint count, delta-uvarint indices
+//	qreply: same header, then length-prefixed bitarray bytes
+//	done:   length-prefixed output bitarray bytes
+//	ack:    uvarint cumulative seq (highest contiguous received)
+//	ping:   empty (heartbeat; refreshes the receiver's idle deadline)
+//	reject: empty (hub refuses this connection permanently)
+
+// Frame kinds.
+const (
+	kHello byte = iota + 1
+	kMsg
+	kQuery
+	kQReply
+	kDone
+	kAck
+	kPing
+	kReject
+)
+
+// kindName renders a frame kind for debug output and timeout reports.
+func kindName(k byte) string {
+	switch k {
+	case kHello:
+		return "HELLO"
+	case kMsg:
+		return "MSG"
+	case kQuery:
+		return "QUERY"
+	case kQReply:
+		return "QREPLY"
+	case kDone:
+		return "DONE"
+	case kAck:
+		return "ACK"
+	case kPing:
+		return "PING"
+	case kReject:
+		return "REJECT"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// maxFrame bounds a frame's size (hostile or buggy peers).
+const maxFrame = 64 << 20
+
+func writeFrame(w io.Writer, mu *sync.Mutex, kind byte, seq uint64, payload []byte) error {
+	if len(payload) > maxFrame-16 {
+		return fmt.Errorf("netrt: frame too large: %d", len(payload))
+	}
+	hdr := make([]byte, 4, 5+binary.MaxVarintLen64)
+	hdr = append(hdr, kind)
+	hdr = binary.AppendUvarint(hdr, seq)
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(hdr)-4+len(payload)))
+	mu.Lock()
+	defer mu.Unlock()
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame. It accepts any io.Reader so fuzz targets can
+// drive it from byte slices; runtime callers pass a net.Conn with a read
+// deadline already set.
+func readFrame(r io.Reader) (kind byte, seq uint64, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size < 2 || size > maxFrame {
+		return 0, 0, nil, fmt.Errorf("netrt: bad frame size %d", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, 0, nil, err
+	}
+	seq, n := binary.Uvarint(buf[1:])
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("netrt: bad frame seq")
+	}
+	return buf[0], seq, buf[1+n:], nil
+}
+
+// encodeQueryHeader encodes tag (zig-zag, tags may be negative) plus
+// delta-encoded indices.
+func encodeQueryHeader(tag int, indices []int) []byte {
+	out := binary.AppendVarint(nil, int64(tag))
+	out = binary.AppendUvarint(out, uint64(len(indices)))
+	prev := 0
+	for _, idx := range indices {
+		out = binary.AppendVarint(out, int64(idx-prev))
+		prev = idx
+	}
+	return out
+}
+
+func queryHeaderLen(tag int, indices []int) int {
+	return len(encodeQueryHeader(tag, indices))
+}
+
+// decodeQuery decodes a query header. maxCount bounds the accepted index
+// count so a hostile frame cannot force a huge allocation: a legitimate
+// query never asks for more than L indices, and every encoded index costs
+// at least one payload byte.
+func decodeQuery(payload []byte, maxCount int) (tag int, indices []int, ok bool) {
+	t64, n := binary.Varint(payload)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	payload = payload[n:]
+	cnt, n := binary.Uvarint(payload)
+	if n <= 0 || cnt > uint64(len(payload)) || (maxCount >= 0 && cnt > uint64(maxCount)) {
+		return 0, nil, false
+	}
+	payload = payload[n:]
+	indices = make([]int, 0, cnt)
+	prev := int64(0)
+	for i := uint64(0); i < cnt; i++ {
+		d, n := binary.Varint(payload)
+		if n <= 0 {
+			return 0, nil, false
+		}
+		payload = payload[n:]
+		prev += d
+		indices = append(indices, int(prev))
+	}
+	return int(t64), indices, true
+}

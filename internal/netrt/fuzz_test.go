@@ -1,0 +1,123 @@
+package netrt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+// The fuzz targets cover the two decode paths that consume bytes from the
+// network: the framing layer and the query header codec. The invariant
+// under fuzz is "no panic, no lie": a parse either fails cleanly or
+// returns values consistent with the input.
+
+func FuzzReadFrame(f *testing.F) {
+	// A well-formed frame, plus the malformed shapes the hostile-frame
+	// regression test exercises.
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	_ = writeFrame(&buf, &mu, kMsg, 7, []byte("payload"))
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})                  // length below minimum
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})      // length over maxFrame
+	f.Add([]byte{0, 0, 0, 2, kMsg, 0x80})      // truncated seq uvarint
+	f.Add([]byte{0, 0, 0, 5, kQuery, 1, 2, 3}) // length longer than data
+	f.Add([]byte{0, 0, 16, 0, kDone, 1})       // large length, no body
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, seq, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successful parse must be a faithful slice of the input.
+		if len(payload) > len(data) {
+			t.Fatalf("payload longer than input: %d > %d", len(payload), len(data))
+		}
+		// And must round-trip through writeFrame.
+		var out bytes.Buffer
+		var mu sync.Mutex
+		if err := writeFrame(&out, &mu, kind, seq, payload); err != nil {
+			t.Fatalf("re-encode of parsed frame failed: %v", err)
+		}
+		k2, s2, p2, err := readFrame(bytes.NewReader(out.Bytes()))
+		if err != nil || k2 != kind || s2 != seq || !bytes.Equal(p2, payload) {
+			t.Fatalf("round-trip mismatch: (%d,%d,%x) → (%d,%d,%x) err=%v",
+				kind, seq, payload, k2, s2, p2, err)
+		}
+	})
+}
+
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add(encodeQueryHeader(0, []int{0, 1, 2}))
+	f.Add(encodeQueryHeader(-5, []int{100, 50, 200}))
+	f.Add([]byte{0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}) // count 2^40
+	f.Add([]byte{0x80})                                     // truncated tag
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxCount = 1 << 16
+		tag, indices, ok := decodeQuery(data, maxCount)
+		if !ok {
+			return
+		}
+		if len(indices) > maxCount {
+			t.Fatalf("decode accepted %d indices over the %d bound", len(indices), maxCount)
+		}
+		// Every accepted index costs at least one input byte, so the
+		// count can never force an allocation larger than the frame.
+		if len(indices) > len(data) {
+			t.Fatalf("%d indices from %d bytes", len(indices), len(data))
+		}
+		// Whatever was decoded must survive a re-encode/re-decode cycle
+		// (byte-prefix equality would be too strong: varint readers
+		// accept non-minimal encodings like 0x80 0x00).
+		tag2, indices2, ok2 := decodeQuery(encodeQueryHeader(tag, indices), maxCount)
+		if !ok2 || tag2 != tag || len(indices2) != len(indices) {
+			t.Fatalf("re-decode mismatch: (%d,%v) → (%d,%v,%v)", tag, indices, tag2, indices2, ok2)
+		}
+		for i := range indices {
+			if indices2[i] != indices[i] {
+				t.Fatalf("index %d changed: %d → %d", i, indices[i], indices2[i])
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the encoder with arbitrary (kind, seq,
+// payload) triples: whatever writeFrame accepts, readFrame must return
+// verbatim.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(1), uint64(0), []byte{})
+	f.Add(kMsg, uint64(1), []byte{0x01, 0x02})
+	f.Add(kQReply, uint64(1<<40), bytes.Repeat([]byte{0xAB}, 300))
+	f.Fuzz(func(t *testing.T, kind byte, seq uint64, payload []byte) {
+		var buf bytes.Buffer
+		var mu sync.Mutex
+		if err := writeFrame(&buf, &mu, kind, seq, payload); err != nil {
+			return // oversized payloads are rejected, which is fine
+		}
+		k, s, p, err := readFrame(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of encoded frame failed: %v", err)
+		}
+		if k != kind || s != seq || !bytes.Equal(p, payload) {
+			t.Fatalf("round-trip mismatch: (%d,%d,%d bytes) → (%d,%d,%d bytes)",
+				kind, seq, len(payload), k, s, len(p))
+		}
+	})
+}
+
+// TestDecodeQueryBounds pins the hostile-allocation guard: a count field
+// claiming more indices than the payload could possibly hold must be
+// rejected before any allocation sized by it.
+func TestDecodeQueryBounds(t *testing.T) {
+	huge := binary.AppendVarint(nil, 0)
+	huge = binary.AppendUvarint(huge, 1<<40)
+	if _, _, ok := decodeQuery(huge, 1<<20); ok {
+		t.Fatal("accepted count 2^40 with empty body")
+	}
+	if _, _, ok := decodeQuery(encodeQueryHeader(1, []int{1, 2, 3}), 2); ok {
+		t.Fatal("accepted 3 indices over maxCount 2")
+	}
+	if tag, idx, ok := decodeQuery(encodeQueryHeader(1, []int{1, 2, 3}), 3); !ok || tag != 1 || len(idx) != 3 {
+		t.Fatalf("rejected legitimate query: ok=%v tag=%d idx=%v", ok, tag, idx)
+	}
+}

@@ -10,18 +10,20 @@
 //	peer ──TCP──▶ hub ──TCP──▶ peer      (MSG frames, wire-encoded)
 //	peer ──TCP──▶ hub (source) ──▶ peer  (QUERY/QREPLY frames)
 //
-// Fault injection is crash-from-start: absent peers never connect, so the
-// protocols' n−t waiting rules are what keeps the run live. Timing is
-// wall-clock; executions are not reproducible — tests assert outcomes.
-//
-// Frame format (all integers big-endian or uvarint):
-//
-//	[4B length][1B kind][payload]
-//	hello:  uvarint peerID
-//	msg:    uvarint to/from, then a wire-encoded protocol message
-//	query:  uvarint tag(zig-zag), uvarint count, delta-uvarint indices
-//	qreply: same header, then length-prefixed bitarray bytes
-//	done:   length-prefixed output bitarray bytes
+// Fault injection goes well beyond crash-from-start (Absent) and mid-run
+// kills (KillAfter): a seeded FaultPlan lets the hub drop, duplicate,
+// delay, reorder and stall deliveries, sever connections that may
+// reconnect, and impose timed partitions that later heal. A resilience
+// layer keeps honest peers live through all of it — unacked frames are
+// retransmitted until cumulatively acked (fair loss → reliable link),
+// receivers dedup by per-sender sequence number, clients redial with
+// capped exponential backoff, unanswered source queries are re-issued,
+// and idle connections are detected by heartbeat-refreshed read
+// deadlines. Timing is wall-clock, but the fault schedule itself is a
+// pure function of the plan's seed, so a chaotic run's faults replay
+// exactly. See docs/RUNTIMES.md for the full matrix and frame format
+// (framing lives in frame.go; the plan in faultplan.go; resilience
+// primitives in reconnect.go).
 package netrt
 
 import (
@@ -32,6 +34,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,18 +43,6 @@ import (
 	"repro/internal/wire"
 )
 
-// Frame kinds.
-const (
-	kHello byte = iota + 1
-	kMsg
-	kQuery
-	kQReply
-	kDone
-)
-
-// maxFrame bounds a frame's size (hostile or buggy peers).
-const maxFrame = 64 << 20
-
 var debugNetrt = os.Getenv("DEBUG_NETRT") != ""
 
 func dbg(format string, args ...any) {
@@ -59,6 +50,12 @@ func dbg(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "netrt: "+format+"\n", args...)
 	}
 }
+
+// defaultIdleTimeout is the dead-link detection window: a connection with
+// no inbound traffic for this long is closed and treated as crashed.
+// Heartbeats flow every third of the window, so live-but-quiet links
+// never trip it.
+const defaultIdleTimeout = 5 * time.Second
 
 // Config describes one networked execution.
 type Config struct {
@@ -72,10 +69,21 @@ type Config struct {
 	// must satisfy len(Absent) ≤ T.
 	Absent []sim.PeerID
 	// KillAfter crashes peers mid-run: the hub severs each listed
-	// peer's connection after the given wall duration. Killed peers
-	// count toward T together with Absent ones.
+	// peer's connection after the given wall duration from run start and
+	// refuses its reconnects. Killed peers count toward T together with
+	// Absent ones.
 	KillAfter map[sim.PeerID]time.Duration
-	// Timeout bounds the whole run (default 30s).
+	// Faults optionally injects a seeded network fault schedule at the
+	// hub (drops, duplicates, delays, stalls, flaps, healed partitions).
+	// Unlike Absent/KillAfter, a FaultPlan never counts toward T: honest
+	// peers are expected to survive it via the resilience layer.
+	Faults *FaultPlan
+	// IdleTimeout overrides the dead-link detection window (default 5s).
+	IdleTimeout time.Duration
+	// Resilience tunes retry/reconnect behavior; zero fields default.
+	Resilience Resilience
+	// Timeout bounds the whole run (default 30s). When it fires, Run
+	// returns a *TimeoutError naming the unterminated peers.
 	Timeout time.Duration
 	// Input optionally fixes the source array.
 	Input *bitarray.Array
@@ -98,12 +106,61 @@ func (c *Config) validate() error {
 	if faulty > c.T {
 		return fmt.Errorf("netrt: %d faulty peers exceeds t=%d", faulty, c.T)
 	}
+	if c.Faults != nil {
+		if err := c.Faults.validate(c.N); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// PendingPeer describes one honest peer that had not terminated when the
+// run's deadline fired.
+type PendingPeer struct {
+	ID sim.PeerID
+	// Connected reports whether the peer held a live connection.
+	Connected bool
+	// LastFrame is the kind of the last protocol frame (MSG/QUERY/DONE)
+	// the hub saw from the peer, "" if none arrived.
+	LastFrame string
+	// LastFrameAge is how long before the deadline that frame arrived.
+	LastFrameAge time.Duration
+}
+
+// TimeoutError reports which peers were still running when Config.Timeout
+// elapsed, replacing the former silent non-termination result so a hung
+// run names its suspects.
+type TimeoutError struct {
+	After   time.Duration
+	Pending []PendingPeer
+}
+
+func (e *TimeoutError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netrt: run timed out after %v; %d peer(s) unterminated:", e.After, len(e.Pending))
+	for _, p := range e.Pending {
+		switch {
+		case !p.Connected && p.LastFrame == "":
+			fmt.Fprintf(&b, " peer %d (never heard from)", p.ID)
+		case p.LastFrame == "":
+			fmt.Fprintf(&b, " peer %d (connected, no protocol frames)", p.ID)
+		default:
+			fmt.Fprintf(&b, " peer %d (last %s %.1fs ago)", p.ID, p.LastFrame, p.LastFrameAge.Seconds())
+		}
+	}
+	return b.String()
+}
+
+// clientStats carries a client's robustness counters back to Run; written
+// once at client exit and read after the clients WaitGroup settles.
+type clientStats struct {
+	queryRetries, reconnects, dupsDeduped int
 }
 
 // Run executes the configuration and reports the outcome in the same
 // Result shape as the simulation runtimes. Absent peers are reported as
-// crashed/faulty.
+// crashed/faulty. A run whose honest peers outlast Timeout fails with a
+// *TimeoutError.
 func Run(cfg Config) (*sim.Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -121,18 +178,12 @@ func Run(cfg Config) (*sim.Result, error) {
 	}
 	defer h.close()
 
-	// faulty covers both never-connecting and mid-run-killed peers; the
-	// Result exempts them from correctness and metrics.
-	faulty := make(map[sim.PeerID]bool, len(cfg.Absent)+len(cfg.KillAfter))
 	absent := make(map[sim.PeerID]bool, len(cfg.Absent))
 	for _, p := range cfg.Absent {
 		absent[p] = true
-		faulty[p] = true
-	}
-	for p := range cfg.KillAfter {
-		faulty[p] = true
 	}
 
+	cstats := make([]clientStats, cfg.N)
 	var clients sync.WaitGroup
 	errs := make(chan error, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -143,7 +194,7 @@ func Run(cfg Config) (*sim.Result, error) {
 		clients.Add(1)
 		go func(id sim.PeerID) {
 			defer clients.Done()
-			if err := runClient(&cfg, id, h.addr); err != nil {
+			if err := runClient(&cfg, id, h.addr, &cstats[id]); err != nil {
 				errs <- fmt.Errorf("peer %d: %w", id, err)
 			}
 		}(id)
@@ -152,6 +203,10 @@ func Run(cfg Config) (*sim.Result, error) {
 	select {
 	case <-h.allDone:
 	case <-time.After(timeout):
+		terr := h.timeoutError(timeout)
+		h.close()
+		clients.Wait()
+		return nil, terr
 	case err := <-errs:
 		h.close()
 		clients.Wait()
@@ -160,29 +215,61 @@ func Run(cfg Config) (*sim.Result, error) {
 	h.close()
 	clients.Wait()
 
-	res := h.result(faulty)
+	res := h.result()
+	for i := range res.PerPeer {
+		cs := &cstats[i]
+		res.PerPeer[i].QueryRetries = cs.queryRetries
+		res.PerPeer[i].Reconnects = cs.reconnects
+		res.PerPeer[i].DupFramesDropped += cs.dupsDeduped
+	}
 	res.Finalize(input)
 	return res, nil
 }
 
 // --- hub ---------------------------------------------------------------
 
+// hubPeer is the hub's per-peer link state. It outlives any single
+// connection: sequence numbers, the retransmit outbox, and dedup state
+// persist across flaps and reconnects, which is what makes duplicated or
+// replayed frames idempotent.
 type hubPeer struct {
-	conn    net.Conn
-	writeMu sync.Mutex
+	id      sim.PeerID
+	writeMu sync.Mutex // serializes frame writes on the current conn
 
-	mu         sync.Mutex
+	mu   sync.Mutex
+	conn net.Conn // nil while disconnected
+	// killed marks a KillAfter casualty: reconnects are refused.
+	killed bool
+	// out is the reliable hub→peer stream (MSG frames): unacked frames
+	// are retransmitted until the client's cumulative ack covers them.
+	out outbox
+	// replySeq numbers the best-effort hub→peer stream (QREPLY frames),
+	// which is deduped but never retransmitted — query retries recover
+	// lost replies end-to-end.
+	replySeq uint64
+	// recv dedups the peer→hub reliable stream.
+	recv dedupReliable
+
 	queryBits  int
 	queryCalls int
 	msgsSent   int
 	msgBits    int
+	// Robustness counters: fault-plan events on deliveries toward this
+	// peer, and duplicate inbound frames the hub discarded.
+	planDropped, planDuped, dupsDeduped int
+
 	output     *bitarray.Array
 	terminated bool
 	termTime   float64
+	lastKind   byte
+	lastFrame  time.Time
 }
 
 type hub struct {
 	cfg    Config
+	res    Resilience
+	idle   time.Duration
+	plan   *FaultPlan
 	input  *bitarray.Array
 	ln     net.Listener
 	addr   string
@@ -194,14 +281,14 @@ type hub struct {
 	// before its kill fires; ending the run on its DONE would abandon
 	// honest peers mid-protocol).
 	faulty map[sim.PeerID]bool
-
-	mu    sync.Mutex
+	// peers holds link state for every non-absent peer; the map is
+	// fully built in newHub and never mutated, so reads need no lock.
 	peers map[sim.PeerID]*hubPeer
-	// pending buffers MSG frames addressed to peers that have not
-	// completed their hello yet; dropping them would lose Init-time
-	// broadcasts forever, which no asynchronous-model adversary may do.
-	pending map[sim.PeerID][][]byte
-	// timers holds pending KillAfter triggers so close can cancel them.
+
+	stop chan struct{}
+
+	mu sync.Mutex
+	// timers holds pending kill/flap/chaos triggers so close can cancel.
 	timers  []*time.Timer
 	done    int
 	closed  bool
@@ -215,26 +302,77 @@ func newHub(cfg Config, input *bitarray.Array) (*hub, error) {
 		return nil, fmt.Errorf("netrt: listen: %w", err)
 	}
 	faulty := make(map[sim.PeerID]bool, len(cfg.Absent)+len(cfg.KillAfter))
+	absent := make(map[sim.PeerID]bool, len(cfg.Absent))
 	for _, p := range cfg.Absent {
 		faulty[p] = true
+		absent[p] = true
 	}
 	for p := range cfg.KillAfter {
 		faulty[p] = true
 	}
+	idle := cfg.IdleTimeout
+	if idle <= 0 {
+		idle = defaultIdleTimeout
+	}
 	h := &hub{
 		cfg:     cfg,
+		res:     cfg.Resilience.withDefaults(),
+		idle:    idle,
+		plan:    cfg.Faults,
 		input:   input,
 		ln:      ln,
 		addr:    ln.Addr().String(),
 		start:   time.Now(),
 		expect:  cfg.N - len(faulty),
 		faulty:  faulty,
-		peers:   make(map[sim.PeerID]*hubPeer),
-		pending: make(map[sim.PeerID][][]byte),
+		peers:   make(map[sim.PeerID]*hubPeer, cfg.N),
+		stop:    make(chan struct{}),
 		allDone: make(chan struct{}),
 	}
-	h.wg.Add(1)
+	for i := 0; i < cfg.N; i++ {
+		if id := sim.PeerID(i); !absent[id] {
+			h.peers[id] = &hubPeer{id: id}
+		}
+	}
+	// Kill and flap schedules are armed up front; both sever the current
+	// connection, but only kills refuse the reconnect that follows.
+	for p, d := range cfg.KillAfter {
+		hp := h.peers[p]
+		h.timers = append(h.timers, time.AfterFunc(d, func() {
+			hp.mu.Lock()
+			hp.killed = true
+			conn := hp.conn
+			hp.conn = nil
+			hp.mu.Unlock()
+			if conn != nil {
+				conn.Close()
+			}
+		}))
+	}
+	if h.plan != nil {
+		for p, times := range h.plan.Flaps {
+			hp := h.peers[p]
+			if hp == nil {
+				continue
+			}
+			for _, at := range times {
+				h.timers = append(h.timers, time.AfterFunc(at, func() {
+					hp.mu.Lock()
+					conn := hp.conn
+					hp.conn = nil
+					hp.mu.Unlock()
+					if conn != nil {
+						dbg("flap: severing peer %d", hp.id)
+						conn.Close()
+					}
+				}))
+			}
+		}
+	}
+	h.wg.Add(3)
 	go h.acceptLoop()
+	go h.retxLoop()
+	go h.pingLoop()
 	return h, nil
 }
 
@@ -253,105 +391,219 @@ func (h *hub) acceptLoop() {
 	}
 }
 
+// rejectConn permanently refuses a connection (unknown, absent, or killed
+// peer): the REJECT frame tells the client to stop redialing.
+func (h *hub) rejectConn(conn net.Conn) {
+	var mu sync.Mutex
+	_ = writeFrame(conn, &mu, kReject, 0, nil)
+	conn.Close()
+}
+
 func (h *hub) serve(conn net.Conn) {
-	kind, payload, err := readFrame(conn)
+	conn.SetReadDeadline(time.Now().Add(h.idle))
+	kind, _, payload, err := readFrame(conn)
 	if err != nil || kind != kHello {
 		conn.Close()
 		return
 	}
-	id64, _ := binary.Uvarint(payload)
-	id := sim.PeerID(id64)
-	hp := &hubPeer{conn: conn}
-	h.mu.Lock()
-	if _, dup := h.peers[id]; dup || int(id) >= h.cfg.N {
-		h.mu.Unlock()
-		conn.Close()
+	id64, n := binary.Uvarint(payload)
+	var hp *hubPeer
+	if n > 0 && id64 < uint64(h.cfg.N) {
+		hp = h.peers[sim.PeerID(id64)]
+	}
+	if hp == nil {
+		h.rejectConn(conn)
 		return
 	}
-	h.peers[id] = hp
-	backlog := h.pending[id]
-	delete(h.pending, id)
+	hp.mu.Lock()
+	if hp.killed {
+		hp.mu.Unlock()
+		h.rejectConn(conn)
+		return
+	}
+	old := hp.conn
+	hp.conn = conn
+	// In-flight frames on the previous connection may be lost: replay
+	// everything unacked. The client's dedup absorbs any overlap.
+	hp.out.markAllDue()
+	hp.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	h.mu.Lock()
+	closed := h.closed
 	h.mu.Unlock()
-	dbg("peer %d registered, backlog=%d", id, len(backlog))
-	if d, killed := h.cfg.KillAfter[id]; killed {
-		// Mid-run crash: sever the connection after d. The peer's
-		// goroutine sees a read error and stops; in-flight frames it
-		// already wrote keep flowing — a partial broadcast, like the
-		// simulators' mid-broadcast crash points.
-		h.wg.Add(1)
-		timer := time.AfterFunc(d, func() {
-			defer h.wg.Done()
-			conn.Close()
-		})
-		h.mu.Lock()
-		h.timers = append(h.timers, timer)
-		h.mu.Unlock()
+	if closed {
+		conn.Close() // raced the shutdown sweep
+		return
 	}
-	for _, frame := range backlog {
-		writeFrame(hp.conn, &hp.writeMu, kMsg, frame)
-	}
+	dbg("peer %d connected (reconnect=%v)", hp.id, old != nil)
+	h.pump(hp)
 
 	for {
-		kind, payload, err := readFrame(conn)
+		conn.SetReadDeadline(time.Now().Add(h.idle))
+		kind, seq, payload, err := readFrame(conn)
 		if err != nil {
+			// Read error or idle deadline: the link is dead. Drop it and
+			// let the peer's reconnect (or the run timeout) sort it out.
 			conn.Close()
+			hp.mu.Lock()
+			if hp.conn == conn {
+				hp.conn = nil
+			}
+			hp.mu.Unlock()
+			dbg("peer %d link down: %v", hp.id, err)
 			return
 		}
 		switch kind {
-		case kMsg:
-			h.route(id, hp, payload)
-		case kQuery:
-			dbg("peer %d query %dB", id, len(payload))
-			h.answerQuery(id, hp, payload)
-		case kDone:
-			dbg("peer %d done", id)
-			h.markDone(id, hp, payload)
+		case kPing:
+			// Heartbeat: reading it already refreshed the deadline.
+		case kAck:
+			if v, n := binary.Uvarint(payload); n > 0 {
+				hp.mu.Lock()
+				hp.out.ackTo(v)
+				hp.mu.Unlock()
+			}
+		case kMsg, kQuery, kDone:
+			hp.mu.Lock()
+			fresh := hp.recv.admit(seq)
+			if !fresh {
+				hp.dupsDeduped++
+			} else {
+				hp.lastKind, hp.lastFrame = kind, time.Now()
+			}
+			ack := hp.recv.cumAck()
+			hp.mu.Unlock()
+			h.writeData(hp, kAck, 0, binary.AppendUvarint(nil, ack))
+			if !fresh {
+				continue
+			}
+			switch kind {
+			case kMsg:
+				h.route(hp, payload)
+			case kQuery:
+				dbg("peer %d query %dB", hp.id, len(payload))
+				h.answerQuery(hp, payload)
+			case kDone:
+				dbg("peer %d done", hp.id)
+				h.markDone(hp, payload)
+			}
 		}
 	}
 }
 
 // route forwards a MSG frame (payload: uvarint dest, wire bytes) to its
-// destination, rewriting the header to carry the sender.
-func (h *hub) route(from sim.PeerID, hp *hubPeer, payload []byte) {
+// destination, rewriting the header to carry the sender. The frame enters
+// the destination's reliable outbox; pump and the retransmit loop carry
+// it through whatever the fault plan does.
+func (h *hub) route(src *hubPeer, payload []byte) {
 	to64, n := binary.Uvarint(payload)
 	if n <= 0 {
 		return
 	}
 	body := payload[n:]
-	hp.mu.Lock()
+	src.mu.Lock()
 	chunks := (len(body)*8 + h.cfg.MsgBits - 1) / h.cfg.MsgBits
 	if chunks < 1 {
 		chunks = 1
 	}
-	hp.msgsSent += chunks
-	hp.msgBits += len(body) * 8
-	hp.mu.Unlock()
+	src.msgsSent += chunks
+	src.msgBits += len(body) * 8
+	src.mu.Unlock()
 
-	out := make([]byte, 0, len(body)+binary.MaxVarintLen64)
-	out = binary.AppendUvarint(out, uint64(from))
-	out = append(out, body...)
-
-	to := sim.PeerID(to64)
-	h.mu.Lock()
-	dest := h.peers[to]
-	if dest == nil {
-		// Not yet connected: buffer unless the peer is absent forever.
-		if int(to) < h.cfg.N && !h.absent(to) {
-			h.pending[to] = append(h.pending[to], out)
-		}
-		h.mu.Unlock()
+	if to64 >= uint64(h.cfg.N) {
 		return
 	}
-	h.mu.Unlock()
-	if err := writeFrame(dest.conn, &dest.writeMu, kMsg, out); err != nil {
-		dbg("route %d->%d write error: %v", from, to, err)
+	dest := h.peers[sim.PeerID(to64)]
+	if dest == nil {
+		return // absent forever: undeliverable
+	}
+	out := make([]byte, 0, len(body)+binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(src.id))
+	out = append(out, body...)
+	dest.mu.Lock()
+	dest.out.push(kMsg, int(src.id), out)
+	dest.mu.Unlock()
+	h.pump(dest)
+}
+
+// pump transmits every due reliable frame toward hp: first sends, RTO
+// retries of dropped or lost frames, and post-reconnect replays all flow
+// through here.
+func (h *hub) pump(hp *hubPeer) {
+	now := time.Now()
+	hp.mu.Lock()
+	if hp.conn == nil || hp.killed {
+		hp.mu.Unlock()
+		return
+	}
+	due := hp.out.takeDue(now, now.Add(-h.res.RTO))
+	hp.mu.Unlock()
+	for _, f := range due {
+		h.transmit(hp, f.kind, f.seq, sim.PeerID(f.from), f.payload, f.attempt-1)
 	}
 }
 
+// transmit writes one frame toward hp, subject to the fault plan. Every
+// attempt rolls fresh drop/dup/delay decisions keyed by (link, seq,
+// attempt), so the schedule is reproducible yet a lossy link still
+// delivers eventually.
+func (h *hub) transmit(hp *hubPeer, kind byte, seq uint64, from sim.PeerID, payload []byte, attempt int) {
+	if h.plan != nil {
+		elapsed := time.Since(h.start)
+		if h.plan.dropFrame(from, hp.id, seq, attempt, elapsed) {
+			hp.mu.Lock()
+			hp.planDropped++
+			hp.mu.Unlock()
+			dbg("plan: drop %s %d→%d seq=%d attempt=%d", kindName(kind), from, hp.id, seq, attempt)
+			return
+		}
+		delay := h.plan.delayFor(from, hp.id, seq, attempt) + h.plan.stallRemaining(hp.id, elapsed)
+		if h.plan.dupFrame(from, hp.id, seq, attempt) {
+			hp.mu.Lock()
+			hp.planDuped++
+			hp.mu.Unlock()
+			h.later(hp, kind, seq, h.plan.dupDelayFor(from, hp.id, seq, attempt), payload)
+		}
+		if delay > 0 {
+			h.later(hp, kind, seq, delay, payload)
+			return
+		}
+	}
+	h.writeData(hp, kind, seq, payload)
+}
+
+// later schedules a delayed write (jitter, reordering holds, stalls,
+// duplicate copies).
+func (h *hub) later(hp *hubPeer, kind byte, seq uint64, d time.Duration, payload []byte) {
+	t := time.AfterFunc(d, func() { h.writeData(hp, kind, seq, payload) })
+	h.mu.Lock()
+	if h.closed {
+		t.Stop()
+	} else {
+		h.timers = append(h.timers, t)
+	}
+	h.mu.Unlock()
+}
+
+// writeData writes a frame on the peer's current connection, if any.
+// Failures are ignored: the reliable stream recovers via retransmission,
+// and best-effort frames are recovered end-to-end.
+func (h *hub) writeData(hp *hubPeer, kind byte, seq uint64, payload []byte) {
+	hp.mu.Lock()
+	conn := hp.conn
+	hp.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	_ = writeFrame(conn, &hp.writeMu, kind, seq, payload)
+}
+
 // answerQuery serves the source: decode tag + delta indices, reply with
-// the requested bits.
-func (h *hub) answerQuery(_ sim.PeerID, hp *hubPeer, payload []byte) {
-	tag, indices, ok := decodeQuery(payload)
+// the requested bits. Replies ride the best-effort stream — a lost reply
+// is recovered by the client re-issuing the query.
+func (h *hub) answerQuery(hp *hubPeer, payload []byte) {
+	tag, indices, ok := decodeQuery(payload, h.cfg.L)
 	if !ok {
 		return
 	}
@@ -365,18 +617,18 @@ func (h *hub) answerQuery(_ sim.PeerID, hp *hubPeer, payload []byte) {
 	hp.mu.Lock()
 	hp.queryBits += len(indices)
 	hp.queryCalls++
+	hp.replySeq++
+	seq := hp.replySeq
 	hp.mu.Unlock()
 
 	out := encodeQueryHeader(tag, indices)
 	raw := bits.Bytes()
 	out = binary.AppendUvarint(out, uint64(len(raw)))
 	out = append(out, raw...)
-	if err := writeFrame(hp.conn, &hp.writeMu, kQReply, out); err != nil {
-		dbg("qreply write error: %v", err)
-	}
+	h.transmit(hp, kQReply, seq, srcID, out, 0)
 }
 
-func (h *hub) markDone(id sim.PeerID, hp *hubPeer, payload []byte) {
+func (h *hub) markDone(hp *hubPeer, payload []byte) {
 	n64, n := binary.Uvarint(payload)
 	if n <= 0 || int(n64) > len(payload[n:]) {
 		return
@@ -391,7 +643,7 @@ func (h *hub) markDone(id sim.PeerID, hp *hubPeer, payload []byte) {
 	hp.output = out
 	hp.termTime = time.Since(h.start).Seconds()
 	hp.mu.Unlock()
-	if already || h.faulty[id] {
+	if already || h.faulty[hp.id] {
 		return
 	}
 	h.mu.Lock()
@@ -403,14 +655,73 @@ func (h *hub) markDone(id sim.PeerID, hp *hubPeer, payload []byte) {
 	}
 }
 
-// absent reports whether id never connects (crash-from-start).
-func (h *hub) absent(id sim.PeerID) bool {
-	for _, p := range h.cfg.Absent {
-		if p == id {
-			return true
+// retxLoop periodically retransmits unacked reliable frames; this is what
+// turns the fault plan's lossy links back into reliable ones.
+func (h *hub) retxLoop() {
+	defer h.wg.Done()
+	period := h.res.RTO / 2
+	if period > 50*time.Millisecond || period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	tk := time.NewTicker(period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-tk.C:
+		}
+		for _, hp := range h.peers {
+			h.pump(hp)
 		}
 	}
-	return false
+}
+
+// pingLoop heartbeats every connected peer so their read deadlines only
+// fire on genuinely dead links.
+func (h *hub) pingLoop() {
+	defer h.wg.Done()
+	period := h.idle / 3
+	if period <= 0 {
+		period = time.Second
+	}
+	tk := time.NewTicker(period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-tk.C:
+		}
+		for _, hp := range h.peers {
+			h.writeData(hp, kPing, 0, nil)
+		}
+	}
+}
+
+// timeoutError snapshots the unterminated honest peers for the run's
+// deadline report.
+func (h *hub) timeoutError(after time.Duration) *TimeoutError {
+	e := &TimeoutError{After: after}
+	for i := 0; i < h.cfg.N; i++ {
+		id := sim.PeerID(i)
+		if h.faulty[id] {
+			continue
+		}
+		hp := h.peers[id]
+		hp.mu.Lock()
+		term := hp.terminated
+		pp := PendingPeer{ID: id, Connected: hp.conn != nil}
+		if !hp.lastFrame.IsZero() {
+			pp.LastFrame = kindName(hp.lastKind)
+			pp.LastFrameAge = time.Since(hp.lastFrame)
+		}
+		hp.mu.Unlock()
+		if !term {
+			e.Pending = append(e.Pending, pp)
+		}
+	}
+	return e
 }
 
 func (h *hub) close() {
@@ -420,34 +731,31 @@ func (h *hub) close() {
 		return
 	}
 	h.closed = true
-	peers := make([]*hubPeer, 0, len(h.peers))
-	for _, hp := range h.peers {
-		peers = append(peers, hp)
-	}
 	timers := h.timers
 	h.timers = nil
 	h.mu.Unlock()
-	for _, timer := range timers {
-		if timer.Stop() {
-			h.wg.Done() // the kill callback will never run
-		}
+	close(h.stop)
+	for _, t := range timers {
+		t.Stop()
 	}
 	h.ln.Close()
-	for _, hp := range peers {
-		hp.conn.Close()
+	for _, hp := range h.peers {
+		hp.mu.Lock()
+		conn := hp.conn
+		hp.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
 	}
 	h.wg.Wait()
 }
 
-func (h *hub) result(absent map[sim.PeerID]bool) *sim.Result {
+func (h *hub) result() *sim.Result {
 	res := &sim.Result{PerPeer: make([]sim.PeerStats, h.cfg.N)}
 	for i := 0; i < h.cfg.N; i++ {
 		id := sim.PeerID(i)
-		ps := sim.PeerStats{ID: id, Honest: !absent[id], Crashed: absent[id]}
-		h.mu.Lock()
-		hp := h.peers[id]
-		h.mu.Unlock()
-		if hp != nil {
+		ps := sim.PeerStats{ID: id, Honest: !h.faulty[id], Crashed: h.faulty[id]}
+		if hp := h.peers[id]; hp != nil {
 			hp.mu.Lock()
 			ps.QueryBits = hp.queryBits
 			ps.QueryCalls = hp.queryCalls
@@ -456,6 +764,9 @@ func (h *hub) result(absent map[sim.PeerID]bool) *sim.Result {
 			ps.Terminated = hp.terminated
 			ps.TermTime = hp.termTime
 			ps.Output = hp.output
+			ps.DupFramesDropped = hp.dupsDeduped
+			ps.PlanDropped = hp.planDropped
+			ps.PlanDuped = hp.planDuped
 			hp.mu.Unlock()
 		}
 		res.PerPeer[i] = ps
@@ -465,97 +776,351 @@ func (h *hub) result(absent map[sim.PeerID]bool) *sim.Result {
 
 // --- client ------------------------------------------------------------
 
-// runClient dials the hub and drives one protocol instance.
-func runClient(cfg *Config, id sim.PeerID, addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
+// errHubGone marks a redial refused after our own termination: the hub
+// tore the listener down because the run completed, so exit quietly.
+var errHubGone = errors.New("netrt: hub gone after termination")
+
+// runClient dials the hub and drives one protocol instance, reconnecting
+// through connection loss until the protocol terminates and its DONE
+// frame is acknowledged.
+func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats) error {
+	res := cfg.Resilience.withDefaults()
+	idle := cfg.IdleTimeout
+	if idle <= 0 {
+		idle = defaultIdleTimeout
 	}
-	defer conn.Close()
 	c := &client{
-		cfg:   cfg,
-		id:    id,
-		conn:  conn,
-		rng:   rand.New(rand.NewSource(cfg.Seed + int64(id)*0x9e3779b97f4a7c + 1)),
-		impl:  cfg.NewPeer(id),
-		start: time.Now(),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		res:     res,
+		idle:    idle,
+		id:      id,
+		addr:    addr,
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*0x9e3779b97f4a7c + 1)),
+		nrng:    rand.New(rand.NewSource(cfg.Seed ^ (int64(id)*0x51af + 0xdead))),
+		impl:    cfg.NewPeer(id),
+		start:   time.Now(),
+		queries: make(map[qkey]*pendingQuery),
+		stopHK:  make(chan struct{}),
 	}
-	hello := binary.AppendUvarint(nil, uint64(id))
-	if err := writeFrame(conn, &c.writeMu, kHello, hello); err != nil {
+	defer func() {
+		c.mu.Lock()
+		st.queryRetries = c.queryRetries
+		st.reconnects = c.reconnects
+		st.dupsDeduped = c.dupsDeduped
+		c.mu.Unlock()
+	}()
+	if err := c.connect(true); err != nil {
 		return err
 	}
+	go c.housekeeping()
+	defer close(c.stopHK)
 	c.impl.Init(c)
 	dbg("client %d init done, entering loop", id)
 	c.loop()
-	dbg("client %d loop exited (terminated=%v)", id, c.terminated)
-	// Graceful shutdown: a hard Close with unread inbound data (late
-	// messages from still-running peers) would RST the connection and
-	// destroy the in-flight DONE frame — the hub would wait for this
-	// peer's termination forever. Half-close the write side and drain
-	// until the hub closes, so the DONE frame is guaranteed delivery.
+	c.mu.Lock()
+	conn := c.conn
+	rejected := c.rejected
+	connErr := c.connErr
+	terminated := c.terminated
+	c.mu.Unlock()
+	dbg("client %d loop exited (terminated=%v rejected=%v err=%v)", id, terminated, rejected, connErr)
+	if connErr != nil {
+		return connErr
+	}
+	// Graceful shutdown: the loop only exits cleanly once our DONE frame
+	// is acked (or we were rejected), so nothing of ours is in flight.
+	// Half-close and drain so the hub's own in-flight writes are not RST.
 	if tc, ok := conn.(*net.TCPConn); ok {
 		_ = tc.CloseWrite()
 	}
 	_, _ = io.Copy(io.Discard, conn)
+	conn.Close()
 	return nil
 }
 
 type client struct {
-	cfg     *Config
-	id      sim.PeerID
-	conn    net.Conn
-	writeMu sync.Mutex
-	rng     *rand.Rand
-	impl    sim.Peer
-	start   time.Time
+	cfg   *Config
+	res   Resilience
+	idle  time.Duration
+	id    sim.PeerID
+	addr  string
+	rng   *rand.Rand // protocol randomness (sim.Context.Rand)
+	nrng  *rand.Rand // network randomness (backoff jitter), kept separate
+	impl  sim.Peer
+	start time.Time
+
+	writeMu sync.Mutex // serializes frame writes on the current conn
+
+	mu   sync.Mutex
+	conn net.Conn
+	// out is the reliable client→hub stream (MSG/QUERY/DONE): replayed
+	// after every reconnect, retransmitted if long unacked.
+	out outbox
+	// recv dedups the hub→client reliable stream (MSG frames); replies
+	// dedups the best-effort QREPLY stream.
+	recv    dedupReliable
+	replies dedupWindow
+	// queries tracks outstanding source queries for timeout + retry.
+	queries  map[qkey]*pendingQuery
+	lastPing time.Time
 
 	terminated bool
+	rejected   bool
+	connErr    error
 	output     *bitarray.Array
-	done       chan struct{}
+
+	queryRetries, reconnects, dupsDeduped int
+
+	stopHK chan struct{}
 }
 
 var _ sim.Context = (*client)(nil)
 
-// loop reads frames and dispatches handlers until termination or
-// connection close. Handlers run on this single goroutine, preserving
-// the sim.Peer sequential contract.
-func (c *client) loop() {
-	for !c.terminated {
-		kind, payload, err := readFrame(c.conn)
+// connect dials the hub with capped exponential backoff, then replays
+// every unacked frame on the fresh connection (the hub dedups overlap).
+func (c *client) connect(initial bool) error {
+	for a := 0; a < c.res.ReconnectAttempts; a++ {
+		if a > 0 {
+			time.Sleep(backoffDelay(c.nrng, a-1, c.res.ReconnectBase, c.res.ReconnectMax))
+		}
+		conn, err := net.Dial("tcp", c.addr)
 		if err != nil {
-			dbg("client %d read error: %v", c.id, err)
+			c.mu.Lock()
+			term := c.terminated
+			c.mu.Unlock()
+			if term && !initial {
+				return errHubGone
+			}
+			continue
+		}
+		hello := binary.AppendUvarint(nil, uint64(c.id))
+		if err := writeFrame(conn, &c.writeMu, kHello, 0, hello); err != nil {
+			conn.Close()
+			continue
+		}
+		now := time.Now()
+		c.mu.Lock()
+		old := c.conn
+		c.conn = conn
+		if !initial {
+			c.reconnects++
+		}
+		c.out.markAllDue()
+		due := c.out.takeDue(now, now)
+		ack := c.recv.cumAck()
+		c.mu.Unlock()
+		if old != nil {
+			old.Close()
+		}
+		// Refresh the hub's view of our ack state, then replay.
+		_ = writeFrame(conn, &c.writeMu, kAck, 0, binary.AppendUvarint(nil, ack))
+		for _, f := range due {
+			_ = writeFrame(conn, &c.writeMu, f.kind, f.seq, f.payload)
+		}
+		return nil
+	}
+	return fmt.Errorf("netrt: reconnect budget exhausted (%d attempts)", c.res.ReconnectAttempts)
+}
+
+// loop reads frames and dispatches handlers until the protocol has
+// terminated with its DONE frame acked (or the hub rejects us). Protocol
+// handlers run on this single goroutine, preserving the sim.Peer
+// sequential contract.
+func (c *client) loop() {
+	for {
+		c.mu.Lock()
+		conn := c.conn
+		finished := c.rejected || (c.terminated && c.out.empty())
+		c.mu.Unlock()
+		if finished {
 			return
 		}
-		switch kind {
-		case kMsg:
-			from64, n := binary.Uvarint(payload)
-			if n <= 0 {
-				continue
+		conn.SetReadDeadline(time.Now().Add(c.idle))
+		kind, seq, payload, err := readFrame(conn)
+		if err != nil {
+			c.mu.Lock()
+			finished := c.rejected || (c.terminated && c.out.empty())
+			c.mu.Unlock()
+			if finished {
+				return
 			}
-			m, err := wire.Unmarshal(payload[n:], c.cfg.L)
-			if err != nil {
-				dbg("client %d: malformed msg from %d: %v", c.id, from64, err)
-				continue // malformed frame: drop, like line noise
+			dbg("client %d link down: %v", c.id, err)
+			if cerr := c.connect(false); cerr != nil {
+				c.mu.Lock()
+				if !c.terminated && !c.rejected && !errors.Is(cerr, errHubGone) {
+					c.connErr = cerr
+				}
+				c.mu.Unlock()
+				return
 			}
-			c.impl.OnMessage(sim.PeerID(from64), m)
-		case kQReply:
-			tag, indices, ok := decodeQuery(payload)
-			if !ok {
-				dbg("client %d: malformed qreply", c.id)
-				continue
-			}
-			rest := payload[queryHeaderLen(tag, indices):]
-			n64, n := binary.Uvarint(rest)
-			if n <= 0 || int(n64) > len(rest[n:]) {
-				continue
-			}
-			bits, err := bitarray.FromBytes(rest[n : n+int(n64)])
-			if err != nil {
-				continue
-			}
-			c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+			continue
 		}
+		c.handleFrame(kind, seq, payload)
+	}
+}
+
+func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
+	switch kind {
+	case kPing:
+		// Heartbeat: reading it already refreshed the deadline.
+	case kReject:
+		c.mu.Lock()
+		c.rejected = true
+		c.mu.Unlock()
+	case kAck:
+		if v, n := binary.Uvarint(payload); n > 0 {
+			c.mu.Lock()
+			c.out.ackTo(v)
+			c.mu.Unlock()
+		}
+	case kMsg:
+		c.mu.Lock()
+		fresh := c.recv.admit(seq)
+		if !fresh {
+			c.dupsDeduped++
+		}
+		ack := c.recv.cumAck()
+		conn := c.conn
+		term := c.terminated
+		c.mu.Unlock()
+		if conn != nil {
+			_ = writeFrame(conn, &c.writeMu, kAck, 0, binary.AppendUvarint(nil, ack))
+		}
+		if !fresh || term {
+			return
+		}
+		from64, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return
+		}
+		m, err := wire.Unmarshal(payload[n:], c.cfg.L)
+		if err != nil {
+			dbg("client %d: malformed msg from %d: %v", c.id, from64, err)
+			return // malformed frame: drop, like line noise
+		}
+		c.impl.OnMessage(sim.PeerID(from64), m)
+	case kQReply:
+		c.mu.Lock()
+		fresh := c.replies.admit(seq)
+		if !fresh {
+			c.dupsDeduped++
+		}
+		c.mu.Unlock()
+		if !fresh {
+			return
+		}
+		tag, indices, ok := decodeQuery(payload, c.cfg.L)
+		if !ok {
+			dbg("client %d: malformed qreply", c.id)
+			return
+		}
+		rest := payload[queryHeaderLen(tag, indices):]
+		n64, n := binary.Uvarint(rest)
+		if n <= 0 || int(n64) > len(rest[n:]) {
+			return
+		}
+		bits, err := bitarray.FromBytes(rest[n : n+int(n64)])
+		if err != nil {
+			return
+		}
+		// Retry matching: a retried query may draw several replies; only
+		// as many as are owed reach the protocol, keeping duplicated and
+		// replayed replies idempotent.
+		key := qkeyOf(tag, indices)
+		c.mu.Lock()
+		pq := c.queries[key]
+		owed := pq != nil && pq.count > 0
+		if owed {
+			pq.count--
+			if pq.count == 0 {
+				delete(c.queries, key)
+			}
+		} else {
+			c.dupsDeduped++
+		}
+		term := c.terminated
+		c.mu.Unlock()
+		if !owed || term {
+			return
+		}
+		c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+	}
+}
+
+// housekeeping drives the client's timers: heartbeats, query timeout
+// retries, and belt-and-braces retransmission of long-unacked frames. It
+// never calls into the protocol, so the sequential contract holds.
+func (c *client) housekeeping() {
+	period := c.idle / 3
+	if period > 50*time.Millisecond || period <= 0 {
+		period = 50 * time.Millisecond
+	}
+	tk := time.NewTicker(period)
+	defer tk.Stop()
+	for {
+		select {
+		case <-c.stopHK:
+			return
+		case <-tk.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		conn := c.conn
+		ping := now.Sub(c.lastPing) >= c.idle/3
+		if ping {
+			c.lastPing = now
+		}
+		due := c.out.takeDue(now, now.Add(-4*c.res.RTO))
+		var retries [][]byte
+		if !c.terminated {
+			for _, pq := range c.queries {
+				if pq.gaveUp || now.Before(pq.deadline) {
+					continue
+				}
+				if pq.attempts >= c.res.QueryAttempts {
+					pq.gaveUp = true
+					dbg("client %d: query retry budget exhausted", c.id)
+					continue
+				}
+				pq.attempts++
+				c.queryRetries++
+				pq.deadline = nextQueryDeadline(now, c.res.QueryTimeout, pq.attempts)
+				retries = append(retries, pq.payload)
+			}
+		}
+		c.mu.Unlock()
+		if conn != nil {
+			if ping {
+				_ = writeFrame(conn, &c.writeMu, kPing, 0, nil)
+			}
+			for _, f := range due {
+				_ = writeFrame(conn, &c.writeMu, f.kind, f.seq, f.payload)
+			}
+		}
+		for _, p := range retries {
+			c.enqueue(kQuery, p)
+		}
+	}
+}
+
+// enqueue appends a frame to the reliable stream and attempts an
+// immediate write; on a dead connection the frame simply waits in the
+// outbox for the post-reconnect replay.
+func (c *client) enqueue(kind byte, payload []byte) {
+	now := time.Now()
+	c.mu.Lock()
+	if c.terminated && kind != kDone {
+		c.mu.Unlock()
+		return
+	}
+	f := c.out.push(kind, int(c.id), payload)
+	f.sentAt = now
+	f.attempt = 1
+	seq := f.seq
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		_ = writeFrame(conn, &c.writeMu, kind, seq, payload)
 	}
 }
 
@@ -576,7 +1141,7 @@ func (c *client) MsgBits() int { return c.cfg.MsgBits }
 
 // Send implements sim.Context.
 func (c *client) Send(to sim.PeerID, m sim.Message) {
-	if c.terminated || to == c.id || to < 0 || int(to) >= c.cfg.N {
+	if to == c.id || to < 0 || int(to) >= c.cfg.N {
 		return
 	}
 	body, err := wire.Marshal(m)
@@ -585,7 +1150,7 @@ func (c *client) Send(to sim.PeerID, m sim.Message) {
 	}
 	out := binary.AppendUvarint(nil, uint64(to))
 	out = append(out, body...)
-	_ = writeFrame(c.conn, &c.writeMu, kMsg, out)
+	c.enqueue(kMsg, out)
 }
 
 // Broadcast implements sim.Context.
@@ -599,23 +1164,45 @@ func (c *client) Broadcast(m sim.Message) {
 
 // Query implements sim.Context.
 func (c *client) Query(tag int, indices []int) {
+	payload := encodeQueryHeader(tag, indices)
+	key := qkeyOf(tag, indices)
+	now := time.Now()
+	c.mu.Lock()
 	if c.terminated {
+		c.mu.Unlock()
 		return
 	}
-	out := encodeQueryHeader(tag, indices)
-	_ = writeFrame(c.conn, &c.writeMu, kQuery, out)
+	pq := c.queries[key]
+	if pq == nil {
+		pq = &pendingQuery{payload: payload}
+		c.queries[key] = pq
+	}
+	pq.count++
+	pq.gaveUp = false
+	pq.attempts = 1
+	pq.deadline = nextQueryDeadline(now, c.res.QueryTimeout, 0)
+	c.mu.Unlock()
+	c.enqueue(kQuery, payload)
 }
 
 // Output implements sim.Context.
 func (c *client) Output(out *bitarray.Array) {
-	if !c.terminated {
+	c.mu.Lock()
+	term := c.terminated
+	c.mu.Unlock()
+	if !term {
 		c.output = out.Clone()
 	}
 }
 
-// Terminate implements sim.Context.
+// Terminate implements sim.Context. The DONE frame rides the reliable
+// stream: the loop keeps running (and reconnecting if needed) until the
+// hub's cumulative ack covers it, so termination survives chaos.
 func (c *client) Terminate() {
+	now := time.Now()
+	c.mu.Lock()
 	if c.terminated {
+		c.mu.Unlock()
 		return
 	}
 	c.terminated = true
@@ -625,7 +1212,15 @@ func (c *client) Terminate() {
 	}
 	body := binary.AppendUvarint(nil, uint64(len(raw)))
 	body = append(body, raw...)
-	_ = writeFrame(c.conn, &c.writeMu, kDone, body)
+	f := c.out.push(kDone, int(c.id), body)
+	f.sentAt = now
+	f.attempt = 1
+	seq := f.seq
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		_ = writeFrame(conn, &c.writeMu, kDone, seq, body)
+	}
 }
 
 // Rand implements sim.Context.
@@ -636,79 +1231,3 @@ func (c *client) Now() float64 { return time.Since(c.start).Seconds() }
 
 // Logf implements sim.Context.
 func (c *client) Logf(string, ...any) {}
-
-// --- framing -----------------------------------------------------------
-
-func writeFrame(conn net.Conn, mu *sync.Mutex, kind byte, payload []byte) error {
-	if len(payload) > maxFrame {
-		return fmt.Errorf("netrt: frame too large: %d", len(payload))
-	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
-	hdr[4] = kind
-	mu.Lock()
-	defer mu.Unlock()
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(payload)
-	return err
-}
-
-func readFrame(conn net.Conn) (byte, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-		return 0, nil, err
-	}
-	size := binary.BigEndian.Uint32(hdr[:])
-	if size < 1 || size > maxFrame {
-		return 0, nil, fmt.Errorf("netrt: bad frame size %d", size)
-	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(conn, buf); err != nil {
-		return 0, nil, err
-	}
-	return buf[0], buf[1:], nil
-}
-
-// encodeQueryHeader encodes tag (zig-zag, tags may be negative) plus
-// delta-encoded indices.
-func encodeQueryHeader(tag int, indices []int) []byte {
-	out := binary.AppendVarint(nil, int64(tag))
-	out = binary.AppendUvarint(out, uint64(len(indices)))
-	prev := 0
-	for _, idx := range indices {
-		out = binary.AppendVarint(out, int64(idx-prev))
-		prev = idx
-	}
-	return out
-}
-
-func queryHeaderLen(tag int, indices []int) int {
-	return len(encodeQueryHeader(tag, indices))
-}
-
-func decodeQuery(payload []byte) (tag int, indices []int, ok bool) {
-	t64, n := binary.Varint(payload)
-	if n <= 0 {
-		return 0, nil, false
-	}
-	payload = payload[n:]
-	cnt, n := binary.Uvarint(payload)
-	if n <= 0 || cnt > maxFrame {
-		return 0, nil, false
-	}
-	payload = payload[n:]
-	indices = make([]int, 0, cnt)
-	prev := int64(0)
-	for i := uint64(0); i < cnt; i++ {
-		d, n := binary.Varint(payload)
-		if n <= 0 {
-			return 0, nil, false
-		}
-		payload = payload[n:]
-		prev += d
-		indices = append(indices, int(prev))
-	}
-	return int(t64), indices, true
-}

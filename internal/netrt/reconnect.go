@@ -1,0 +1,226 @@
+package netrt
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/adversary"
+)
+
+// This file holds the resilience primitives both endpoints use to survive
+// a FaultPlan: the retransmit outbox (fair-loss link → reliable link),
+// receiver-side dedup, capped-exponential reconnect backoff, and the
+// client's query retry bookkeeping.
+
+// Resilience tunes the retry/reconnect behavior of the runtime. The zero
+// value selects defaults (see withDefaults); fields are only knobs — the
+// mechanisms are always on, they just never fire on a clean network.
+type Resilience struct {
+	// QueryTimeout is the client's wait before re-issuing an unanswered
+	// source query; it doubles per retry (capped at 8×). Default 500ms.
+	QueryTimeout time.Duration
+	// QueryAttempts bounds total attempts per query (first send
+	// included). Default 8.
+	QueryAttempts int
+	// ReconnectBase/ReconnectMax shape the capped exponential backoff
+	// between redial attempts (±50% jitter). Defaults 25ms / 1s.
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// ReconnectAttempts bounds consecutive failed redials before a
+	// client gives up. Default 12.
+	ReconnectAttempts int
+	// RTO is the retransmission timeout for unacked reliable frames.
+	// Default 150ms.
+	RTO time.Duration
+}
+
+func (r Resilience) withDefaults() Resilience {
+	if r.QueryTimeout <= 0 {
+		r.QueryTimeout = 500 * time.Millisecond
+	}
+	if r.QueryAttempts <= 0 {
+		r.QueryAttempts = 8
+	}
+	if r.ReconnectBase <= 0 {
+		r.ReconnectBase = 25 * time.Millisecond
+	}
+	if r.ReconnectMax <= 0 {
+		r.ReconnectMax = time.Second
+	}
+	if r.ReconnectAttempts <= 0 {
+		r.ReconnectAttempts = 12
+	}
+	if r.RTO <= 0 {
+		r.RTO = 150 * time.Millisecond
+	}
+	return r
+}
+
+// backoffDelay returns the capped exponential delay before redial
+// `attempt` (0-based), jittered to ±50% so flapped peers do not redial in
+// lockstep.
+func backoffDelay(rng *rand.Rand, attempt int, base, max time.Duration) time.Duration {
+	d := base << uint(min(attempt, 20))
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
+}
+
+// outFrame is one sent-but-unacked reliable frame.
+type outFrame struct {
+	seq     uint64
+	kind    byte
+	from    int // original sender, for fault-plan decisions (hub side)
+	payload []byte
+	sentAt  time.Time // zero means "due now" (never written, or replaying)
+	attempt int
+}
+
+// outbox holds the reliable stream's unacked frames for retransmission.
+// Frames stay until cumulatively acked; push assigns monotonic sequence
+// numbers starting at 1.
+type outbox struct {
+	frames  []outFrame
+	nextSeq uint64
+}
+
+func (o *outbox) push(kind byte, from int, payload []byte) *outFrame {
+	o.nextSeq++
+	o.frames = append(o.frames, outFrame{seq: o.nextSeq, kind: kind, from: from, payload: payload})
+	return &o.frames[len(o.frames)-1]
+}
+
+// ackTo drops every frame with seq ≤ v (cumulative ack).
+func (o *outbox) ackTo(v uint64) {
+	keep := o.frames[:0]
+	for _, f := range o.frames {
+		if f.seq > v {
+			keep = append(keep, f)
+		}
+	}
+	for i := len(keep); i < len(o.frames); i++ {
+		o.frames[i] = outFrame{} // release payloads
+	}
+	o.frames = keep
+}
+
+func (o *outbox) empty() bool { return len(o.frames) == 0 }
+
+// takeDue marks every frame last sent before `cutoff` as sent now and
+// returns copies for transmission. A zero sentAt is always due.
+func (o *outbox) takeDue(now, cutoff time.Time) []outFrame {
+	var due []outFrame
+	for i := range o.frames {
+		f := &o.frames[i]
+		if f.sentAt.IsZero() || f.sentAt.Before(cutoff) {
+			f.sentAt = now
+			f.attempt++
+			due = append(due, *f)
+		}
+	}
+	return due
+}
+
+// markAllDue schedules every unacked frame for immediate retransmission
+// (used after a reconnect: in-flight frames on the old connection may be
+// lost).
+func (o *outbox) markAllDue() {
+	for i := range o.frames {
+		o.frames[i].sentAt = time.Time{}
+	}
+}
+
+// dedupReliable admits each sequence number of a retransmitted-until-acked
+// stream exactly once. Memory stays bounded because the sender retransmits
+// every unacked frame: gaps below the contiguous watermark always fill, so
+// the ahead set only holds transient reorderings.
+type dedupReliable struct {
+	contig uint64 // every seq ≤ contig has been admitted
+	ahead  map[uint64]bool
+}
+
+func (d *dedupReliable) admit(seq uint64) bool {
+	if seq == 0 || seq <= d.contig || d.ahead[seq] {
+		return false
+	}
+	if d.ahead == nil {
+		d.ahead = make(map[uint64]bool)
+	}
+	d.ahead[seq] = true
+	for d.ahead[d.contig+1] {
+		d.contig++
+		delete(d.ahead, d.contig)
+	}
+	return true
+}
+
+// cumAck is the cumulative acknowledgment to report to the sender.
+func (d *dedupReliable) cumAck() uint64 { return d.contig }
+
+// dedupWindowSize bounds the memory of a best-effort stream's dedup. Dup
+// copies race their original by at most the plan's jitter, so a window of
+// recent sequence numbers is plenty.
+const dedupWindowSize = 4096
+
+// dedupWindow dedups a best-effort stream (query replies): frames are
+// never retransmitted, so gaps are permanent and a contiguity watermark
+// would never advance. It remembers the last window of seqs instead;
+// anything older than the window is treated as a duplicate.
+type dedupWindow struct {
+	maxSeen uint64
+	seen    map[uint64]bool
+}
+
+func (d *dedupWindow) admit(seq uint64) bool {
+	if seq == 0 || seq+dedupWindowSize <= d.maxSeen || d.seen[seq] {
+		return false
+	}
+	if d.seen == nil {
+		d.seen = make(map[uint64]bool)
+	}
+	d.seen[seq] = true
+	if seq > d.maxSeen {
+		d.maxSeen = seq
+	}
+	if len(d.seen) > 2*dedupWindowSize {
+		for s := range d.seen {
+			if s+dedupWindowSize <= d.maxSeen {
+				delete(d.seen, s)
+			}
+		}
+	}
+	return true
+}
+
+// qkey identifies one logical source query for retry matching: the tag
+// plus a hash of the index set, so concurrent same-tag queries with
+// different indices keep separate retry state.
+type qkey struct {
+	tag int
+	h   uint64
+}
+
+func qkeyOf(tag int, indices []int) qkey {
+	words := make([]uint64, 0, len(indices)+1)
+	words = append(words, uint64(len(indices)))
+	for _, idx := range indices {
+		words = append(words, uint64(int64(idx)))
+	}
+	return qkey{tag: tag, h: adversary.Mix64(words...)}
+}
+
+// pendingQuery tracks one outstanding source query awaiting its reply.
+type pendingQuery struct {
+	payload  []byte // encoded query header, re-sent verbatim on retry
+	count    int    // outstanding identical queries (replies owed)
+	attempts int    // send attempts so far
+	deadline time.Time
+	gaveUp   bool
+}
+
+// nextQueryDeadline backs off the retry deadline exponentially, capped.
+func nextQueryDeadline(now time.Time, timeout time.Duration, attempts int) time.Time {
+	d := timeout << uint(min(attempts, 3))
+	return now.Add(d)
+}

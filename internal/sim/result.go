@@ -29,6 +29,22 @@ type PeerStats struct {
 	Output *bitarray.Array
 	// OutputCorrect reports Output == X (meaningful for honest peers).
 	OutputCorrect bool
+
+	// Robustness counters (netrt runtime; zero elsewhere). They count
+	// recovery work, not protocol cost: fault-plan events and the retries
+	// that absorbed them.
+
+	// QueryRetries counts source queries re-issued after a timeout.
+	QueryRetries int
+	// Reconnects counts successful redials after a severed connection.
+	Reconnects int
+	// DupFramesDropped counts duplicate frames the peer (or the hub, on
+	// this peer's link) received and discarded.
+	DupFramesDropped int
+	// PlanDropped/PlanDuped count fault-plan drop/duplicate events on
+	// deliveries toward this peer.
+	PlanDropped int
+	PlanDuped   int
 }
 
 // Result aggregates an execution's outcome. Aggregates follow the paper's
@@ -54,6 +70,10 @@ type Result struct {
 	Failures []string
 	// Events is the number of delivered events (des runtime).
 	Events int
+	// QueryRetries/Reconnects aggregate the per-peer robustness counters
+	// over honest peers (netrt runtime; zero elsewhere).
+	QueryRetries int
+	Reconnects   int
 }
 
 // Finalize computes aggregates and correctness from PerPeer against the
@@ -86,6 +106,8 @@ func (r *Result) Finalize(input *bitarray.Array) {
 		}
 		r.Msgs += s.MsgsSent
 		r.MsgBits += s.MsgBitsSent
+		r.QueryRetries += s.QueryRetries
+		r.Reconnects += s.Reconnects
 		if s.TermTime > r.Time {
 			r.Time = s.TermTime
 		}
