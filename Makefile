@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench conform chaos experiments fuzz clean
+.PHONY: all build vet test race bench bench-ci conform chaos experiments fuzz clean
 
 all: build vet test
 
@@ -21,6 +21,14 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem . | tee bench_output.txt
+
+# Benchmark regression gate (see docs/PERF.md): a quick-mode pipeline run
+# writes bench/BENCH_<timestamp>.json and exits 3 if costs regress past
+# the thresholds vs the newest committed baseline; then the parallel
+# sweep driver's determinism test runs under the race detector.
+bench-ci:
+	$(GO) run ./cmd/drbench -bench -quick -out bench
+	$(GO) test -race -count=1 ./internal/sweep/
 
 conform:
 	$(GO) run ./cmd/drconform -n 16 -L 2048 -seeds 3 -tcp

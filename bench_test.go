@@ -46,6 +46,7 @@ func benchSpec(n, t, L int, seed int64, factory func(sim.PeerID) sim.Peer, fault
 // runBench executes the spec b.N times and reports the paper's metrics.
 func runBench(b *testing.B, mk func(seed int64) *sim.Spec) {
 	b.Helper()
+	b.ReportAllocs()
 	var q, msgs, avgQ, vtime float64
 	for i := 0; i < b.N; i++ {
 		res, err := des.New().Run(mk(int64(i)))

@@ -1,0 +1,215 @@
+// Package benchfmt defines the schema-versioned interchange format for
+// the repo's benchmark pipeline (cmd/drbench -bench). Each pipeline run
+// writes one BENCH_<timestamp>.json file recording, per Table-1 cell,
+// the simulator cost (ns/op, allocs/op, bytes/op) and the paper's
+// complexity measures (queryQ, avgQ, msgs, vtime). Because every cell is
+// seeded and deterministic, the paper metrics must be bit-identical
+// between runs of the same mode and seed: Compare treats any drift there
+// as a semantic regression, while wall-clock and allocation costs get
+// configurable growth thresholds.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is the format generation this package reads and writes.
+// Load rejects files from other generations rather than guessing.
+const SchemaVersion = 1
+
+// FilePrefix is the filename prefix of pipeline outputs; Latest discovers
+// baselines by globbing it. Timestamped names sort chronologically.
+const FilePrefix = "BENCH_"
+
+// Row is the measurement of one benchmark cell.
+type Row struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Paper metrics — deterministic functions of (mode, seed).
+	QueryQ float64 `json:"query_q"`
+	AvgQ   float64 `json:"avg_q"`
+	Msgs   float64 `json:"msgs"`
+	VTime  float64 `json:"vtime"`
+}
+
+// File is one pipeline run.
+type File struct {
+	Schema  int    `json:"schema"`
+	Created string `json:"created"` // RFC3339, UTC
+	Label   string `json:"label,omitempty"`
+	Note    string `json:"note,omitempty"`
+	// Mode ("quick" or "full"), Seed, and Iters pin the measurement
+	// configuration; Compare refuses to diff across configurations.
+	Mode  string `json:"mode"`
+	Seed  int64  `json:"seed"`
+	Iters int    `json:"iters"`
+	Rows  []Row  `json:"rows"`
+}
+
+// Row returns the named row.
+func (f *File) Row(name string) (Row, bool) {
+	for _, r := range f.Rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Filename returns the canonical name for a run at time t.
+func Filename(t time.Time) string {
+	return FilePrefix + t.UTC().Format("20060102T150405Z") + ".json"
+}
+
+// Write stores f in dir under its canonical timestamped name and returns
+// the path. Schema and Created are filled in if zero.
+func Write(dir string, f *File) (string, error) {
+	if f.Created == "" {
+		f.Created = time.Now().UTC().Format(time.RFC3339)
+	}
+	t, err := time.Parse(time.RFC3339, f.Created)
+	if err != nil {
+		return "", fmt.Errorf("benchfmt: bad Created %q: %w", f.Created, err)
+	}
+	path := filepath.Join(dir, Filename(t))
+	if err := WriteFile(path, f); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// WriteFile stores f at an explicit path (used for named baselines that
+// must not be picked up by Latest).
+func WriteFile(path string, f *File) error {
+	if f.Schema == 0 {
+		f.Schema = SchemaVersion
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchfmt: %w", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("benchfmt: %w", err)
+		}
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates one file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchfmt: %s has schema %d; this build reads schema %d", path, f.Schema, SchemaVersion)
+	}
+	return &f, nil
+}
+
+// Latest returns the newest BENCH_*.json in dir, or ("", nil, nil) when
+// none exists. Timestamped filenames make lexical order chronological.
+func Latest(dir string) (string, *File, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, FilePrefix+"*.json"))
+	if err != nil {
+		return "", nil, err
+	}
+	if len(matches) == 0 {
+		return "", nil, nil
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	f, err := Load(path)
+	if err != nil {
+		return "", nil, err
+	}
+	return path, f, nil
+}
+
+// Thresholds bounds acceptable cost growth, as fractions (0.10 = +10%).
+type Thresholds struct {
+	MaxNsGrowth     float64
+	MaxAllocsGrowth float64
+}
+
+// Regression is one threshold violation found by Compare.
+type Regression struct {
+	Name   string // row name
+	Metric string // "ns_per_op", "allocs_per_op", a paper metric, or "missing"
+	Base   float64
+	Cur    float64
+	Growth float64 // fractional growth, Cur/Base - 1
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: row missing from current run", r.Name)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", r.Name, r.Metric, r.Base, r.Cur, 100*r.Growth)
+}
+
+func growth(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return 1
+	}
+	return cur/base - 1
+}
+
+// Compare diffs cur against base. Cost metrics regress when they grow past
+// the thresholds; paper metrics regress on any change at all, since for a
+// fixed (mode, seed) they are deterministic — drift there means the
+// simulation semantics changed, which must be an explicit decision (record
+// it by committing a new baseline). Files from different modes or seeds
+// are not comparable and return an error.
+func Compare(base, cur *File, th Thresholds) ([]Regression, error) {
+	if base.Mode != cur.Mode {
+		return nil, fmt.Errorf("benchfmt: mode mismatch: baseline %q vs current %q", base.Mode, cur.Mode)
+	}
+	if base.Seed != cur.Seed {
+		return nil, fmt.Errorf("benchfmt: seed mismatch: baseline %d vs current %d", base.Seed, cur.Seed)
+	}
+	var regs []Regression
+	for _, br := range base.Rows {
+		cr, ok := cur.Row(br.Name)
+		if !ok {
+			regs = append(regs, Regression{Name: br.Name, Metric: "missing"})
+			continue
+		}
+		if g := growth(br.NsPerOp, cr.NsPerOp); g > th.MaxNsGrowth {
+			regs = append(regs, Regression{br.Name, "ns_per_op", br.NsPerOp, cr.NsPerOp, g})
+		}
+		if g := growth(br.AllocsPerOp, cr.AllocsPerOp); g > th.MaxAllocsGrowth {
+			regs = append(regs, Regression{br.Name, "allocs_per_op", br.AllocsPerOp, cr.AllocsPerOp, g})
+		}
+		exact := []struct {
+			metric    string
+			base, cur float64
+		}{
+			{"query_q", br.QueryQ, cr.QueryQ},
+			{"avg_q", br.AvgQ, cr.AvgQ},
+			{"msgs", br.Msgs, cr.Msgs},
+			{"vtime", br.VTime, cr.VTime},
+		}
+		for _, m := range exact {
+			if m.base != m.cur {
+				regs = append(regs, Regression{br.Name, m.metric, m.base, m.cur, growth(m.base, m.cur)})
+			}
+		}
+	}
+	return regs, nil
+}

@@ -1,0 +1,119 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample(created string) *File {
+	return &File{
+		Created: created,
+		Mode:    "quick",
+		Seed:    7,
+		Iters:   1,
+		Rows: []Row{
+			{Name: "crash1", NsPerOp: 1e6, AllocsPerOp: 1000, BytesPerOp: 64e3,
+				QueryQ: 91, AvgQ: 80.5, Msgs: 615, VTime: 3.0884},
+			{Name: "crashk", NsPerOp: 5e6, AllocsPerOp: 9000, BytesPerOp: 512e3,
+				QueryQ: 389, AvgQ: 300.25, Msgs: 2109, VTime: 7.5832},
+		},
+	}
+}
+
+func TestRoundTripAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	old := sample("2026-08-01T10:00:00Z")
+	if _, err := Write(dir, old); err != nil {
+		t.Fatal(err)
+	}
+	cur := sample("2026-08-02T10:00:00Z")
+	path, err := Write(dir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_20260802T100000Z.json"); path != want {
+		t.Fatalf("path %q, want %q", path, want)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion || len(got.Rows) != 2 || got.Rows[1].Msgs != 2109 {
+		t.Fatalf("round trip mangled file: %+v", got)
+	}
+	latestPath, latest, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latestPath != path || latest.Created != cur.Created {
+		t.Fatalf("Latest picked %q (%s), want the newer run", latestPath, latest.Created)
+	}
+	if _, r, err := Latest(t.TempDir()); err != nil || r != nil {
+		t.Fatalf("Latest on empty dir: %v, %v", r, err)
+	}
+}
+
+func TestLoadRejectsOtherSchemas(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99, "rows": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema 99") {
+		t.Fatalf("want schema version error, got %v", err)
+	}
+}
+
+func TestCompareThresholds(t *testing.T) {
+	base, cur := sample(""), sample("")
+	th := Thresholds{MaxNsGrowth: 0.5, MaxAllocsGrowth: 0.1}
+
+	if regs, err := Compare(base, cur, th); err != nil || len(regs) != 0 {
+		t.Fatalf("identical files must compare clean: %v %v", regs, err)
+	}
+
+	// Cost growth within threshold passes; beyond it regresses.
+	cur.Rows[0].NsPerOp = 1.4e6
+	cur.Rows[0].AllocsPerOp = 1099
+	if regs, _ := Compare(base, cur, th); len(regs) != 0 {
+		t.Fatalf("within-threshold growth flagged: %v", regs)
+	}
+	cur.Rows[0].AllocsPerOp = 1200
+	regs, err := Compare(base, cur, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "allocs_per_op" || regs[0].Name != "crash1" {
+		t.Fatalf("want one allocs_per_op regression, got %v", regs)
+	}
+
+	// Paper metrics are exact: any drift regresses regardless of size.
+	cur = sample("")
+	cur.Rows[1].Msgs = 2110
+	regs, _ = Compare(base, cur, th)
+	if len(regs) != 1 || regs[0].Metric != "msgs" || regs[0].Name != "crashk" {
+		t.Fatalf("want one msgs regression, got %v", regs)
+	}
+
+	// A dropped row is always a regression.
+	cur = sample("")
+	cur.Rows = cur.Rows[:1]
+	regs, _ = Compare(base, cur, th)
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("want missing-row regression, got %v", regs)
+	}
+}
+
+func TestCompareRejectsMismatchedConfigs(t *testing.T) {
+	base, cur := sample(""), sample("")
+	cur.Mode = "full"
+	if _, err := Compare(base, cur, Thresholds{}); err == nil {
+		t.Fatal("mode mismatch must error")
+	}
+	cur = sample("")
+	cur.Seed = 8
+	if _, err := Compare(base, cur, Thresholds{}); err == nil {
+		t.Fatal("seed mismatch must error")
+	}
+}

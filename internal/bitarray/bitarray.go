@@ -165,30 +165,77 @@ func (a *Array) CopyFrom(src *Array, srcStart, dstStart, length int) {
 	a.copyBits(src, srcStart, dstStart, length)
 }
 
-// copyBits copies without bounds checks (callers validate).
+// copyBits copies without bounds checks (callers validate). All paths are
+// word-level: the unaligned case moves 64 bits per step through
+// extract64/inject64 rather than bit-by-bit.
 func (a *Array) copyBits(src *Array, srcStart, dstStart, length int) {
 	// Word-aligned fast path.
 	if srcStart%wordBits == 0 && dstStart%wordBits == 0 {
 		full := length / wordBits
 		copy(a.words[dstStart/wordBits:dstStart/wordBits+full], src.words[srcStart/wordBits:srcStart/wordBits+full])
-		for i := full * wordBits; i < length; i++ {
-			a.Set(dstStart+i, src.Get(srcStart+i))
+		if rem := length % wordBits; rem > 0 {
+			a.inject64(dstStart+full*wordBits, rem, src.extract64(srcStart+full*wordBits, rem))
 		}
 		return
 	}
-	for i := 0; i < length; i++ {
-		a.Set(dstStart+i, src.Get(srcStart+i))
+	for length >= wordBits {
+		a.inject64(dstStart, wordBits, src.extract64(srcStart, wordBits))
+		srcStart += wordBits
+		dstStart += wordBits
+		length -= wordBits
+	}
+	if length > 0 {
+		a.inject64(dstStart, length, src.extract64(srcStart, length))
 	}
 }
 
+// extract64 returns bits [pos, pos+n) as the low n bits of a word, n ≤ 64.
+// The caller guarantees pos+n ≤ Len.
+func (a *Array) extract64(pos, n int) uint64 {
+	wi, off := pos/wordBits, uint(pos)%wordBits
+	w := a.words[wi] >> off
+	if off != 0 && wi+1 < len(a.words) {
+		w |= a.words[wi+1] << (wordBits - off)
+	}
+	if n < wordBits {
+		w &= 1<<uint(n) - 1
+	}
+	return w
+}
+
+// inject64 writes the low n bits of v into [pos, pos+n), n ≤ 64. The
+// caller guarantees pos+n ≤ Len.
+func (a *Array) inject64(pos, n int, v uint64) {
+	wi, off := pos/wordBits, uint(pos)%wordBits
+	mask := ^uint64(0)
+	if n < wordBits {
+		mask = 1<<uint(n) - 1
+		v &= mask
+	}
+	a.words[wi] = a.words[wi]&^(mask<<off) | v<<off
+	if int(off)+n > wordBits {
+		hi := wordBits - off
+		a.words[wi+1] = a.words[wi+1]&^(mask>>hi) | v>>hi
+	}
+}
+
+// EncodedLen returns the length of the Bytes serialization.
+func (a *Array) EncodedLen() int { return 8 + len(a.words)*8 }
+
 // Bytes serializes the array as length-prefixed little-endian bytes.
 func (a *Array) Bytes() []byte {
-	out := make([]byte, 8+len(a.words)*8)
-	binary.LittleEndian.PutUint64(out, uint64(a.n))
-	for i, w := range a.words {
-		binary.LittleEndian.PutUint64(out[8+i*8:], w)
+	return a.AppendTo(make([]byte, 0, a.EncodedLen()))
+}
+
+// AppendTo appends the Bytes serialization to dst and returns the extended
+// slice — the allocation-free encode path (package wire reuses one buffer
+// per connection).
+func (a *Array) AppendTo(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(a.n))
+	for _, w := range a.words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
 	}
-	return out
+	return dst
 }
 
 // FromBytes deserializes an Array produced by Bytes.
@@ -228,6 +275,45 @@ func (a *Array) String() string {
 		fmt.Fprintf(&sb, "…(+%d bits)", a.n-maxShown)
 	}
 	return sb.String()
+}
+
+// Arena carves many small Arrays out of one shared backing slab. Message
+// builders that produce a batch of value arrays (one per answered item)
+// use it to pay two allocations per batch instead of two per item. Arrays
+// returned by an arena are independent values sharing only cache locality;
+// they must be fully built before the batch escapes, like any message
+// payload.
+type Arena struct {
+	words []uint64
+	arrs  []Array
+}
+
+// NewArena returns an arena sized for nArrays arrays totalling totalBits
+// bits. Requests beyond the reserved capacity fall back to individual
+// allocation, so sizing is a performance hint, not a correctness limit.
+func NewArena(nArrays, totalBits int) *Arena {
+	return &Arena{
+		// Each array rounds up to a word boundary, hence the +nArrays.
+		words: make([]uint64, 0, totalBits/wordBits+nArrays),
+		arrs:  make([]Array, 0, nArrays),
+	}
+}
+
+// New returns an all-zero n-bit Array backed by the arena's slab.
+func (ar *Arena) New(n int) *Array {
+	if n < 0 {
+		panic(fmt.Sprintf("bitarray: negative length %d", n))
+	}
+	nw := (n + wordBits - 1) / wordBits
+	if len(ar.words)+nw > cap(ar.words) || len(ar.arrs) == cap(ar.arrs) {
+		// Growing would reallocate the slab and break the aliasing of
+		// earlier arrays; overflow requests get their own storage.
+		return New(n)
+	}
+	w := ar.words[len(ar.words) : len(ar.words)+nw]
+	ar.words = ar.words[:len(ar.words)+nw]
+	ar.arrs = append(ar.arrs, Array{n: n, words: w})
+	return &ar.arrs[len(ar.arrs)-1]
 }
 
 func (a *Array) check(i int) {

@@ -1,0 +1,243 @@
+package bitarray
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests: the word-level implementations (extract64/inject64,
+// copyBits, LearnRange, KnownRange, UnknownIn) are checked against a naive
+// bit-at-a-time model over randomized operation sequences. Lengths are
+// chosen to hit word boundaries — the cases where masked merges and
+// cross-word spills live.
+
+var propLens = []int{1, 3, 63, 64, 65, 127, 128, 130, 200, 1000}
+
+// modelOf mirrors an Array as a []bool.
+func modelOf(a *Array) []bool {
+	m := make([]bool, a.Len())
+	for i := range m {
+		m[i] = a.Get(i)
+	}
+	return m
+}
+
+func checkAgainst(t *testing.T, a *Array, model []bool, ctx string) {
+	t.Helper()
+	if a.Len() != len(model) {
+		t.Fatalf("%s: length %d, model %d", ctx, a.Len(), len(model))
+	}
+	count := 0
+	for i, v := range model {
+		if a.Get(i) != v {
+			t.Fatalf("%s: bit %d is %v, model %v", ctx, i, a.Get(i), v)
+		}
+		if v {
+			count++
+		}
+	}
+	if a.Count() != count {
+		t.Fatalf("%s: Count %d, model %d", ctx, a.Count(), count)
+	}
+}
+
+func TestArrayVsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range propLens {
+		a := New(n)
+		model := make([]bool, n)
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(6) {
+			case 0: // Set
+				i, v := rng.Intn(n), rng.Intn(2) == 0
+				a.Set(i, v)
+				model[i] = v
+			case 1: // CopyFrom a random array at random (unaligned) offsets
+				src := Random(rng, rng.Intn(2*n)+1)
+				length := rng.Intn(min(src.Len(), n) + 1)
+				srcStart := rng.Intn(src.Len() - length + 1)
+				dstStart := rng.Intn(n - length + 1)
+				a.CopyFrom(src, srcStart, dstStart, length)
+				for i := 0; i < length; i++ {
+					model[dstStart+i] = src.Get(srcStart + i)
+				}
+			case 2: // Slice must match the model's sub-slice
+				length := rng.Intn(n + 1)
+				start := rng.Intn(n - length + 1)
+				s := a.Slice(start, length)
+				checkAgainst(t, s, model[start:start+length], "slice")
+			case 3: // encode round trip
+				b, err := FromBytes(a.Bytes())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !b.Equal(a) {
+					t.Fatalf("n=%d: Bytes round trip differs", n)
+				}
+			case 4: // FirstDiff against a mutated clone
+				c := a.Clone()
+				want := -1
+				if n > 0 && rng.Intn(2) == 0 {
+					i := rng.Intn(n)
+					c.Set(i, !c.Get(i))
+					want = i
+				}
+				got, err := a.FirstDiff(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("n=%d: FirstDiff %d, want %d", n, got, want)
+				}
+			case 5: // Fill
+				v := rng.Intn(2) == 0
+				a.Fill(v)
+				for i := range model {
+					model[i] = v
+				}
+			}
+			checkAgainst(t, a, model, "array")
+		}
+	}
+}
+
+func TestTrackerVsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for _, n := range propLens {
+		tr := NewTracker(n)
+		known := make([]bool, n)
+		vals := make([]bool, n)
+		learnModel := func(i int, v bool) (conflict bool) {
+			if known[i] {
+				return vals[i] != v
+			}
+			known[i], vals[i] = true, v
+			return false
+		}
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(5) {
+			case 0: // Learn one bit
+				i, v := rng.Intn(n), rng.Intn(2) == 0
+				want := learnModel(i, v)
+				if got := tr.Learn(i, v); got != want {
+					t.Fatalf("n=%d: Learn(%d,%v) conflict %v, model %v", n, i, v, got, want)
+				}
+			case 1: // LearnRange from a random source at a random offset
+				src := Random(rng, rng.Intn(2*n)+1)
+				length := rng.Intn(min(src.Len(), n) + 1)
+				lo := rng.Intn(n - length + 1)
+				srcOff := rng.Intn(src.Len() - length + 1)
+				want := false
+				for i := 0; i < length; i++ {
+					if learnModel(lo+i, src.Get(srcOff+i)) {
+						want = true
+					}
+				}
+				if got := tr.LearnRange(lo, lo+length, src, srcOff); got != want {
+					t.Fatalf("n=%d: LearnRange [%d,%d) conflict %v, model %v", n, lo, lo+length, got, want)
+				}
+			case 2: // KnownRange / KnownSegment
+				length := rng.Intn(n + 1)
+				lo := rng.Intn(n - length + 1)
+				want := true
+				for i := lo; i < lo+length; i++ {
+					if !known[i] {
+						want = false
+						break
+					}
+				}
+				if got := tr.KnownRange(lo, lo+length); got != want {
+					t.Fatalf("n=%d: KnownRange [%d,%d) = %v, model %v", n, lo, lo+length, got, want)
+				}
+				seg, ok := tr.KnownSegment(lo, length)
+				if ok != want {
+					t.Fatalf("n=%d: KnownSegment ok %v, model %v", n, ok, want)
+				}
+				if ok {
+					for i := 0; i < length; i++ {
+						if seg.Get(i) != vals[lo+i] {
+							t.Fatalf("n=%d: KnownSegment bit %d wrong", n, i)
+						}
+					}
+				}
+			case 3: // UnknownIn
+				length := rng.Intn(n + 1)
+				lo := rng.Intn(n - length + 1)
+				var want []int
+				for i := lo; i < lo+length; i++ {
+					if !known[i] {
+						want = append(want, i)
+					}
+				}
+				got := tr.UnknownIn(nil, lo, length)
+				if len(got) != len(want) {
+					t.Fatalf("n=%d: UnknownIn [%d,%d) len %d, model %d", n, lo, lo+length, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("n=%d: UnknownIn[%d] = %d, model %d", n, i, got[i], want[i])
+					}
+				}
+			case 4: // LearnSegment at a random start
+				seg := Random(rng, rng.Intn(n)+1)
+				if seg.Len() > n {
+					continue
+				}
+				start := rng.Intn(n - seg.Len() + 1)
+				for i := 0; i < seg.Len(); i++ {
+					learnModel(start+i, seg.Get(i))
+				}
+				tr.LearnSegment(start, seg)
+			}
+			// Aggregate invariants after every op.
+			unknown := 0
+			for i := 0; i < n; i++ {
+				if !known[i] {
+					unknown++
+				}
+				if tr.Known(i) != known[i] {
+					t.Fatalf("n=%d: Known(%d) = %v, model %v", n, i, tr.Known(i), known[i])
+				}
+				if v, ok := tr.Get(i); ok != known[i] || (ok && v != vals[i]) {
+					t.Fatalf("n=%d: Get(%d) = %v,%v; model %v,%v", n, i, v, ok, vals[i], known[i])
+				}
+			}
+			if tr.UnknownCount() != unknown {
+				t.Fatalf("n=%d: UnknownCount %d, model %d", n, tr.UnknownCount(), unknown)
+			}
+			if tr.Complete() != (unknown == 0) {
+				t.Fatalf("n=%d: Complete %v with %d unknown", n, tr.Complete(), unknown)
+			}
+		}
+	}
+}
+
+func TestArenaMatchesFreshArrays(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ar := NewArena(8, 8*130)
+	var got, want []*Array
+	total := 0
+	for i := 0; i < 12; i++ { // 4 beyond capacity to exercise the fallback
+		n := []int{1, 63, 64, 65, 130}[rng.Intn(5)]
+		total += n
+		a, b := ar.New(n), New(n)
+		for j := 0; j < n; j += 3 {
+			a.Set(j, true)
+			b.Set(j, true)
+		}
+		got, want = append(got, a), append(want, b)
+	}
+	// Writes to one arena array must not leak into its neighbors.
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("array %d: arena %s, fresh %s", i, got[i], want[i])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -69,9 +69,81 @@ func (t *Tracker) LearnFromSource(i int, v bool) (overwrote bool) {
 
 // LearnSegment records bits [start, start+seg.Len()) from a segment value.
 func (t *Tracker) LearnSegment(start int, seg *Array) {
-	for i := 0; i < seg.Len(); i++ {
-		t.Learn(start+i, seg.Get(i))
+	t.LearnRange(start, start+seg.Len(), seg, 0)
+}
+
+// LearnRange records bits [lo, hi) from src starting at bit srcOff, with
+// the same first-learned-wins semantics as per-bit Learn. It works a word
+// at a time: for each destination word, the incoming bits are merged into
+// vals only at positions not yet known, and the known mask and unknown
+// counter are updated with popcounts. This is the protocols' bulk-learning
+// hot path (stage answers, full-array broadcasts).
+func (t *Tracker) LearnRange(lo, hi int, src *Array, srcOff int) (conflict bool) {
+	if lo < 0 || hi > t.vals.n || lo > hi {
+		panic(fmt.Sprintf("bitarray: learn range [%d,%d) out of range of %d bits", lo, hi, t.vals.n))
 	}
+	if srcOff < 0 || srcOff+(hi-lo) > src.n {
+		panic(fmt.Sprintf("bitarray: learn source [%d,%d) out of range of %d bits", srcOff, srcOff+(hi-lo), src.n))
+	}
+	pos, off := lo, srcOff
+	for pos < hi {
+		n := wordBits - pos%wordBits // stay within one destination word
+		if n > hi-pos {
+			n = hi - pos
+		}
+		sv := src.extract64(off, n)
+		wi, sh := pos/wordBits, uint(pos)%wordBits
+		mask := ^uint64(0)
+		if n < wordBits {
+			mask = 1<<uint(n) - 1
+		}
+		mask <<= sh
+		known := t.known.words[wi]
+		if (t.vals.words[wi]^(sv<<sh))&mask&known != 0 {
+			conflict = true
+		}
+		newly := mask &^ known
+		// Unknown positions hold zero in vals (Learn's invariant), so a
+		// plain OR records the new values.
+		t.vals.words[wi] |= sv << sh & newly
+		t.known.words[wi] = known | newly
+		t.unknown -= bits.OnesCount64(newly)
+		pos += n
+		off += n
+	}
+	return conflict
+}
+
+// KnownRange reports whether every bit in [lo, hi) is known, checking
+// whole words of the known mask at a time.
+func (t *Tracker) KnownRange(lo, hi int) bool {
+	if lo < 0 || hi > t.vals.n || lo > hi {
+		panic(fmt.Sprintf("bitarray: known range [%d,%d) out of range of %d bits", lo, hi, t.vals.n))
+	}
+	pos := lo
+	for pos < hi {
+		n := wordBits - pos%wordBits
+		if n > hi-pos {
+			n = hi - pos
+		}
+		mask := ^uint64(0)
+		if n < wordBits {
+			mask = 1<<uint(n) - 1
+		}
+		mask <<= uint(pos) % wordBits
+		if t.known.words[pos/wordBits]&mask != mask {
+			return false
+		}
+		pos += n
+	}
+	return true
+}
+
+// CopyRange copies learned values [lo, hi) into dst at dstOff. The caller
+// must have established the range is known (KnownRange); unknown positions
+// would copy as zero.
+func (t *Tracker) CopyRange(dst *Array, dstOff, lo, hi int) {
+	dst.CopyFrom(t.vals, lo, dstOff, hi-lo)
 }
 
 // UnknownCount returns the number of bits not yet learned.
@@ -81,12 +153,24 @@ func (t *Tracker) UnknownCount() int { return t.unknown }
 func (t *Tracker) Complete() bool { return t.unknown == 0 }
 
 // UnknownIn returns the indices in [start, start+length) not yet known,
-// appended to dst.
+// appended to dst. Fully-known words are skipped with one mask compare.
 func (t *Tracker) UnknownIn(dst []int, start, length int) []int {
-	for i := start; i < start+length; i++ {
-		if !t.known.Get(i) {
-			dst = append(dst, i)
+	pos, end := start, start+length
+	for pos < end {
+		n := wordBits - pos%wordBits
+		if n > end-pos {
+			n = end - pos
 		}
+		mask := ^uint64(0)
+		if n < wordBits {
+			mask = 1<<uint(n) - 1
+		}
+		mask <<= uint(pos) % wordBits
+		wi := pos / wordBits
+		for inv := ^t.known.words[wi] & mask; inv != 0; inv &= inv - 1 {
+			dst = append(dst, wi*wordBits+bits.TrailingZeros64(inv))
+		}
+		pos += n
 	}
 	return dst
 }
@@ -110,10 +194,8 @@ func (t *Tracker) UnknownAll() []int {
 // KnownSegment extracts bits [start, start+length) as an Array; ok is
 // false if any bit in the range is unknown.
 func (t *Tracker) KnownSegment(start, length int) (*Array, bool) {
-	for i := start; i < start+length; i++ {
-		if !t.known.Get(i) {
-			return nil, false
-		}
+	if !t.KnownRange(start, start+length) {
+		return nil, false
 	}
 	return t.vals.Slice(start, length), true
 }

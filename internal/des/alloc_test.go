@@ -1,0 +1,63 @@
+package des_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/des"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/naive"
+	"repro/internal/sim"
+)
+
+// Allocation budgets for the scheduling hot path. The engine pools event
+// structs and skips observer bookkeeping when no Observer is attached, so
+// a run's allocation count is dominated by protocol work, not the
+// scheduler; these tests pin that property with an absolute per-run
+// budget (measured value plus ~50% slack). A regression that reintroduces
+// per-delivery allocation (event churn, eager type-name formatting)
+// multiplies the count well past the slack.
+
+func allocBudget(t *testing.T, name string, budget float64, spec func() *sim.Spec) {
+	t.Helper()
+	allocs := testing.AllocsPerRun(5, func() {
+		res, err := des.New().Run(spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Correct {
+			t.Fatalf("incorrect: %v", res.Failures)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("%s: %.0f allocs per run, budget %.0f", name, allocs, budget)
+	}
+}
+
+func TestRunAllocBudgetNaive(t *testing.T) {
+	// 6 peers, no faults, 10 events: the floor cost of engine + peers.
+	// Measured 145.
+	allocBudget(t, "naive", 220, func() *sim.Spec {
+		return &sim.Spec{
+			Config:  sim.Config{N: 6, T: 0, L: 512, MsgBits: 128, Seed: 9},
+			NewPeer: naive.New,
+			Delays:  adversary.NewRandomUnit(9),
+		}
+	})
+}
+
+func TestRunAllocBudgetCrash1(t *testing.T) {
+	// A message-heavy protocol run (615 messages): deliveries must reuse
+	// pooled events rather than allocating per send. Measured 368 — well
+	// under one alloc per message.
+	allocBudget(t, "crash1", 560, func() *sim.Spec {
+		f := adversary.SpreadFaulty(8, 1)
+		return &sim.Spec{
+			Config:  sim.Config{N: 8, T: 1, L: 1024, MsgBits: 128, Seed: 9},
+			NewPeer: crash1.New,
+			Delays:  adversary.NewRandomUnit(9),
+			Faults: sim.FaultSpec{Model: sim.FaultCrash, Faulty: f,
+				Crash: adversary.NewCrashRandom(9, f, 80)},
+		}
+	})
+}

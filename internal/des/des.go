@@ -20,7 +20,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -67,26 +66,6 @@ type event struct {
 	qr   sim.QueryReply
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
-
 type peerState struct {
 	id         sim.PeerID
 	honest     bool
@@ -110,13 +89,17 @@ type engine struct {
 	cfg     sim.Config
 	input   *bitarray.Array
 	queue   eventQueue
+	free    []*event // recycled event structs (see alloc-budget tests)
 	seq     int64
 	now     float64
 	peers   []*peerState
 	current sim.PeerID // peer whose handler is executing; -1 otherwise
 	events  int
 	cap     int
-	res     sim.Result
+	// honestLive counts honest peers that have not terminated, so the
+	// per-event liveness check is O(1) instead of an O(n) scan.
+	honestLive int
+	res        sim.Result
 }
 
 func newEngine(spec *sim.Spec) *engine {
@@ -163,59 +146,107 @@ func newEngine(spec *sim.Spec) *engine {
 		}
 		p.ctx = &peerCtx{e: e, p: p}
 		e.peers[i] = p
+		if p.honest {
+			e.honestLive++
+		}
 	}
 	// Schedule starts.
 	for _, p := range e.peers {
-		e.push(&event{at: spec.Delays.StartDelay(p.id), kind: evStart, to: p.id})
+		ev := e.newEvent()
+		ev.at, ev.kind, ev.to = spec.Delays.StartDelay(p.id), evStart, p.id
+		e.push(ev)
 	}
-	heap.Init(&e.queue)
 	return e
+}
+
+// newEvent returns a zeroed event, reusing a recycled struct when one is
+// available. Recycling keeps steady-state event allocation at zero: the
+// pool grows to the maximum number of in-flight events and is then reused
+// for the rest of the execution.
+func (e *engine) newEvent() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// release returns a processed event to the pool. References into peer-held
+// data (message, query reply) are dropped so recycling never retains them.
+func (e *engine) release(ev *event) {
+	*ev = event{}
+	e.free = append(e.free, ev)
 }
 
 func (e *engine) push(ev *event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 }
 
 func (e *engine) run() {
-	for len(e.queue) > 0 {
-		if e.allHonestTerminated() {
+	for e.queue.len() > 0 {
+		if e.honestLive == 0 {
 			return
 		}
 		if e.events >= e.cap {
 			e.res.EventCapHit = true
 			return
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		if ev.at > e.now {
 			e.now = ev.at
 		}
 		p := e.peers[ev.to]
-		if p.terminated || p.crashed {
-			continue
-		}
-		if !p.started && ev.kind != evStart {
-			p.pending = append(p.pending, ev)
-			continue
-		}
-		if !e.dispatch(p, ev) {
-			continue
-		}
-		if ev.kind == evStart {
-			// Drain events that arrived before the start.
-			for _, buf := range p.pending {
-				if p.terminated || p.crashed {
-					break
-				}
-				e.dispatch(p, buf)
+		e.step(p, ev)
+		// Batch: deliveries for the same peer at the same timestamp are
+		// drained consecutively. The heap head is the global minimum, so
+		// this is the exact pop order the outer loop would produce; it
+		// just skips re-entering the loop per event.
+		for e.queue.len() > 0 && e.honestLive > 0 && e.events < e.cap {
+			nxt := e.queue.head()
+			if nxt.at != e.now || nxt.to != p.id {
+				break
 			}
-			p.pending = nil
+			e.step(p, e.queue.pop())
 		}
 	}
-	if !e.allHonestTerminated() {
+	if e.honestLive > 0 {
 		e.res.Deadlocked = true
 	}
+}
+
+// step routes one popped event: drop if the peer is gone, buffer if the
+// peer has not started, otherwise dispatch (draining the pre-start buffer
+// right after a delivered start event).
+func (e *engine) step(p *peerState, ev *event) {
+	if p.terminated || p.crashed {
+		e.release(ev)
+		return
+	}
+	if !p.started && ev.kind != evStart {
+		p.pending = append(p.pending, ev)
+		return
+	}
+	wasStart := ev.kind == evStart
+	delivered := e.dispatch(p, ev)
+	e.release(ev)
+	if !delivered || !wasStart {
+		return
+	}
+	// Drain events that arrived before the start.
+	for i, buf := range p.pending {
+		if p.terminated || p.crashed {
+			for _, rest := range p.pending[i:] {
+				e.release(rest)
+			}
+			break
+		}
+		e.dispatch(p, buf)
+		e.release(buf)
+	}
+	p.pending = nil
 }
 
 // dispatch performs the crash check and delivers one event; it reports
@@ -237,19 +268,23 @@ func (e *engine) dispatch(p *peerState, ev *event) bool {
 
 func (e *engine) deliver(p *peerState, ev *event) {
 	e.current = p.id
-	defer func() { e.current = -1 }()
 	switch ev.kind {
 	case evStart:
 		p.started = true
 		e.observe("start", p.id, -1, "", 0)
 		p.impl.Init(p.ctx)
 	case evMessage:
-		e.observe("deliver", p.id, ev.from, msgTypeName(ev.msg), ev.msg.SizeBits())
+		if e.spec.Observer != nil {
+			// msgTypeName reflects on the message; only pay for it when
+			// someone is listening (it dominated allocation otherwise).
+			e.observe("deliver", p.id, ev.from, msgTypeName(ev.msg), ev.msg.SizeBits())
+		}
 		p.impl.OnMessage(ev.from, ev.msg)
 	case evQueryReply:
 		e.observe("qreply", p.id, -1, "", len(ev.qr.Indices))
 		p.impl.OnQueryReply(ev.qr)
 	}
+	e.current = -1
 }
 
 func (e *engine) crash(p *peerState) {
@@ -257,15 +292,6 @@ func (e *engine) crash(p *peerState) {
 	p.stats.Crashed = true
 	e.observe("crash", p.id, -1, "", 0)
 	e.tracef("t=%.3f peer %d CRASH (actions=%d)", e.now, p.id, p.actions)
-}
-
-func (e *engine) allHonestTerminated() bool {
-	for _, p := range e.peers {
-		if p.honest && !p.terminated {
-			return false
-		}
-	}
-	return true
 }
 
 func (e *engine) result() *sim.Result {
@@ -346,7 +372,9 @@ func (c *peerCtx) Send(to sim.PeerID, m sim.Message) {
 	}
 	p.stats.MsgsSent += chunks
 	p.stats.MsgBitsSent += size
-	c.e.observe("send", p.id, to, msgTypeName(m), size)
+	if c.e.spec.Observer != nil {
+		c.e.observe("send", p.id, to, msgTypeName(m), size)
+	}
 	delay := c.e.spec.Delays.MessageDelay(p.id, to, c.e.now, size)
 	if delay <= 0 {
 		delay = 1e-9
@@ -355,7 +383,9 @@ func (c *peerCtx) Send(to sim.PeerID, m sim.Message) {
 	// the link; the receiver acts on the full payload when the last
 	// chunk lands. This is what makes the paper's T = O(L/(nb) + …)
 	// time bounds — and their dependence on b — observable.
-	c.e.push(&event{at: c.e.now + delay*float64(chunks), kind: evMessage, to: to, from: p.id, msg: m})
+	ev := c.e.newEvent()
+	ev.at, ev.kind, ev.to, ev.from, ev.msg = c.e.now+delay*float64(chunks), evMessage, to, p.id, m
+	c.e.push(ev)
 }
 
 func (c *peerCtx) Broadcast(m sim.Message) {
@@ -393,12 +423,10 @@ func (c *peerCtx) Query(tag int, indices []int) {
 	if delay <= 0 {
 		delay = 1e-9
 	}
-	c.e.push(&event{
-		at:   c.e.now + delay,
-		kind: evQueryReply,
-		to:   p.id,
-		qr:   sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: bits},
-	})
+	ev := c.e.newEvent()
+	ev.at, ev.kind, ev.to = c.e.now+delay, evQueryReply, p.id
+	ev.qr = sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: bits}
+	c.e.push(ev)
 }
 
 func (c *peerCtx) Output(out *bitarray.Array) {
@@ -415,6 +443,9 @@ func (c *peerCtx) Terminate() {
 	c.p.terminated = true
 	c.p.stats.Terminated = true
 	c.p.stats.TermTime = c.e.now
+	if c.p.honest {
+		c.e.honestLive--
+	}
 	c.e.observe("terminate", c.p.id, -1, "", 0)
 	c.e.tracef("t=%.3f peer %d TERMINATE (qbits=%d msgs=%d)",
 		c.e.now, c.p.id, c.p.stats.QueryBits, c.p.stats.MsgsSent)

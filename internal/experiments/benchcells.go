@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/multicycle"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/segproto"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+)
+
+// BenchCell is one benchmarkable Table-1 row: a named, seedable spec
+// constructor. cmd/drbench's pipeline measures each cell's simulator cost
+// and paper metrics; internal/sweep can run the metric pass in parallel
+// because every call to Spec builds an independent spec.
+type BenchCell struct {
+	Name string
+	Spec func(seed int64) *sim.Spec
+}
+
+// BenchCells mirrors Table 1's protocol rows at benchmark scale. Full
+// mode uses Table 1's published scale (n = 256, L = 2^14); Quick shrinks
+// to a smoke size for CI. The construction matches Table1 cell for cell
+// so pipeline numbers and the rendered table stay comparable.
+func BenchCells(cfg Config) []BenchCell {
+	n, L := 256, 1<<14
+	if cfg.Quick {
+		n, L = 128, 1<<12
+	}
+	b := msgBitsFor(L, n)
+	mkByz := func(tf int, liar func(sim.PeerID, *sim.Knowledge) sim.Peer) sim.FaultSpec {
+		return sim.FaultSpec{
+			Model:        sim.FaultByzantine,
+			Faulty:       adversary.SpreadFaulty(n, tf),
+			NewByzantine: liar,
+		}
+	}
+	mkCrash := func(seed int64, tf int) sim.FaultSpec {
+		f := adversary.SpreadFaulty(n, tf)
+		return sim.FaultSpec{
+			Model: sim.FaultCrash, Faulty: f,
+			Crash: adversary.NewCrashRandom(seed, f, 20*n),
+		}
+	}
+	cell := func(name string, tf int, factory func(sim.PeerID) sim.Peer, faults func(seed int64) sim.FaultSpec) BenchCell {
+		return BenchCell{Name: name, Spec: func(seed int64) *sim.Spec {
+			return &sim.Spec{
+				Config:  sim.Config{N: n, T: tf, L: L, MsgBits: b, Seed: seed},
+				NewPeer: factory,
+				Delays:  adversary.NewRandomUnit(seed + int64(len(name))),
+				Faults:  faults(seed),
+			}
+		}}
+	}
+	tQuarter, tNineTenths := n/4, 9*n/10
+	byz := func(tf int, liar func(sim.PeerID, *sim.Knowledge) sim.Peer) func(int64) sim.FaultSpec {
+		return func(int64) sim.FaultSpec { return mkByz(tf, liar) }
+	}
+	return []BenchCell{
+		cell("naive", tNineTenths, naive.New, byz(tNineTenths, adversary.NewSilent)),
+		cell("crash1", 1, crash1.New, func(seed int64) sim.FaultSpec { return mkCrash(seed, 1) }),
+		cell("crashk", tNineTenths, crashk.NewFast, func(seed int64) sim.FaultSpec { return mkCrash(seed, tNineTenths) }),
+		cell("committee", tQuarter, committee.New, byz(tQuarter, committee.NewLiar)),
+		cell("twocycle", tQuarter, twocycle.New, byz(tQuarter, segproto.NewColludingLiar)),
+		cell("multicycle", tQuarter, multicycle.New, byz(tQuarter, segproto.NewColludingLiar)),
+	}
+}

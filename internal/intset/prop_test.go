@@ -1,0 +1,143 @@
+package intset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property tests: Set's coalesced-range representation is checked against
+// a map[int]bool model over randomized memberships, including the
+// structural invariant (sorted, disjoint, non-adjacent ranges) that the
+// wire-size accounting depends on.
+
+// randomModel draws a random subset of [0, universe) biased toward runs,
+// the shape protocols actually exchange.
+func randomModel(rng *rand.Rand, universe int) map[int]bool {
+	m := make(map[int]bool)
+	for x := 0; x < universe; {
+		if rng.Intn(3) == 0 { // start a run
+			runLen := rng.Intn(universe/4 + 1)
+			for i := 0; i < runLen && x < universe; i++ {
+				m[x] = true
+				x++
+			}
+		}
+		x += rng.Intn(4) + 1
+	}
+	return m
+}
+
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for x := range m {
+		keys = append(keys, x)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func checkInvariant(t *testing.T, s Set) {
+	t.Helper()
+	prev := Range{Lo: -2, Hi: -2}
+	count := 0
+	s.ForEachRange(func(lo, hi int) {
+		if lo >= hi {
+			t.Fatalf("empty range [%d,%d)", lo, hi)
+		}
+		if lo <= prev.Hi {
+			// lo == prev.Hi would be adjacent and must have coalesced.
+			t.Fatalf("range [%d,%d) not disjoint/non-adjacent after [%d,%d)", lo, hi, prev.Lo, prev.Hi)
+		}
+		prev = Range{Lo: lo, Hi: hi}
+		count++
+	})
+	if count != s.RangeCount() {
+		t.Fatalf("ForEachRange visited %d ranges, RangeCount %d", count, s.RangeCount())
+	}
+}
+
+func checkAgainstModel(t *testing.T, s Set, model map[int]bool, universe int) {
+	t.Helper()
+	checkInvariant(t, s)
+	if s.Len() != len(model) {
+		t.Fatalf("Len %d, model %d", s.Len(), len(model))
+	}
+	if s.Empty() != (len(model) == 0) {
+		t.Fatalf("Empty %v with model size %d", s.Empty(), len(model))
+	}
+	for x := -1; x <= universe; x++ {
+		if s.Contains(x) != model[x] {
+			t.Fatalf("Contains(%d) = %v, model %v", x, s.Contains(x), model[x])
+		}
+	}
+	want := sortedKeys(model)
+	got := s.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Elements len %d, model %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Elements[%d] = %d, model %d", i, got[i], want[i])
+		}
+	}
+	// ForEach must agree with Elements (increasing order).
+	i := 0
+	s.ForEach(func(x int) {
+		if i >= len(want) || x != want[i] {
+			t.Fatalf("ForEach out of order at %d", x)
+		}
+		i++
+	})
+	if idxBits := 17; s.SizeBits(idxBits) != 2*idxBits*s.RangeCount() {
+		t.Fatalf("SizeBits inconsistent with RangeCount")
+	}
+}
+
+func TestSetVsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 200; trial++ {
+		universe := rng.Intn(200) + 1
+		model := randomModel(rng, universe)
+		keys := sortedKeys(model)
+
+		fromSorted := FromSorted(keys)
+		checkAgainstModel(t, fromSorted, model, universe)
+
+		// The Builder path must produce the identical structure whether fed
+		// one index or one run at a time.
+		var b Builder
+		for i := 0; i < len(keys); {
+			j := i
+			for j+1 < len(keys) && keys[j+1] == keys[j]+1 {
+				j++
+			}
+			if rng.Intn(2) == 0 {
+				b.AddRange(keys[i], keys[j]+1)
+			} else {
+				for k := i; k <= j; k++ {
+					b.Add(keys[k])
+				}
+			}
+			i = j + 1
+		}
+		built := b.Set()
+		checkAgainstModel(t, built, model, universe)
+		if built.RangeCount() != fromSorted.RangeCount() {
+			t.Fatalf("builder produced %d ranges, FromSorted %d", built.RangeCount(), fromSorted.RangeCount())
+		}
+	}
+}
+
+func TestFromRangeVsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		lo, hi := rng.Intn(50), rng.Intn(50)
+		s := FromRange(lo, hi)
+		model := make(map[int]bool)
+		for x := lo; x < hi; x++ {
+			model[x] = true
+		}
+		checkAgainstModel(t, s, model, 60)
+	}
+}

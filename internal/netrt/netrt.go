@@ -1144,12 +1144,11 @@ func (c *client) Send(to sim.PeerID, m sim.Message) {
 	if to == c.id || to < 0 || int(to) >= c.cfg.N {
 		return
 	}
-	body, err := wire.Marshal(m)
+	out := binary.AppendUvarint(make([]byte, 0, 16+m.SizeBits()/8), uint64(to))
+	out, err := wire.MarshalAppend(out, m)
 	if err != nil {
 		panic(fmt.Sprintf("netrt: unencodable message %T: %v", m, err))
 	}
-	out := binary.AppendUvarint(nil, uint64(to))
-	out = append(out, body...)
 	c.enqueue(kMsg, out)
 }
 

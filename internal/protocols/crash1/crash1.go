@@ -399,9 +399,9 @@ func (p *Peer) answerWho(from sim.PeerID, req *WhoIsMissing) {
 // learnSet records values delivered alongside their index set.
 func (p *Peer) learnSet(set intset.Set, values *bitarray.Array) {
 	i := 0
-	set.ForEach(func(x int) {
-		p.track.Learn(x, values.Get(i))
-		i++
+	set.ForEachRange(func(lo, hi int) {
+		p.track.LearnRange(lo, hi, values, i)
+		i += hi - lo
 	})
 }
 

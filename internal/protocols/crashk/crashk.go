@@ -298,8 +298,8 @@ func (p *Peer) checkWait2() {
 func (p *Peer) needsSatisfied() bool {
 	for _, it := range p.needs {
 		satisfied := true
-		it.Indices.ForEach(func(x int) {
-			if !p.track.Known(x) {
+		it.Indices.ForEachRange(func(lo, hi int) {
+			if satisfied && !p.track.KnownRange(lo, hi) {
 				satisfied = false
 			}
 		})
@@ -409,9 +409,7 @@ func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
 		if msg.Values == nil || msg.Values.Len() != p.ctx.L() {
 			return // malformed
 		}
-		for i := 0; i < msg.Values.Len(); i++ {
-			p.track.Learn(i, msg.Values.Get(i))
-		}
+		p.track.LearnRange(0, msg.Values.Len(), msg.Values, 0)
 		// A full array always completes the tracker.
 		p.complete()
 	}
@@ -429,17 +427,7 @@ func (p *Peer) answerReq1(from sim.PeerID, req *Req1) {
 	if !inRange(req.Indices, p.ctx.L()) {
 		return // malformed request
 	}
-	vals := bitarray.New(req.Indices.Len())
-	i := 0
-	complete := true
-	req.Indices.ForEach(func(x int) {
-		v, ok := p.track.Get(x)
-		if !ok {
-			complete = false
-		}
-		vals.Set(i, v)
-		i++
-	})
+	vals, complete := p.extract(req.Indices)
 	if !complete {
 		// Corollary 2.7 says this cannot happen for honest requesters;
 		// tolerate Byzantine-malformed requests by simply not answering.
@@ -448,43 +436,81 @@ func (p *Peer) answerReq1(from sim.PeerID, req *Req1) {
 	p.ctx.Send(from, &Resp1{Phase: req.Phase, Indices: req.Indices, Values: vals, IdxBits: p.idxBits})
 }
 
+// extract gathers the tracked values of set into a fresh array, a word-
+// level range at a time; ok is false if any requested bit is unknown.
+// Known-ness is checked before allocating: answering "me neither" (the
+// common case under heavy crash fractions) must not allocate at all.
+func (p *Peer) extract(set intset.Set) (vals *bitarray.Array, ok bool) {
+	ok = true
+	set.ForEachRange(func(lo, hi int) {
+		if ok && !p.track.KnownRange(lo, hi) {
+			ok = false
+		}
+	})
+	if !ok {
+		return nil, false
+	}
+	vals = bitarray.New(set.Len())
+	i := 0
+	set.ForEachRange(func(lo, hi int) {
+		p.track.CopyRange(vals, i, lo, hi)
+		i += hi - lo
+	})
+	return vals, true
+}
+
 func (p *Peer) answerReq2(from sim.PeerID, req *Req2) {
+	// Having heard q this phase implies knowing every requested bit (the
+	// stage-1 answer covered them); knowing them all without having heard
+	// q is just as good, so the answer rule is simply "values if I know
+	// them all, me-neither otherwise". Answerability is decided first so
+	// all answered items' values share one arena allocation; the tracker
+	// cannot change between the two passes.
+	answered, total := 0, 0
+	for _, it := range req.Items {
+		if p.answerable(it.Indices) {
+			answered++
+			total += it.Indices.Len()
+		}
+	}
+	ar := bitarray.NewArena(answered, total)
 	items := make([]Resp2Item, 0, len(req.Items))
 	for _, it := range req.Items {
-		if !inRange(it.Indices, p.ctx.L()) {
+		if !p.answerable(it.Indices) {
 			items = append(items, Resp2Item{Q: it.Q, MeNeither: true})
 			continue
 		}
-		vals := bitarray.New(it.Indices.Len())
+		vals := ar.New(it.Indices.Len())
 		i := 0
-		knowAll := true
-		it.Indices.ForEach(func(x int) {
-			v, ok := p.track.Get(x)
-			if !ok {
-				knowAll = false
-			}
-			vals.Set(i, v)
-			i++
+		it.Indices.ForEachRange(func(lo, hi int) {
+			p.track.CopyRange(vals, i, lo, hi)
+			i += hi - lo
 		})
-		// Having heard q this phase implies knowing every requested
-		// bit (the stage-1 answer covered them); knowing them all
-		// without having heard q is just as good, so the answer rule
-		// is simply "values if I know them all, me-neither otherwise".
-		if knowAll {
-			items = append(items, Resp2Item{Q: it.Q, Indices: it.Indices, Values: vals})
-		} else {
-			items = append(items, Resp2Item{Q: it.Q, MeNeither: true})
-		}
+		items = append(items, Resp2Item{Q: it.Q, Indices: it.Indices, Values: vals})
 	}
 	p.ctx.Send(from, &Resp2{Phase: req.Phase, Items: items, IdxBits: p.idxBits})
+}
+
+// answerable reports whether a stage-2 item is in range and fully known.
+func (p *Peer) answerable(set intset.Set) bool {
+	if !inRange(set, p.ctx.L()) {
+		return false
+	}
+	known := true
+	set.ForEachRange(func(lo, hi int) {
+		if known && !p.track.KnownRange(lo, hi) {
+			known = false
+		}
+	})
+	return known
 }
 
 // learnSet records values delivered alongside their index set.
 func (p *Peer) learnSet(set intset.Set, values *bitarray.Array) {
 	i := 0
-	set.ForEach(func(x int) {
-		p.track.Learn(x, values.Get(i))
-		i++
+	set.ForEachRange(func(lo, hi int) {
+		p.track.LearnRange(lo, hi, values, i)
+		i += hi - lo
 	})
 }
 

@@ -2,10 +2,21 @@
 // promises bit-for-bit reproducibility from a seed, so any change to
 // these goldens signals a semantic change to the engine, the adversary
 // stream, or a protocol — which must be deliberate and documented.
+//
+// Pinned values live in testdata/goldens.json. When a semantic change is
+// intentional, regenerate with:
+//
+//	go test ./internal/regression -update
+//
+// and commit the diff (it is the reviewable record of the change).
 package regression
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/adversary"
@@ -20,17 +31,23 @@ import (
 	"repro/internal/sim"
 )
 
+var update = flag.Bool("update", false, "rewrite testdata/goldens.json from the current engine")
+
 // golden captures one pinned execution.
 type golden struct {
-	name   string
-	spec   func() *sim.Spec
-	q      int
-	msgs   int
-	events int
-	time   string // %.4f
+	Q      int    `json:"q"`
+	Msgs   int    `json:"msgs"`
+	Events int    `json:"events"`
+	Time   string `json:"time"` // %.4f
 }
 
-func freeze() []golden {
+// frozen is one named spec whose outcome is pinned.
+type frozen struct {
+	name string
+	spec func() *sim.Spec
+}
+
+func freeze() []frozen {
 	const seed = 1234
 	mk := func(n, t, L int, factory func(sim.PeerID) sim.Peer, faults sim.FaultSpec) func() *sim.Spec {
 		return func() *sim.Spec {
@@ -51,52 +68,68 @@ func freeze() []golden {
 		return sim.FaultSpec{Model: sim.FaultByzantine,
 			Faulty: adversary.SpreadFaulty(n, t), NewByzantine: b}
 	}
-	return []golden{
-		{name: "naive", spec: mk(6, 2, 512, naive.New, byz(6, 2, adversary.NewSilent))},
-		{name: "crash1", spec: mk(8, 1, 1024, crash1.New, crash(8, 1))},
-		{name: "crashk", spec: mk(12, 6, 2048, crashk.New, crash(12, 6))},
-		{name: "crashk-fast", spec: mk(12, 6, 2048, crashk.NewFast, crash(12, 6))},
-		{name: "committee", spec: mk(9, 4, 540, committee.New, byz(9, 4, committee.NewLiar))},
-		{name: "twocycle", spec: mk(128, 16, 4096, twocycle.New, byz(128, 16, segproto.NewColludingLiar))},
-		{name: "multicycle", spec: mk(128, 16, 4096, multicycle.New, byz(128, 16, segproto.NewColludingLiar))},
+	return []frozen{
+		{"naive", mk(6, 2, 512, naive.New, byz(6, 2, adversary.NewSilent))},
+		{"naive-batched", mk(6, 2, 512, naive.NewBatched(64), byz(6, 2, adversary.NewSilent))},
+		{"crash1", mk(8, 1, 1024, crash1.New, crash(8, 1))},
+		{"crashk", mk(12, 6, 2048, crashk.New, crash(12, 6))},
+		{"crashk-fast", mk(12, 6, 2048, crashk.NewFast, crash(12, 6))},
+		{"committee", mk(9, 4, 540, committee.New, byz(9, 4, committee.NewLiar))},
+		{"committee-equivocator", mk(9, 4, 540, committee.New, byz(9, 4, committee.NewEquivocator))},
+		{"twocycle", mk(128, 16, 4096, twocycle.New, byz(128, 16, segproto.NewColludingLiar))},
+		{"multicycle", mk(128, 16, 4096, multicycle.New, byz(128, 16, segproto.NewColludingLiar))},
 	}
 }
 
-// TestPrintGoldens regenerates the table to paste below when a semantic
-// change is intentional: go test ./internal/regression -run Print -v
-func TestPrintGoldens(t *testing.T) {
-	if !testing.Verbose() {
-		t.Skip("run with -v to print")
-	}
-	for _, g := range freeze() {
-		res, err := des.New().Run(g.spec())
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("{name: %q, q: %d, msgs: %d, events: %d, time: %q},",
-			g.name, res.Q, res.Msgs, res.Events, fmt.Sprintf("%.4f", res.Time))
-	}
-}
+const goldenPath = "testdata/goldens.json"
 
-// pinned values; regenerate with TestPrintGoldens when intentionally
-// changing engine or protocol semantics.
-var pinned = map[string]golden{
-	"naive":       {q: 512, msgs: 0, events: 10, time: "1.5720"},
-	"crash1":      {q: 128, msgs: 615, events: 91, time: "3.0884"},
-	"crashk":      {q: 171, msgs: 2109, events: 389, time: "7.5832"},
-	"crashk-fast": {q: 171, msgs: 1746, events: 319, time: "3.9958"},
-	"committee":   {q: 540, msgs: 1880, events: 15, time: "1.0496"},
-	"twocycle":    {q: 1025, msgs: 128016, events: 16371, time: "10.1124"},
-	"multicycle":  {q: 1025, msgs: 369824, events: 30859, time: "24.5388"},
+func loadGoldens(t *testing.T) map[string]golden {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("load goldens (regenerate with -update): %v", err)
+	}
+	var pinned map[string]golden
+	if err := json.Unmarshal(data, &pinned); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	return pinned
 }
 
 func TestGoldens(t *testing.T) {
+	if *update {
+		pinned := make(map[string]golden, len(freeze()))
+		for _, g := range freeze() {
+			res, err := des.New().Run(g.spec())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Correct {
+				t.Fatalf("%s incorrect: %v", g.name, res.Failures)
+			}
+			pinned[g.name] = golden{Q: res.Q, Msgs: res.Msgs, Events: res.Events,
+				Time: fmt.Sprintf("%.4f", res.Time)}
+		}
+		data, err := json.MarshalIndent(pinned, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d goldens", goldenPath, len(pinned))
+		return
+	}
+	pinned := loadGoldens(t)
 	for _, g := range freeze() {
 		g := g
 		t.Run(g.name, func(t *testing.T) {
 			want, ok := pinned[g.name]
 			if !ok {
-				t.Fatalf("no pinned values for %s", g.name)
+				t.Fatalf("no pinned values for %s (regenerate with -update)", g.name)
 			}
 			res, err := des.New().Run(g.spec())
 			if err != nil {
@@ -105,13 +138,24 @@ func TestGoldens(t *testing.T) {
 			if !res.Correct {
 				t.Fatalf("incorrect: %v", res)
 			}
-			got := golden{q: res.Q, msgs: res.Msgs, events: res.Events,
-				time: fmt.Sprintf("%.4f", res.Time)}
-			if got.q != want.q || got.msgs != want.msgs || got.events != want.events || got.time != want.time {
+			got := golden{Q: res.Q, Msgs: res.Msgs, Events: res.Events,
+				Time: fmt.Sprintf("%.4f", res.Time)}
+			if got != want {
 				t.Errorf("golden drift:\n got  q=%d msgs=%d events=%d time=%s\n want q=%d msgs=%d events=%d time=%s",
-					got.q, got.msgs, got.events, got.time,
-					want.q, want.msgs, want.events, want.time)
+					got.Q, got.Msgs, got.Events, got.Time,
+					want.Q, want.Msgs, want.Events, want.Time)
 			}
 		})
+	}
+	// Every pinned name must still have a spec; a silently dropped row
+	// would otherwise pass forever.
+	known := make(map[string]bool)
+	for _, g := range freeze() {
+		known[g.name] = true
+	}
+	for name := range pinned {
+		if !known[name] {
+			t.Errorf("pinned golden %q has no spec", name)
+		}
 	}
 }

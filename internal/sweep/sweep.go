@@ -1,0 +1,116 @@
+// Package sweep runs batches of independent simulation cells — (seed,
+// spec) points of a parameter sweep — on a bounded worker pool. Each cell
+// is a self-contained deterministic execution, so the only thing
+// parallelism could change is scheduling across cells; results are
+// collected by cell index and are therefore byte-identical to a serial
+// run (enforced by TestParallelMatchesSerial, which also runs under the
+// race detector in `make bench-ci`).
+//
+// The driver is opt-in: Options.Workers ≤ 1 (the zero value) runs the
+// cells serially on the calling goroutine with no extra machinery.
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/des"
+	"repro/internal/sim"
+)
+
+// Cell is one independent execution of a sweep.
+type Cell struct {
+	// Name labels the cell in errors (e.g. "crashk/seed=3").
+	Name string
+	// Spec is the execution to run. The spec must not share mutable state
+	// (Trace writers, Observers) with any other cell when Workers > 1.
+	Spec *sim.Spec
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers bounds the number of concurrent executions. Values ≤ 1 run
+	// serially. The bound is taken as given (not clamped to NumCPU), so
+	// behavior is identical on every machine; callers wanting hardware
+	// scaling pass runtime.GOMAXPROCS(0).
+	Workers int
+	// NewRuntime constructs the runtime for one cell. Each cell gets its
+	// own instance, so runtimes need not be safe for concurrent use. Nil
+	// selects the deterministic des runtime.
+	NewRuntime func() sim.Runtime
+}
+
+// Seeds builds one cell per seed from a spec constructor — the common
+// shape of a benchmark sweep.
+func Seeds(name string, mk func(seed int64) *sim.Spec, seeds []int64) []Cell {
+	cells := make([]Cell, len(seeds))
+	for i, s := range seeds {
+		cells[i] = Cell{Name: fmt.Sprintf("%s/seed=%d", name, s), Spec: mk(s)}
+	}
+	return cells
+}
+
+// Run executes every cell and returns the results in cell order. The
+// first failing cell aborts the sweep with its error; remaining in-flight
+// cells finish but their results are discarded.
+func Run(cells []Cell, opts Options) ([]*sim.Result, error) {
+	newRT := opts.NewRuntime
+	if newRT == nil {
+		newRT = func() sim.Runtime { return des.New() }
+	}
+	workers := opts.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]*sim.Result, len(cells))
+	if workers <= 1 {
+		for i, c := range cells {
+			res, err := newRT().Run(c.Spec)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: cell %q: %w", c.Name, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	// A spec-level Trace writer or Observer would be invoked from worker
+	// goroutines concurrently; reject rather than race.
+	for _, c := range cells {
+		if c.Spec != nil && (c.Spec.Trace != nil || c.Spec.Observer != nil) {
+			return nil, fmt.Errorf("sweep: cell %q has a Trace/Observer; tracing requires Workers ≤ 1", c.Name)
+		}
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				// A fresh runtime per cell, exactly like the serial path.
+				res, err := newRT().Run(cells[i].Spec)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = fmt.Errorf("sweep: cell %q: %w", cells[i].Name, err)
+					})
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

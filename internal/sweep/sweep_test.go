@@ -1,0 +1,156 @@
+package sweep_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crash1"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/naive"
+	"repro/internal/protocols/segproto"
+	"repro/internal/protocols/twocycle"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// referenceSpecs returns one representative spec per protocol family,
+// covering failure-free, crash, and Byzantine executions.
+func referenceSpecs(seed int64) map[string]func() *sim.Spec {
+	mk := func(n, t, L int, factory func(sim.PeerID) sim.Peer, faults sim.FaultSpec) func() *sim.Spec {
+		return func() *sim.Spec {
+			return &sim.Spec{
+				Config:  sim.Config{N: n, T: t, L: L, MsgBits: 128, Seed: seed},
+				NewPeer: factory,
+				Delays:  adversary.NewRandomUnit(seed + 5),
+				Faults:  faults,
+			}
+		}
+	}
+	crash := func(n, t int) sim.FaultSpec {
+		f := adversary.SpreadFaulty(n, t)
+		return sim.FaultSpec{Model: sim.FaultCrash, Faulty: f,
+			Crash: adversary.NewCrashRandom(seed, f, 10*n)}
+	}
+	byz := func(n, t int, b func(sim.PeerID, *sim.Knowledge) sim.Peer) sim.FaultSpec {
+		return sim.FaultSpec{Model: sim.FaultByzantine,
+			Faulty: adversary.SpreadFaulty(n, t), NewByzantine: b}
+	}
+	return map[string]func() *sim.Spec{
+		"naive":     mk(6, 0, 256, naive.New, sim.FaultSpec{}),
+		"crash1":    mk(8, 1, 1024, crash1.New, crash(8, 1)),
+		"crashk":    mk(12, 6, 2048, crashk.NewFast, crash(12, 6)),
+		"committee": mk(9, 4, 540, committee.New, byz(9, 4, committee.NewLiar)),
+		"twocycle":  mk(32, 8, 1024, twocycle.New, byz(32, 8, segproto.NewColludingLiar)),
+	}
+}
+
+// TestParallelMatchesSerial is the determinism regression gate: each
+// reference spec runs twice serially and once under the parallel driver,
+// and every field of every sim.Result — per-peer stats, aggregates, and
+// the robustness counters — must be identical. Run under -race in `make
+// bench-ci` to double as the driver's data-race check.
+func TestParallelMatchesSerial(t *testing.T) {
+	specs := referenceSpecs(42)
+	var cells1, cells2, cellsP []sweep.Cell
+	var names []string
+	for name, mk := range specs {
+		names = append(names, name)
+		cells1 = append(cells1, sweep.Cell{Name: name, Spec: mk()})
+		cells2 = append(cells2, sweep.Cell{Name: name, Spec: mk()})
+		cellsP = append(cellsP, sweep.Cell{Name: name, Spec: mk()})
+	}
+	serial1, err := sweep.Run(cells1, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial2, err := sweep.Run(cells2, sweep.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sweep.Run(cellsP, sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if !serial1[i].Correct {
+			t.Fatalf("%s: reference run incorrect: %v", name, serial1[i].Failures)
+		}
+		if !reflect.DeepEqual(serial1[i], serial2[i]) {
+			t.Errorf("%s: two serial runs differ:\n run1 %v\n run2 %v", name, serial1[i], serial2[i])
+		}
+		if !reflect.DeepEqual(serial1[i], parallel[i]) {
+			t.Errorf("%s: parallel result differs from serial:\n serial   %v\n parallel %v", name, serial1[i], parallel[i])
+		}
+	}
+}
+
+// TestSeedsHelper checks cell construction and result ordering for a
+// many-seed sweep under maximum parallelism.
+func TestSeedsHelper(t *testing.T) {
+	mk := func(seed int64) *sim.Spec {
+		return &sim.Spec{
+			Config:  sim.Config{N: 8, T: 1, L: 256, MsgBits: 64, Seed: seed},
+			NewPeer: crash1.New,
+			Delays:  adversary.NewRandomUnit(seed),
+			Faults: sim.FaultSpec{Model: sim.FaultCrash,
+				Faulty: []sim.PeerID{3}, Crash: &adversary.CrashAll{Point: 5}},
+		}
+	}
+	seeds := make([]int64, 16)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	cells := sweep.Seeds("crash1", mk, seeds)
+	if cells[3].Name != "crash1/seed=3" {
+		t.Fatalf("cell name: %q", cells[3].Name)
+	}
+	serial, err := sweep.Run(sweep.Seeds("crash1", mk, seeds), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sweep.Run(cells, sweep.Options{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seeds {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("seed %d: parallel differs from serial", i)
+		}
+	}
+}
+
+// TestRejectsSharedObservers pins the guard against racing a shared
+// Trace/Observer from worker goroutines.
+func TestRejectsSharedObservers(t *testing.T) {
+	mk := referenceSpecs(7)["naive"]
+	spec := mk()
+	spec.Observer = observerFunc(func(sim.ObservedEvent) {})
+	cells := []sweep.Cell{{Name: "obs", Spec: spec}, {Name: "plain", Spec: mk()}}
+	if _, err := sweep.Run(cells, sweep.Options{Workers: 2}); err == nil {
+		t.Fatal("parallel run with an Observer must be rejected")
+	}
+	cells = cells[:1]
+	// Serial runs with observers stay allowed.
+	if _, err := sweep.Run(cells, sweep.Options{Workers: 1}); err != nil {
+		t.Fatalf("serial run with an Observer failed: %v", err)
+	}
+}
+
+type observerFunc func(sim.ObservedEvent)
+
+func (f observerFunc) OnEvent(ev sim.ObservedEvent) { f(ev) }
+
+// TestErrorNamesCell checks invalid specs surface the failing cell.
+func TestErrorNamesCell(t *testing.T) {
+	bad := &sim.Spec{Config: sim.Config{N: 1, T: 0, L: 8, MsgBits: 8}}
+	_, err := sweep.Run([]sweep.Cell{{Name: "bad-cell", Spec: bad}}, sweep.Options{})
+	if err == nil {
+		t.Fatal("expected error for invalid spec")
+	}
+	if !strings.Contains(err.Error(), `"bad-cell"`) {
+		t.Fatalf("error %q does not name the cell", err)
+	}
+}

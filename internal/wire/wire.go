@@ -48,8 +48,14 @@ var ErrUnknownType = errors.New("wire: unknown message type")
 var ErrTruncated = errors.New("wire: truncated payload")
 
 // Marshal encodes any registered protocol message.
-func Marshal(m sim.Message) ([]byte, error) {
-	w := &writer{}
+func Marshal(m sim.Message) ([]byte, error) { return MarshalAppend(nil, m) }
+
+// MarshalAppend encodes m appended to dst and returns the extended slice.
+// It is the allocation-free encode path: with sufficient capacity in dst
+// no allocation occurs (see the package alloc-budget tests), which lets
+// the TCP runtime reuse one scratch buffer per connection.
+func MarshalAppend(dst []byte, m sim.Message) ([]byte, error) {
+	w := writer{buf: dst}
 	switch v := m.(type) {
 	case *crashk.Req1:
 		w.byte(tagCrashkReq1)
@@ -251,7 +257,10 @@ func (w *writer) bits(a *bitarray.Array) {
 		w.bytesField(nil)
 		return
 	}
-	w.bytesField(a.Bytes())
+	// Append the serialization directly instead of materializing a.Bytes()
+	// into a temporary.
+	w.uvarint(uint64(a.EncodedLen()))
+	w.buf = a.AppendTo(w.buf)
 }
 
 func (w *writer) set(s intset.Set) {
