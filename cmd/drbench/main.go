@@ -27,6 +27,7 @@ import (
 	"repro/internal/benchfmt"
 	"repro/internal/des"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -51,6 +52,7 @@ func run() int {
 		parallel  = flag.Int("parallel", 1, "pipeline: workers for the metric sweep (deterministic at any value)")
 		maxNs     = flag.Float64("max-ns-growth", 0.50, "pipeline: allowed fractional ns/op growth vs baseline")
 		maxAllocs = flag.Float64("max-allocs-growth", 0.10, "pipeline: allowed fractional allocs/op growth vs baseline")
+		withObs   = flag.Bool("obs", false, "pipeline: collect an observability snapshot from the metric sweep and embed it in the BENCH_*.json")
 	)
 	flag.Parse()
 
@@ -64,7 +66,7 @@ func run() int {
 	if *bench {
 		return runPipeline(pipelineConfig{
 			out: *out, baseline: *baseline, label: *label,
-			quick: *quick, seed: *seed, iters: *iters, parallel: *parallel,
+			quick: *quick, seed: *seed, iters: *iters, parallel: *parallel, obs: *withObs,
 			thresholds: benchfmt.Thresholds{MaxNsGrowth: *maxNs, MaxAllocsGrowth: *maxAllocs},
 		})
 	}
@@ -108,7 +110,7 @@ func run() int {
 
 type pipelineConfig struct {
 	out, baseline, label string
-	quick                bool
+	quick, obs           bool
 	seed                 int64
 	iters, parallel      int
 	thresholds           benchfmt.Thresholds
@@ -131,10 +133,22 @@ func runPipeline(cfg pipelineConfig) int {
 	}
 	cells := experiments.BenchCells(experiments.Config{Seed: cfg.seed, Quick: cfg.quick})
 
-	// Metric pass.
+	// Metric pass. With -obs, all cells share one registry (concurrency-
+	// safe), so the snapshot aggregates the whole sweep. The timed serial
+	// pass below deliberately runs without metrics: its allocs/op and
+	// ns/op feed the regression gate and must measure the disabled path.
+	var reg *obs.Registry
+	if cfg.obs {
+		reg = obs.New()
+	}
 	var sweepCells []sweep.Cell
 	for _, c := range cells {
-		sweepCells = append(sweepCells, sweep.Cell{Name: c.Name, Spec: c.Spec(cfg.seed)})
+		spec := c.Spec(cfg.seed)
+		if reg != nil {
+			spec.Metrics = reg
+			spec.Label = c.Name
+		}
+		sweepCells = append(sweepCells, sweep.Cell{Name: c.Name, Spec: spec})
 	}
 	metricRes, err := sweep.Run(sweepCells, sweep.Options{Workers: cfg.parallel})
 	if err != nil {
@@ -145,7 +159,8 @@ func runPipeline(cfg pipelineConfig) int {
 	// Cost pass: serial, timed, allocation-counted via memstats deltas.
 	file := &benchfmt.File{
 		Label: cfg.label, Mode: mode, Seed: cfg.seed, Iters: cfg.iters,
-		Note: fmt.Sprintf("generated by drbench -bench on %s/%s", runtime.GOOS, runtime.GOARCH),
+		Note:    fmt.Sprintf("generated by drbench -bench on %s/%s", runtime.GOOS, runtime.GOARCH),
+		Metrics: reg.Snapshot(),
 	}
 	for i, c := range cells {
 		row, res, err := measure(c, cfg.seed, cfg.iters)

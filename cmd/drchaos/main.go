@@ -22,6 +22,7 @@ import (
 	"repro/download"
 	"repro/internal/adversary"
 	"repro/internal/netrt"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -101,6 +102,7 @@ func run() int {
 		seeds     = flag.Int("seeds", 3, "seeds per cell")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-run timeout")
 		verbose   = flag.Bool("v", false, "print every run")
+		obsAddr   = flag.String("obs", "", "serve observability endpoints on this address for the whole soak (one registry accumulates across runs)")
 	)
 	flag.Parse()
 
@@ -117,6 +119,21 @@ func run() int {
 	var absent []sim.PeerID
 	if *faulty > 0 {
 		absent = adversary.SpreadFaulty(*n, *faulty)
+	}
+	var (
+		reg      *obs.Registry
+		timeline *obs.Timeline
+	)
+	if *obsAddr != "" {
+		reg = obs.New()
+		timeline = obs.NewTimeline()
+		srv, err := obs.Serve(*obsAddr, reg, timeline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drchaos: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "drchaos: observability on http://%s/\n", srv.Addr)
 	}
 
 	type combo struct {
@@ -174,6 +191,9 @@ func run() int {
 						QueryTimeout: 250 * time.Millisecond,
 						RTO:          60 * time.Millisecond,
 					},
+					Metrics:  reg,
+					Timeline: timeline,
+					Label:    string(proto),
 				})
 				ok := err == nil && res.Correct
 				if ok {

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/download"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,6 +40,11 @@ func run() int {
 		verbose  = flag.Bool("v", false, "print per-peer stats")
 		trace    = flag.Bool("trace", false, "print event trace to stderr")
 		traceOut = flag.String("tracejson", "", "write a structured JSONL event trace to this file")
+
+		obsAddr = flag.String("obs", "", "serve observability endpoints (/metrics, /snapshot.json, /timeline.jsonl, /debug/vars, /debug/pprof) on this address, e.g. :9090")
+		obsHold = flag.Duration("obs-linger", 0, "keep the -obs server alive this long after the run so endpoints can be scraped")
+		metOut  = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file after the run")
+		tlOut   = flag.String("timeline-out", "", "write a drtrace-compatible JSONL timeline to this file after the run")
 	)
 	flag.Parse()
 
@@ -72,6 +80,26 @@ func run() int {
 		defer f.Close()
 		opts.TraceJSONL = f
 	}
+	var (
+		reg *obs.Registry
+		tl  *obs.Timeline
+	)
+	if *obsAddr != "" || *metOut != "" || *tlOut != "" {
+		reg = obs.New()
+		tl = obs.NewTimeline()
+		opts.Metrics, opts.Timeline = reg, tl
+	}
+	var srv *obs.Server
+	if *obsAddr != "" {
+		var err error
+		srv, err = obs.Serve(*obsAddr, reg, tl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drsim: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "drsim: observability on http://%s/\n", srv.Addr)
+	}
 	rep, err := download.Run(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drsim: %v\n", err)
@@ -96,8 +124,52 @@ func run() int {
 				p.ID, p.Honest, p.Crashed, p.Terminated, p.QueryBits, p.MsgsSent)
 		}
 	}
+	if *metOut != "" {
+		if err := writeMetricsSnapshot(*metOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "drsim: %v\n", err)
+			return 2
+		}
+	}
+	if *tlOut != "" {
+		if err := writeTimeline(*tlOut, tl); err != nil {
+			fmt.Fprintf(os.Stderr, "drsim: %v\n", err)
+			return 2
+		}
+	}
+	if srv != nil && *obsHold > 0 {
+		fmt.Fprintf(os.Stderr, "drsim: lingering %v on http://%s/ (metrics frozen)\n", *obsHold, srv.Addr)
+		time.Sleep(*obsHold)
+	}
 	if !rep.Correct {
 		return 1
 	}
 	return 0
+}
+
+// writeMetricsSnapshot dumps the registry as indented JSON.
+func writeMetricsSnapshot(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reg.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTimeline dumps the timeline as drtrace-compatible JSONL.
+func writeTimeline(path string, tl *obs.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

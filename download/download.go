@@ -37,6 +37,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/live"
 	"repro/internal/netrt"
+	"repro/internal/obs"
 	"repro/internal/protocols/committee"
 	"repro/internal/protocols/crash1"
 	"repro/internal/protocols/crashk"
@@ -160,6 +161,14 @@ type Options struct {
 	// runtime event (sends, deliveries, queries, crashes, terminations)
 	// — see internal/trace for the analyzer. des runtime only.
 	TraceJSONL io.Writer
+	// Metrics, when non-nil, receives runtime counters and histograms
+	// from the selected runtime (see docs/OBSERVABILITY.md for the
+	// series). The registry is concurrency-safe and may be shared across
+	// runs; nil disables collection at zero cost.
+	Metrics *obs.Registry
+	// Timeline, when non-nil, receives span/event marks (protocol phase
+	// transitions, crashes, reconnects, terminations).
+	Timeline *obs.Timeline
 }
 
 // PeerReport is the per-peer outcome.
@@ -265,6 +274,7 @@ func runTCP(opts Options) (*Report, error) {
 	res, err := netrt.Run(netrt.Config{
 		N: opts.N, T: opts.T, L: opts.L, MsgBits: msgBits,
 		Seed: opts.Seed, NewPeer: factory, Absent: absent, Input: input,
+		Metrics: opts.Metrics, Timeline: opts.Timeline, Label: string(opts.Protocol),
 	})
 	if err != nil {
 		return nil, err
@@ -296,9 +306,12 @@ func buildSpec(opts Options) (*sim.Spec, error) {
 			N: opts.N, T: opts.T, L: opts.L,
 			MsgBits: msgBits, Seed: opts.Seed, Input: input,
 		},
-		NewPeer: factory,
-		Delays:  adversary.NewRandomUnit(opts.Seed + 1000003),
-		Trace:   opts.Trace,
+		NewPeer:  factory,
+		Delays:   adversary.NewRandomUnit(opts.Seed + 1000003),
+		Trace:    opts.Trace,
+		Metrics:  opts.Metrics,
+		Timeline: opts.Timeline,
+		Label:    string(opts.Protocol),
 	}
 	faults, err := buildFaults(opts)
 	if err != nil {

@@ -16,6 +16,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SchemaVersion is the format generation this package reads and writes.
@@ -51,6 +53,10 @@ type File struct {
 	Seed  int64  `json:"seed"`
 	Iters int    `json:"iters"`
 	Rows  []Row  `json:"rows"`
+	// Metrics is an optional observability snapshot taken from the metric
+	// sweep pass (drbench -bench -obs). It is informational sidecar data:
+	// Compare ignores it, and older readers simply see an unknown key.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Row returns the named row.

@@ -22,8 +22,11 @@ package des
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
+	"time"
 
 	"repro/internal/bitarray"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -82,6 +85,13 @@ type peerState struct {
 	// arrival order right after Init.
 	pending []*event
 	stats   sim.PeerStats
+	// Metric handles, resolved once at engine construction. All nil when
+	// spec.Metrics is nil; nil obs handles are allocation-free no-ops, so
+	// the hot paths below call them unconditionally.
+	mQueryBits *obs.Counter
+	mQueries   *obs.Counter
+	mMsgs      *obs.Counter
+	mMsgBits   *obs.Counter
 }
 
 type engine struct {
@@ -100,6 +110,15 @@ type engine struct {
 	// per-event liveness check is O(1) instead of an O(n) scan.
 	honestLive int
 	res        sim.Result
+	// Observability handles (see peerState): nil handles are no-ops, and
+	// timing/depth sampling is additionally gated on mDispatch so the
+	// disabled path never touches the wall clock.
+	mEvents   *obs.Counter
+	mCrashes  *obs.Counter
+	mTerms    *obs.Counter
+	mDispatch *obs.Histogram
+	mDepth    *obs.Histogram
+	tl        *obs.Timeline
 }
 
 func newEngine(spec *sim.Spec) *engine {
@@ -150,6 +169,35 @@ func newEngine(spec *sim.Spec) *engine {
 			e.honestLive++
 		}
 	}
+	if m := spec.Metrics; m != nil {
+		// One setup-time resolution per peer; hot paths then go through
+		// the cached handles only. Specs with nil Metrics skip this block
+		// entirely, which is what keeps the pinned allocation budgets in
+		// alloc_test.go valid.
+		label := spec.Label
+		if label == "" {
+			label = "unknown"
+		}
+		e.mEvents = m.Counter("dr_sim_events_total", "Delivered simulation events.")
+		e.mCrashes = m.Counter("dr_sim_crashes_total", "Peer crashes executed by the fault adversary.")
+		e.mTerms = m.Counter("dr_sim_terminations_total", "Peer terminations.")
+		e.mDispatch = m.Histogram("dr_sim_dispatch_seconds",
+			"Wall-clock latency of one event dispatch.", obs.ExpBuckets(1e-7, 10, 8))
+		e.mDepth = m.Histogram("dr_sim_queue_depth",
+			"Pending event-queue depth sampled at each dispatch.", obs.ExpBuckets(1, 4, 10))
+		qBits := m.CounterVec("dr_sim_query_bits_total", "Source bits queried (the Q measure).", "protocol", "peer")
+		qCalls := m.CounterVec("dr_sim_query_calls_total", "Source Query invocations.", "protocol", "peer")
+		msgs := m.CounterVec("dr_sim_msgs_sent_total", "Peer messages sent, in b-bit chunks (the M measure).", "protocol", "peer")
+		msgBits := m.CounterVec("dr_sim_msg_bits_sent_total", "Payload bits sent peer-to-peer.", "protocol", "peer")
+		for _, p := range e.peers {
+			id := strconv.Itoa(int(p.id))
+			p.mQueryBits = qBits.With(label, id)
+			p.mQueries = qCalls.With(label, id)
+			p.mMsgs = msgs.With(label, id)
+			p.mMsgBits = msgBits.With(label, id)
+		}
+	}
+	e.tl = spec.Timeline
 	// Schedule starts.
 	for _, p := range e.peers {
 		ev := e.newEvent()
@@ -253,6 +301,7 @@ func (e *engine) step(p *peerState, ev *event) {
 // whether the event was actually delivered.
 func (e *engine) dispatch(p *peerState, ev *event) bool {
 	e.events++
+	e.mEvents.Inc()
 	// A delivery is an action; the adversary may crash the peer here
 	// instead of letting it process the event.
 	if !p.honest && p.crashPoint >= 0 {
@@ -261,6 +310,15 @@ func (e *engine) dispatch(p *peerState, ev *event) bool {
 			e.crash(p)
 			return false
 		}
+	}
+	if e.mDispatch != nil {
+		// Depth and wall-clock sampling only when metrics are enabled:
+		// the disabled path must not touch time.Now.
+		e.mDepth.Observe(float64(e.queue.len()))
+		start := time.Now()
+		e.deliver(p, ev)
+		e.mDispatch.Observe(time.Since(start).Seconds())
+		return true
 	}
 	e.deliver(p, ev)
 	return true
@@ -290,6 +348,8 @@ func (e *engine) deliver(p *peerState, ev *event) {
 func (e *engine) crash(p *peerState) {
 	p.crashed = true
 	p.stats.Crashed = true
+	e.mCrashes.Inc()
+	e.tl.Mark(e.now, int(p.id), "crash", "")
 	e.observe("crash", p.id, -1, "", 0)
 	e.tracef("t=%.3f peer %d CRASH (actions=%d)", e.now, p.id, p.actions)
 }
@@ -372,6 +432,8 @@ func (c *peerCtx) Send(to sim.PeerID, m sim.Message) {
 	}
 	p.stats.MsgsSent += chunks
 	p.stats.MsgBitsSent += size
+	p.mMsgs.Add(int64(chunks))
+	p.mMsgBits.Add(int64(size))
 	if c.e.spec.Observer != nil {
 		c.e.observe("send", p.id, to, msgTypeName(m), size)
 	}
@@ -417,6 +479,8 @@ func (c *peerCtx) Query(tag int, indices []int) {
 	}
 	p.stats.QueryBits += len(indices)
 	p.stats.QueryCalls++
+	p.mQueryBits.Add(int64(len(indices)))
+	p.mQueries.Inc()
 	c.e.observe("query", p.id, -1, "", len(indices))
 	idxCopy := append([]int(nil), indices...)
 	delay := c.e.spec.Delays.QueryDelay(p.id, c.e.now)
@@ -446,6 +510,8 @@ func (c *peerCtx) Terminate() {
 	if c.p.honest {
 		c.e.honestLive--
 	}
+	c.e.mTerms.Inc()
+	c.e.tl.Mark(c.e.now, int(c.p.id), "terminate", "")
 	c.e.observe("terminate", c.p.id, -1, "", 0)
 	c.e.tracef("t=%.3f peer %d TERMINATE (qbits=%d msgs=%d)",
 		c.e.now, c.p.id, c.p.stats.QueryBits, c.p.stats.MsgsSent)
@@ -453,6 +519,16 @@ func (c *peerCtx) Terminate() {
 
 func (c *peerCtx) Rand() *rand.Rand { return c.p.rng }
 func (c *peerCtx) Now() float64     { return c.e.now }
+
+// MarkPhase implements sim.PhaseMarker: it records a phase-transition
+// mark on the spec's timeline at the current virtual time. A nil
+// timeline makes this a free no-op.
+func (c *peerCtx) MarkPhase(name string) {
+	if c.e.tl == nil || !c.active() {
+		return
+	}
+	c.e.tl.Mark(c.e.now, int(c.p.id), "phase", name)
+}
 
 func (c *peerCtx) Logf(format string, args ...any) {
 	if c.e.spec.Trace != nil {

@@ -198,7 +198,7 @@ func TestBackoffDelayCappedAndJittered(t *testing.T) {
 func newTestHub(t *testing.T, cfg Config) *hub {
 	t.Helper()
 	input := (&sim.Config{N: cfg.N, T: cfg.T, L: cfg.L, MsgBits: cfg.MsgBits, Seed: cfg.Seed}).ResolveInput()
-	h, err := newHub(cfg, input)
+	h, err := newHub(cfg, input, newNetMetrics(&cfg, time.Now()))
 	if err != nil {
 		t.Fatal(err)
 	}

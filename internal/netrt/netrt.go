@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/bitarray"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -87,6 +88,16 @@ type Config struct {
 	Timeout time.Duration
 	// Input optionally fixes the source array.
 	Input *bitarray.Array
+	// Metrics, when non-nil, receives runtime counters: frames and bytes
+	// by kind and direction, per-peer query bits, reconnects, query
+	// retries, dedup and fault-plan counters. Nil disables collection at
+	// zero cost.
+	Metrics *obs.Registry
+	// Timeline, when non-nil, receives wall-clock span marks (phases,
+	// reconnects, query retries, kills, terminations).
+	Timeline *obs.Timeline
+	// Label is the "protocol" label value on metric series.
+	Label string
 }
 
 func (c *Config) validate() error {
@@ -172,7 +183,8 @@ func Run(cfg Config) (*sim.Result, error) {
 	input := (&sim.Config{N: cfg.N, T: cfg.T, L: cfg.L, MsgBits: cfg.MsgBits,
 		Seed: cfg.Seed, Input: cfg.Input}).ResolveInput()
 
-	h, err := newHub(cfg, input)
+	met := newNetMetrics(&cfg, time.Now())
+	h, err := newHub(cfg, input, met)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +206,7 @@ func Run(cfg Config) (*sim.Result, error) {
 		clients.Add(1)
 		go func(id sim.PeerID) {
 			defer clients.Done()
-			if err := runClient(&cfg, id, h.addr, &cstats[id]); err != nil {
+			if err := runClient(&cfg, id, h.addr, &cstats[id], met); err != nil {
 				errs <- fmt.Errorf("peer %d: %w", id, err)
 			}
 		}(id)
@@ -284,6 +296,9 @@ type hub struct {
 	// peers holds link state for every non-absent peer; the map is
 	// fully built in newHub and never mutated, so reads need no lock.
 	peers map[sim.PeerID]*hubPeer
+	// met is the shared observability bundle; nil when disabled (every
+	// method is nil-safe).
+	met *netMetrics
 
 	stop chan struct{}
 
@@ -296,7 +311,7 @@ type hub struct {
 	wg      sync.WaitGroup
 }
 
-func newHub(cfg Config, input *bitarray.Array) (*hub, error) {
+func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("netrt: listen: %w", err)
@@ -326,6 +341,7 @@ func newHub(cfg Config, input *bitarray.Array) (*hub, error) {
 		expect:  cfg.N - len(faulty),
 		faulty:  faulty,
 		peers:   make(map[sim.PeerID]*hubPeer, cfg.N),
+		met:     met,
 		stop:    make(chan struct{}),
 		allDone: make(chan struct{}),
 	}
@@ -344,6 +360,7 @@ func newHub(cfg Config, input *bitarray.Array) (*hub, error) {
 			conn := hp.conn
 			hp.conn = nil
 			hp.mu.Unlock()
+			h.met.mark(int(hp.id), "crash", "")
 			if conn != nil {
 				conn.Close()
 			}
@@ -363,6 +380,7 @@ func newHub(cfg Config, input *bitarray.Array) (*hub, error) {
 					hp.mu.Unlock()
 					if conn != nil {
 						dbg("flap: severing peer %d", hp.id)
+						h.met.mark(int(hp.id), "flap", "")
 						conn.Close()
 					}
 				}))
@@ -406,6 +424,7 @@ func (h *hub) serve(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	h.met.hubRx(kind, len(payload))
 	id64, n := binary.Uvarint(payload)
 	var hp *hubPeer
 	if n > 0 && id64 < uint64(h.cfg.N) {
@@ -455,6 +474,7 @@ func (h *hub) serve(conn net.Conn) {
 			dbg("peer %d link down: %v", hp.id, err)
 			return
 		}
+		h.met.hubRx(kind, len(payload))
 		switch kind {
 		case kPing:
 			// Heartbeat: reading it already refreshed the deadline.
@@ -469,6 +489,7 @@ func (h *hub) serve(conn net.Conn) {
 			fresh := hp.recv.admit(seq)
 			if !fresh {
 				hp.dupsDeduped++
+				h.met.dupDropped(int(hp.id))
 			} else {
 				hp.lastKind, hp.lastFrame = kind, time.Now()
 			}
@@ -510,6 +531,7 @@ func (h *hub) route(src *hubPeer, payload []byte) {
 	src.msgsSent += chunks
 	src.msgBits += len(body) * 8
 	src.mu.Unlock()
+	h.met.msgRouted(int(src.id), chunks, len(body)*8)
 
 	if to64 >= uint64(h.cfg.N) {
 		return
@@ -555,6 +577,7 @@ func (h *hub) transmit(hp *hubPeer, kind byte, seq uint64, from sim.PeerID, payl
 			hp.mu.Lock()
 			hp.planDropped++
 			hp.mu.Unlock()
+			h.met.planDrop(int(hp.id))
 			dbg("plan: drop %s %d→%d seq=%d attempt=%d", kindName(kind), from, hp.id, seq, attempt)
 			return
 		}
@@ -563,6 +586,7 @@ func (h *hub) transmit(hp *hubPeer, kind byte, seq uint64, from sim.PeerID, payl
 			hp.mu.Lock()
 			hp.planDuped++
 			hp.mu.Unlock()
+			h.met.planDupe(int(hp.id))
 			h.later(hp, kind, seq, h.plan.dupDelayFor(from, hp.id, seq, attempt), payload)
 		}
 		if delay > 0 {
@@ -596,6 +620,7 @@ func (h *hub) writeData(hp *hubPeer, kind byte, seq uint64, payload []byte) {
 	if conn == nil {
 		return
 	}
+	h.met.hubTx(kind, len(payload))
 	_ = writeFrame(conn, &hp.writeMu, kind, seq, payload)
 }
 
@@ -620,6 +645,7 @@ func (h *hub) answerQuery(hp *hubPeer, payload []byte) {
 	hp.replySeq++
 	seq := hp.replySeq
 	hp.mu.Unlock()
+	h.met.queryServed(int(hp.id), len(indices))
 
 	out := encodeQueryHeader(tag, indices)
 	raw := bits.Bytes()
@@ -643,6 +669,9 @@ func (h *hub) markDone(hp *hubPeer, payload []byte) {
 	hp.output = out
 	hp.termTime = time.Since(h.start).Seconds()
 	hp.mu.Unlock()
+	if !already {
+		h.met.mark(int(hp.id), "terminate", "")
+	}
 	if already || h.faulty[hp.id] {
 		return
 	}
@@ -783,7 +812,7 @@ var errHubGone = errors.New("netrt: hub gone after termination")
 // runClient dials the hub and drives one protocol instance, reconnecting
 // through connection loss until the protocol terminates and its DONE
 // frame is acknowledged.
-func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats) error {
+func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *netMetrics) error {
 	res := cfg.Resilience.withDefaults()
 	idle := cfg.IdleTimeout
 	if idle <= 0 {
@@ -799,6 +828,7 @@ func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats) error {
 		nrng:    rand.New(rand.NewSource(cfg.Seed ^ (int64(id)*0x51af + 0xdead))),
 		impl:    cfg.NewPeer(id),
 		start:   time.Now(),
+		met:     met,
 		queries: make(map[qkey]*pendingQuery),
 		stopHK:  make(chan struct{}),
 	}
@@ -848,6 +878,8 @@ type client struct {
 	nrng  *rand.Rand // network randomness (backoff jitter), kept separate
 	impl  sim.Peer
 	start time.Time
+	// met is the run's shared observability bundle; nil when disabled.
+	met *netMetrics
 
 	writeMu sync.Mutex // serializes frame writes on the current conn
 
@@ -876,12 +908,20 @@ type client struct {
 
 var _ sim.Context = (*client)(nil)
 
+// write counts one outbound frame and writes it on conn.
+func (c *client) write(conn net.Conn, kind byte, seq uint64, payload []byte) error {
+	c.met.cliTx(kind, len(payload))
+	return writeFrame(conn, &c.writeMu, kind, seq, payload)
+}
+
 // connect dials the hub with capped exponential backoff, then replays
 // every unacked frame on the fresh connection (the hub dedups overlap).
 func (c *client) connect(initial bool) error {
 	for a := 0; a < c.res.ReconnectAttempts; a++ {
 		if a > 0 {
-			time.Sleep(backoffDelay(c.nrng, a-1, c.res.ReconnectBase, c.res.ReconnectMax))
+			d := backoffDelay(c.nrng, a-1, c.res.ReconnectBase, c.res.ReconnectMax)
+			c.met.backoffObserve(d)
+			time.Sleep(d)
 		}
 		conn, err := net.Dial("tcp", c.addr)
 		if err != nil {
@@ -894,7 +934,7 @@ func (c *client) connect(initial bool) error {
 			continue
 		}
 		hello := binary.AppendUvarint(nil, uint64(c.id))
-		if err := writeFrame(conn, &c.writeMu, kHello, 0, hello); err != nil {
+		if err := c.write(conn, kHello, 0, hello); err != nil {
 			conn.Close()
 			continue
 		}
@@ -904,6 +944,7 @@ func (c *client) connect(initial bool) error {
 		c.conn = conn
 		if !initial {
 			c.reconnects++
+			c.met.reconnect(int(c.id))
 		}
 		c.out.markAllDue()
 		due := c.out.takeDue(now, now)
@@ -913,9 +954,9 @@ func (c *client) connect(initial bool) error {
 			old.Close()
 		}
 		// Refresh the hub's view of our ack state, then replay.
-		_ = writeFrame(conn, &c.writeMu, kAck, 0, binary.AppendUvarint(nil, ack))
+		_ = c.write(conn, kAck, 0, binary.AppendUvarint(nil, ack))
 		for _, f := range due {
-			_ = writeFrame(conn, &c.writeMu, f.kind, f.seq, f.payload)
+			_ = c.write(conn, f.kind, f.seq, f.payload)
 		}
 		return nil
 	}
@@ -955,6 +996,7 @@ func (c *client) loop() {
 			}
 			continue
 		}
+		c.met.cliRx(kind, len(payload))
 		c.handleFrame(kind, seq, payload)
 	}
 }
@@ -978,13 +1020,14 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 		fresh := c.recv.admit(seq)
 		if !fresh {
 			c.dupsDeduped++
+			c.met.dupDropped(int(c.id))
 		}
 		ack := c.recv.cumAck()
 		conn := c.conn
 		term := c.terminated
 		c.mu.Unlock()
 		if conn != nil {
-			_ = writeFrame(conn, &c.writeMu, kAck, 0, binary.AppendUvarint(nil, ack))
+			_ = c.write(conn, kAck, 0, binary.AppendUvarint(nil, ack))
 		}
 		if !fresh || term {
 			return
@@ -1004,6 +1047,7 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 		fresh := c.replies.admit(seq)
 		if !fresh {
 			c.dupsDeduped++
+			c.met.dupDropped(int(c.id))
 		}
 		c.mu.Unlock()
 		if !fresh {
@@ -1037,6 +1081,7 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 			}
 		} else {
 			c.dupsDeduped++
+			c.met.dupDropped(int(c.id))
 		}
 		term := c.terminated
 		c.mu.Unlock()
@@ -1084,6 +1129,7 @@ func (c *client) housekeeping() {
 				}
 				pq.attempts++
 				c.queryRetries++
+				c.met.queryRetry(int(c.id))
 				pq.deadline = nextQueryDeadline(now, c.res.QueryTimeout, pq.attempts)
 				retries = append(retries, pq.payload)
 			}
@@ -1091,10 +1137,10 @@ func (c *client) housekeeping() {
 		c.mu.Unlock()
 		if conn != nil {
 			if ping {
-				_ = writeFrame(conn, &c.writeMu, kPing, 0, nil)
+				_ = c.write(conn, kPing, 0, nil)
 			}
 			for _, f := range due {
-				_ = writeFrame(conn, &c.writeMu, f.kind, f.seq, f.payload)
+				_ = c.write(conn, f.kind, f.seq, f.payload)
 			}
 		}
 		for _, p := range retries {
@@ -1120,7 +1166,7 @@ func (c *client) enqueue(kind byte, payload []byte) {
 	conn := c.conn
 	c.mu.Unlock()
 	if conn != nil {
-		_ = writeFrame(conn, &c.writeMu, kind, seq, payload)
+		_ = c.write(conn, kind, seq, payload)
 	}
 }
 
@@ -1218,8 +1264,14 @@ func (c *client) Terminate() {
 	conn := c.conn
 	c.mu.Unlock()
 	if conn != nil {
-		_ = writeFrame(conn, &c.writeMu, kDone, seq, body)
+		_ = c.write(conn, kDone, seq, body)
 	}
+}
+
+// MarkPhase implements sim.PhaseMarker: it records a phase-transition
+// mark on the run's timeline at wall-clock seconds since run start.
+func (c *client) MarkPhase(name string) {
+	c.met.mark(int(c.id), "phase", name)
 }
 
 // Rand implements sim.Context.

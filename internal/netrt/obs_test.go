@@ -1,0 +1,126 @@
+package netrt_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/netrt"
+	"repro/internal/obs"
+	"repro/internal/protocols/crashk"
+)
+
+// TestChaosMetrics runs crashk under a lossy fault plan with a registry
+// and timeline attached and checks that the chaos-layer counters agree
+// with the Result's robustness accounting: per-peer query bits, plan
+// drops/dups, dedup discards, reconnects and query retries, plus frame
+// counters and phase marks.
+func TestChaosMetrics(t *testing.T) {
+	reg := obs.New()
+	tl := obs.NewTimeline()
+	cfg := netrt.Config{
+		N: 5, T: 0, L: 256, MsgBits: 64, Seed: 2,
+		NewPeer: crashk.New,
+		Faults: &netrt.FaultPlan{
+			Seed: 11, Drop: 0.15, Dup: 0.15,
+			Delay: 2 * time.Millisecond, Reorder: 0.1,
+		},
+		Resilience: netrt.Resilience{
+			QueryTimeout:  250 * time.Millisecond,
+			RTO:           60 * time.Millisecond,
+			ReconnectBase: 10 * time.Millisecond,
+		},
+		Timeout:  30 * time.Second,
+		Metrics:  reg,
+		Timeline: tl,
+		Label:    "crashk",
+	}
+	res, err := netrt.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect run: %v", res.Failures)
+	}
+	snap := reg.Snapshot()
+
+	sumOver := func(name string) (total int, found bool) {
+		for _, m := range snap.Metrics {
+			if m.Name != name {
+				continue
+			}
+			found = true
+			for _, s := range m.Series {
+				total += int(s.Value)
+			}
+		}
+		return total, found
+	}
+
+	var wantBits, wantDrop, wantDup, wantDedup, wantRetries, wantRecon int
+	for _, ps := range res.PerPeer {
+		wantBits += ps.QueryBits
+		wantDrop += ps.PlanDropped
+		wantDup += ps.PlanDuped
+		wantDedup += ps.DupFramesDropped
+		wantRetries += ps.QueryRetries
+		wantRecon += ps.Reconnects
+	}
+	checks := []struct {
+		name string
+		want int
+	}{
+		{"dr_net_query_bits_total", wantBits},
+		{"dr_net_plan_dropped_total", wantDrop},
+		{"dr_net_plan_duped_total", wantDup},
+		{"dr_net_dup_frames_dropped_total", wantDedup},
+		{"dr_net_query_retries_total", wantRetries},
+		{"dr_net_reconnects_total", wantRecon},
+	}
+	for _, c := range checks {
+		got, found := sumOver(c.name)
+		if !found {
+			t.Errorf("metric %s missing from snapshot", c.name)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: metric total %d, result says %d", c.name, got, c.want)
+		}
+	}
+
+	// Per-peer query-bit series carry the protocol label.
+	for _, ps := range res.PerPeer {
+		if ps.QueryBits == 0 {
+			continue
+		}
+		labels := map[string]string{"protocol": "crashk", "peer": strconv.Itoa(int(ps.ID))}
+		if s, ok := snap.Series("dr_net_query_bits_total", labels); !ok || int(s.Value) != ps.QueryBits {
+			t.Errorf("peer %d: query-bit series %v (ok=%v), stats say %d", ps.ID, s.Value, ok, ps.QueryBits)
+		}
+	}
+
+	// The lossy plan forces retransmissions: MSG frames must flow on both
+	// sides, and QUERY frames must be at least the served query calls.
+	for _, labels := range []map[string]string{
+		{"side": "hub", "dir": "tx", "kind": "MSG"},
+		{"side": "client", "dir": "rx", "kind": "MSG"},
+		{"side": "hub", "dir": "rx", "kind": "QUERY"},
+		{"side": "client", "dir": "tx", "kind": "DONE"},
+	} {
+		if s, ok := snap.Series("dr_net_frames_total", labels); !ok || s.Value <= 0 {
+			t.Errorf("frame series %v: value %v (ok=%v), want > 0", labels, s.Value, ok)
+		}
+	}
+
+	// Timeline: every peer marked phases and a terminate.
+	kinds := map[string]int{}
+	for _, ev := range tl.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds["phase"] == 0 {
+		t.Error("timeline has no phase marks")
+	}
+	if kinds["terminate"] != cfg.N {
+		t.Errorf("timeline has %d terminate marks, want %d", kinds["terminate"], cfg.N)
+	}
+}

@@ -1,0 +1,214 @@
+package netrt
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// netMetrics bundles every observability handle the TCP runtime touches.
+// It is built once per Run when Config.Metrics or Config.Timeline is set
+// and stays nil otherwise; every method is a no-op on a nil receiver, so
+// the hub and client hot paths call them unconditionally and a disabled
+// run pays a single pointer nil-check per call site (pinned by
+// TestNetMetricsDisabledAllocFree).
+//
+// Frame counters are fixed arrays indexed by the frame-kind byte: no map
+// lookup and no label resolution happens per frame.
+type netMetrics struct {
+	tl    *obs.Timeline
+	start time.Time
+
+	// Frame and byte counters by (side, direction, kind). The hub and
+	// all clients run in one process, so "side" distinguishes the two
+	// halves of each link.
+	hubFramesTx, hubFramesRx [kReject + 1]*obs.Counter
+	cliFramesTx, cliFramesRx [kReject + 1]*obs.Counter
+	hubBytesTx, hubBytesRx   [kReject + 1]*obs.Counter
+	cliBytesTx, cliBytesRx   [kReject + 1]*obs.Counter
+
+	backoff *obs.Histogram
+
+	// Per-peer handles indexed by peer id.
+	queryBits, queryCalls []*obs.Counter
+	msgs, msgBits         []*obs.Counter
+	reconnects, qretries  []*obs.Counter
+	dups                  []*obs.Counter
+	planDropped, planDup  []*obs.Counter
+}
+
+// newNetMetrics resolves every handle up front. Returns nil when the
+// config enables neither metrics nor a timeline.
+func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
+	if cfg.Metrics == nil && cfg.Timeline == nil {
+		return nil
+	}
+	m := &netMetrics{tl: cfg.Timeline, start: start}
+	reg := cfg.Metrics
+	if reg == nil {
+		return m
+	}
+	label := cfg.Label
+	if label == "" {
+		label = "unknown"
+	}
+	frames := reg.CounterVec("dr_net_frames_total", "Frames moved on TCP links.", "side", "dir", "kind")
+	bytes := reg.CounterVec("dr_net_frame_bytes_total", "Frame payload bytes moved on TCP links.", "side", "dir", "kind")
+	for k := byte(kHello); k <= kReject; k++ {
+		kn := kindName(k)
+		m.hubFramesTx[k] = frames.With("hub", "tx", kn)
+		m.hubFramesRx[k] = frames.With("hub", "rx", kn)
+		m.cliFramesTx[k] = frames.With("client", "tx", kn)
+		m.cliFramesRx[k] = frames.With("client", "rx", kn)
+		m.hubBytesTx[k] = bytes.With("hub", "tx", kn)
+		m.hubBytesRx[k] = bytes.With("hub", "rx", kn)
+		m.cliBytesTx[k] = bytes.With("client", "tx", kn)
+		m.cliBytesRx[k] = bytes.With("client", "rx", kn)
+	}
+	m.backoff = reg.Histogram("dr_net_backoff_seconds",
+		"Reconnect backoff sleeps.", obs.ExpBuckets(1e-3, 4, 8))
+	qBits := reg.CounterVec("dr_net_query_bits_total", "Source bits served per peer (the Q measure).", "protocol", "peer")
+	qCalls := reg.CounterVec("dr_net_query_calls_total", "Source queries served per peer.", "protocol", "peer")
+	msgs := reg.CounterVec("dr_net_msgs_sent_total", "Peer messages routed, in b-bit chunks (the M measure).", "protocol", "peer")
+	msgBits := reg.CounterVec("dr_net_msg_bits_sent_total", "Payload bits routed peer-to-peer.", "protocol", "peer")
+	recon := reg.CounterVec("dr_net_reconnects_total", "Client redials that re-established a link.", "peer")
+	qret := reg.CounterVec("dr_net_query_retries_total", "Source queries re-issued after timeout.", "peer")
+	dups := reg.CounterVec("dr_net_dup_frames_dropped_total", "Duplicate frames discarded by dedup.", "peer")
+	pdrop := reg.CounterVec("dr_net_plan_dropped_total", "Deliveries dropped by the fault plan.", "peer")
+	pdup := reg.CounterVec("dr_net_plan_duped_total", "Deliveries duplicated by the fault plan.", "peer")
+	n := cfg.N
+	m.queryBits = make([]*obs.Counter, n)
+	m.queryCalls = make([]*obs.Counter, n)
+	m.msgs = make([]*obs.Counter, n)
+	m.msgBits = make([]*obs.Counter, n)
+	m.reconnects = make([]*obs.Counter, n)
+	m.qretries = make([]*obs.Counter, n)
+	m.dups = make([]*obs.Counter, n)
+	m.planDropped = make([]*obs.Counter, n)
+	m.planDup = make([]*obs.Counter, n)
+	for i := 0; i < n; i++ {
+		id := strconv.Itoa(i)
+		m.queryBits[i] = qBits.With(label, id)
+		m.queryCalls[i] = qCalls.With(label, id)
+		m.msgs[i] = msgs.With(label, id)
+		m.msgBits[i] = msgBits.With(label, id)
+		m.reconnects[i] = recon.With(id)
+		m.qretries[i] = qret.With(id)
+		m.dups[i] = dups.With(id)
+		m.planDropped[i] = pdrop.With(id)
+		m.planDup[i] = pdup.With(id)
+	}
+	return m
+}
+
+func validKind(k byte) bool { return k >= kHello && k <= kReject }
+
+func (m *netMetrics) hubTx(kind byte, payloadLen int) {
+	if m == nil || !validKind(kind) {
+		return
+	}
+	m.hubFramesTx[kind].Inc()
+	m.hubBytesTx[kind].Add(int64(payloadLen))
+}
+
+func (m *netMetrics) hubRx(kind byte, payloadLen int) {
+	if m == nil || !validKind(kind) {
+		return
+	}
+	m.hubFramesRx[kind].Inc()
+	m.hubBytesRx[kind].Add(int64(payloadLen))
+}
+
+func (m *netMetrics) cliTx(kind byte, payloadLen int) {
+	if m == nil || !validKind(kind) {
+		return
+	}
+	m.cliFramesTx[kind].Inc()
+	m.cliBytesTx[kind].Add(int64(payloadLen))
+}
+
+func (m *netMetrics) cliRx(kind byte, payloadLen int) {
+	if m == nil || !validKind(kind) {
+		return
+	}
+	m.cliFramesRx[kind].Inc()
+	m.cliBytesRx[kind].Add(int64(payloadLen))
+}
+
+func (m *netMetrics) backoffObserve(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.backoff.Observe(d.Seconds())
+}
+
+// peerAdd guards the per-peer slices: they are nil when only a timeline
+// is attached, and ids are range-checked against hostile hello frames.
+func peerAdd(handles []*obs.Counter, peer int, n int64) {
+	if peer >= 0 && peer < len(handles) {
+		handles[peer].Add(n)
+	}
+}
+
+func (m *netMetrics) queryServed(peer, bits int) {
+	if m == nil {
+		return
+	}
+	peerAdd(m.queryBits, peer, int64(bits))
+	peerAdd(m.queryCalls, peer, 1)
+}
+
+func (m *netMetrics) msgRouted(peer, chunks, bits int) {
+	if m == nil {
+		return
+	}
+	peerAdd(m.msgs, peer, int64(chunks))
+	peerAdd(m.msgBits, peer, int64(bits))
+}
+
+func (m *netMetrics) reconnect(peer int) {
+	if m == nil {
+		return
+	}
+	peerAdd(m.reconnects, peer, 1)
+	m.mark(peer, "reconnect", "")
+}
+
+func (m *netMetrics) queryRetry(peer int) {
+	if m == nil {
+		return
+	}
+	peerAdd(m.qretries, peer, 1)
+	m.mark(peer, "qretry", "")
+}
+
+func (m *netMetrics) dupDropped(peer int) {
+	if m == nil {
+		return
+	}
+	peerAdd(m.dups, peer, 1)
+}
+
+func (m *netMetrics) planDrop(peer int) {
+	if m == nil {
+		return
+	}
+	peerAdd(m.planDropped, peer, 1)
+}
+
+func (m *netMetrics) planDupe(peer int) {
+	if m == nil {
+		return
+	}
+	peerAdd(m.planDup, peer, 1)
+}
+
+// mark records a timeline event stamped with wall-clock seconds since
+// run start — the TCP runtime's analogue of virtual time.
+func (m *netMetrics) mark(peer int, kind, name string) {
+	if m == nil || m.tl == nil {
+		return
+	}
+	m.tl.Mark(time.Since(m.start).Seconds(), peer, kind, name)
+}

@@ -1,0 +1,55 @@
+package netrt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func newTimelineForTest() *obs.Timeline { return obs.NewTimeline() }
+
+// TestNetMetricsDisabledAllocFree pins the zero-cost-when-disabled
+// contract on the TCP runtime's per-frame hooks: a run without metrics
+// carries a nil *netMetrics, and every method the send/receive/chaos
+// paths call through it must be an allocation-free no-op. A regression
+// here would add allocations to every frame of every netrt run.
+func TestNetMetricsDisabledAllocFree(t *testing.T) {
+	var m *netMetrics
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.hubTx(kMsg, 64)
+		m.hubRx(kQuery, 16)
+		m.cliTx(kDone, 8)
+		m.cliRx(kQReply, 32)
+		m.queryServed(3, 128)
+		m.msgRouted(2, 1, 512)
+		m.reconnect(1)
+		m.queryRetry(4)
+		m.dupDropped(0)
+		m.planDrop(2)
+		m.planDupe(2)
+		m.backoffObserve(5 * time.Millisecond)
+		m.mark(1, "phase", "download")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled netMetrics allocated %.2f times per op, want 0", allocs)
+	}
+}
+
+// TestNetMetricsTimelineOnly: attaching only a timeline must not panic
+// on the counter paths (the per-peer handle slices stay nil).
+func TestNetMetricsTimelineOnly(t *testing.T) {
+	cfg := &Config{N: 3}
+	cfg.Timeline = newTimelineForTest()
+	m := newNetMetrics(cfg, time.Now())
+	if m == nil {
+		t.Fatal("timeline-only config produced a nil bundle")
+	}
+	m.hubTx(kMsg, 10)
+	m.queryServed(1, 32)
+	m.reconnect(2)
+	m.mark(0, "phase", "x")
+	if cfg.Timeline.Len() != 2 { // reconnect mark + phase mark
+		t.Fatalf("timeline has %d events, want 2", cfg.Timeline.Len())
+	}
+}

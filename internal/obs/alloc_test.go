@@ -1,0 +1,50 @@
+package obs
+
+import "testing"
+
+// The zero-cost-when-disabled contract: every method a runtime hot path
+// calls through a nil handle must be allocation-free. internal/des and
+// internal/netrt call these unconditionally per event/frame, so a single
+// allocation here would multiply into thousands per run and blow the
+// simulator's pinned allocation budgets.
+
+func TestNilHandlesAllocFree(t *testing.T) {
+	var (
+		r  *Registry
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		tl *Timeline
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(42)
+		g.Set(7)
+		g.Add(-1)
+		h.Observe(0.5)
+		tl.Mark(1.0, 3, "phase", "download")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil instrument handles allocated %.2f times per op, want 0", allocs)
+	}
+	// Resolution through a nil registry stays nil at every level (the
+	// runtimes additionally guard setup behind a single nil check, so
+	// this path never runs per-event anyway).
+	if r.CounterVec("dr_x_total", "h", "peer").With("0") != nil {
+		t.Fatal("nil registry produced a live counter")
+	}
+	if r.HistogramVec("dr_z_seconds", "h", nil).With() != nil {
+		t.Fatal("nil registry produced a live histogram")
+	}
+}
+
+// Enabled counters must stay allocation-free per increment (one atomic
+// add); only series creation may allocate.
+func TestEnabledCounterAddAllocFree(t *testing.T) {
+	r := New()
+	c := r.CounterVec("dr_hot_total", "h", "peer").With("0")
+	allocs := testing.AllocsPerRun(1000, func() { c.Add(3) })
+	if allocs != 0 {
+		t.Fatalf("enabled Counter.Add allocated %.2f times per op, want 0", allocs)
+	}
+}

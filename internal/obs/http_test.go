@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := New()
+	r.CounterVec("dr_sim_query_bits_total", "Bits.", "protocol", "peer").With("crashk", "0").Add(256)
+	tl := NewTimeline()
+	tl.Mark(0.5, 0, "phase", "download")
+	tl.Mark(1.5, 0, "terminate", "")
+
+	srv, err := Serve("127.0.0.1:0", r, tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, `dr_sim_query_bits_total{protocol="crashk",peer="0"} 256`) {
+		t.Fatalf("/metrics: code %d body %q", code, body)
+	}
+
+	code, body = get(t, base+"/snapshot.json")
+	if code != 200 {
+		t.Fatalf("/snapshot.json: code %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/snapshot.json: %v", err)
+	}
+	if s, ok := snap.Series("dr_sim_query_bits_total", map[string]string{"protocol": "crashk", "peer": "0"}); !ok || s.Value != 256 {
+		t.Fatalf("/snapshot.json: series missing or wrong: %+v ok=%v", s, ok)
+	}
+
+	code, body = get(t, base+"/timeline.jsonl")
+	if code != 200 || !strings.Contains(body, `"kind":"phase"`) {
+		t.Fatalf("/timeline.jsonl: code %d body %q", code, body)
+	}
+
+	code, body = get(t, base+"/spans.json")
+	if code != 200 || !strings.Contains(body, `"download"`) {
+		t.Fatalf("/spans.json: code %d body %q", code, body)
+	}
+
+	// expvar: must carry the standard vars plus our published registry.
+	code, body = get(t, base+"/debug/vars")
+	if code != 200 || !strings.Contains(body, "memstats") {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	if !strings.Contains(body, "dr_sim_query_bits_total") {
+		t.Fatalf("/debug/vars missing published registry: %.200s", body)
+	}
+
+	// pprof index must respond.
+	code, _ = get(t, base+"/debug/pprof/")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/: code %d", code)
+	}
+
+	code, _ = get(t, base+"/nope")
+	if code != 404 {
+		t.Fatalf("/nope: code %d, want 404", code)
+	}
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecAccumulates(t *testing.T) {
+	r := New()
+	v := r.CounterVec("dr_test_total", "help.", "peer")
+	v.With("0").Add(5)
+	v.With("0").Inc()
+	v.With("1").Add(2)
+	if got := v.With("0").Value(); got != 6 {
+		t.Fatalf("peer 0: got %d, want 6", got)
+	}
+	if got := v.With("1").Value(); got != 2 {
+		t.Fatalf("peer 1: got %d, want 2", got)
+	}
+	// Counters never decrease.
+	v.With("1").Add(-10)
+	if got := v.With("1").Value(); got != 2 {
+		t.Fatalf("after negative add: got %d, want 2", got)
+	}
+	// Re-registration returns the same family.
+	if got := r.CounterVec("dr_test_total", "help.", "peer").With("0").Value(); got != 6 {
+		t.Fatalf("re-registered family lost state: got %d", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := New()
+	g := r.Gauge("dr_depth", "help.")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("got %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("dr_lat_seconds", "help.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5, 0.05} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-9 {
+		t.Fatalf("sum %g, want 5.605", h.Sum())
+	}
+	snap, ok := r.Snapshot().Series("dr_lat_seconds", nil)
+	if !ok {
+		t.Fatal("series missing from snapshot")
+	}
+	want := []uint64{1, 2, 1} // ≤0.01, (0.01,0.1], (0.1,1]; one overflow
+	for i, b := range snap.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d: count %d, want %d", i, b.Count, want[i])
+		}
+	}
+}
+
+func TestSchemaConflictPanics(t *testing.T) {
+	r := New()
+	r.Counter("dr_x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dr_x_total", "h")
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a", "h")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := r.GaugeVec("b", "h", "l").With("x")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h := r.Histogram("c", "h", []float64{1})
+	h.Observe(0.5)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram observed")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot not nil")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote prometheus output %q (err %v)", sb.String(), err)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := New()
+	r.CounterVec("dr_q_total", "Query bits.", "protocol", "peer").With("crashk", "3").Add(512)
+	r.Gauge("dr_live", "Live peers.").Set(6)
+	r.Histogram("dr_lat_seconds", "Latency.", []float64{0.1, 1}).Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dr_q_total counter",
+		`dr_q_total{protocol="crashk",peer="3"} 512`,
+		"# TYPE dr_live gauge",
+		"dr_live 6",
+		"# TYPE dr_lat_seconds histogram",
+		`dr_lat_seconds_bucket{le="0.1"} 0`,
+		`dr_lat_seconds_bucket{le="1"} 1`,
+		`dr_lat_seconds_bucket{le="+Inf"} 1`,
+		"dr_lat_seconds_sum 0.5",
+		"dr_lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.CounterVec("dr_e_total", "h", "v").With(`a"b\c` + "\nd").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `v="a\"b\\c\nd"`) {
+		t.Fatalf("label not escaped: %s", sb.String())
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := New()
+	v := r.CounterVec("dr_c_total", "h", "worker")
+	h := r.Histogram("dr_h_seconds", "h", ExpBuckets(1e-6, 10, 6))
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Half the workers share a series, half create their own —
+			// exercising both the atomic add and the map-create paths.
+			label := "shared"
+			if w%2 == 0 {
+				label = string(rune('a' + w))
+			}
+			for i := 0; i < perWorker; i++ {
+				v.With(label).Inc()
+				h.Observe(float64(i) * 1e-6)
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := int64(0)
+	snap := r.Snapshot()
+	for _, m := range snap.Metrics {
+		if m.Name != "dr_c_total" {
+			continue
+		}
+		for _, s := range m.Series {
+			total += int64(s.Value)
+		}
+	}
+	if total != workers*perWorker {
+		t.Fatalf("lost increments: got %d, want %d", total, workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Fatalf("lost observations: got %d, want %d", h.Count(), workers*perWorker)
+	}
+}
+
+func TestTimelineSpans(t *testing.T) {
+	tl := NewTimeline()
+	tl.Mark(0, 0, "phase", "download")
+	tl.Mark(1, 1, "phase", "download")
+	tl.Mark(2, 0, "phase", "verify")
+	tl.Mark(3, 0, "terminate", "")
+	tl.Mark(4, 1, "crash", "")
+	spans := tl.Spans()
+	want := []Span{
+		{Peer: 0, Name: "download", Start: 0, End: 2},
+		{Peer: 0, Name: "verify", Start: 2, End: 3},
+		{Peer: 1, Name: "download", Start: 1, End: 4},
+	}
+	if len(spans) != len(want) {
+		t.Fatalf("got %d spans %v, want %d", len(spans), spans, len(want))
+	}
+	for i, s := range spans {
+		if s != want[i] {
+			t.Errorf("span %d: got %+v, want %+v", i, s, want[i])
+		}
+	}
+}
+
+func TestTimelineLimit(t *testing.T) {
+	tl := NewTimelineLimit(2)
+	for i := 0; i < 5; i++ {
+		tl.Mark(float64(i), 0, "phase", "p")
+	}
+	if tl.Len() != 2 || tl.Dropped() != 3 {
+		t.Fatalf("len %d dropped %d, want 2/3", tl.Len(), tl.Dropped())
+	}
+}
+
+func TestNilTimelineIsInert(t *testing.T) {
+	var tl *Timeline
+	tl.Mark(1, 0, "phase", "x")
+	if tl.Len() != 0 || tl.Events() != nil || tl.Spans() != nil {
+		t.Fatal("nil timeline stored something")
+	}
+	var sb strings.Builder
+	if err := tl.WriteJSONL(&sb); err != nil || sb.Len() != 0 {
+		t.Fatal("nil timeline wrote output")
+	}
+}

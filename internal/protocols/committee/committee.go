@@ -110,6 +110,7 @@ func (p *Peer) Init(ctx sim.Context) {
 	p.idxBits = indexBits(ctx.L())
 	p.track = bitarray.NewTracker(ctx.L())
 	p.accept = ctx.T() + 1
+	sim.MarkPhase(ctx, "elect")
 	if CommitteeSize(ctx.T()) > ctx.N() {
 		// β ≥ 1/2: deterministic protocols cannot beat naive (Thm 3.1).
 		p.naive = true
@@ -117,6 +118,7 @@ func (p *Peer) Init(ctx sim.Context) {
 		for i := range all {
 			all[i] = i
 		}
+		sim.MarkPhase(ctx, "download")
 		ctx.Query(0, all)
 		return
 	}
@@ -127,6 +129,7 @@ func (p *Peer) Init(ctx sim.Context) {
 		p.reported = true // nothing to report
 		return
 	}
+	sim.MarkPhase(ctx, "download")
 	ctx.Query(0, mine)
 }
 
@@ -150,6 +153,7 @@ func (p *Peer) OnQueryReply(r sim.QueryReply) {
 	}
 	p.ctx.Broadcast(&Report{Indices: append([]int(nil), r.Indices...), Bits: vals, IdxBits: p.idxBits})
 	p.reported = true
+	sim.MarkPhase(p.ctx, "verify")
 	p.maybeFinish()
 }
 

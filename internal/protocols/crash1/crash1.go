@@ -136,6 +136,7 @@ func (p *Peer) Init(ctx sim.Context) {
 	p.heard1 = make(map[sim.PeerID]bool)
 	p.missing = -1
 	p.stage = stP1Query
+	sim.MarkPhase(ctx, "phase1")
 	lo, hi := sim.BlockRange(ctx.L(), ctx.N(), ctx.ID())
 	if lo == hi {
 		p.afterP1Query()
@@ -238,6 +239,7 @@ func (p *Peer) spreadShare(q, who sim.PeerID) []int {
 
 func (p *Peer) enterPhase2() {
 	p.ctx.Logf("crash1: entering phase 2 (missing=%d)", p.missing)
+	sim.MarkPhase(p.ctx, "phase2")
 	p.stage = stP2Query
 	mine := p.spreadShare(p.missing, p.ctx.ID())
 	// Drop already-known bits (none expected, but harmless).
@@ -284,6 +286,7 @@ func (p *Peer) checkP2() {
 // enterCompletion marks completion mode and terminates via finish.
 func (p *Peer) enterCompletion() {
 	p.ctx.Logf("crash1: completion mode")
+	sim.MarkPhase(p.ctx, "completion")
 	p.completion = true
 	p.finish()
 }

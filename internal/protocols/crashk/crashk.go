@@ -180,6 +180,7 @@ func (p *Peer) startPhase(r int) {
 	}
 	p.phase = r
 	p.stage = stQuery
+	sim.MarkPhase(p.ctx, phaseName(r))
 	p.heard[r] = make(map[sim.PeerID]bool)
 	p.needs = nil
 	p.resp2Count = 0
@@ -319,8 +320,25 @@ func (p *Peer) endPhase() {
 	p.startPhase(r + 1)
 }
 
+// phaseNames covers the phase counts seen in practice (O(log n) phases);
+// a static table keeps MarkPhase free of formatting allocations on the
+// hot startPhase path even when a timeline is attached.
+var phaseNames = [...]string{
+	"phase0", "phase1", "phase2", "phase3", "phase4", "phase5", "phase6",
+	"phase7", "phase8", "phase9", "phase10", "phase11", "phase12",
+	"phase13", "phase14", "phase15",
+}
+
+func phaseName(r int) string {
+	if r >= 0 && r < len(phaseNames) {
+		return phaseNames[r]
+	}
+	return "phaseN"
+}
+
 // finishDirect queries every remaining unknown bit, then terminates.
 func (p *Peer) finishDirect() {
+	sim.MarkPhase(p.ctx, "direct")
 	p.stage = stFinal
 	unknown := p.track.UnknownAll()
 	if len(unknown) == 0 {

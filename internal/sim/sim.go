@@ -94,6 +94,26 @@ type Context interface {
 	Logf(format string, args ...any)
 }
 
+// PhaseMarker is an optional Context extension: runtimes that record an
+// observability timeline implement it so protocols can mark logical
+// phase transitions ("download", "verify", …). Use the MarkPhase helper
+// rather than asserting directly.
+type PhaseMarker interface {
+	// MarkPhase records that the calling peer entered the named phase at
+	// the current (virtual or wall) time.
+	MarkPhase(name string)
+}
+
+// MarkPhase marks a protocol phase transition when the runtime supports
+// it and is a no-op otherwise, so protocols call it unconditionally.
+// Phase transitions are rare (O(log n) per execution), so the interface
+// assertion is not a hot-path concern.
+func MarkPhase(ctx Context, name string) {
+	if pm, ok := ctx.(PhaseMarker); ok {
+		pm.MarkPhase(name)
+	}
+}
+
 // DelayPolicy is the adversary's scheduling power: it assigns every
 // message and query a finite positive delay, per the asynchronous model.
 // Implementations must be deterministic given their own seed so that des

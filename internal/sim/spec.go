@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bitarray"
+	"repro/internal/obs"
 )
 
 // Config carries the DR-model parameters of one execution.
@@ -88,6 +89,20 @@ type Spec struct {
 	// send, delivery, query, crash, and termination (des runtime only).
 	// See package trace for a JSONL recorder and analyzer.
 	Observer Observer
+	// Metrics, when non-nil, receives runtime counters and histograms
+	// (per-peer query bits, message counts, event-loop stats). The
+	// registry is concurrency-safe, so unlike Trace/Observer it may be
+	// shared across parallel sweep workers. Nil disables all metric
+	// collection at zero cost (see package obs).
+	Metrics *obs.Registry
+	// Timeline, when non-nil, receives span/event marks (phase
+	// transitions, crashes, terminations) keyed to virtual time in des
+	// and wall time in the TCP runtime.
+	Timeline *obs.Timeline
+	// Label identifies this execution in metric series (the "protocol"
+	// label). Empty means the series are emitted without resolution by
+	// protocol; runtimes substitute "unknown".
+	Label string
 }
 
 // Observer receives structured execution events from the des runtime.

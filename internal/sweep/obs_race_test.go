@@ -1,0 +1,67 @@
+package sweep_test
+
+import (
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/obs"
+	"repro/internal/protocols/crashk"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// TestSharedRegistryUnderParallelSweep exercises the obs registry's
+// concurrency contract the way drbench does: many sweep workers running
+// des cells that all increment the same metric families — some into the
+// same series (run-global counters), some creating fresh ones (per-label
+// series). Under `go test -race` this doubles as the registry's data-race
+// gate; without -race it still checks that no increment is lost.
+func TestSharedRegistryUnderParallelSweep(t *testing.T) {
+	reg := obs.New()
+	const runs = 12
+	mk := func(seed int64) *sim.Spec {
+		return &sim.Spec{
+			Config:   sim.Config{N: 5, T: 0, L: 256, MsgBits: 64, Seed: seed},
+			NewPeer:  crashk.New,
+			Delays:   adversary.NewRandomUnit(seed),
+			Metrics:  reg,
+			Timeline: obs.NewTimeline(), // per-cell timeline; also race-safe shared, but keep spans readable
+			Label:    "crashk-" + strconv.FormatInt(seed%3, 10),
+		}
+	}
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	cells := sweep.Seeds("crashk", mk, seeds)
+	results, err := sweep.Run(cells, sweep.Options{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantEvents, wantBits := 0, 0
+	for _, res := range results {
+		wantEvents += res.Events
+		for _, ps := range res.PerPeer {
+			wantBits += ps.QueryBits
+		}
+	}
+	snap := reg.Snapshot()
+	if s, ok := snap.Series("dr_sim_events_total", nil); !ok || int(s.Value) != wantEvents {
+		t.Errorf("shared event counter %v (ok=%v), serial sum %d", s.Value, ok, wantEvents)
+	}
+	gotBits := 0
+	for _, m := range snap.Metrics {
+		if m.Name != "dr_sim_query_bits_total" {
+			continue
+		}
+		for _, s := range m.Series {
+			gotBits += int(s.Value)
+		}
+	}
+	if gotBits != wantBits {
+		t.Errorf("query-bit series sum %d, serial sum %d", gotBits, wantBits)
+	}
+}

@@ -25,6 +25,9 @@ type Cell struct {
 	Name string
 	// Spec is the execution to run. The spec must not share mutable state
 	// (Trace writers, Observers) with any other cell when Workers > 1.
+	// A shared *obs.Registry or *obs.Timeline is fine: both are
+	// concurrency-safe by design, so cells of a parallel sweep may
+	// accumulate into one registry (see obs_race_test.go).
 	Spec *sim.Spec
 }
 
