@@ -9,7 +9,7 @@ FUZZTIME ?= 30s
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2024.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 
-.PHONY: all build fmt vet test race bench bench-ci conform chaos experiments fuzz lint clean
+.PHONY: all build fmt vet test race bench bench-ci conform chaos experiments fuzz lint cover dst-search dst-regen clean
 
 all: build vet test
 
@@ -25,8 +25,11 @@ vet: build
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test and subtest execution order each run (the
+# seed is printed on failure for reproduction with -shuffle=<seed>),
+# keeping the suites free of inter-test order dependence.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/live/ ./internal/netrt/ ./download/
@@ -72,5 +75,37 @@ lint:
 	$(GO) run $(STATICCHECK) ./...
 	$(GO) run $(GOVULNCHECK) ./...
 
+# Merged coverage profile over every package (counting cross-package
+# coverage via -coverpkg, so e.g. protocol code exercised from dst tests
+# counts). Writes coverage.out + a per-function summary.
+cover:
+	$(GO) test -shuffle=on -covermode=atomic -coverpkg=./... -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# Deterministic-simulation harness deep gate (see docs/TESTING.md):
+#  1. the dst suite (record/replay determinism, shrinker, replay corpus);
+#  2. strategy search over the Byzantine-capable protocols below their β
+#     thresholds — fixed seeds make every run reproducible; any finding
+#     writes a .dsr replay + .jsonl trace under dst-findings/ and fails;
+#  3. positive control: against the deliberately weakened committee the
+#     same search MUST find a violation, or the harness itself is broken.
+DST_BUDGET ?= 3m
+dst-search:
+	$(GO) test -count=1 ./internal/dst/ ./internal/adversary/
+	$(GO) run ./cmd/drshrink search -protocol committee  -n 4 -t 1 -L 32 -seed 101 -strategies 48 -schedules 6 -budget $(DST_BUDGET) -out-dir dst-findings
+	$(GO) run ./cmd/drshrink search -protocol committee  -n 7 -t 3 -L 70 -seed 102 -strategies 24 -schedules 4 -budget $(DST_BUDGET) -out-dir dst-findings
+	$(GO) run ./cmd/drshrink search -protocol twocycle   -n 4 -t 1 -L 32 -seed 103 -strategies 24 -schedules 4 -budget $(DST_BUDGET) -out-dir dst-findings
+	$(GO) run ./cmd/drshrink search -protocol multicycle -n 4 -t 1 -L 32 -seed 104 -strategies 24 -schedules 4 -budget $(DST_BUDGET) -out-dir dst-findings
+	@if $(GO) run ./cmd/drshrink search -protocol committee-weak -n 4 -t 1 -L 16 -seed 1 -strategies 16 -schedules 4 -max-findings 1 >/dev/null 2>&1; then \
+		echo "dst-search: positive control FAILED: no violation found against committee-weak"; exit 1; \
+	else echo "dst-search: positive control ok (committee-weak violation found)"; fi
+
+# Regenerate the checked-in replay regression corpus (after a deliberate
+# engine/format change; bump dst.Version first).
+dst-regen:
+	DST_GENERATE=1 $(GO) test -count=1 -run TestGenerateReplayCorpus ./internal/dst/
+
+# Scratch outputs only — committed testdata (fuzz seed corpora, replay
+# regression files) must survive a clean.
 clean:
-	rm -rf internal/des/testdata internal/wire/testdata
+	rm -rf bench_output.txt experiments_full.txt coverage.out dst-findings

@@ -1,0 +1,70 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseProgram(t *testing.T) {
+	prog, err := ParseProgram("lie, withhold,equivocate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{OpLie, OpWithhold, OpEquivocate}
+	if len(prog) != len(want) {
+		t.Fatalf("got %v", prog)
+	}
+	for i := range want {
+		if prog[i] != want[i] {
+			t.Fatalf("got %v, want %v", prog, want)
+		}
+	}
+	if _, err := ParseProgram("lie,bogus"); err == nil {
+		t.Fatal("accepted unknown op")
+	}
+	if _, err := ParseProgram(""); err == nil {
+		t.Fatal("accepted empty program")
+	}
+}
+
+func TestStrategyValidate(t *testing.T) {
+	if err := (Strategy{Seed: 1, Program: []Op{OpLie}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Strategy{Seed: 1}).Validate(); err == nil {
+		t.Fatal("accepted empty program")
+	}
+	if err := (Strategy{Seed: 1, Program: []Op{"nope"}}).Validate(); err == nil {
+		t.Fatal("accepted unknown op")
+	}
+}
+
+// TestRandomStrategyNeverHonest: the search never wastes budget on
+// all-deliver (i.e. honest) programs, and draws are deterministic per
+// rng stream.
+func TestRandomStrategyNeverHonest(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := RandomStrategy(r, int64(i))
+		if err := s.Validate(); err != nil {
+			t.Fatalf("draw %d invalid: %v", i, err)
+		}
+		honest := true
+		for _, op := range s.Program {
+			if op != OpDeliver {
+				honest = false
+			}
+		}
+		if honest {
+			t.Fatalf("draw %d is all-deliver: %v", i, s.Program)
+		}
+		if len(s.Program) < 1 || len(s.Program) > 4 {
+			t.Fatalf("draw %d has %d ops", i, len(s.Program))
+		}
+	}
+	a := RandomStrategy(rand.New(rand.NewSource(7)), 42)
+	b := RandomStrategy(rand.New(rand.NewSource(7)), 42)
+	if a.String() != b.String() {
+		t.Fatalf("same stream drew %s and %s", a, b)
+	}
+}

@@ -52,7 +52,10 @@ func fuzzRun(t *testing.T, factory func(sim.PeerID) sim.Peer, n, tf, L int, scri
 		t.Fatal(err)
 	}
 	if !res.Correct {
-		t.Fatalf("schedule broke the protocol: %v", res)
+		// Print the script bytes verbatim: pasting them into a replay file
+		// or a regression test (see crash1's deadlock_regression_test.go)
+		// reproduces the failure without the fuzz corpus file.
+		t.Fatalf("schedule broke the protocol: %v\nscript=%#v failures=%v", res, script, res.Failures)
 	}
 }
 

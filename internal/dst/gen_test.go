@@ -1,0 +1,83 @@
+package dst
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGenerateReplayCorpus regenerates the checked-in regression replays
+// under testdata/replays. It is a maintenance tool, not a test: it only
+// runs with DST_GENERATE=1 (e.g. after an engine change that bumps the
+// format Version) and writes canonical artifacts that the normal
+// TestReplayRegressions walker then pins forever.
+func TestGenerateReplayCorpus(t *testing.T) {
+	if os.Getenv("DST_GENERATE") == "" {
+		t.Skip("set DST_GENERATE=1 to regenerate testdata/replays")
+	}
+	if err := os.MkdirAll("testdata/replays", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The known Algorithm 1 termination deadlock (pre-fix silent
+	// termination), found at n=4 and shrunk to its minimal form.
+	rec := findLegacyDeadlock(t)
+	shrunk, rep, err := Shrink(rec, ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk.Note = "Algorithm 1 pre-fix termination deadlock: the crashed block owner's " +
+		"peers finish their own blocks and stop silently, so nobody ever completes " +
+		"the crashed peer's block. Found at n=4, shrunk by delta debugging; the fixed " +
+		"crash1 protocol passes this exact schedule (see TestShrinkLegacyDeadlock)."
+	if err := shrunk.Save("testdata/replays/crash1-legacy-deadlock.dsr"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("crash1-legacy-deadlock.dsr: %d -> %d choices (%d shrink runs)",
+		rep.InitialChoices, rep.FinalChoices, rep.Runs)
+
+	// 2. The committee equivocation attack against the t-threshold
+	// weakened variant, found by the Byzantine strategy search.
+	srep, err := Search(SearchOptions{
+		Protocol: "committee-weak",
+		N:        4, T: 1, L: 16,
+		Seed:       1,
+		Strategies: 16, Schedules: 4,
+		MaxFindings: 1,
+		Shrink:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srep.Findings) == 0 {
+		t.Fatal("strategy search found no committee-weak violation")
+	}
+	atk := srep.Findings[0].Replay
+	atk.Note = "Byzantine strategy search finding: with the committee acceptance " +
+		"threshold weakened from t+1 to t, a single equivocating peer forges a " +
+		"well-formed Report and flips an output bit (strategy " +
+		srep.Findings[0].Strategy + "). The unweakened committee protocol passes " +
+		"this exact replay (see TestSearchFindsWeakCommitteeAttack)."
+	if err := atk.Save("testdata/replays/committee-weak-equivocation.dsr"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("committee-weak-equivocation.dsr: %s -> %v",
+		srep.Findings[0].Strategy, srep.Findings[0].Failures)
+
+	// 3. A pinned-correct committee run under an adversarial schedule:
+	// guards the event-hash and metric determinism of the engine itself
+	// across refactors (any drift fails Verify loudly).
+	good, out, err := Record(base("committee", 5, 2, 40, 9), 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Correct {
+		t.Fatalf("pinned committee run unexpectedly failed: %v", out.Result)
+	}
+	good.Expect = ExpectCorrect
+	good.Note = "Pinned-correct committee execution under a random recorded schedule: " +
+		"exists to detect engine/protocol determinism drift, not a bug."
+	if err := good.Save("testdata/replays/committee-correct-pinned.dsr"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("committee-correct-pinned.dsr: %d choices, hash %s", len(good.Choices), good.EventHash)
+}

@@ -1,0 +1,338 @@
+package dst
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// The shrinker: delta debugging over replay files. Given a failing
+// replay, it searches for a smaller replay that still fails the same
+// expectation, minimizing in order of diagnostic value:
+//
+//  1. model parameters (N, then L, then T) — a 3-peer counterexample
+//     beats any 7-peer one;
+//  2. the fault pattern — fewer crash points, lower crash points,
+//     shorter strategy programs;
+//  3. the choice list — first the shortest failing prefix (truncation is
+//     always semantically valid because decisions past the list default
+//     to FIFO), then ddmin-style chunk deletion, then pointwise lowering
+//     toward 0 so every surviving nonzero choice is load-bearing.
+//
+// Passes repeat until a full sweep makes no progress. The result gets a
+// fresh event hash so it verifies as a pinned regression.
+
+// ShrinkOptions bounds and instruments a shrink.
+type ShrinkOptions struct {
+	// MaxRuns caps candidate executions (0 = DefaultShrinkRuns).
+	MaxRuns int
+	// Log, when non-nil, receives one line per accepted candidate.
+	Log func(format string, args ...any)
+}
+
+// DefaultShrinkRuns is plenty for the replay sizes this repo produces:
+// shrinking the Algorithm 1 deadlock takes well under a thousand runs.
+const DefaultShrinkRuns = 20000
+
+// ShrinkReport summarizes a shrink.
+type ShrinkReport struct {
+	// Runs is the number of candidate executions performed.
+	Runs int
+	// Accepted counts candidates that still failed (i.e. progress steps).
+	Accepted int
+	// InitialChoices/FinalChoices are the choice-list lengths before and
+	// after.
+	InitialChoices, FinalChoices int
+	// Budget reports whether the run budget was exhausted mid-pass.
+	Budget bool
+}
+
+type shrinker struct {
+	best   *Replay
+	expect string
+	opts   ShrinkOptions
+	rep    ShrinkReport
+}
+
+func (s *shrinker) logf(format string, args ...any) {
+	if s.opts.Log != nil {
+		s.opts.Log(format, args...)
+	}
+}
+
+// fails reports whether candidate still triggers the target expectation.
+// Structurally invalid candidates simply don't count as progress.
+func (s *shrinker) fails(c *Replay) bool {
+	if s.rep.Runs >= s.maxRuns() {
+		s.rep.Budget = true
+		return false
+	}
+	if err := c.Validate(); err != nil {
+		return false
+	}
+	s.rep.Runs++
+	out, err := Run(c)
+	if err != nil {
+		return false
+	}
+	return matches(s.expect, out) == nil
+}
+
+func (s *shrinker) maxRuns() int {
+	if s.opts.MaxRuns > 0 {
+		return s.opts.MaxRuns
+	}
+	return DefaultShrinkRuns
+}
+
+// try accepts candidate as the new best if it still fails.
+func (s *shrinker) try(c *Replay, what string) bool {
+	if !s.fails(c) {
+		return false
+	}
+	s.best = c
+	s.rep.Accepted++
+	s.logf("shrink: %s -> choices=%d n=%d l=%d t=%d", what, len(c.Choices), c.N, c.L, c.T)
+	return true
+}
+
+// Shrink minimizes a failing replay. The input must currently fail its
+// expectation (Shrink verifies this first and errors otherwise). The
+// returned replay carries a fresh event hash and the input's expectation.
+func Shrink(r *Replay, opts ShrinkOptions) (*Replay, ShrinkReport, error) {
+	s := &shrinker{best: r.Clone(), expect: r.Expect, opts: opts}
+	if !s.fails(s.best) {
+		return nil, s.rep, fmt.Errorf("dst: replay does not fail its expectation %q — nothing to shrink",
+			expectName(r.Expect))
+	}
+	s.rep.InitialChoices = len(r.Choices)
+
+	for progress := true; progress && !s.rep.Budget; {
+		progress = false
+		progress = s.shrinkParams() || progress
+		progress = s.shrinkFaults() || progress
+		progress = s.shrinkChoices() || progress
+	}
+
+	s.rep.FinalChoices = len(s.best.Choices)
+	// Re-record the hash of the minimized execution so the artifact
+	// verifies byte-deterministically.
+	out, err := Run(s.best)
+	if err != nil {
+		return nil, s.rep, err
+	}
+	s.best.EventHash = HashString(out.EventHash)
+	s.best.normalize()
+	return s.best, s.rep, nil
+}
+
+func expectName(e string) string {
+	if e == "" {
+		return ExpectViolation
+	}
+	return e
+}
+
+// shrinkParams lowers N, L, and T one unit at a time (each reduction
+// changes the input array and peer coins, so big jumps rarely land).
+func (s *shrinker) shrinkParams() bool {
+	progress := false
+	for {
+		c := s.best.Clone()
+		c.N--
+		c.T = min(c.T, c.N-1)
+		if c.N < 2 || !fitsFaulty(c) || !s.try(c, "N-1") {
+			break
+		}
+		progress = true
+	}
+	for {
+		c := s.best.Clone()
+		c.L /= 2
+		if c.L < 1 || !s.try(c, "L/2") {
+			break
+		}
+		progress = true
+	}
+	for {
+		c := s.best.Clone()
+		c.L--
+		if c.L < 1 || !s.try(c, "L-1") {
+			break
+		}
+		progress = true
+	}
+	for {
+		c := s.best.Clone()
+		c.T--
+		if c.T < len(c.Faulty) || c.T < 0 || !s.try(c, "T-1") {
+			break
+		}
+		progress = true
+	}
+	return progress
+}
+
+func fitsFaulty(c *Replay) bool {
+	for _, p := range c.Faulty {
+		if p >= c.N {
+			return false
+		}
+	}
+	return len(c.Faulty) < c.N
+}
+
+// shrinkFaults removes faulty peers / crash points, lowers crash points,
+// and deletes strategy ops.
+func (s *shrinker) shrinkFaults() bool {
+	progress := false
+	// Drop whole faulty peers (with their crash points).
+	for i := 0; i < len(s.best.Faulty); {
+		c := s.best.Clone()
+		victim := c.Faulty[i]
+		c.Faulty = append(c.Faulty[:i], c.Faulty[i+1:]...)
+		pts := c.CrashPoints[:0]
+		for _, cp := range c.CrashPoints {
+			if cp.Peer != victim {
+				pts = append(pts, cp)
+			}
+		}
+		c.CrashPoints = pts
+		if len(c.Faulty) == 0 {
+			c.Fault = ""
+			c.CrashPoints = nil
+			c.Strategy = nil
+		}
+		if s.try(c, fmt.Sprintf("drop faulty %d", victim)) {
+			progress = true
+		} else {
+			i++
+		}
+	}
+	// Drop individual crash points (the peer stays faulty but never
+	// crashes — distinguishes "crash matters" from "membership matters").
+	for i := 0; i < len(s.best.CrashPoints); {
+		c := s.best.Clone()
+		c.CrashPoints = append(c.CrashPoints[:i], c.CrashPoints[i+1:]...)
+		if s.try(c, "drop crash point") {
+			progress = true
+		} else {
+			i++
+		}
+	}
+	// Lower crash points: halve toward 0, then decrement.
+	for i := range s.best.CrashPoints {
+		for s.best.CrashPoints[i].Point > 0 {
+			c := s.best.Clone()
+			c.CrashPoints[i].Point /= 2
+			if !s.try(c, "halve crash point") {
+				break
+			}
+			progress = true
+		}
+		for s.best.CrashPoints[i].Point > 0 {
+			c := s.best.Clone()
+			c.CrashPoints[i].Point--
+			if !s.try(c, "lower crash point") {
+				break
+			}
+			progress = true
+		}
+	}
+	// Delete strategy ops (program must stay non-empty).
+	if s.best.Strategy != nil {
+		for i := 0; i < len(s.best.Strategy.Ops) && len(s.best.Strategy.Ops) > 1; {
+			c := s.best.Clone()
+			c.Strategy.Ops = append(c.Strategy.Ops[:i], c.Strategy.Ops[i+1:]...)
+			if s.try(c, "drop op") {
+				progress = true
+			} else {
+				i++
+			}
+		}
+	}
+	return progress
+}
+
+// shrinkChoices minimizes the decision list.
+func (s *shrinker) shrinkChoices() bool {
+	progress := false
+	// Pass 1: shortest failing prefix, by binary search. Truncation is
+	// always valid — past-the-end decisions are FIFO.
+	lo, hi := 0, len(s.best.Choices)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := s.best.Clone()
+		c.Choices = c.Choices[:mid]
+		if s.fails(c) {
+			s.best = c
+			s.rep.Accepted++
+			s.logf("shrink: truncate -> choices=%d", mid)
+			hi = mid
+			progress = true
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Pass 2: ddmin-style chunk deletion with shrinking chunk size.
+	for size := len(s.best.Choices) / 2; size >= 1; size /= 2 {
+		for start := 0; start+size <= len(s.best.Choices); {
+			c := s.best.Clone()
+			c.Choices = append(c.Choices[:start], c.Choices[start+size:]...)
+			if s.try(c, fmt.Sprintf("delete %d@%d", size, start)) {
+				progress = true
+			} else {
+				start += size
+			}
+		}
+	}
+	// Pass 3: lower each choice toward 0 so surviving values are minimal
+	// (and FIFO steps are visibly 0 in the artifact).
+	for i := range s.best.Choices {
+		for s.best.Choices[i] > 0 {
+			c := s.best.Clone()
+			c.Choices[i] = 0
+			if !s.try(c, fmt.Sprintf("zero choice %d", i)) {
+				c = s.best.Clone()
+				c.Choices[i]--
+				if !s.try(c, fmt.Sprintf("lower choice %d", i)) {
+					break
+				}
+			}
+			progress = true
+		}
+	}
+	// Pass 4: strip trailing zeros (equivalent to FIFO default).
+	for n := len(s.best.Choices); n > 0 && s.best.Choices[n-1] == 0; n-- {
+		c := s.best.Clone()
+		c.Choices = c.Choices[:n-1]
+		if !s.try(c, "strip trailing zero") {
+			break
+		}
+		progress = true
+	}
+	return progress
+}
+
+// WriteTrace replays r with a drtrace-compatible JSONL recorder attached
+// and writes the trace to w — the human-readable companion of a shrunk
+// replay.
+func WriteTrace(r *Replay, w io.Writer) (*Outcome, error) {
+	rec := trace.NewRecorder(w)
+	out, err := RunObserved(r, rec)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Flush(); err != nil {
+		return out, fmt.Errorf("dst: write trace: %w", err)
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

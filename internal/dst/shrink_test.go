@@ -1,0 +1,135 @@
+package dst
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// findLegacyDeadlock scans random schedules of crash1-legacy (Algorithm 1
+// with the pre-fix silent termination) at n=4 for the known three-way
+// termination deadlock, and returns the recorded failing replay.
+func findLegacyDeadlock(t *testing.T) *Replay {
+	t.Helper()
+	for crashPoint := 2; crashPoint <= 8; crashPoint++ {
+		for seed := int64(1); seed <= 40; seed++ {
+			r := &Replay{
+				Version: Version, Protocol: "crash1-legacy",
+				N: 4, T: 1, L: 64, MsgBits: 64, Seed: 7,
+				Fault:       FaultCrash,
+				Faulty:      []int{0},
+				CrashPoints: []CrashPoint{{Peer: 0, Point: crashPoint}},
+				Expect:      ExpectDeadlock,
+			}
+			rec, out, err := Record(r, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Result.Deadlocked {
+				return rec
+			}
+		}
+	}
+	t.Fatal("no deadlock found in the legacy crash1 search space — the test hook regressed")
+	return nil
+}
+
+// TestShrinkLegacyDeadlock is the tentpole's shrinker criterion: delta
+// debugging reduces a recorded crash1-legacy deadlock to a minimal replay
+// of at most 10 scheduling choices that still deadlocks — and the SAME
+// schedule against the fixed crash1 terminates correctly, isolating the
+// fix as the difference.
+func TestShrinkLegacyDeadlock(t *testing.T) {
+	rec := findLegacyDeadlock(t)
+	shrunk, rep, err := Shrink(rec, ShrinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shrink: %d -> %d choices in %d runs (n=%d l=%d crash=%v)",
+		rep.InitialChoices, rep.FinalChoices, rep.Runs, shrunk.N, shrunk.L, shrunk.CrashPoints)
+	if len(shrunk.Choices) > 10 {
+		t.Fatalf("shrunk replay has %d choices, want <= 10: %v", len(shrunk.Choices), shrunk.Choices)
+	}
+	if _, err := Verify(shrunk); err != nil {
+		t.Fatalf("shrunk replay does not verify: %v", err)
+	}
+	// The minimized schedule must not deadlock the FIXED protocol.
+	fixed := shrunk.Clone()
+	fixed.Protocol = "crash1"
+	fixed.Expect = ExpectCorrect
+	fixed.EventHash = ""
+	if _, err := Verify(fixed); err != nil {
+		t.Fatalf("fixed crash1 fails under the minimized schedule: %v", err)
+	}
+}
+
+// TestShrinkRejectsPassingReplay: shrinking a run that doesn't fail is an
+// error, not a silent no-op.
+func TestShrinkRejectsPassingReplay(t *testing.T) {
+	r := base("crash1", 4, 1, 32, 3)
+	r.Expect = ExpectViolation
+	if _, _, err := Shrink(r, ShrinkOptions{}); err == nil {
+		t.Fatal("Shrink accepted a passing replay")
+	}
+}
+
+// TestWriteTrace: the human-readable companion trace is valid JSONL with
+// one object per event.
+func TestWriteTrace(t *testing.T) {
+	rec, out, err := Record(base("crash1", 4, 1, 32, 5), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	traced, err := WriteTrace(rec, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.EventHash != out.EventHash {
+		t.Fatal("trace run diverged from recording")
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < traced.Steps {
+		t.Fatalf("trace has %d lines for %d delivered events", len(lines), traced.Steps)
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "{") || !strings.Contains(line, `"kind"`) {
+			t.Fatalf("bad trace line: %q", line)
+		}
+	}
+}
+
+// TestReplayRegressions walks testdata/replays and verifies every .dsr
+// file: shrunk counterexamples keep failing the way they were recorded,
+// pinned-correct schedules keep passing. This is how a found-and-fixed
+// bug's minimal schedule becomes an always-on regression test.
+func TestReplayRegressions(t *testing.T) {
+	entries, err := os.ReadDir("testdata/replays")
+	if err != nil {
+		t.Fatalf("read testdata/replays: %v", err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".dsr") {
+			continue
+		}
+		ran++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			r, err := Load("testdata/replays/" + name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Verify(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: expect=%s choices=%d events=%d hash=%s",
+				name, expectName(r.Expect), len(r.Choices), out.Steps, HashString(out.EventHash))
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no .dsr replays found — the regression corpus is missing")
+	}
+}

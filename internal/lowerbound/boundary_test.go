@@ -1,0 +1,152 @@
+package lowerbound_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/des"
+	"repro/internal/lowerbound"
+	"repro/internal/protocols/committee"
+	"repro/internal/protocols/crashk"
+	"repro/internal/sim"
+)
+
+// Boundary tests pinning the β = 1/2 threshold of Theorems 3.1/3.2.
+//
+// The committee protocol switches regimes exactly at the theorem's
+// boundary: for 2t+1 < n (β strictly below 1/2 with margin) committees
+// are proper subsets and Q = ⌈L(2t+1)/n⌉ < L; as 2t+1 reaches n every
+// peer serves on every committee and Q = L; for 2t+1 > n (β ≥ 1/2) the
+// peer detects the violated precondition and explicitly falls back to
+// naive. Theorem 3.1 says that Q = L spend is forced, not wasteful: any
+// deterministic protocol that stays sub-naive at β ≥ 1/2 is broken by
+// the adversarial construction, which the crashk half of these tests
+// demonstrates at the exact boundary n = 2t.
+
+// runCommittee executes an honest committee run and returns the result.
+func runCommittee(t *testing.T, n, tf, L int) *sim.Result {
+	t.Helper()
+	res, err := des.New().Run(&sim.Spec{
+		Config:  sim.Config{N: n, T: tf, L: L, MsgBits: 64, Seed: 11},
+		NewPeer: committee.New,
+		Delays:  adversary.NewRandomUnit(11),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCommitteeRegimeAcrossThreshold sweeps the fault budget across the
+// β = 1/2 boundary at fixed n and checks the query-complexity regime on
+// each side: sub-naive below, Q = L at and above, correct everywhere
+// (faults are not injected here; the regime switch is what's under test).
+func TestCommitteeRegimeAcrossThreshold(t *testing.T) {
+	const n, L = 9, 270
+	cases := []struct {
+		name      string
+		tf        int
+		wantNaive bool // Q == L expected
+	}{
+		{"beta-2/9-sub-naive", 2, false},            // 2t+1 = 5 < 9
+		{"beta-3/9-sub-naive", 3, false},            // 2t+1 = 7 < 9
+		{"beta-4/9-committee-is-everyone", 4, true}, // 2t+1 = 9 = n: still "committee", but Q = L
+		{"beta-5/9-naive-fallback", 5, true},        // 2t+1 = 11 > n: explicit fallback
+		{"beta-8/9-naive-fallback", 8, true},        // t = n-1 extreme
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := runCommittee(t, n, tc.tf, L)
+			if !res.Correct {
+				t.Fatalf("honest committee run failed: %v", res)
+			}
+			expected := (L*(2*tc.tf+1) + n - 1) / n
+			if expected > L {
+				expected = L
+			}
+			if tc.wantNaive {
+				if res.Q != L {
+					t.Fatalf("t=%d: Q = %d, want the forced naive L = %d", tc.tf, res.Q, L)
+				}
+			} else {
+				if res.Q >= L {
+					t.Fatalf("t=%d: Q = %d not sub-naive (L = %d)", tc.tf, res.Q, L)
+				}
+				if res.Q != expected {
+					t.Fatalf("t=%d: Q = %d, want ceil(L(2t+1)/n) = %d", tc.tf, res.Q, expected)
+				}
+			}
+		})
+	}
+}
+
+// TestAttackAtThresholdFullCoverage: at the attack harness's forced
+// β = 1/2 configuration the committee protocol queries everything, so the
+// Theorem 3.1 construction must report FullCoverage and fail — paying
+// Q = L is exactly what makes the protocol immune there.
+func TestAttackAtThresholdFullCoverage(t *testing.T) {
+	for _, n := range []int{6, 8, 9, 10} {
+		rep, err := lowerbound.AttackDeterministic(lowerbound.AttackConfig{
+			N: n, L: 40 * n, Seed: int64(n), NewPeer: committee.New,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.FullCoverage {
+			t.Fatalf("n=%d: committee at β >= 1/2 must reach full coverage, probe Q = %d of %d",
+				n, rep.ProbeQ, 40*n)
+		}
+		if rep.Succeeded {
+			t.Fatalf("n=%d: attack succeeded against a full-coverage victim", n)
+		}
+	}
+}
+
+// TestAttackAboveThresholdBeatsSubNaive: the other side of the boundary —
+// a protocol that stays sub-naive at β = 1/2 exactly (n = 2t, crashk
+// tolerates crashes but ignores Byzantine majorities) is broken by the
+// deterministic construction for every tested size.
+func TestAttackAboveThresholdBeatsSubNaive(t *testing.T) {
+	for _, n := range []int{6, 8, 10} {
+		rep, err := lowerbound.AttackDeterministic(lowerbound.AttackConfig{
+			N: n, L: 32 * n, Seed: int64(100 + n), NewPeer: crashk.New,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FullCoverage {
+			t.Fatalf("n=%d: crashk unexpectedly queried everything", n)
+		}
+		if rep.ProbeQ >= 32*n {
+			t.Fatalf("n=%d: probe Q = %d not sub-naive", n, rep.ProbeQ)
+		}
+		if !rep.Succeeded {
+			t.Fatalf("n=%d: Theorem 3.1 construction failed against a sub-naive victim: %v", n, rep)
+		}
+	}
+}
+
+// TestAttackRandomizedAcrossThreshold: Theorem 3.2's randomized bound on
+// both sides — against the full-coverage committee no trial can succeed;
+// against sub-naive crashk the empirical rate must clear 1 - q/L by a
+// wide margin.
+func TestAttackRandomizedAcrossThreshold(t *testing.T) {
+	clean, err := lowerbound.AttackRandomized(lowerbound.AttackConfig{
+		N: 8, L: 128, Seed: 30, NewPeer: committee.New,
+	}, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := lowerbound.SuccessRate(clean); rate > 0 {
+		t.Fatalf("randomized attack rate %.2f against full-coverage committee", rate)
+	}
+	broken, err := lowerbound.AttackRandomized(lowerbound.AttackConfig{
+		N: 8, L: 128, Seed: 31, NewPeer: crashk.New,
+	}, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate := lowerbound.SuccessRate(broken); rate < 0.5 {
+		t.Fatalf("randomized attack rate %.2f too low against sub-naive crashk", rate)
+	}
+}

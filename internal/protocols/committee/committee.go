@@ -97,6 +97,9 @@ type Peer struct {
 	// terminated peer sends nothing.
 	reported bool
 	done     bool
+	// weakAccept lowers the acceptance threshold to t (see NewWeak — a
+	// deliberately unsafe test hook for the strategy search).
+	weakAccept bool
 }
 
 var _ sim.Peer = (*Peer)(nil)
@@ -110,6 +113,9 @@ func (p *Peer) Init(ctx sim.Context) {
 	p.idxBits = indexBits(ctx.L())
 	p.track = bitarray.NewTracker(ctx.L())
 	p.accept = ctx.T() + 1
+	if p.weakAccept && ctx.T() >= 1 {
+		p.accept = ctx.T()
+	}
 	sim.MarkPhase(ctx, "elect")
 	if CommitteeSize(ctx.T()) > ctx.N() {
 		// β ≥ 1/2: deterministic protocols cannot beat naive (Thm 3.1).

@@ -1,0 +1,47 @@
+package committee
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitarray"
+)
+
+// TestForgeWellFormed: a forged Report must differ only in bit values —
+// same indices, same length — so receivers cannot reject it, and the
+// original must be untouched (deep copy).
+func TestForgeWellFormed(t *testing.T) {
+	bits := bitarray.New(4)
+	bits.Set(1, true)
+	bits.Set(3, true)
+	orig := &Report{Indices: []int{2, 5, 9, 11}, Bits: bits, IdxBits: 8}
+	origBits := orig.Bits.Clone()
+
+	r := rand.New(rand.NewSource(1))
+	differed := false
+	for i := 0; i < 50; i++ {
+		f := orig.Forge(r).(*Report)
+		if len(f.Indices) != len(orig.Indices) {
+			t.Fatalf("forge changed index count: %v", f.Indices)
+		}
+		for j := range f.Indices {
+			if f.Indices[j] != orig.Indices[j] {
+				t.Fatalf("forge changed indices: %v", f.Indices)
+			}
+		}
+		if f.Bits.Len() != orig.Bits.Len() {
+			t.Fatal("forge changed bit length")
+		}
+		if !f.Bits.Equal(origBits) {
+			differed = true
+		}
+		f.Bits.Set(0, !f.Bits.Get(0))
+		f.Indices[0] = 99
+	}
+	if !orig.Bits.Equal(origBits) || orig.Indices[0] != 2 {
+		t.Fatal("forge aliased the original message")
+	}
+	if !differed {
+		t.Fatal("50 forgeries never changed a bit value")
+	}
+}

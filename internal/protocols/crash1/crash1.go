@@ -115,6 +115,10 @@ type Peer struct {
 	gotValues  bool
 	completion bool
 
+	// legacy reinstates the pre-fix silent termination (see finish and
+	// NewLegacy — a test hook for the deterministic-simulation harness).
+	legacy bool
+
 	deferredWho []deferredWho
 }
 
@@ -127,6 +131,16 @@ var _ sim.Peer = (*Peer)(nil)
 
 // New constructs an Algorithm 1 peer.
 func New(sim.PeerID) sim.Peer { return &Peer{} }
+
+// NewLegacy constructs a peer with the PRE-FIX termination behavior:
+// finish() terminates silently instead of broadcasting the full array.
+// This resurrects the three-way termination deadlock the schedule fuzzer
+// found at n = 4 (see finish below and deadlock_regression_test.go).
+//
+// TEST HOOK ONLY: it exists so the deterministic-simulation harness
+// (internal/dst) has a real, historically observed bug to find, shrink,
+// and pin as a replay regression. Production code must use New.
+func NewLegacy(sim.PeerID) sim.Peer { return &Peer{legacy: true} }
 
 // Init implements sim.Peer.
 func (p *Peer) Init(ctx sim.Context) {
@@ -305,12 +319,14 @@ func (p *Peer) finish() {
 	if err != nil {
 		panic("crash1: finish without full knowledge: " + err.Error())
 	}
-	p.ctx.Broadcast(&Push{
-		Phase:   2,
-		Indices: intset.FromRange(0, p.ctx.L()),
-		Values:  out,
-		IdxBits: p.idxBits,
-	})
+	if !p.legacy {
+		p.ctx.Broadcast(&Push{
+			Phase:   2,
+			Indices: intset.FromRange(0, p.ctx.L()),
+			Values:  out,
+			IdxBits: p.idxBits,
+		})
+	}
 	p.ctx.Output(out)
 	p.stage = stDone
 	p.ctx.Terminate()

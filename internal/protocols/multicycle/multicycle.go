@@ -36,6 +36,9 @@ type Options struct {
 	// ForceSegments overrides the derived cycle-1 segment count; it is
 	// rounded down to a power of two.
 	ForceSegments int
+	// ForceThreshold overrides the derived per-cycle frequency threshold
+	// (for ablations and the NewWeak test hook).
+	ForceThreshold int
 }
 
 // New constructs a peer with default options.
@@ -83,7 +86,12 @@ var _ sim.Peer = (*Peer)(nil)
 func (p *Peer) segsAt(i int) int { return p.m1 >> uint(i-1) }
 
 // thresholdAt returns the frequency threshold applied to cycle-i strings.
-func (p *Peer) thresholdAt(i int) int { return p.params.Threshold(p.segsAt(i)) }
+func (p *Peer) thresholdAt(i int) int {
+	if p.opts.ForceThreshold > 0 {
+		return p.opts.ForceThreshold
+	}
+	return p.params.Threshold(p.segsAt(i))
+}
 
 // Init implements sim.Peer.
 func (p *Peer) Init(ctx sim.Context) {

@@ -1,0 +1,14 @@
+package multicycle
+
+import "repro/internal/sim"
+
+// NewWeak constructs a peer whose per-cycle frequency threshold is forced
+// to 1, letting a single forged segment string enter every cycle's
+// candidate set.
+//
+// TEST HOOK ONLY: used by the Byzantine strategy search (internal/dst) to
+// prove the search detects violations when acceptance rules are weakened.
+// Production code must use New.
+func NewWeak(id sim.PeerID) sim.Peer {
+	return NewWithOptions(Options{ForceThreshold: 1})(id)
+}

@@ -1,0 +1,29 @@
+package segproto
+
+import (
+	"math/rand"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// Forge implements adversary.Forgeable: it returns a deep copy of the
+// SegValue with one to three value bits flipped. Cycle, segment id, and
+// length are preserved so the forgery survives Collector.Accept's
+// well-formedness checks and enters the frequency count as a real —
+// wrong — segment string. This is exactly the raw material of the
+// k-frequent-forgery attacks in attack.go, generated generically.
+func (m *SegValue) Forge(r *rand.Rand) sim.Message {
+	out := &SegValue{Cycle: m.Cycle, Seg: m.Seg, Values: m.Values.Clone(), IdxBits: m.IdxBits}
+	if out.Values.Len() == 0 {
+		return out
+	}
+	flips := 1 + r.Intn(3)
+	for i := 0; i < flips; i++ {
+		k := r.Intn(out.Values.Len())
+		out.Values.Set(k, !out.Values.Get(k))
+	}
+	return out
+}
+
+var _ adversary.Forgeable = (*SegValue)(nil)

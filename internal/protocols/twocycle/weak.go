@@ -1,0 +1,16 @@
+package twocycle
+
+import "repro/internal/sim"
+
+// NewWeak constructs a peer whose candidate-frequency threshold is forced
+// to 1: a single forged segment string enters every candidate set, so the
+// decision-tree determination step is the only remaining defense and the
+// protocol leans entirely on its source queries.
+//
+// TEST HOOK ONLY: used by the Byzantine strategy search (internal/dst) to
+// validate that weakened acceptance rules are detected as violations or,
+// when the determination step still saves the run, that the search
+// reports the survival honestly. Production code must use New.
+func NewWeak(id sim.PeerID) sim.Peer {
+	return NewWithOptions(Options{ForceThreshold: 1})(id)
+}

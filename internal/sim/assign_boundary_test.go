@@ -1,0 +1,154 @@
+package sim
+
+import "testing"
+
+// Table-driven boundary tests for the assignment helpers at the edges the
+// generic property tests sample only incidentally: L not divisible by n,
+// L < n (empty blocks), n = 1, and the extreme fault budget t = n-1.
+
+func TestBlockRangeBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		L, n int
+		// want[i] = {start, end} for peer i.
+		want [][2]int
+	}{
+		{"indivisible", 10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{"indivisible-7-4", 7, 4, [][2]int{{0, 2}, {2, 4}, {4, 6}, {6, 7}}},
+		{"L-less-than-n", 2, 5, [][2]int{{0, 1}, {1, 2}, {2, 2}, {2, 2}, {2, 2}}},
+		{"L-one-n-many", 1, 4, [][2]int{{0, 1}, {1, 1}, {1, 1}, {1, 1}}},
+		{"n-equals-1", 6, 1, [][2]int{{0, 6}}},
+		{"exact-division", 8, 4, [][2]int{{0, 2}, {2, 4}, {4, 6}, {6, 8}}},
+		{"L-equals-n", 4, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for p, want := range tc.want {
+				s, e := BlockRange(tc.L, tc.n, PeerID(p))
+				if s != want[0] || e != want[1] {
+					t.Errorf("BlockRange(%d,%d,%d) = [%d,%d), want [%d,%d)",
+						tc.L, tc.n, p, s, e, want[0], want[1])
+				}
+			}
+		})
+	}
+}
+
+// TestBlockPartitionExactCover: for a grid of (L, n) including all the
+// boundary shapes, every index 0..L-1 is covered by exactly one peer's
+// block, blocks are contiguous and ordered, sizes differ by at most one,
+// and BlockOwner agrees with BlockRange everywhere.
+func TestBlockPartitionExactCover(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 16} {
+		for _, L := range []int{1, 2, 3, n - 1, n, n + 1, 2*n + 1, 10 * n} {
+			if L < 1 {
+				continue
+			}
+			covered := make([]int, L)
+			minSize, maxSize := L+1, -1
+			prevEnd := 0
+			for p := 0; p < n; p++ {
+				s, e := BlockRange(L, n, PeerID(p))
+				if s != prevEnd {
+					t.Fatalf("L=%d n=%d: peer %d block [%d,%d) not contiguous with previous end %d",
+						L, n, p, s, e, prevEnd)
+				}
+				if e < s {
+					t.Fatalf("L=%d n=%d: peer %d inverted block [%d,%d)", L, n, p, s, e)
+				}
+				prevEnd = e
+				if sz := e - s; sz < minSize {
+					minSize = sz
+				}
+				if sz := e - s; sz > maxSize {
+					maxSize = sz
+				}
+				for i := s; i < e; i++ {
+					covered[i]++
+					if own := BlockOwner(L, n, i); own != PeerID(p) {
+						t.Fatalf("L=%d n=%d: BlockOwner(%d) = %d, but %d's range is [%d,%d)",
+							L, n, i, own, p, s, e)
+					}
+				}
+			}
+			if prevEnd != L {
+				t.Fatalf("L=%d n=%d: blocks end at %d, want %d", L, n, prevEnd, L)
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("L=%d n=%d: index %d covered %d times", L, n, i, c)
+				}
+			}
+			if maxSize-minSize > 1 {
+				t.Fatalf("L=%d n=%d: block sizes range [%d,%d], want spread <= 1",
+					L, n, minSize, maxSize)
+			}
+		}
+	}
+}
+
+// TestSpreadSlotsBoundaries: the spread reassignment at m < n, m = 0,
+// n = 1, and the t = n-1 regime (one survivor owns everything).
+func TestSpreadSlotsBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		m, n int
+		p    PeerID
+		want []int
+	}{
+		{"m-zero", 0, 3, 0, nil},
+		{"m-negative", -2, 3, 0, nil},
+		{"m-less-than-n-hit", 2, 5, 1, []int{1}},
+		{"m-less-than-n-miss", 2, 5, 4, nil},
+		{"n-one-owns-all", 4, 1, 0, []int{0, 1, 2, 3}},
+		{"wraparound", 7, 3, 1, []int{1, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SpreadSlots(tc.m, tc.n, tc.p)
+			if len(got) != len(tc.want) {
+				t.Fatalf("SpreadSlots(%d,%d,%d) = %v, want %v", tc.m, tc.n, tc.p, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("SpreadSlots(%d,%d,%d) = %v, want %v", tc.m, tc.n, tc.p, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSpreadExactCoverAtMaxFaults: with t = n-1 faulty peers, the m
+// reassigned slots must still be covered exactly once across ALL n peers
+// (SpreadOwner is fault-oblivious — survivors just pick up their share),
+// and SpreadOwner must agree with SpreadSlots.
+func TestSpreadExactCoverAtMaxFaults(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 5} {
+		// The t = n-1 regime reassigns up to (n-1) crashed blocks' items;
+		// m below covers those shapes. The partition itself is
+		// fault-oblivious, which is exactly what makes it safe there.
+		for _, m := range []int{0, 1, n - 1, n, 3*n + 2} {
+			if m < 0 {
+				continue
+			}
+			covered := make([]int, m)
+			for p := 0; p < n; p++ {
+				for _, j := range SpreadSlots(m, n, PeerID(p)) {
+					if j < 0 || j >= m {
+						t.Fatalf("m=%d n=%d: slot %d out of range", m, n, j)
+					}
+					covered[j]++
+					if SpreadOwner(j, n) != PeerID(p) {
+						t.Fatalf("m=%d n=%d: SpreadOwner(%d) = %d, slot listed for %d",
+							m, n, j, SpreadOwner(j, n), p)
+					}
+				}
+			}
+			for j, c := range covered {
+				if c != 1 {
+					t.Fatalf("m=%d n=%d: slot %d covered %d times", m, n, j, c)
+				}
+			}
+		}
+	}
+}
