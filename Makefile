@@ -9,7 +9,7 @@ FUZZTIME ?= 30s
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2024.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 
-.PHONY: all build fmt vet test race bench bench-ci conform chaos experiments fuzz lint cover dst-search dst-regen clean
+.PHONY: all build fmt vet test race bench bench-ci conform chaos experiments fuzz lint cover dst-search dst-regen harden clean
 
 all: build vet test
 
@@ -105,7 +105,23 @@ dst-search:
 dst-regen:
 	DST_GENERATE=1 $(GO) test -count=1 -run TestGenerateReplayCorpus ./internal/dst/
 
+# Hardening gate (see docs/HARDENING.md):
+#  1. the harden package suite plus the pinned end-to-end regressions
+#     (Byzantine-majority wrong output detected, escalated, corrected;
+#     warm start re-queries zero verified bits);
+#  2. the strategy search re-targeted at hardened runs: every violation
+#     the search finds against the safe protocols must be corrected by
+#     the supervisor (findings land in harden-findings/ as .dsr replays);
+#  3. positive control: against committee-weak the search MUST find
+#     violations AND the supervisor must correct every one of them.
+harden:
+	$(GO) test -count=1 ./internal/harden/
+	$(GO) test -count=1 -run 'TestHardened|TestUnhardened|TestOptionValidationMatrix' ./download/
+	$(GO) run ./cmd/drshrink search -protocol committee -n 4 -t 1 -L 32 -seed 201 -strategies 24 -schedules 4 -no-shrink -harden -out-dir harden-findings
+	$(GO) run ./cmd/drshrink search -protocol twocycle  -n 4 -t 1 -L 32 -seed 202 -strategies 16 -schedules 4 -no-shrink -harden -out-dir harden-findings
+	$(GO) run ./cmd/drshrink search -protocol committee-weak -n 4 -t 1 -L 16 -seed 203 -strategies 16 -schedules 4 -no-shrink -harden -expect-finding -out-dir harden-findings
+
 # Scratch outputs only — committed testdata (fuzz seed corpora, replay
 # regression files) must survive a clean.
 clean:
-	rm -rf bench_output.txt experiments_full.txt coverage.out dst-findings
+	rm -rf bench_output.txt experiments_full.txt coverage.out dst-findings harden-findings

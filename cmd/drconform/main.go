@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/download"
+	"repro/internal/harden"
 )
 
 func main() {
@@ -78,11 +79,12 @@ func (r runtimeSpec) supports(behavior download.FaultBehavior) bool {
 
 func run() int {
 	var (
-		n      = flag.Int("n", 16, "peers")
-		l      = flag.Int("L", 2048, "input bits")
-		seeds  = flag.Int("seeds", 3, "seeds per cell")
-		liveRT = flag.Bool("live", false, "also run the concurrent runtime")
-		tcpRT  = flag.Bool("tcp", false, "also run the real-socket runtime")
+		n        = flag.Int("n", 16, "peers")
+		l        = flag.Int("L", 2048, "input bits")
+		seeds    = flag.Int("seeds", 3, "seeds per cell")
+		liveRT   = flag.Bool("live", false, "also run the concurrent runtime")
+		tcpRT    = flag.Bool("tcp", false, "also run the real-socket runtime")
+		hardenRT = flag.Bool("harden", false, "add a column re-running each des cell under the hardening supervisor")
 	)
 	flag.Parse()
 
@@ -100,6 +102,9 @@ func run() int {
 		pass     map[string]int
 		fail     map[string]int
 		lastFail string
+		// Hardened-column tallies: runs where the supervisor detected a
+		// violation, escalated, and whether it ended correct.
+		hPass, hFail, hDetect, hEscal, hCorrect int
 	}
 	var cells []*cell
 	failures := 0
@@ -138,10 +143,41 @@ func run() int {
 						c.pass[rt.name]++
 					}
 				}
+				if *hardenRT {
+					rep, err := download.RunHardened(download.Options{
+						Protocol: info.Protocol,
+						N:        *n, T: tBound, L: *l,
+						Seed:     int64(seed),
+						Behavior: behavior,
+					}, harden.Policy{})
+					switch {
+					case err != nil:
+						c.hFail++
+						c.lastFail = err.Error()
+					case !rep.Correct:
+						c.hFail++
+						if len(rep.Failures) > 0 {
+							c.lastFail = rep.Failures[0]
+						}
+					default:
+						c.hPass++
+						h := rep.Hardening
+						if h.Detected {
+							c.hDetect++
+						}
+						if len(h.Escalations) > 1 {
+							c.hEscal++
+						}
+						if h.Corrected {
+							c.hCorrect++
+						}
+					}
+				}
 			}
 			for _, rt := range runtimes {
 				failures += c.fail[rt.name]
 			}
+			failures += c.hFail
 		}
 	}
 
@@ -155,6 +191,9 @@ func run() int {
 	for _, rt := range runtimes {
 		fmt.Printf(" %-8s", strings.ToUpper(rt.name))
 	}
+	if *hardenRT {
+		fmt.Printf(" %-16s", "HARDEN(d/e/c)")
+	}
 	fmt.Printf(" %s\n", "LAST FAILURE")
 	for _, c := range cells {
 		fmt.Printf("%-12s %-14s", c.proto, name(c.behavior))
@@ -164,6 +203,12 @@ func run() int {
 				continue
 			}
 			fmt.Printf(" %-8s", fmt.Sprintf("%d/%d", c.pass[rt.name], c.fail[rt.name]))
+		}
+		if *hardenRT {
+			// d/e/c: runs where a violation was detected, where the ladder
+			// escalated, and where the escalation ended corrected.
+			fmt.Printf(" %-16s", fmt.Sprintf("%d/%d d%d e%d c%d",
+				c.hPass, c.hFail, c.hDetect, c.hEscal, c.hCorrect))
 		}
 		last := ""
 		if c.lastFail != "" {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/dst"
+	"repro/internal/harden"
 )
 
 func main() {
@@ -246,6 +247,10 @@ func cmdSearch(args []string) int {
 	maxFindings := fs.Int("max-findings", 0, "stop after this many findings (0 = all)")
 	outDir := fs.String("out-dir", "", "write one .dsr (and .jsonl trace) per finding here")
 	noShrink := fs.Bool("no-shrink", false, "skip minimizing findings")
+	hardenRerun := fs.Bool("harden", false,
+		"re-run every finding under the hardening supervisor; findings it corrects pass, ones it misses fail the command")
+	expectFinding := fs.Bool("expect-finding", false,
+		"positive control: fail if the search finds nothing (use against *-weak protocols)")
 	fs.Parse(args)
 
 	opts := dst.SearchOptions{
@@ -270,6 +275,7 @@ func cmdSearch(args []string) int {
 	}
 	fmt.Printf("search: %s: %d runs, %d findings in %s%s\n",
 		rep.Protocol, rep.Runs, len(rep.Findings), rep.Elapsed.Round(time.Millisecond), status)
+	uncorrected := 0
 	for i, f := range rep.Findings {
 		fmt.Printf("finding %d: %s -> %v\n", i, f.Strategy, f.Failures)
 		if *outDir != "" {
@@ -285,6 +291,28 @@ func cmdSearch(args []string) int {
 			}
 			fmt.Printf("  wrote %s.dsr and %s.jsonl\n", base, base)
 		}
+		if *hardenRerun {
+			chk, err := dst.CheckHardened(f.Replay, nil, harden.Policy{})
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Printf("  hardened: detected=%v corrected=%v final-correct=%v ladder=%v Q=%d\n",
+				chk.Detected, chk.Corrected, chk.FinalCorrect, chk.Outcome.Escalations(), chk.Outcome.Q)
+			if !chk.Ok() {
+				uncorrected++
+			}
+		}
+	}
+	if *expectFinding && len(rep.Findings) == 0 {
+		fmt.Fprintln(os.Stderr, "drshrink: search found nothing but -expect-finding was set (positive control failed)")
+		return 1
+	}
+	if *hardenRerun {
+		if uncorrected > 0 {
+			fmt.Fprintf(os.Stderr, "drshrink: hardening failed to correct %d of %d findings\n", uncorrected, len(rep.Findings))
+			return 1
+		}
+		return 0
 	}
 	if len(rep.Findings) > 0 {
 		return 1

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/download"
+	"repro/internal/harden"
 	"repro/internal/obs"
 )
 
@@ -35,6 +36,9 @@ func run() int {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		faulty   = flag.Int("faulty", 0, "actually faulty peers (0: t when behavior set)")
 		behavior = flag.String("behavior", "", "fault behavior: crash|crash-random|silent|spam|liar|equivocate")
+		excess   = flag.Bool("allow-excess", false, "permit -faulty above -t (model a violated fault bound; pair with -harden)")
+		hardened = flag.Bool("harden", false, "run under the hardening supervisor (detect violations, audit outputs, escalate toward naive)")
+		deadline = flag.Float64("deadline", 0, "cut the run off after this many time units (0: none)")
 		liveRT   = flag.Bool("live", false, "run on the concurrent goroutine runtime")
 		tcpRT    = flag.Bool("tcp", false, "run over real TCP sockets (crash-from-start faults only)")
 		verbose  = flag.Bool("v", false, "print per-peer stats")
@@ -62,11 +66,13 @@ func run() int {
 	opts := download.Options{
 		Protocol: download.Protocol(*protocol),
 		N:        *n, T: *t, L: *l, MsgBits: *b,
-		Seed:     *seed,
-		Faulty:   *faulty,
-		Behavior: download.FaultBehavior(*behavior),
-		Live:     *liveRT,
-		TCP:      *tcpRT,
+		Seed:              *seed,
+		Faulty:            *faulty,
+		Behavior:          download.FaultBehavior(*behavior),
+		AllowExcessFaults: *excess,
+		Deadline:          *deadline,
+		Live:              *liveRT,
+		TCP:               *tcpRT,
 	}
 	if *trace {
 		opts.Trace = os.Stderr
@@ -100,7 +106,15 @@ func run() int {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "drsim: observability on http://%s/\n", srv.Addr)
 	}
-	rep, err := download.Run(opts)
+	var (
+		rep *download.Report
+		err error
+	)
+	if *hardened {
+		rep, err = download.RunHardened(opts, harden.Policy{AttemptDeadline: *deadline})
+	} else {
+		rep, err = download.Run(opts)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drsim: %v\n", err)
 		return 2
@@ -115,6 +129,16 @@ func run() int {
 	fmt.Printf("time        %.2f (virtual units; 1 = max network latency)\n", rep.Time)
 	for _, f := range rep.Failures {
 		fmt.Printf("FAILURE     %s\n", f)
+	}
+	if h := rep.Hardening; h != nil {
+		fmt.Printf("hardening   detected=%v corrected=%v ladder=%v\n", h.Detected, h.Corrected, h.Ladder)
+		fmt.Printf("            audit %d bits (in Q), warm cache served %d bits free\n", h.AuditBits, h.WarmHitBits)
+		for i, a := range h.Attempts {
+			fmt.Printf("attempt %d   %-10s violations=%d audited=%d peers\n", i, a.Protocol, len(a.Violations), a.AuditedPeers)
+			for _, v := range a.Violations {
+				fmt.Printf("            ! %s\n", v)
+			}
+		}
 	}
 	if *verbose {
 		fmt.Printf("%-5s %-7s %-8s %-11s %-10s %s\n",

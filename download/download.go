@@ -147,6 +147,18 @@ type Options struct {
 	Faulty int
 	// Behavior selects the fault behavior; empty means no faults.
 	Behavior FaultBehavior
+	// AllowExcessFaults permits Faulty > T, modeling the scenario the
+	// hardening layer exists for: the operator's fault-bound estimate was
+	// wrong and the actual adversary exceeds it. Protocol guarantees are
+	// void in that regime — pair it with RunHardened, which detects the
+	// violation and escalates (see docs/HARDENING.md).
+	AllowExcessFaults bool
+	// Deadline, when positive, cuts the execution off after this many
+	// time units (virtual in des, scaled wall time in live) and reports
+	// the expiry as a failure. Zero disables the cut-off (the event cap
+	// and the live runtime's wall-clock default still apply). Ignored by
+	// TCP runs, which bound time via the netrt timeout.
+	Deadline float64
 	// Live runs the goroutine runtime instead of the deterministic
 	// discrete-event runtime.
 	Live bool
@@ -202,12 +214,18 @@ type Report struct {
 	PerPeer []PeerReport
 	// Output is the first honest peer's output (the downloaded array).
 	Output []bool
+	// Hardening is set only by RunHardened: the supervisor's account of
+	// detections, escalations, audit charges, and warm-start savings.
+	Hardening *HardeningReport
 }
 
 // Run executes one Download and reports the outcome. Configuration
 // errors are returned; protocol-level failures are reported in the
 // Report (Correct=false with Failures).
 func Run(opts Options) (*Report, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if opts.TCP {
 		return runTCP(opts)
 	}
@@ -234,6 +252,59 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	return buildReport(res), nil
+}
+
+// validate catches option-level misconfiguration with a specific error
+// before spec construction: every case here either slipped through to a
+// confusing sim-level message before, or — like a negative Faulty count —
+// silently degenerated into a run with no faults at all.
+func (o *Options) validate() error {
+	if _, err := o.Protocol.Factory(); err != nil {
+		return err
+	}
+	switch {
+	case o.N < 2:
+		return fmt.Errorf("download: need at least 2 peers, have N=%d", o.N)
+	case o.L <= 0:
+		return fmt.Errorf("download: input length L=%d must be positive", o.L)
+	case o.T < 0 || o.T >= o.N:
+		return fmt.Errorf("download: fault bound T=%d outside [0, N) for N=%d", o.T, o.N)
+	case o.MsgBits < 0:
+		return fmt.Errorf("download: message size MsgBits=%d must not be negative (0 derives a default)", o.MsgBits)
+	case o.Faulty < 0:
+		return fmt.Errorf("download: Faulty=%d must not be negative", o.Faulty)
+	case o.Deadline < 0:
+		return fmt.Errorf("download: Deadline=%g must not be negative", o.Deadline)
+	case o.Input != nil && len(o.Input) != o.L:
+		return fmt.Errorf("download: input length %d != L=%d", len(o.Input), o.L)
+	case o.Live && o.TCP:
+		return errors.New("download: Live and TCP are mutually exclusive")
+	}
+	switch o.Behavior {
+	case NoFaults, CrashImmediate, CrashRandom, Silent, Spam, Liar, Equivocate:
+	default:
+		return fmt.Errorf("download: unknown behavior %q", o.Behavior)
+	}
+	if o.Behavior == NoFaults {
+		if o.Faulty != 0 {
+			return errors.New("download: faulty peers given without a behavior")
+		}
+		return nil
+	}
+	count := o.Faulty
+	if count == 0 {
+		count = o.T
+	}
+	if count >= o.N {
+		return fmt.Errorf("download: %d faulty peers leaves no honest peer (N=%d)", count, o.N)
+	}
+	if count > o.T && !o.AllowExcessFaults {
+		return fmt.Errorf("download: %d faulty exceeds bound T=%d (set AllowExcessFaults to model a violated fault bound)", count, o.T)
+	}
+	if o.TCP && o.Behavior != CrashImmediate {
+		return fmt.Errorf("download: behavior %q unsupported on TCP (only crash-from-start)", o.Behavior)
+	}
+	return nil
 }
 
 // runTCP maps the options onto the real-socket runtime.
@@ -266,7 +337,7 @@ func runTCP(opts Options) (*Report, error) {
 	}
 	msgBits := opts.MsgBits
 	if msgBits == 0 {
-		msgBits = opts.L / maxInt(opts.N, 1)
+		msgBits = opts.L / max(opts.N, 1)
 		if msgBits < 64 {
 			msgBits = 64
 		}
@@ -289,7 +360,7 @@ func buildSpec(opts Options) (*sim.Spec, error) {
 	}
 	msgBits := opts.MsgBits
 	if msgBits == 0 {
-		msgBits = opts.L / maxInt(opts.N, 1)
+		msgBits = opts.L / max(opts.N, 1)
 		if msgBits < 64 {
 			msgBits = 64
 		}
@@ -312,6 +383,7 @@ func buildSpec(opts Options) (*sim.Spec, error) {
 		Metrics:  opts.Metrics,
 		Timeline: opts.Timeline,
 		Label:    string(opts.Protocol),
+		Deadline: opts.Deadline,
 	}
 	faults, err := buildFaults(opts)
 	if err != nil {
@@ -332,34 +404,35 @@ func buildFaults(opts Options) (sim.FaultSpec, error) {
 	if count == 0 {
 		count = opts.T
 	}
-	if count > opts.T {
+	if count > opts.T && !opts.AllowExcessFaults {
 		return sim.FaultSpec{}, fmt.Errorf("download: %d faulty exceeds bound T=%d", count, opts.T)
 	}
+	excess := count > opts.T
 	faulty := adversary.SpreadFaulty(opts.N, count)
 	switch opts.Behavior {
 	case CrashImmediate:
 		return sim.FaultSpec{
-			Model: sim.FaultCrash, Faulty: faulty,
+			Model: sim.FaultCrash, Faulty: faulty, AllowExcess: excess,
 			Crash: &adversary.CrashAll{Point: 0},
 		}, nil
 	case CrashRandom:
 		return sim.FaultSpec{
-			Model: sim.FaultCrash, Faulty: faulty,
+			Model: sim.FaultCrash, Faulty: faulty, AllowExcess: excess,
 			Crash: adversary.NewCrashRandom(opts.Seed+9, faulty, 100*opts.N),
 		}, nil
 	case Silent:
 		return sim.FaultSpec{
-			Model: sim.FaultByzantine, Faulty: faulty,
+			Model: sim.FaultByzantine, Faulty: faulty, AllowExcess: excess,
 			NewByzantine: adversary.NewSilent,
 		}, nil
 	case Spam:
 		return sim.FaultSpec{
-			Model: sim.FaultByzantine, Faulty: faulty,
+			Model: sim.FaultByzantine, Faulty: faulty, AllowExcess: excess,
 			NewByzantine: adversary.NewSpammer(8, 512),
 		}, nil
 	case Liar, Equivocate:
 		return sim.FaultSpec{
-			Model: sim.FaultByzantine, Faulty: faulty,
+			Model: sim.FaultByzantine, Faulty: faulty, AllowExcess: excess,
 			NewByzantine: liarFor(opts.Protocol, opts.Behavior),
 		}, nil
 	default:
@@ -422,11 +495,4 @@ func buildReport(res *sim.Result) *Report {
 		}
 	}
 	return rep
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,226 @@
+package download_test
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/download"
+	"repro/internal/harden"
+	"repro/internal/obs"
+)
+
+// byzMajorityOpts is the end-to-end scenario from docs/HARDENING.md: a
+// Byzantine majority (β = 1/2 > the configured bound T/N) of consistent
+// liars against twocycle. At seed 26 the forged segment reaches the
+// frequency threshold at several honest peers while the true one misses
+// it, so they silently adopt a wrong array — the failure mode the
+// hardening layer exists for. Pinned by TestUnhardenedByzantineMajority.
+func byzMajorityOpts() download.Options {
+	return download.Options{
+		Protocol: download.TwoCycle,
+		N:        64, T: 15, L: 1024,
+		Faulty: 32, Behavior: download.Liar,
+		AllowExcessFaults: true,
+		Seed:              26,
+	}
+}
+
+// TestUnhardenedByzantineMajority pins the baseline: without the
+// supervisor the run completes "successfully" — every honest peer
+// terminates — but some output a wrong array with no error signal.
+func TestUnhardenedByzantineMajority(t *testing.T) {
+	rep, err := download.Run(byzMajorityOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Correct {
+		t.Fatal("expected a wrong-output run; seed no longer exhibits the attack")
+	}
+	wrong := 0
+	for _, p := range rep.PerPeer {
+		if !p.Honest {
+			continue
+		}
+		if !p.Terminated {
+			t.Fatalf("peer %d: honest peer did not terminate (attack should be silent)", p.ID)
+		}
+		if !p.Correct {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Fatal("expected at least one honest peer with a wrong output")
+	}
+}
+
+// TestHardenedByzantineMajorityCorrected is the headline end-to-end
+// guarantee: the same execution under RunHardened detects the forgery
+// via the source audit, escalates twocycle → naive, and every honest
+// peer outputs X exactly, with the cumulative Q bounded by L plus the
+// audit budget of both attempts.
+func TestHardenedByzantineMajorityCorrected(t *testing.T) {
+	opts := byzMajorityOpts()
+	ladder := []download.Protocol{download.TwoCycle, download.Naive}
+	rep, err := download.RunHardenedLadder(opts, harden.Policy{}, ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rep.Hardening
+	if h == nil {
+		t.Fatal("no hardening report")
+	}
+	if !h.Detected || !h.Corrected {
+		t.Fatalf("detected=%v corrected=%v, want both", h.Detected, h.Corrected)
+	}
+	if len(h.Escalations) != 2 || h.Escalations[0] != download.TwoCycle || h.Escalations[1] != download.Naive {
+		t.Fatalf("escalations = %v, want [twocycle naive]", h.Escalations)
+	}
+	if len(h.Attempts[0].Violations) == 0 {
+		t.Fatal("first attempt recorded no violations")
+	}
+	if !rep.Correct {
+		t.Fatalf("hardened run not correct: %v", rep.Failures)
+	}
+	for _, p := range rep.PerPeer {
+		if p.Honest && !p.Correct {
+			t.Fatalf("peer %d: honest peer output wrong under hardening", p.ID)
+		}
+	}
+	// Cumulative Q (protocol queries + audits, warm hits free) must stay
+	// within the naive fallback's cost plus the audit budget: the warm
+	// start guarantees escalation never pays twice for a verified bit.
+	bound := opts.L + len(h.Attempts)*harden.DefaultAuditBits
+	if rep.Q > bound {
+		t.Fatalf("Q = %d exceeds warm-start bound L + attempts*k = %d", rep.Q, bound)
+	}
+	if rep.Q <= opts.L/2 {
+		t.Fatalf("Q = %d implausibly low for a naive fallback on L=%d", rep.Q, opts.L)
+	}
+}
+
+// TestHardenedWarmStartNoRequery pins the warm-start guarantee at the
+// obs layer: in the forced twocycle → naive escalation, the naive rung's
+// per-peer query bits (series dr_sim_query_bits_total{protocol="naive"})
+// must equal exactly L minus the bits that peer had already verified
+// after the first attempt, and the cache must serve all the rest
+// (dr_harden_warm_hit_bits_total) — zero already-verified indices are
+// re-queried from the source.
+func TestHardenedWarmStartNoRequery(t *testing.T) {
+	opts := byzMajorityOpts()
+	reg := obs.New()
+	opts.Metrics = reg
+	ladder := []download.Protocol{download.TwoCycle, download.Naive}
+	rep, err := download.RunHardenedLadder(opts, harden.Policy{}, ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rep.Hardening
+	if len(h.Attempts) != 2 {
+		t.Fatalf("got %d attempts, want 2", len(h.Attempts))
+	}
+	verified := h.Attempts[0].VerifiedBits
+	snap := reg.Snapshot()
+	for _, p := range rep.PerPeer {
+		if !p.Honest {
+			continue
+		}
+		peer := strconv.Itoa(p.ID)
+		naiveQ, ok := snap.Series("dr_sim_query_bits_total",
+			map[string]string{"protocol": "naive", "peer": peer})
+		if !ok {
+			t.Fatalf("peer %s: no naive-rung query series", peer)
+		}
+		warm, ok := snap.Series("dr_harden_warm_hit_bits_total",
+			map[string]string{"rung": "naive", "peer": peer})
+		if !ok {
+			t.Fatalf("peer %s: no warm-hit series", peer)
+		}
+		if v := verified[p.ID]; naiveQ.Value != float64(opts.L-v) {
+			t.Errorf("peer %s: naive rung queried %v source bits, want L-verified = %d (re-queried %v verified bits)",
+				peer, naiveQ.Value, opts.L-v, naiveQ.Value-float64(opts.L-v))
+		} else if warm.Value != float64(v) {
+			t.Errorf("peer %s: warm cache served %v bits, want all %d verified bits", peer, warm.Value, v)
+		}
+	}
+}
+
+// TestHardenedColdStartForComparison pins the A/B control: with the warm
+// start disabled the naive rung re-queries the full input, so the
+// cumulative Q exceeds the warm bound — evidence the cache is what keeps
+// hardening affordable.
+func TestHardenedColdStartForComparison(t *testing.T) {
+	opts := byzMajorityOpts()
+	ladder := []download.Protocol{download.TwoCycle, download.Naive}
+	rep, err := download.RunHardenedLadder(opts, harden.Policy{DisableWarmStart: true}, ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Correct || !rep.Hardening.Corrected {
+		t.Fatalf("cold-start run should still correct (correct=%v)", rep.Correct)
+	}
+	if rep.Hardening.WarmHitBits != 0 {
+		t.Fatalf("warm hits = %d with warm start disabled", rep.Hardening.WarmHitBits)
+	}
+	warmBound := opts.L + len(rep.Hardening.Attempts)*harden.DefaultAuditBits
+	if rep.Q <= warmBound {
+		t.Fatalf("cold Q = %d within warm bound %d; expected re-queried bits", rep.Q, warmBound)
+	}
+}
+
+// TestHardenedCleanRunNoEscalation: inside its assumed regime the first
+// rung passes the audit and the ladder never descends.
+func TestHardenedCleanRunNoEscalation(t *testing.T) {
+	rep, err := download.RunHardened(download.Options{
+		Protocol: download.TwoCycle,
+		N:        16, T: 3, L: 256,
+		Faulty: 3, Behavior: download.Liar,
+		Seed: 7,
+	}, harden.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rep.Hardening
+	if h.Detected || h.Corrected {
+		t.Fatalf("detected=%v corrected=%v on an in-regime run", h.Detected, h.Corrected)
+	}
+	if len(h.Attempts) != 1 {
+		t.Fatalf("got %d attempts, want 1", len(h.Attempts))
+	}
+	if !rep.Correct {
+		t.Fatalf("in-regime hardened run failed: %v", rep.Failures)
+	}
+	if h.AuditBits == 0 {
+		t.Fatal("clean attempt must still be audited")
+	}
+}
+
+// TestHardenedOptionErrors covers facade-level misconfiguration.
+func TestHardenedOptionErrors(t *testing.T) {
+	base := download.Options{Protocol: download.TwoCycle, N: 8, T: 3, L: 64}
+	tcp := base
+	tcp.TCP = true
+	if _, err := download.RunHardened(tcp, harden.Policy{}); err == nil {
+		t.Error("TCP accepted by RunHardened")
+	}
+	if _, err := download.RunHardenedLadder(base, harden.Policy{}, nil); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := download.RunHardenedLadder(base, harden.Policy{},
+		[]download.Protocol{download.Naive, download.TwoCycle}); err == nil {
+		t.Error("ladder not starting at opts.Protocol accepted")
+	}
+}
+
+// TestDefaultLadders pins the ladder shapes: each ends at naive (the
+// unavoidable β ≥ 1/2 fallback) and starts at the requested protocol.
+func TestDefaultLadders(t *testing.T) {
+	for _, info := range download.Protocols() {
+		ladder := download.DefaultLadder(info.Protocol)
+		if len(ladder) == 0 || ladder[0] != info.Protocol {
+			t.Errorf("%s: ladder %v does not start at the protocol", info.Protocol, ladder)
+		}
+		if ladder[len(ladder)-1] != download.Naive {
+			t.Errorf("%s: ladder %v does not end at naive", info.Protocol, ladder)
+		}
+	}
+}

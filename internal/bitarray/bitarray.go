@@ -119,6 +119,30 @@ func (a *Array) Equal(b *Array) bool {
 	return true
 }
 
+// Hash returns a 64-bit FNV-1a fingerprint of the array (length and
+// contents). Equal arrays hash equally; distinct arrays collide with
+// probability ~2^-64. It is not cryptographic — use it for dedup and
+// equivocation fingerprints, not integrity against adaptive adversaries.
+func (a *Array) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(a.n))
+	for _, w := range a.words {
+		mix(w)
+	}
+	return h
+}
+
 // Count returns the number of set bits.
 func (a *Array) Count() int {
 	c := 0

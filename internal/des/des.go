@@ -243,6 +243,13 @@ func (e *engine) run() {
 			return
 		}
 		ev := e.queue.pop()
+		if d := e.spec.Deadline; d > 0 && ev.at > d {
+			// The next deliverable event lies past the deadline while some
+			// honest peer is still running: cut the execution off here.
+			e.release(ev)
+			e.res.DeadlineHit = true
+			return
+		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
@@ -335,7 +342,7 @@ func (e *engine) deliver(p *peerState, ev *event) {
 		if e.spec.Observer != nil {
 			// msgTypeName reflects on the message; only pay for it when
 			// someone is listening (it dominated allocation otherwise).
-			e.observe("deliver", p.id, ev.from, msgTypeName(ev.msg), ev.msg.SizeBits())
+			e.observeMsg("deliver", p.id, ev.from, ev.msg)
 		}
 		p.impl.OnMessage(ev.from, ev.msg)
 	case evQueryReply:
@@ -372,6 +379,16 @@ func (e *engine) observe(kind string, peer, other sim.PeerID, msgType string, bi
 	e.spec.Observer.OnEvent(sim.ObservedEvent{
 		Time: e.now, Kind: kind, Peer: peer, Other: other,
 		MsgType: msgType, Bits: bits,
+	})
+}
+
+// observeMsg forwards a send/deliver event carrying the message payload
+// (evidence collectors inspect it for conflicting claims). Callers gate on
+// spec.Observer != nil.
+func (e *engine) observeMsg(kind string, peer, other sim.PeerID, m sim.Message) {
+	e.spec.Observer.OnEvent(sim.ObservedEvent{
+		Time: e.now, Kind: kind, Peer: peer, Other: other,
+		MsgType: msgTypeName(m), Bits: m.SizeBits(), Msg: m,
 	})
 }
 
@@ -435,7 +452,7 @@ func (c *peerCtx) Send(to sim.PeerID, m sim.Message) {
 	p.mMsgs.Add(int64(chunks))
 	p.mMsgBits.Add(int64(size))
 	if c.e.spec.Observer != nil {
-		c.e.observe("send", p.id, to, msgTypeName(m), size)
+		c.e.observeMsg("send", p.id, to, m)
 	}
 	delay := c.e.spec.Delays.MessageDelay(p.id, to, c.e.now, size)
 	if delay <= 0 {
@@ -521,13 +538,19 @@ func (c *peerCtx) Rand() *rand.Rand { return c.p.rng }
 func (c *peerCtx) Now() float64     { return c.e.now }
 
 // MarkPhase implements sim.PhaseMarker: it records a phase-transition
-// mark on the spec's timeline at the current virtual time. A nil
-// timeline makes this a free no-op.
+// mark on the spec's timeline at the current virtual time and forwards a
+// "phase" event to the observer (the harden starvation detector keys its
+// progress tracking off these). With neither attached it is a free no-op.
 func (c *peerCtx) MarkPhase(name string) {
-	if c.e.tl == nil || !c.active() {
+	if (c.e.tl == nil && c.e.spec.Observer == nil) || !c.active() {
 		return
 	}
 	c.e.tl.Mark(c.e.now, int(c.p.id), "phase", name)
+	if c.e.spec.Observer != nil {
+		c.e.spec.Observer.OnEvent(sim.ObservedEvent{
+			Time: c.e.now, Kind: "phase", Peer: c.p.id, Other: -1, Name: name,
+		})
+	}
 }
 
 func (c *peerCtx) Logf(format string, args ...any) {

@@ -1,0 +1,143 @@
+package dst
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/des"
+	"repro/internal/harden"
+	"repro/internal/sim"
+)
+
+// The hardened re-check: every finding the strategy search produces is a
+// reproducible way to make a protocol emit a wrong output or stall. The
+// hardening supervisor (package harden) claims that under the same model
+// parameters and the same adversary, such executions are detected and
+// corrected by escalating toward naive. CheckHardened closes that loop:
+// it re-runs a finding's scenario under harden.Run and reports whether
+// the supervisor delivered a correct final output.
+//
+// The re-run uses the des runtime with a seeded asynchronous schedule,
+// not the replay's recorded choice list — the supervisor spans several
+// attempts with fresh per-attempt seeds, which a single recorded
+// schedule cannot represent. The adversary (strategy program, coin seed,
+// faulty set) and the model parameters carry over exactly, so the check
+// answers "does hardening beat this adversary", not "this schedule".
+
+// HardenedCheck is the verdict of one hardened re-run.
+type HardenedCheck struct {
+	// Outcome is the supervisor's full account (attempts, violations,
+	// escalations, Q accounting).
+	Outcome *harden.Outcome
+	// Detected and Corrected mirror the supervisor's verdict.
+	Detected  bool
+	Corrected bool
+	// FinalCorrect is the ground-truth check of the final attempt: every
+	// honest peer output X exactly. The supervisor never consults this to
+	// decide escalation; the harness consults it to judge the supervisor.
+	FinalCorrect bool
+}
+
+// Ok reports that the hardened run ended with every honest peer correct.
+func (c *HardenedCheck) Ok() bool { return c.FinalCorrect }
+
+// DefaultLadder returns the escalation ladder a hardened re-check uses
+// for a registry protocol: the protocol itself, then naive (the
+// any-β fallback). Weakened *-weak/-legacy variants keep their flawed
+// first rung — that is the positive control: the supervisor must catch
+// the flaw and still end correct.
+func DefaultLadder(protocol string) []string {
+	if protocol == "naive" {
+		return []string{"naive"}
+	}
+	return []string{protocol, "naive"}
+}
+
+// crashMap replays a replay file's crash points as a sim.CrashPolicy.
+type crashMap map[sim.PeerID]int
+
+func (m crashMap) CrashPoint(p sim.PeerID) int {
+	if pt, ok := m[p]; ok {
+		return pt
+	}
+	return -1
+}
+
+// CheckHardened re-runs the scenario of r under the hardening supervisor
+// with the given escalation ladder (nil selects DefaultLadder). The
+// error covers structural problems only; the supervisor's performance is
+// the HardenedCheck.
+func CheckHardened(r *Replay, ladder []string, pol harden.Policy) (*HardenedCheck, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if ladder == nil {
+		ladder = DefaultLadder(r.Protocol)
+	}
+	rungs := make([]harden.Rung, len(ladder))
+	for i, name := range ladder {
+		p, err := LookupProtocol(name)
+		if err != nil {
+			return nil, err
+		}
+		rungs[i] = harden.Rung{Name: p.Name, NewPeer: p.New}
+	}
+	proto, err := LookupProtocol(r.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	spec := sim.Spec{
+		Config: sim.Config{
+			N: r.N, T: r.T, L: r.L, MsgBits: r.MsgBits, Seed: r.Seed,
+		},
+		Delays: adversary.NewRandomUnit(r.Seed + 1000003),
+	}
+	faulty := make([]sim.PeerID, len(r.Faulty))
+	for i, p := range r.Faulty {
+		faulty[i] = sim.PeerID(p)
+	}
+	switch r.Fault {
+	case "", FaultNone:
+		spec.Faults = sim.FaultSpec{Model: sim.FaultNone}
+	case FaultCrash:
+		cm := make(crashMap, len(r.CrashPoints))
+		for _, cp := range r.CrashPoints {
+			cm[sim.PeerID(cp.Peer)] = cp.Point
+		}
+		spec.Faults = sim.FaultSpec{
+			Model: sim.FaultCrash, Faulty: faulty, Crash: cm,
+			AllowExcess: len(faulty) > r.T,
+		}
+	case FaultByzantine:
+		spec.Faults = sim.FaultSpec{
+			Model: sim.FaultByzantine, Faulty: faulty,
+			NewByzantine: r.strategy().NewStrategist(proto.New),
+			AllowExcess:  len(faulty) > r.T,
+		}
+	default:
+		return nil, fmt.Errorf("dst: unknown fault model %q", r.Fault)
+	}
+	out, err := harden.Run(harden.Config{
+		Base:    spec,
+		Rungs:   rungs,
+		Policy:  pol,
+		Runtime: des.New(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	check := &HardenedCheck{
+		Outcome:   out,
+		Detected:  out.Detected,
+		Corrected: out.Corrected,
+	}
+	check.FinalCorrect = true
+	for i := range out.Final.PerPeer {
+		st := &out.Final.PerPeer[i]
+		if st.Honest && !st.OutputCorrect {
+			check.FinalCorrect = false
+			break
+		}
+	}
+	return check, nil
+}

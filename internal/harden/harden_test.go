@@ -1,0 +1,224 @@
+package harden
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/bitarray"
+	"repro/internal/sim"
+)
+
+// claimMsg is a minimal claiming message for collector tests.
+type claimMsg struct {
+	domain string
+	key    int64
+	value  uint64
+}
+
+func (m claimMsg) SizeBits() int { return 8 }
+func (m claimMsg) Claims(dst []sim.Claim) []sim.Claim {
+	return append(dst, sim.Claim{Domain: m.domain, Key: m.key, Value: m.value})
+}
+
+func send(c *Collector, at float64, from sim.PeerID, m sim.Message) {
+	c.OnEvent(sim.ObservedEvent{Time: at, Kind: "send", Peer: from, Other: 1, Msg: m})
+}
+
+func TestCollectorEquivocation(t *testing.T) {
+	c := NewCollector(4, 0, nil)
+	send(c, 1, 0, claimMsg{"seg", 7, 100})
+	send(c, 2, 0, claimMsg{"seg", 7, 100}) // repeat, consistent
+	send(c, 3, 0, claimMsg{"seg", 8, 200}) // different key
+	send(c, 4, 2, claimMsg{"seg", 7, 999}) // other peer, conflicting value: fine
+	if got := c.Equivocators(); len(got) != 0 {
+		t.Fatalf("consistent claims flagged: %v", got)
+	}
+	send(c, 5, 0, claimMsg{"seg", 7, 101}) // conflict with its own time-1 claim
+	got := c.Equivocators()
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("equivocators = %v, want [0]", got)
+	}
+	ev := c.Evidence()
+	if len(ev) != 1 || ev[0].Peer != 0 || ev[0].Domain != "seg" || ev[0].Key != 7 {
+		t.Fatalf("evidence = %v", ev)
+	}
+	// Once proven, further conflicts add no duplicate evidence.
+	send(c, 6, 0, claimMsg{"seg", 8, 201})
+	if len(c.Evidence()) != 1 {
+		t.Fatalf("duplicate evidence for a known equivocator: %v", c.Evidence())
+	}
+}
+
+func TestCollectorIgnoresNonClaimers(t *testing.T) {
+	c := NewCollector(2, 0, nil)
+	send(c, 1, 0, &adversary.Junk{Bits: 8})
+	send(c, 2, 0, nil)
+	if got := c.Equivocators(); len(got) != 0 {
+		t.Fatalf("non-claiming messages flagged: %v", got)
+	}
+}
+
+func TestCollectorStarvation(t *testing.T) {
+	c := NewCollector(3, 10, nil)
+	c.OnEvent(sim.ObservedEvent{Time: 0, Kind: "start", Peer: 0})
+	c.OnEvent(sim.ObservedEvent{Time: 0, Kind: "start", Peer: 1})
+	c.OnEvent(sim.ObservedEvent{Time: 1, Kind: "phase", Peer: 0, Name: "download"})
+	c.OnEvent(sim.ObservedEvent{Time: 2, Kind: "terminate", Peer: 1})
+	// Peer 2 never started; peer 1 terminated; peer 0 stalls in "download".
+	c.OnEvent(sim.ObservedEvent{Time: 50, Kind: "query", Peer: 1}) // advances the clock
+	got := c.Starved()
+	if len(got) != 1 || got[0].Peer != 0 || got[0].Phase != "download" {
+		t.Fatalf("starved = %v, want peer 0 in download", got)
+	}
+	if got[0].Stalled != 49 {
+		t.Fatalf("stalled = %v, want 49", got[0].Stalled)
+	}
+	// Progress resets the stall clock.
+	c.OnEvent(sim.ObservedEvent{Time: 55, Kind: "qreply", Peer: 0})
+	if got := c.Starved(); len(got) != 0 {
+		t.Fatalf("recently active peer still starved: %v", got)
+	}
+}
+
+func TestCollectorChainsNext(t *testing.T) {
+	var seen []string
+	next := observerFunc(func(ev sim.ObservedEvent) { seen = append(seen, ev.Kind) })
+	c := NewCollector(2, 0, next)
+	c.OnEvent(sim.ObservedEvent{Time: 1, Kind: "start", Peer: 0})
+	send(c, 2, 0, claimMsg{"seg", 1, 5})
+	if len(seen) != 2 || seen[0] != "start" || seen[1] != "send" {
+		t.Fatalf("chained observer saw %v", seen)
+	}
+}
+
+type observerFunc func(sim.ObservedEvent)
+
+func (f observerFunc) OnEvent(ev sim.ObservedEvent) { f(ev) }
+
+func TestAuditIndices(t *testing.T) {
+	const L, k = 1024, 16
+	a := auditIndices(42, 3, L, k)
+	if len(a) != k {
+		t.Fatalf("got %d indices, want %d", len(a), k)
+	}
+	seen := map[int]bool{}
+	for _, idx := range a {
+		if idx < 0 || idx >= L {
+			t.Fatalf("index %d out of range", idx)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+	b := auditIndices(42, 3, L, k)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("audit indices not deterministic for a fixed seed and peer")
+		}
+	}
+	c := auditIndices(42, 4, L, k)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different peers drew identical audit indices")
+	}
+	if got := auditIndices(42, 0, 8, 99); len(got) != 8 {
+		t.Fatalf("k > L should audit all %d bits, got %d", 8, len(got))
+	}
+	// Dense sampling path (k*4 >= L) must also be distinct and in range.
+	d := auditIndices(7, 1, 16, 8)
+	dseen := map[int]bool{}
+	for _, idx := range d {
+		if idx < 0 || idx >= 16 || dseen[idx] {
+			t.Fatalf("dense sample invalid: %v", d)
+		}
+		dseen[idx] = true
+	}
+}
+
+func TestRunAuditFindsForgery(t *testing.T) {
+	input := bitarray.New(64)
+	for i := 0; i < 64; i += 2 {
+		input.Set(i, true)
+	}
+	forged := input.Clone()
+	for i := 0; i < 64; i++ {
+		forged.Set(i, !forged.Get(i)) // maximally wrong
+	}
+	res := &sim.Result{PerPeer: []sim.PeerStats{
+		{ID: 0, Honest: true, Terminated: true, Output: input.Clone()},
+		{ID: 1, Honest: true, Terminated: true, Output: forged},
+		{ID: 2, Honest: true, Terminated: true, Output: nil},
+		{ID: 3, Honest: false, Terminated: true, Output: forged}, // byzantine: skipped
+		{ID: 4, Honest: true, Terminated: false},                 // never finished: skipped
+	}}
+	caches := make([]*Cache, 5)
+	for i := range caches {
+		caches[i] = NewCache(64)
+	}
+	rep := runAudit(res, input, 8, 1, caches)
+	if rep.Peers != 3 {
+		t.Fatalf("audited %d peers, want 3", rep.Peers)
+	}
+	if rep.Bits != 16 { // peers 0 and 1 pay 8 each; peer 2 has no output to audit
+		t.Fatalf("audit bits = %d, want 16", rep.Bits)
+	}
+	var forgedHits, noOutput int
+	for _, mm := range rep.Mismatches {
+		switch {
+		case mm.Peer == 1 && mm.Index >= 0:
+			forgedHits++
+		case mm.Peer == 2 && mm.Index == -1:
+			noOutput++
+		case mm.Peer == 0:
+			t.Fatalf("honest exact output flagged at bit %d", mm.Index)
+		case mm.Peer == 3 || mm.Peer == 4:
+			t.Fatalf("peer %d should not have been audited", mm.Peer)
+		}
+	}
+	if forgedHits != 8 || noOutput != 1 {
+		t.Fatalf("mismatches: forged=%d noOutput=%d, want 8 and 1", forgedHits, noOutput)
+	}
+	// Audited truth entered the warm cache.
+	if caches[1].Count() != 8 {
+		t.Fatalf("peer 1 cache has %d bits, want 8", caches[1].Count())
+	}
+}
+
+func TestCacheVerifiedSet(t *testing.T) {
+	c := NewCache(16)
+	for _, i := range []int{0, 1, 2, 7, 9, 10} {
+		c.Learn(i, i%2 == 0)
+	}
+	if c.Count() != 6 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	s := c.Verified()
+	if s.Len() != 6 || !s.Contains(7) || s.Contains(8) {
+		t.Fatalf("verified set = %v", s)
+	}
+	if s.RangeCount() != 3 { // [0,2] [7,7] [9,10]
+		t.Fatalf("range count = %d, want 3", s.RangeCount())
+	}
+	if v, ok := c.Lookup(2); !ok || !v {
+		t.Fatalf("lookup(2) = %v %v", v, ok)
+	}
+	if _, ok := c.Lookup(3); ok {
+		t.Fatal("lookup(3) hit an unlearned bit")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := Run(Config{Rungs: []Rung{{Name: "x"}}}); err == nil {
+		t.Error("rung without factory accepted")
+	}
+}

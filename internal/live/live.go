@@ -52,6 +52,13 @@ func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
 	if deadline <= 0 {
 		deadline = 30 * time.Second
 	}
+	// A spec-level deadline (virtual units) converts through the time
+	// scale and tightens — never loosens — the runtime default.
+	if spec.Deadline > 0 {
+		if d := time.Duration(spec.Deadline * float64(scale)); d < deadline {
+			deadline = d
+		}
+	}
 	w := &world{
 		spec:  spec,
 		cfg:   spec.Config,
@@ -98,9 +105,10 @@ func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
 		w.peers[i] = p
 		w.liveHonest += btoi(p.honest)
 	}
-	w.runAll(deadline)
+	expired := w.runAll(deadline)
 
 	res := &sim.Result{PerPeer: make([]sim.PeerStats, w.cfg.N)}
+	res.DeadlineHit = expired
 	for i, p := range w.peers {
 		p.mu.Lock()
 		res.PerPeer[i] = p.stats
@@ -165,7 +173,10 @@ func (w *world) honestDone() {
 	}
 }
 
-func (w *world) runAll(deadline time.Duration) {
+// runAll starts the peer loops and waits for the last honest termination
+// or the deadline; it reports whether the deadline expired with honest
+// peers still running.
+func (w *world) runAll(deadline time.Duration) bool {
 	var loops sync.WaitGroup
 	for _, p := range w.peers {
 		loops.Add(1)
@@ -178,9 +189,13 @@ func (w *world) runAll(deadline time.Duration) {
 		w.after(startDelay, func() { p.enqueueStart() })
 	}
 
+	expired := false
 	select {
 	case <-w.done:
 	case <-time.After(deadline):
+		w.mu.Lock()
+		expired = w.liveHonest > 0
+		w.mu.Unlock()
 	}
 	// Stop all loops and wait for them plus in-flight timers.
 	for _, p := range w.peers {
@@ -188,6 +203,7 @@ func (w *world) runAll(deadline time.Duration) {
 	}
 	loops.Wait()
 	w.timers.Wait()
+	return expired
 }
 
 // after schedules fn once the scaled delay elapses, tracking the timer so

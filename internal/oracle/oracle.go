@@ -251,7 +251,7 @@ func NewRunner(cfg *Config, newPeer func(sim.PeerID) sim.Peer, faults sim.FaultS
 		spec := &sim.Spec{
 			Config: sim.Config{
 				N: cfg.Nodes, T: cfg.NodeFaults, L: input.Len(),
-				MsgBits: maxInt(64, input.Len()/cfg.Nodes),
+				MsgBits: max(64, input.Len()/cfg.Nodes),
 				Seed:    seed, Input: input,
 			},
 			NewPeer: newPeer,
@@ -367,11 +367,4 @@ func equalVals(a, b []int64) bool {
 		}
 	}
 	return true
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -42,10 +42,31 @@ type Report struct {
 }
 
 var _ sim.Message = (*Report)(nil)
+var _ sim.Claimer = (*Report)(nil)
 
 // SizeBits implements sim.Message.
 func (m *Report) SizeBits() int {
 	return headerBits + len(m.Indices)*(m.IdxBits+1)
+}
+
+// Claims implements sim.Claimer: one claim per reported index, carrying
+// the claimed bit value directly. A sender reporting both values for one
+// index — across any of its Reports — is equivocating.
+func (m *Report) Claims(dst []sim.Claim) []sim.Claim {
+	if m.Bits == nil {
+		return dst
+	}
+	for k, idx := range m.Indices {
+		if k >= m.Bits.Len() {
+			break
+		}
+		v := uint64(0)
+		if m.Bits.Get(k) {
+			v = 1
+		}
+		dst = append(dst, sim.Claim{Domain: "bit", Key: int64(idx), Value: v})
+	}
+	return dst
 }
 
 // CommitteeSize returns s = 2t+1.

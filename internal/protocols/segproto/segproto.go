@@ -46,9 +46,25 @@ type SegValue struct {
 }
 
 var _ sim.Message = (*SegValue)(nil)
+var _ sim.Claimer = (*SegValue)(nil)
 
 // SizeBits implements sim.Message.
 func (m *SegValue) SizeBits() int { return headerBits + m.IdxBits + m.Values.Len() }
+
+// Claims implements sim.Claimer: the message asserts one segment string,
+// keyed by (cycle, segment) and fingerprinted by its hash. A sender
+// announcing two different strings for the same segment of the same cycle
+// is equivocating.
+func (m *SegValue) Claims(dst []sim.Claim) []sim.Claim {
+	if m.Values == nil {
+		return dst
+	}
+	return append(dst, sim.Claim{
+		Domain: "seg",
+		Key:    int64(m.Cycle)<<32 | int64(uint32(m.Seg)),
+		Value:  m.Values.Hash(),
+	})
+}
 
 // Params are the derived protocol parameters.
 type Params struct {

@@ -1,0 +1,31 @@
+package sim
+
+// Claim is one falsifiable statement a protocol message makes about the
+// source array: "within Domain, the value associated with Key is Value".
+// Two well-formed messages from the same sender whose claims share
+// (Domain, Key) but disagree on Value constitute equivocation evidence —
+// cryptographically-free proof (in this model, where channels authenticate
+// senders) that the sender is faulty. The harden supervisor counts
+// distinct equivocating senders; more than t of them falsifies the
+// execution's fault-bound assumption.
+//
+// Value is a fingerprint, not the payload: for bit-level claims it is the
+// bit itself, for segment-string claims a 64-bit hash. Hash collisions can
+// only mask equivocation (never invent it), so detection stays sound.
+type Claim struct {
+	// Domain namespaces Key (e.g. "bit" for per-index values, "seg" for
+	// segment strings) so unrelated claim spaces cannot collide.
+	Domain string
+	// Key identifies the claimed object within Domain.
+	Key int64
+	// Value fingerprints the claimed value.
+	Value uint64
+}
+
+// Claimer is an optional Message extension: messages that assert values of
+// the source array expose those assertions for equivocation checking.
+// Claims appends the message's claims to dst and returns the result (the
+// append idiom lets callers reuse one buffer across messages).
+type Claimer interface {
+	Claims(dst []Claim) []Claim
+}

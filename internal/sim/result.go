@@ -66,6 +66,10 @@ type Result struct {
 	Deadlocked bool
 	// EventCapHit reports the execution was cut off by the event cap.
 	EventCapHit bool
+	// DeadlineHit reports the execution was cut off by Spec.Deadline
+	// (or, in the live runtime, its wall-clock deadline) with honest
+	// peers still running.
+	DeadlineHit bool
 	// Failures lists human-readable correctness violations.
 	Failures []string
 	// Events is the number of delivered events (des runtime).
@@ -119,6 +123,10 @@ func (r *Result) Finalize(input *bitarray.Array) {
 	if r.EventCapHit {
 		r.Correct = false
 		r.Failures = append(r.Failures, "event cap reached before termination")
+	}
+	if r.DeadlineHit {
+		r.Correct = false
+		r.Failures = append(r.Failures, "deadline reached before termination")
 	}
 }
 

@@ -178,10 +178,14 @@ type FaultSpec struct {
 	// NewByzantine is required when Model is FaultByzantine; it builds
 	// the behavior run in place of the honest protocol at faulty peers.
 	NewByzantine func(id PeerID, k *Knowledge) Peer
-	// AllowExcess permits |Faulty| > Config.T. Static fault models must
-	// leave it false; it exists for the dynamic-corruption model (see
-	// adversary.Rotating), where Faulty lists the *union* of peers ever
-	// corrupted while the number corrupted at any instant stays ≤ T.
+	// AllowExcess permits |Faulty| > Config.T. It exists for two regimes
+	// where the listed faults legitimately exceed the static bound: the
+	// dynamic-corruption model (see adversary.Rotating), where Faulty
+	// lists the *union* of peers ever corrupted while the number
+	// corrupted at any instant stays ≤ T; and assumption-violation
+	// studies (download.Options.AllowExcessFaults, package harden), which
+	// deliberately run a protocol outside its fault bound to exercise the
+	// detect-and-escalate machinery. Ordinary static runs leave it false.
 	AllowExcess bool
 }
 

@@ -103,6 +103,13 @@ type Spec struct {
 	// label). Empty means the series are emitted without resolution by
 	// protocol; runtimes substitute "unknown".
 	Label string
+	// Deadline, when positive, aborts the execution once the clock passes
+	// this many time units — virtual time in des, scaled wall time in
+	// live (units × TimeScale). The cut-off is reported via
+	// Result.DeadlineHit; peers still running count as non-terminated.
+	// Zero means no deadline (the event cap and the live runtime's
+	// wall-clock default still apply).
+	Deadline float64
 }
 
 // Observer receives structured execution events from the des runtime.
@@ -117,7 +124,7 @@ type ObservedEvent struct {
 	// Time is the virtual time of the event.
 	Time float64 `json:"t"`
 	// Kind is one of "start", "send", "deliver", "query", "qreply",
-	// "crash", "terminate".
+	// "crash", "terminate", "phase".
 	Kind string `json:"kind"`
 	// Peer is the acting peer (sender, receiver, querier, …).
 	Peer PeerID `json:"peer"`
@@ -128,6 +135,12 @@ type ObservedEvent struct {
 	// Bits is the payload size for send/deliver, or the number of
 	// queried bits for query/qreply.
 	Bits int `json:"bits,omitempty"`
+	// Name is the phase name for "phase" events (sim.MarkPhase marks).
+	Name string `json:"name,omitempty"`
+	// Msg is the message payload for send/deliver events. It is shared
+	// with the execution — observers must treat it as read-only — and is
+	// excluded from JSON traces (MsgType/Bits summarize it there).
+	Msg Message `json:"-"`
 }
 
 // Validate reports spec-level errors.
