@@ -9,7 +9,7 @@ FUZZTIME ?= 30s
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2024.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 
-.PHONY: all build fmt vet test race bench bench-ci conform chaos experiments fuzz lint cover dst-search dst-regen harden clean
+.PHONY: all build fmt vet test race bench bench-ci conform chaos source-chaos experiments fuzz lint cover dst-search dst-regen harden clean
 
 all: build vet test
 
@@ -53,6 +53,18 @@ conform:
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestLive' ./...
 	$(GO) run ./cmd/drchaos -seeds 2
+
+# Flaky-source robustness gate (see docs/RUNTIMES.md "Source faults"):
+#  1. the source package suite plus every source/churn test across the
+#     runtimes (des, netrt, dst replay corpus, download e2e);
+#  2. the conformance matrix with the flaky-source column — every
+#     protocol × behavior cell re-run against a seeded faulty source;
+#  3. a drchaos sweep layering source faults on network chaos.
+source-chaos:
+	$(GO) test -count=1 ./internal/source/ ./internal/dst/
+	$(GO) test -count=1 -run 'TestSource|TestChurn|TestE2ESourceChaos|TestPinned' ./internal/des/ ./internal/netrt/ ./download/
+	$(GO) run ./cmd/drconform -n 12 -L 1024 -seeds 2 -flaky-source
+	$(GO) run ./cmd/drchaos -seeds 2 -drops 0,0.1 -flaps 0 -source-faults "fail=0.2,timeout=0.1,seed=3"
 
 experiments:
 	$(GO) run ./cmd/drbench -suite all | tee experiments_full.txt

@@ -24,6 +24,7 @@ import (
 	"repro/internal/netrt"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/source"
 )
 
 func main() {
@@ -33,11 +34,16 @@ func main() {
 // tally accumulates one protocol's robustness counters across its runs.
 type tally struct {
 	retries, reconnects, planDropped, planDuped, dupsDropped int
+	srcFailures, srcRetries, breakerOpens, deferred          int
 }
 
 func (a *tally) add(res *sim.Result) {
 	a.retries += res.QueryRetries
 	a.reconnects += res.Reconnects
+	a.srcFailures += res.SourceFailures
+	a.srcRetries += res.SourceRetries
+	a.breakerOpens += res.BreakerOpens
+	a.deferred += res.DeferredQueries
 	for i := range res.PerPeer {
 		ps := &res.PerPeer[i]
 		a.planDropped += ps.PlanDropped
@@ -99,6 +105,7 @@ func run() int {
 		delay     = flag.Duration("delay", 2*time.Millisecond, "max jitter per delivery")
 		reorder   = flag.Float64("reorder", 0.05, "forced-reordering probability")
 		partition = flag.Bool("partition", true, "include one healed partition (needs n ≥ 4)")
+		srcSpec   = flag.String("source-faults", "", `seeded source fault plan layered on every run, e.g. "fail=0.25,outage=0..0.5,seed=7"`)
 		seeds     = flag.Int("seeds", 3, "seeds per cell")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-run timeout")
 		verbose   = flag.Bool("v", false, "print every run")
@@ -119,6 +126,15 @@ func run() int {
 	var absent []sim.PeerID
 	if *faulty > 0 {
 		absent = adversary.SpreadFaulty(*n, *faulty)
+	}
+	var srcFaults *source.FaultPlan
+	if *srcSpec != "" {
+		plan, err := source.ParsePlan(*srcSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drchaos: bad -source-faults: %v\n", err)
+			return 2
+		}
+		srcFaults = plan
 	}
 	var (
 		reg      *obs.Registry
@@ -182,11 +198,12 @@ func run() int {
 				}
 				res, err := netrt.Run(netrt.Config{
 					N: *n, T: *t, L: *l, MsgBits: *b,
-					Seed:    int64(seed),
-					NewPeer: factory,
-					Absent:  absent,
-					Faults:  plan,
-					Timeout: *timeout,
+					Seed:         int64(seed),
+					NewPeer:      factory,
+					Absent:       absent,
+					Faults:       plan,
+					SourceFaults: srcFaults,
+					Timeout:      *timeout,
 					Resilience: netrt.Resilience{
 						QueryTimeout: 250 * time.Millisecond,
 						RTO:          60 * time.Millisecond,
@@ -242,6 +259,10 @@ func run() int {
 		tl := tallies[p]
 		fmt.Printf("%-12s query-retries=%-5d reconnects=%-5d plan-dropped=%-6d plan-duped=%-5d dups-deduped=%d\n",
 			p, tl.retries, tl.reconnects, tl.planDropped, tl.planDuped, tl.dupsDropped)
+		if srcFaults != nil {
+			fmt.Printf("%-12s src-failures=%-5d src-retries=%-5d breaker-opens=%-5d deferred=%d\n",
+				"", tl.srcFailures, tl.srcRetries, tl.breakerOpens, tl.deferred)
+		}
 	}
 
 	if failures > 0 {

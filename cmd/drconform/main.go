@@ -62,9 +62,10 @@ func faultBoundFor(info download.Info, n int) int {
 
 // runtimeSpec describes one runtime column of the grid.
 type runtimeSpec struct {
-	name string
-	live bool
-	tcp  bool
+	name   string
+	live   bool
+	tcp    bool
+	source string // non-empty: des runtime with this source fault plan
 }
 
 // supports reports whether the runtime can execute the behavior: the
@@ -85,6 +86,9 @@ func run() int {
 		liveRT   = flag.Bool("live", false, "also run the concurrent runtime")
 		tcpRT    = flag.Bool("tcp", false, "also run the real-socket runtime")
 		hardenRT = flag.Bool("harden", false, "add a column re-running each des cell under the hardening supervisor")
+		srcCol   = flag.Bool("flaky-source", false, "add a SRC column re-running each des cell against a flaky source")
+		srcSpec  = flag.String("source-faults", "fail=0.2,timeout=0.1,outage=1..3,seed=11",
+			"source fault plan used by the -flaky-source column")
 	)
 	flag.Parse()
 
@@ -94,6 +98,12 @@ func run() int {
 	}
 	if *tcpRT {
 		runtimes = append(runtimes, runtimeSpec{name: "tcp", tcp: true})
+	}
+	if *srcCol {
+		// The flaky-source column is the des runtime again, but with every
+		// query routed through the seeded fault plan: same grid, plus
+		// outages, lost replies, and transient refusals to recover from.
+		runtimes = append(runtimes, runtimeSpec{name: "src", source: *srcSpec})
 	}
 
 	type cell struct {
@@ -125,10 +135,11 @@ func run() int {
 					rep, err := download.Run(download.Options{
 						Protocol: info.Protocol,
 						N:        *n, T: tBound, L: *l,
-						Seed:     int64(seed),
-						Behavior: behavior,
-						Live:     rt.live,
-						TCP:      rt.tcp,
+						Seed:         int64(seed),
+						Behavior:     behavior,
+						Live:         rt.live,
+						TCP:          rt.tcp,
+						SourceFaults: rt.source,
 					})
 					switch {
 					case err != nil:

@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/dst"
@@ -251,8 +253,16 @@ func cmdSearch(args []string) int {
 		"re-run every finding under the hardening supervisor; findings it corrects pass, ones it misses fail the command")
 	expectFinding := fs.Bool("expect-finding", false,
 		"positive control: fail if the search finds nothing (use against *-weak protocols)")
+	srcPlan := fs.String("source-faults", "",
+		`layer a source fault plan on every searched run, e.g. "fail=0.2,outage=1..3,seed=6"`)
+	churnSpec := fs.String("churn", "",
+		"comma-separated crash-rejoin churn peers as peer:point[:rejoin(0|1)], e.g. 3:3:1")
 	fs.Parse(args)
 
+	churn, err := parseChurn(*churnSpec)
+	if err != nil {
+		return fail(err)
+	}
 	opts := dst.SearchOptions{
 		Protocol: *proto,
 		N:        *n, T: *t, L: *l, MsgBits: *b,
@@ -260,6 +270,8 @@ func cmdSearch(args []string) int {
 		Strategies: *strategies, Schedules: *schedules,
 		MaxFindings: *maxFindings,
 		Shrink:      !*noShrink,
+		SourcePlan:  *srcPlan,
+		Churn:       churn,
 		Log:         func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 	}
 	if *budget > 0 {
@@ -449,4 +461,36 @@ func writeTraceFile(r *dst.Replay, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// parseChurn parses peer:point[:rejoin] specs, comma-separated.
+func parseChurn(s string) ([]dst.ChurnPoint, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []dst.ChurnPoint
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("drshrink: churn spec %q: want peer:point[:rejoin]", part)
+		}
+		cp := dst.ChurnPoint{Rejoin: true}
+		var err error
+		if cp.Peer, err = strconv.Atoi(fields[0]); err != nil {
+			return nil, fmt.Errorf("drshrink: churn spec %q: bad peer: %v", part, err)
+		}
+		if cp.Point, err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("drshrink: churn spec %q: bad point: %v", part, err)
+		}
+		if len(fields) == 3 {
+			r, err := strconv.Atoi(fields[2])
+			if err != nil || (r != 0 && r != 1) {
+				return nil, fmt.Errorf("drshrink: churn spec %q: rejoin must be 0 or 1", part)
+			}
+			cp.Rejoin = r == 1
+		}
+		out = append(out, cp)
+	}
+	return out, nil
 }

@@ -39,6 +39,7 @@ func run() int {
 		excess   = flag.Bool("allow-excess", false, "permit -faulty above -t (model a violated fault bound; pair with -harden)")
 		hardened = flag.Bool("harden", false, "run under the hardening supervisor (detect violations, audit outputs, escalate toward naive)")
 		deadline = flag.Float64("deadline", 0, "cut the run off after this many time units (0: none)")
+		srcPlan  = flag.String("source-faults", "", `seeded source fault plan, e.g. "fail=0.25,outage=2..5,seed=7" (des and TCP runtimes)`)
 		liveRT   = flag.Bool("live", false, "run on the concurrent goroutine runtime")
 		tcpRT    = flag.Bool("tcp", false, "run over real TCP sockets (crash-from-start faults only)")
 		verbose  = flag.Bool("v", false, "print per-peer stats")
@@ -71,6 +72,7 @@ func run() int {
 		Behavior:          download.FaultBehavior(*behavior),
 		AllowExcessFaults: *excess,
 		Deadline:          *deadline,
+		SourceFaults:      *srcPlan,
 		Live:              *liveRT,
 		TCP:               *tcpRT,
 	}
@@ -127,6 +129,12 @@ func run() int {
 		rep.Q, rep.AvgQ, *l)
 	fmt.Printf("messages    %d (%d payload bits)\n", rep.Msgs, rep.MsgBits)
 	fmt.Printf("time        %.2f (virtual units; 1 = max network latency)\n", rep.Time)
+	if *srcPlan != "" || rep.SourceFailures > 0 {
+		fmt.Printf("source      %d failures, %d retries, %d breaker opens, %d deferred queries\n",
+			rep.SourceFailures, rep.SourceRetries, rep.BreakerOpens, rep.DeferredQueries)
+		fmt.Printf("            degraded %.2f time units (worst peer); %d churn rejoins\n",
+			rep.DegradedTime, rep.Rejoins)
+	}
 	for _, f := range rep.Failures {
 		fmt.Printf("FAILURE     %s\n", f)
 	}

@@ -46,6 +46,7 @@ import (
 	"repro/internal/protocols/segproto"
 	"repro/internal/protocols/twocycle"
 	"repro/internal/sim"
+	"repro/internal/source"
 	"repro/internal/trace"
 )
 
@@ -159,6 +160,19 @@ type Options struct {
 	// and the live runtime's wall-clock default still apply). Ignored by
 	// TCP runs, which bound time via the netrt timeout.
 	Deadline float64
+	// SourceFaults, when non-empty, makes the external source misbehave
+	// per the source.ParsePlan grammar — e.g.
+	// "fail=0.25,timeout=0.1,outage=2..5,rate=64/256,seed=7". Time units
+	// are virtual in the des runtime and seconds on TCP. Honest peers
+	// survive via the source resilience layer (retry/backoff/breaker);
+	// the Report's Source* counters account for the recovery work. Not
+	// supported by the Live runtime.
+	SourceFaults string
+	// Churn schedules crash-recovery peers: each crashes after its
+	// action count, stays down for Downtime, then rejoins and resumes
+	// from its persisted verified-index state. Churn peers count toward
+	// T alongside Faulty ones. des runtime only.
+	Churn []ChurnPeer
 	// Live runs the goroutine runtime instead of the deterministic
 	// discrete-event runtime.
 	Live bool
@@ -183,6 +197,17 @@ type Options struct {
 	Timeline *obs.Timeline
 }
 
+// ChurnPeer schedules one crash-recovery peer (see Options.Churn): it
+// runs the honest protocol, crashes after CrashAfter actions, and — when
+// Downtime is non-negative — rejoins that many time units later, resuming
+// from its persisted verified-index state. A negative Downtime is a plain
+// crash that never recovers.
+type ChurnPeer struct {
+	Peer       int
+	CrashAfter int
+	Downtime   float64
+}
+
 // PeerReport is the per-peer outcome.
 type PeerReport struct {
 	ID         int
@@ -192,6 +217,8 @@ type PeerReport struct {
 	QueryBits  int
 	MsgsSent   int
 	Correct    bool
+	// Rejoined reports a churn peer that crashed and rejoined.
+	Rejoined bool
 }
 
 // Report is the outcome of one execution.
@@ -210,6 +237,17 @@ type Report struct {
 	Correct bool
 	// Failures describes violations when Correct is false.
 	Failures []string
+	// Source resilience accounting, nonzero only under SourceFaults:
+	// honest peers' failed attempts, recovery retries, breaker-open
+	// transitions, queries parked behind an open breaker, and the longest
+	// time any peer spent degraded. Rejoins counts churn peers that
+	// crashed and came back.
+	SourceFailures  int
+	SourceRetries   int
+	BreakerOpens    int
+	DeferredQueries int
+	DegradedTime    float64
+	Rejoins         int
 	// PerPeer has one entry per peer, by ID.
 	PerPeer []PeerReport
 	// Output is the first honest peer's output (the downloaded array).
@@ -280,6 +318,17 @@ func (o *Options) validate() error {
 	case o.Live && o.TCP:
 		return errors.New("download: Live and TCP are mutually exclusive")
 	}
+	if o.SourceFaults != "" {
+		if _, err := source.ParsePlan(o.SourceFaults); err != nil {
+			return err
+		}
+		if o.Live {
+			return errors.New("download: SourceFaults unsupported on the Live runtime (use des or TCP)")
+		}
+	}
+	if len(o.Churn) > 0 && (o.Live || o.TCP) {
+		return errors.New("download: Churn is supported on the des runtime only")
+	}
 	switch o.Behavior {
 	case NoFaults, CrashImmediate, CrashRandom, Silent, Spam, Liar, Equivocate:
 	default:
@@ -342,10 +391,15 @@ func runTCP(opts Options) (*Report, error) {
 			msgBits = 64
 		}
 	}
+	srcPlan, err := source.ParsePlan(opts.SourceFaults)
+	if err != nil {
+		return nil, err
+	}
 	res, err := netrt.Run(netrt.Config{
 		N: opts.N, T: opts.T, L: opts.L, MsgBits: msgBits,
 		Seed: opts.Seed, NewPeer: factory, Absent: absent, Input: input,
-		Metrics: opts.Metrics, Timeline: opts.Timeline, Label: string(opts.Protocol),
+		SourceFaults: srcPlan,
+		Metrics:      opts.Metrics, Timeline: opts.Timeline, Label: string(opts.Protocol),
 	})
 	if err != nil {
 		return nil, err
@@ -385,9 +439,19 @@ func buildSpec(opts Options) (*sim.Spec, error) {
 		Label:    string(opts.Protocol),
 		Deadline: opts.Deadline,
 	}
+	srcPlan, err := source.ParsePlan(opts.SourceFaults)
+	if err != nil {
+		return nil, err
+	}
+	spec.SourceFaults = srcPlan
 	faults, err := buildFaults(opts)
 	if err != nil {
 		return nil, err
+	}
+	for _, cp := range opts.Churn {
+		faults.Churn = append(faults.Churn, sim.ChurnPeer{
+			Peer: sim.PeerID(cp.Peer), CrashAfter: cp.CrashAfter, Downtime: cp.Downtime,
+		})
 	}
 	spec.Faults = faults
 	return spec, nil
@@ -469,6 +533,13 @@ func buildReport(res *sim.Result) *Report {
 		Time:     res.Time,
 		Correct:  res.Correct,
 		Failures: append([]string(nil), res.Failures...),
+
+		SourceFailures:  res.SourceFailures,
+		SourceRetries:   res.SourceRetries,
+		BreakerOpens:    res.BreakerOpens,
+		DeferredQueries: res.DeferredQueries,
+		DegradedTime:    res.DegradedTime,
+		Rejoins:         res.Rejoins,
 	}
 	ids := make([]int, 0, len(res.PerPeer))
 	for i := range res.PerPeer {
@@ -485,6 +556,7 @@ func buildReport(res *sim.Result) *Report {
 			QueryBits:  ps.QueryBits,
 			MsgsSent:   ps.MsgsSent,
 			Correct:    ps.OutputCorrect,
+			Rejoined:   ps.Rejoined,
 		})
 		if rep.Output == nil && ps.Honest && ps.OutputCorrect {
 			out := make([]bool, ps.Output.Len())

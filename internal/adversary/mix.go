@@ -1,45 +1,24 @@
 package adversary
 
-import "math"
+import "repro/internal/hashmix"
 
-// This file holds the shared hash-RNG primitives behind every
-// "deterministic by identity" fault schedule: HashDelay's per-channel
-// latencies and netrt's FaultPlan both derive their decisions from these
-// mixers, so a fault decision is a pure function of (seed, identity)
-// rather than of goroutine arrival order.
+// The hash-RNG primitives behind "deterministic by identity" fault
+// schedules live in package hashmix (a leaf package, so the source tier
+// can share them without import cycles); these forwards keep the
+// adversary-side call sites (HashDelay, netrt.FaultPlan) unchanged.
 
-// mix is the 64-bit finalizer of MurmurHash3: a cheap bijection with
-// strong avalanche, good enough to decorrelate structured inputs such as
-// (seed, channel, ordinal).
-func mix(z uint64) uint64 {
-	z ^= z >> 33
-	z *= 0xFF51AFD7ED558CCD
-	z ^= z >> 33
-	z *= 0xC4CEB9FE1A85EC53
-	z ^= z >> 33
-	return z
-}
+// mix is hashmix.Mix, kept for this package's internal delay policies.
+func mix(z uint64) uint64 { return hashmix.Mix(z) }
 
-// unit maps a hash to (0, 1].
-func unit(h uint64) float64 {
-	u := float64(h%(1<<52)+1) / float64(uint64(1)<<52)
-	return math.Min(u, 1)
-}
+// unit is hashmix.Unit.
+func unit(h uint64) float64 { return hashmix.Unit(h) }
 
 // Mix64 folds a sequence of words into one well-mixed 64-bit hash. Equal
 // word sequences give equal hashes; any differing word decorrelates the
 // result completely.
-func Mix64(words ...uint64) uint64 {
-	h := uint64(0x9E3779B97F4A7C15)
-	for _, w := range words {
-		h = mix(h ^ mix(w))
-	}
-	return h
-}
+func Mix64(words ...uint64) uint64 { return hashmix.Mix64(words...) }
 
 // MixUnit maps a word sequence to a uniform value in (0, 1]. It is the
 // decision primitive of seeded fault plans: p < rate decides a fault with
 // probability rate, reproducibly for the same words.
-func MixUnit(words ...uint64) float64 {
-	return unit(Mix64(words...))
-}
+func MixUnit(words ...uint64) float64 { return hashmix.MixUnit(words...) }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/bitarray"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/source"
 )
 
 // Runtime executes specs deterministically on a virtual clock.
@@ -57,6 +58,16 @@ const (
 	evStart eventKind = iota + 1
 	evMessage
 	evQueryReply
+	// Source-tier internal events (only scheduled when the spec carries
+	// an enabled source.FaultPlan). They are engine bookkeeping, not
+	// peer deliveries: they bypass crash-action accounting and never
+	// reach the peer's handlers directly.
+	evSrcIssue // (re-)issue a source call after backoff or a flush
+	evSrcFail  // a source failure becomes known to the peer's client
+	evSrcWake  // breaker cooldown elapsed: release a parked probe
+	// evRejoin revives a crashed churn peer with a fresh protocol
+	// instance resuming from its persisted verified-index state.
+	evRejoin
 )
 
 type event struct {
@@ -67,6 +78,34 @@ type event struct {
 	from sim.PeerID // evMessage only
 	msg  sim.Message
 	qr   sim.QueryReply
+	call *srcCall    // evSrcIssue/evSrcFail, and evQueryReply via the source tier
+	fail source.Kind // evSrcFail only
+}
+
+// srcCall is one logical protocol query in flight through the source
+// tier. It survives retries (attempt increments per issue) and parking
+// behind the breaker; the reply delivered to the protocol always covers
+// the full original index set, merging warm-served values with fetched
+// ones so protocols never see partial replies.
+type srcCall struct {
+	tag     int
+	indices []int // the protocol's full request
+	fetch   []int // subset actually needing the source
+	pos     []int // positions of fetch within indices; nil = identity
+	bits    *bitarray.Array
+	ordinal uint64
+	attempt int
+}
+
+// merged fills the fetched positions into the reply array.
+func (sc *srcCall) merged(rep *bitarray.Array) *bitarray.Array {
+	if sc.pos == nil {
+		return rep
+	}
+	for k, j := range sc.pos {
+		sc.bits.Set(j, rep.Get(k))
+	}
+	return sc.bits
 }
 
 type peerState struct {
@@ -85,6 +124,15 @@ type peerState struct {
 	// arrival order right after Init.
 	pending []*event
 	stats   sim.PeerStats
+	// Source tier (nil/zero without an enabled source fault plan).
+	client  *source.Client
+	parked  []*srcCall // queries waiting out an open breaker
+	ordinal uint64     // monotonic logical-query counter
+	wakeSet bool       // an evSrcWake is pending
+	// Churn (nil without a churn schedule for this peer).
+	churn    *sim.ChurnPeer
+	persist  *bitarray.Tracker // source-verified bits, survives the crash
+	rejoined bool
 	// Metric handles, resolved once at engine construction. All nil when
 	// spec.Metrics is nil; nil obs handles are allocation-free no-ops, so
 	// the hot paths below call them unconditionally.
@@ -109,7 +157,17 @@ type engine struct {
 	// honestLive counts honest peers that have not terminated, so the
 	// per-event liveness check is O(1) instead of an O(n) scan.
 	honestLive int
-	res        sim.Result
+	// churnLive counts rejoining churn peers (Downtime ≥ 0) that have not
+	// terminated: the engine keeps draining events for them even after
+	// every honest peer finished, so recovery runs to completion and its
+	// stats are observable. Correctness still never depends on them.
+	churnLive int
+	res       sim.Result
+	// src is the fault-injecting source tier; nil without an enabled
+	// plan, in which case Query reads the input directly (the oracle
+	// fast path, which keeps the no-fault goldens and allocation
+	// budgets byte-identical).
+	src source.Source
 	// Observability handles (see peerState): nil handles are no-ops, and
 	// timing/depth sampling is additionally gated on mDispatch so the
 	// disabled path never touches the wall clock.
@@ -160,6 +218,19 @@ func newEngine(spec *sim.Spec) *engine {
 			case sim.FaultByzantine:
 				p.impl = spec.Faults.NewByzantine(id, know)
 			}
+		} else if cp := spec.Faults.ChurnFor(id); cp != nil {
+			// Churn peers run the honest protocol but are accounted
+			// faulty: they crash at their action count and (Downtime ≥ 0)
+			// later rejoin warm from their persisted verified bits.
+			p.honest = false
+			p.stats.Honest = false
+			p.churn = cp
+			p.crashPoint = cp.CrashAfter
+			p.impl = spec.NewPeer(id)
+			p.persist = bitarray.NewTracker(cfg.L)
+			if cp.Downtime >= 0 {
+				e.churnLive++
+			}
 		} else {
 			p.impl = spec.NewPeer(id)
 		}
@@ -198,6 +269,18 @@ func newEngine(spec *sim.Spec) *engine {
 		}
 	}
 	e.tl = spec.Timeline
+	if spec.SourceFaults.Enabled() {
+		e.src = source.Wrap(source.NewTrusted(e.input), spec.SourceFaults)
+		pol := spec.SourcePolicy
+		if pol.Seed == 0 {
+			// Derive the jitter seed from the run seed so backoff
+			// schedules are reproducible without extra configuration.
+			pol.Seed = cfg.Seed ^ 0x50c0_5eed
+		}
+		for _, p := range e.peers {
+			p.client = source.NewClient(int(p.id), pol)
+		}
+	}
 	// Schedule starts.
 	for _, p := range e.peers {
 		ev := e.newEvent()
@@ -235,7 +318,7 @@ func (e *engine) push(ev *event) {
 
 func (e *engine) run() {
 	for e.queue.len() > 0 {
-		if e.honestLive == 0 {
+		if e.honestLive == 0 && e.churnLive == 0 {
 			return
 		}
 		if e.events >= e.cap {
@@ -259,7 +342,7 @@ func (e *engine) run() {
 		// drained consecutively. The heap head is the global minimum, so
 		// this is the exact pop order the outer loop would produce; it
 		// just skips re-entering the loop per event.
-		for e.queue.len() > 0 && e.honestLive > 0 && e.events < e.cap {
+		for e.queue.len() > 0 && (e.honestLive > 0 || e.churnLive > 0) && e.events < e.cap {
 			nxt := e.queue.head()
 			if nxt.at != e.now || nxt.to != p.id {
 				break
@@ -276,7 +359,30 @@ func (e *engine) run() {
 // peer has not started, otherwise dispatch (draining the pre-start buffer
 // right after a delivered start event).
 func (e *engine) step(p *peerState, ev *event) {
+	if ev.kind == evRejoin {
+		// Rejoin is the one event a crashed peer still receives.
+		e.rejoin(p)
+		e.release(ev)
+		return
+	}
 	if p.terminated || p.crashed {
+		e.release(ev)
+		return
+	}
+	switch ev.kind {
+	case evSrcIssue, evSrcFail, evSrcWake:
+		// Engine bookkeeping: no crash-action accounting, no handler
+		// delivery, but still events under the non-termination cap.
+		e.events++
+		e.mEvents.Inc()
+		switch ev.kind {
+		case evSrcIssue:
+			e.issueCall(p, ev.call)
+		case evSrcFail:
+			e.srcFail(p, ev.call, ev.fail)
+		case evSrcWake:
+			e.srcWake(p)
+		}
 		e.release(ev)
 		return
 	}
@@ -346,6 +452,23 @@ func (e *engine) deliver(p *peerState, ev *event) {
 		}
 		p.impl.OnMessage(ev.from, ev.msg)
 	case evQueryReply:
+		if ev.call != nil && p.client != nil {
+			// The reply crossed the (faulty) source: feed the breaker.
+			// A success closing a half-open breaker releases every
+			// parked query.
+			if p.client.OnSuccess(e.now) {
+				e.tracef("t=%.3f peer %d source BREAKER closed (flushing %d parked)",
+					e.now, p.id, len(p.parked))
+				e.flushParked(p)
+			}
+		}
+		if p.persist != nil {
+			// Persist source-verified bits so a churn rejoin resumes
+			// warm instead of re-downloading.
+			for j, idx := range ev.qr.Indices {
+				p.persist.LearnFromSource(idx, ev.qr.Bits.Get(j))
+			}
+		}
 		e.observe("qreply", p.id, -1, "", len(ev.qr.Indices))
 		p.impl.OnQueryReply(ev.qr)
 	}
@@ -359,11 +482,222 @@ func (e *engine) crash(p *peerState) {
 	e.tl.Mark(e.now, int(p.id), "crash", "")
 	e.observe("crash", p.id, -1, "", 0)
 	e.tracef("t=%.3f peer %d CRASH (actions=%d)", e.now, p.id, p.actions)
+	if p.churn != nil && p.churn.Downtime >= 0 && !p.rejoined {
+		ev := e.newEvent()
+		ev.at, ev.kind, ev.to = e.now+p.churn.Downtime, evRejoin, p.id
+		e.push(ev)
+	}
+}
+
+// rejoin revives a crashed churn peer: a fresh protocol instance is
+// initialized immediately, and its subsequent queries are answered from
+// the persisted verified-index state where possible (see peerCtx.Query).
+// The recovered peer runs honestly to completion — recovery is the whole
+// point — but stays accounted faulty, so correctness aggregates never
+// depend on it.
+func (e *engine) rejoin(p *peerState) {
+	if !p.crashed || p.terminated || p.rejoined {
+		return
+	}
+	e.events++
+	e.mEvents.Inc()
+	p.crashed = false
+	p.rejoined = true
+	p.stats.Rejoined = true
+	p.crashPoint = -1
+	p.actions = 0
+	p.parked = nil // in-flight calls of the old incarnation died with it
+	p.wakeSet = false
+	p.impl = e.spec.NewPeer(p.id)
+	p.started = true
+	p.pending = nil
+	e.tl.Mark(e.now, int(p.id), "rejoin", "")
+	e.observe("rejoin", p.id, -1, "", 0)
+	e.tracef("t=%.3f peer %d REJOIN (%d bits persisted)", e.now, p.id,
+		p.persist.Len()-p.persist.UnknownCount())
+	e.current = p.id
+	p.impl.Init(p.ctx)
+	e.current = -1
+}
+
+// queryDelay returns the adversary's query round-trip latency, floored
+// like message delays.
+func (e *engine) queryDelay(p *peerState) float64 {
+	d := e.spec.Delays.QueryDelay(p.id, e.now)
+	if d <= 0 {
+		d = 1e-9
+	}
+	return d
+}
+
+// issueCall admits one logical query through the peer's breaker and
+// fetches it, parking it while the breaker is open. Queries are never
+// abandoned: the protocol is owed a reply, so a parked call waits for
+// the source to heal (graceful degradation, not failure).
+func (e *engine) issueCall(p *peerState, call *srcCall) {
+	if p.terminated || p.crashed {
+		return
+	}
+	if p.client != nil {
+		if ok, wake := p.client.Admit(e.now); !ok {
+			p.parked = append(p.parked, call)
+			e.scheduleWake(p, wake)
+			return
+		}
+	}
+	e.fetch(p, call)
+}
+
+// fetch performs one source attempt. Success schedules the protocol's
+// query reply (warm bits merged in); failure schedules the moment the
+// peer's client learns of it — after the query deadline for lost
+// replies, after one round trip for active refusals.
+func (e *engine) fetch(p *peerState, call *srcCall) {
+	call.attempt++
+	rep, err := e.src.Fetch(source.Request{
+		Peer: int(p.id), Indices: call.fetch, Ordinal: call.ordinal,
+		Attempt: call.attempt, Now: e.now,
+	})
+	if err != nil {
+		kind := source.KindOf(err)
+		at := e.now
+		if kind == source.KindTimeout {
+			at += p.client.Policy().Deadline
+		} else {
+			at += e.queryDelay(p)
+		}
+		e.tracef("t=%.3f peer %d source FAIL %s (ordinal=%d attempt=%d)",
+			e.now, p.id, kind, call.ordinal, call.attempt)
+		ev := e.newEvent()
+		ev.at, ev.kind, ev.to, ev.call, ev.fail = at, evSrcFail, p.id, call, kind
+		e.push(ev)
+		return
+	}
+	ev := e.newEvent()
+	ev.at, ev.kind, ev.to = e.now+e.queryDelay(p)+rep.Latency, evQueryReply, p.id
+	ev.qr = sim.QueryReply{Tag: call.tag, Indices: call.indices, Bits: call.merged(rep.Bits)}
+	ev.call = call
+	e.push(ev)
+}
+
+// srcFail lets the client rule on a now-known failure: either schedule
+// the backed-off retry or park the call behind the opened breaker.
+func (e *engine) srcFail(p *peerState, call *srcCall, kind source.Kind) {
+	e.observe("qfail", p.id, -1, kind.String(), len(call.fetch))
+	retryAt, park := p.client.OnFailure(e.now, kind, call.ordinal, call.attempt)
+	if park {
+		// The attempt counter stays monotonic across parking: each probe
+		// of this call rolls fresh fault decisions, which is what makes
+		// the probe loop live under any FailRate/TimeoutRate < 1.
+		p.parked = append(p.parked, call)
+		e.tracef("t=%.3f peer %d source BREAKER open (parked=%d, probe at t=%.3f)",
+			e.now, p.id, len(p.parked), p.client.WakeAt())
+		e.scheduleWake(p, p.client.WakeAt())
+		return
+	}
+	ev := e.newEvent()
+	ev.at, ev.kind, ev.to, ev.call = retryAt, evSrcIssue, p.id, call
+	e.push(ev)
+}
+
+// srcWake fires when an open breaker's cooldown may have elapsed: it
+// releases one parked call as the half-open probe. The probe's outcome
+// drives everything else — success flushes the parked queue, failure
+// re-opens and schedules the next wake.
+func (e *engine) srcWake(p *peerState) {
+	p.wakeSet = false
+	if p.client == nil || len(p.parked) == 0 {
+		return
+	}
+	switch p.client.State() {
+	case source.StateHalfOpen:
+		return // a probe is already in flight; its outcome decides
+	case source.StateOpen:
+		if e.now < p.client.WakeAt() {
+			// The breaker re-opened after this wake was scheduled.
+			e.scheduleWake(p, p.client.WakeAt())
+			return
+		}
+	}
+	ok, wake := p.client.Admit(e.now)
+	if !ok {
+		e.scheduleWake(p, wake)
+		return
+	}
+	call := p.parked[0]
+	p.parked = p.parked[1:]
+	e.tracef("t=%.3f peer %d source PROBE (ordinal=%d)", e.now, p.id, call.ordinal)
+	e.fetch(p, call)
+}
+
+// scheduleWake schedules at most one pending evSrcWake per peer; the
+// handler re-evaluates and re-schedules if it fired early, so a single
+// outstanding wake is enough for liveness.
+func (e *engine) scheduleWake(p *peerState, at float64) {
+	if p.wakeSet {
+		return
+	}
+	p.wakeSet = true
+	if at < e.now {
+		at = e.now
+	}
+	ev := e.newEvent()
+	ev.at, ev.kind, ev.to = at, evSrcWake, p.id
+	e.push(ev)
+}
+
+// flushParked re-issues every parked call after the breaker closed.
+func (e *engine) flushParked(p *peerState) {
+	calls := p.parked
+	p.parked = nil
+	for _, call := range calls {
+		e.issueCall(p, call)
+	}
 }
 
 func (e *engine) result() *sim.Result {
 	e.res.PerPeer = make([]sim.PeerStats, len(e.peers))
+	var fails *obs.CounterVec
+	var retries, opens, deferred *obs.Counter
+	if e.src != nil && e.spec.Metrics != nil {
+		label := e.spec.Label
+		if label == "" {
+			label = "unknown"
+		}
+		m := e.spec.Metrics
+		fails = m.CounterVec("dr_source_failures_total",
+			"Source query attempts that failed, by failure kind.", "protocol", "kind")
+		retries = m.CounterVec("dr_source_retries_total",
+			"Source query attempts re-issued after a failure.", "protocol").With(label)
+		opens = m.CounterVec("dr_source_breaker_opens_total",
+			"Circuit-breaker open transitions.", "protocol").With(label)
+		deferred = m.CounterVec("dr_source_deferred_total",
+			"Queries parked while a breaker was open.", "protocol").With(label)
+		_ = fails.With(label, "outage") // pre-create the common series
+	}
 	for i, p := range e.peers {
+		if p.client != nil {
+			p.client.Settle(e.now)
+			st := p.client.Stats()
+			p.stats.SourceRetries = st.Retries
+			p.stats.SourceFailures = st.Failures
+			p.stats.BreakerOpens = st.BreakerOpens
+			p.stats.DeferredQueries = st.Deferred
+			p.stats.DegradedTime = st.DegradedTime
+			if e.spec.Metrics != nil {
+				label := e.spec.Label
+				if label == "" {
+					label = "unknown"
+				}
+				fails.With(label, "outage").Add(int64(st.Outages))
+				fails.With(label, "flaky").Add(int64(st.Flaky))
+				fails.With(label, "ratelimit").Add(int64(st.RateLimits))
+				fails.With(label, "timeout").Add(int64(st.Timeouts))
+				retries.Add(int64(st.Retries))
+				opens.Add(int64(st.BreakerOpens))
+				deferred.Add(int64(st.Deferred))
+			}
+		}
 		e.res.PerPeer[i] = p.stats
 	}
 	e.res.Events = e.events
@@ -487,25 +821,79 @@ func (c *peerCtx) Query(tag int, indices []int) {
 			return
 		}
 	}
-	bits := bitarray.New(len(indices))
-	for j, idx := range indices {
+	for _, idx := range indices {
 		if idx < 0 || idx >= c.e.cfg.L {
 			panic(fmt.Sprintf("des: peer %d queried out-of-range index %d", p.id, idx))
 		}
-		bits.Set(j, c.e.input.Get(idx))
 	}
-	p.stats.QueryBits += len(indices)
+	// Rejoined churn peers answer from persisted (source-verified) state
+	// where they can: warm bits are free — only the remainder is charged
+	// to Q and sent to the source.
+	var (
+		warm     *bitarray.Array
+		pos      []int
+		fetchIdx = indices
+	)
+	if p.rejoined && p.persist != nil {
+		warm = bitarray.New(len(indices))
+		for j, idx := range indices {
+			if v, ok := p.persist.Get(idx); ok {
+				warm.Set(j, v)
+			} else {
+				pos = append(pos, j)
+			}
+		}
+		if len(pos) == len(indices) {
+			warm, pos = nil, nil // nothing persisted: plain query
+		} else {
+			fetchIdx = make([]int, len(pos))
+			for k, j := range pos {
+				fetchIdx[k] = indices[j]
+			}
+			p.stats.WarmHitBits += len(indices) - len(fetchIdx)
+		}
+	}
+	p.stats.QueryBits += len(fetchIdx)
 	p.stats.QueryCalls++
-	p.mQueryBits.Add(int64(len(indices)))
+	p.mQueryBits.Add(int64(len(fetchIdx)))
 	p.mQueries.Inc()
-	c.e.observe("query", p.id, -1, "", len(indices))
+	c.e.observe("query", p.id, -1, "", len(fetchIdx))
 	idxCopy := append([]int(nil), indices...)
-	delay := c.e.spec.Delays.QueryDelay(p.id, c.e.now)
-	if delay <= 0 {
-		delay = 1e-9
+	if warm != nil && len(pos) == 0 {
+		// Full warm hit: answered locally, no source round trip.
+		ev := c.e.newEvent()
+		ev.at, ev.kind, ev.to = c.e.now+1e-6, evQueryReply, p.id
+		ev.qr = sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: warm}
+		c.e.push(ev)
+		return
+	}
+	if c.e.src != nil {
+		// Route through the (possibly faulty) source tier with the
+		// peer's retry/breaker client.
+		fetch := idxCopy
+		if warm != nil {
+			fetch = fetchIdx // already a fresh slice
+		}
+		p.ordinal++
+		call := &srcCall{tag: tag, indices: idxCopy, fetch: fetch,
+			pos: pos, bits: warm, ordinal: p.ordinal}
+		c.e.issueCall(p, call)
+		return
+	}
+	// Oracle fast path: the paper's perfectly available source.
+	bits := warm
+	if bits == nil {
+		bits = bitarray.New(len(indices))
+		for j, idx := range indices {
+			bits.Set(j, c.e.input.Get(idx))
+		}
+	} else {
+		for k, j := range pos {
+			bits.Set(j, c.e.input.Get(fetchIdx[k]))
+		}
 	}
 	ev := c.e.newEvent()
-	ev.at, ev.kind, ev.to = c.e.now+delay, evQueryReply, p.id
+	ev.at, ev.kind, ev.to = c.e.now+c.e.queryDelay(p), evQueryReply, p.id
 	ev.qr = sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: bits}
 	c.e.push(ev)
 }
@@ -526,6 +914,8 @@ func (c *peerCtx) Terminate() {
 	c.p.stats.TermTime = c.e.now
 	if c.p.honest {
 		c.e.honestLive--
+	} else if c.p.churn != nil && c.p.churn.Downtime >= 0 {
+		c.e.churnLive--
 	}
 	c.e.mTerms.Inc()
 	c.e.tl.Mark(c.e.now, int(c.p.id), "terminate", "")

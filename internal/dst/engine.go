@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitarray"
 	"repro/internal/sim"
+	"repro/internal/source"
 )
 
 // The choice engine. It shares the sim contract (peers, contexts, fault
@@ -56,6 +57,11 @@ type runSpec struct {
 	newByz     func(sim.PeerID, *sim.Knowledge) sim.Peer
 	observer   sim.Observer
 	maxSteps   int
+	// srcPlan, when enabled, routes queries through a faulty source; its
+	// time-valued fields count delivered-event steps (the engine's clock).
+	srcPlan *source.FaultPlan
+	// churn lists crash-recovery churn peers (disjoint from faulty).
+	churn []ChurnPoint
 }
 
 func (s *runSpec) stepCap() int {
@@ -92,11 +98,41 @@ type Outcome struct {
 func (o *Outcome) Violation() bool { return !o.Result.Correct }
 
 type cevent struct {
-	kind int // 1 start, 2 message, 3 query reply
+	// kind: 1 start, 2 message, 3 query reply, 4 source attempt,
+	// 5 breaker wake, 6 churn rejoin. Kinds 4–6 are engine bookkeeping
+	// (no crash-action accounting), scheduled by the chooser like any
+	// other pending event — the scheduler is the adversary over source
+	// retry timing and rejoin timing too.
+	kind int
 	to   sim.PeerID
 	from sim.PeerID
 	msg  sim.Message
 	qr   sim.QueryReply
+	call *scall // kind 4
+}
+
+// scall is one logical protocol query in flight through the source tier
+// (the choice-engine twin of des's srcCall): it survives retries and
+// parking, and merges warm-served bits into the final reply.
+type scall struct {
+	tag     int
+	indices []int // the protocol's full request
+	fetch   []int // subset actually needing the source
+	pos     []int // positions of fetch within indices; nil = identity
+	bits    *bitarray.Array
+	ordinal uint64
+	attempt int
+}
+
+// merged fills the fetched positions into the reply array.
+func (sc *scall) merged(rep *bitarray.Array) *bitarray.Array {
+	if sc.pos == nil {
+		return rep
+	}
+	for k, j := range sc.pos {
+		sc.bits.Set(j, rep.Get(k))
+	}
+	return sc.bits
 }
 
 type cpeer struct {
@@ -111,6 +147,15 @@ type cpeer struct {
 	started    bool
 	buffer     []*cevent // pre-start deliveries
 	stats      sim.PeerStats
+	// Source tier (nil/zero without an enabled source fault plan).
+	client  *source.Client
+	parked  []*scall
+	ordinal uint64
+	wakeSet bool
+	// Churn (nil without a churn entry for this peer).
+	churn    *ChurnPoint
+	persist  *bitarray.Tracker // source-verified bits, survives the crash
+	rejoined bool
 }
 
 type cengine struct {
@@ -122,9 +167,14 @@ type cengine struct {
 	steps   int
 	current sim.PeerID
 	live    int // honest peers not yet terminated
-	hash    uint64
-	out     *Outcome
-	res     sim.Result
+	// churnLive counts rejoining churn peers not yet terminated: the loop
+	// keeps scheduling for them after every honest peer finished, so
+	// recovery runs to completion (matching the des runtime).
+	churnLive int
+	src       source.Source // nil without an enabled plan
+	hash      uint64
+	out       *Outcome
+	res       sim.Result
 }
 
 const (
@@ -189,6 +239,13 @@ func execute(spec *runSpec, choose chooser) *Outcome {
 	for _, id := range spec.faulty {
 		isFaulty[id] = true
 	}
+	churnFor := make(map[sim.PeerID]*ChurnPoint, len(spec.churn))
+	for i := range spec.churn {
+		churnFor[sim.PeerID(spec.churn[i].Peer)] = &spec.churn[i]
+	}
+	if spec.srcPlan.Enabled() {
+		e.src = source.Wrap(source.NewTrusted(input), spec.srcPlan)
+	}
 	for i := 0; i < spec.n; i++ {
 		id := sim.PeerID(i)
 		p := &cpeer{
@@ -212,8 +269,25 @@ func execute(spec *runSpec, choose chooser) *Outcome {
 			default:
 				p.impl = spec.newPeer(id)
 			}
+		} else if cp := churnFor[id]; cp != nil {
+			// Churn peers run the honest protocol but are accounted
+			// faulty: they crash at their action count and (Rejoin)
+			// resume warm from their persisted verified bits when the
+			// chooser delivers the rejoin event.
+			p.honest = false
+			p.stats.Honest = false
+			p.churn = cp
+			p.crashPoint = cp.Point
+			p.impl = spec.newPeer(id)
+			p.persist = bitarray.NewTracker(spec.l)
+			if cp.Rejoin {
+				e.churnLive++
+			}
 		} else {
 			p.impl = spec.newPeer(id)
+		}
+		if e.src != nil {
+			p.client = source.NewClient(int(id), source.Policy{Seed: spec.seed ^ 0x50c0_5eed})
 		}
 		e.peers = append(e.peers, p)
 		if p.honest {
@@ -233,6 +307,15 @@ func execute(spec *runSpec, choose chooser) *Outcome {
 
 	e.res.PerPeer = make([]sim.PeerStats, len(e.peers))
 	for i, p := range e.peers {
+		if p.client != nil {
+			p.client.Settle(e.now)
+			st := p.client.Stats()
+			p.stats.SourceRetries = st.Retries
+			p.stats.SourceFailures = st.Failures
+			p.stats.BreakerOpens = st.BreakerOpens
+			p.stats.DeferredQueries = st.Deferred
+			p.stats.DegradedTime = st.DegradedTime
+		}
 		e.res.PerPeer[i] = p.stats
 	}
 	e.res.Events = e.steps
@@ -251,7 +334,7 @@ func execute(spec *runSpec, choose chooser) *Outcome {
 
 func (e *cengine) loop(choose chooser) {
 	cap := e.spec.stepCap()
-	for len(e.pending) > 0 && e.live > 0 {
+	for len(e.pending) > 0 && (e.live > 0 || e.churnLive > 0) {
 		if e.steps >= cap {
 			e.res.EventCapHit = true
 			return
@@ -282,7 +365,25 @@ func (e *cengine) loop(choose chooser) {
 // right after a delivered start event) — the exact des semantics.
 func (e *cengine) step(ev *cevent) {
 	p := e.peers[ev.to]
+	if ev.kind == 6 {
+		// Rejoin is the one event a crashed peer still receives.
+		e.rejoin(p)
+		return
+	}
 	if p.crashed || p.terminated {
+		return
+	}
+	switch ev.kind {
+	case 4, 5:
+		// Source-tier bookkeeping: counts as a step (the engine's clock)
+		// but bypasses crash-action accounting and pre-start buffering.
+		e.steps++
+		e.now = float64(e.steps)
+		if ev.kind == 4 {
+			e.srcIssue(p, ev.call)
+		} else {
+			e.srcWake(p)
+		}
 		return
 	}
 	if !p.started && ev.kind != 1 {
@@ -319,11 +420,138 @@ func (e *cengine) dispatch(p *cpeer, ev *cevent) bool {
 		e.observe("deliver", p.id, ev.from, msgType(ev.msg), ev.msg.SizeBits())
 		p.impl.OnMessage(ev.from, ev.msg)
 	case 3:
+		if ev.call != nil && p.client != nil {
+			// The reply crossed the (faulty) source: feed the breaker. A
+			// success closing a half-open breaker releases parked queries.
+			if p.client.OnSuccess(e.now) {
+				e.flushParked(p)
+			}
+		}
+		if p.persist != nil {
+			// Persist source-verified bits so a churn rejoin resumes warm.
+			for j, idx := range ev.qr.Indices {
+				p.persist.LearnFromSource(idx, ev.qr.Bits.Get(j))
+			}
+		}
 		e.observe("qreply", p.id, -1, "", len(ev.qr.Indices))
 		p.impl.OnQueryReply(ev.qr)
 	}
 	e.current = -1
 	return true
+}
+
+// rejoin revives a crashed churn peer: a fresh protocol instance resumes
+// warm from the persisted verified-index state (see cctx.Query). The
+// recovered peer runs honestly to completion but stays accounted faulty.
+func (e *cengine) rejoin(p *cpeer) {
+	if !p.crashed || p.terminated || p.rejoined {
+		return
+	}
+	e.steps++
+	e.now = float64(e.steps)
+	p.crashed = false
+	p.rejoined = true
+	p.stats.Rejoined = true
+	p.crashPoint = -1
+	p.actions = 0
+	p.parked = nil // in-flight calls of the old incarnation died with it
+	p.wakeSet = false
+	p.buffer = nil
+	p.started = true
+	p.impl = e.spec.newPeer(p.id)
+	e.observe("rejoin", p.id, -1, "", 0)
+	e.current = p.id
+	p.impl.Init(&cctx{e: e, p: p})
+	e.current = -1
+}
+
+// srcIssue admits one logical query through the peer's breaker and
+// fetches it, parking it while the breaker is open.
+func (e *cengine) srcIssue(p *cpeer, call *scall) {
+	if ok, _ := p.client.Admit(e.now); !ok {
+		p.parked = append(p.parked, call)
+		e.scheduleWake(p)
+		return
+	}
+	e.fetch(p, call)
+}
+
+// fetch performs one source attempt at the current step clock. Failures
+// are ruled on immediately (the choice engine has no deadlines — the
+// chooser already controls when the retry lands); successes append the
+// protocol's reply as a pending event.
+func (e *cengine) fetch(p *cpeer, call *scall) {
+	call.attempt++
+	rep, err := e.src.Fetch(source.Request{
+		Peer: int(p.id), Indices: call.fetch, Ordinal: call.ordinal,
+		Attempt: call.attempt, Now: e.now,
+	})
+	if err != nil {
+		kind := source.KindOf(err)
+		e.observe("qfail", p.id, -1, kind.String(), len(call.fetch))
+		_, park := p.client.OnFailure(e.now, kind, call.ordinal, call.attempt)
+		if park {
+			// Attempts stay monotonic across parking so each probe rolls
+			// fresh fault decisions (liveness under any rate < 1).
+			p.parked = append(p.parked, call)
+			e.scheduleWake(p)
+			return
+		}
+		e.pending = append(e.pending, &cevent{kind: 4, to: p.id, call: call})
+		return
+	}
+	if p.client.OnSuccess(e.now) {
+		e.flushParked(p)
+	}
+	e.pending = append(e.pending, &cevent{
+		kind: 3, to: p.id, call: call,
+		qr: sim.QueryReply{Tag: call.tag, Indices: call.indices, Bits: call.merged(rep.Bits)},
+	})
+}
+
+// srcWake re-evaluates an open breaker: once the cooldown (in steps) has
+// elapsed it releases one parked call as the half-open probe; fired early
+// it re-appends itself, and each delivery advances the clock, so the wait
+// always ends.
+func (e *cengine) srcWake(p *cpeer) {
+	p.wakeSet = false
+	if len(p.parked) == 0 {
+		return
+	}
+	switch p.client.State() {
+	case source.StateHalfOpen:
+		return // a probe is already in flight; its outcome decides
+	case source.StateOpen:
+		if e.now < p.client.WakeAt() {
+			e.scheduleWake(p)
+			return
+		}
+	}
+	if ok, _ := p.client.Admit(e.now); !ok {
+		e.scheduleWake(p)
+		return
+	}
+	call := p.parked[0]
+	p.parked = p.parked[1:]
+	e.fetch(p, call)
+}
+
+// scheduleWake keeps at most one pending wake event per peer.
+func (e *cengine) scheduleWake(p *cpeer) {
+	if p.wakeSet {
+		return
+	}
+	p.wakeSet = true
+	e.pending = append(e.pending, &cevent{kind: 5, to: p.id})
+}
+
+// flushParked re-issues every parked call after the breaker closed.
+func (e *cengine) flushParked(p *cpeer) {
+	calls := p.parked
+	p.parked = nil
+	for _, call := range calls {
+		e.pending = append(e.pending, &cevent{kind: 4, to: p.id, call: call})
+	}
 }
 
 // act consumes one crash action; false means the peer just crashed.
@@ -336,6 +564,9 @@ func (e *cengine) act(p *cpeer) bool {
 		p.crashed = true
 		p.stats.Crashed = true
 		e.observe("crash", p.id, -1, "", 0)
+		if p.churn != nil && p.churn.Rejoin && !p.rejoined {
+			e.pending = append(e.pending, &cevent{kind: 6, to: p.id})
+		}
 		return false
 	}
 	return true
@@ -402,19 +633,81 @@ func (c *cctx) Query(tag int, indices []int) {
 	if !c.e.act(c.p) {
 		return
 	}
-	bits := bitarray.New(len(indices))
-	for j, idx := range indices {
+	p := c.p
+	for _, idx := range indices {
 		if idx < 0 || idx >= c.e.spec.l {
-			panic(fmt.Sprintf("dst: peer %d queried out-of-range index %d", c.p.id, idx))
+			panic(fmt.Sprintf("dst: peer %d queried out-of-range index %d", p.id, idx))
 		}
-		bits.Set(j, c.e.input.Get(idx))
 	}
-	c.p.stats.QueryBits += len(indices)
-	c.p.stats.QueryCalls++
-	c.e.observe("query", c.p.id, -1, "", len(indices))
+	// Rejoined churn peers answer from persisted (source-verified) state
+	// where they can: warm bits are free — only the remainder is charged
+	// to Q and sent to the source (exact des semantics).
+	var (
+		warm     *bitarray.Array
+		pos      []int
+		fetchIdx = indices
+	)
+	if p.rejoined && p.persist != nil {
+		warm = bitarray.New(len(indices))
+		for j, idx := range indices {
+			if v, ok := p.persist.Get(idx); ok {
+				warm.Set(j, v)
+			} else {
+				pos = append(pos, j)
+			}
+		}
+		if len(pos) == len(indices) {
+			warm, pos = nil, nil // nothing persisted: plain query
+		} else {
+			fetchIdx = make([]int, len(pos))
+			for k, j := range pos {
+				fetchIdx[k] = indices[j]
+			}
+			p.stats.WarmHitBits += len(indices) - len(fetchIdx)
+		}
+	}
+	p.stats.QueryBits += len(fetchIdx)
+	p.stats.QueryCalls++
+	c.e.observe("query", p.id, -1, "", len(fetchIdx))
+	idxCopy := append([]int(nil), indices...)
+	if warm != nil && len(pos) == 0 {
+		// Full warm hit: answered locally, no source round trip.
+		c.e.pending = append(c.e.pending, &cevent{
+			kind: 3, to: p.id,
+			qr: sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: warm},
+		})
+		return
+	}
+	if c.e.src != nil {
+		// Route through the (possibly faulty) source tier; the chooser
+		// decides when the attempt — and hence its fault roll — happens.
+		fetch := idxCopy
+		if warm != nil {
+			fetch = fetchIdx // already a fresh slice
+		}
+		p.ordinal++
+		c.e.pending = append(c.e.pending, &cevent{
+			kind: 4, to: p.id,
+			call: &scall{tag: tag, indices: idxCopy, fetch: fetch,
+				pos: pos, bits: warm, ordinal: p.ordinal},
+		})
+		return
+	}
+	// Oracle fast path: the paper's perfectly available source.
+	bits := warm
+	if bits == nil {
+		bits = bitarray.New(len(indices))
+		for j, idx := range indices {
+			bits.Set(j, c.e.input.Get(idx))
+		}
+	} else {
+		for k, j := range pos {
+			bits.Set(j, c.e.input.Get(fetchIdx[k]))
+		}
+	}
 	c.e.pending = append(c.e.pending, &cevent{
-		kind: 3, to: c.p.id,
-		qr: sim.QueryReply{Tag: tag, Indices: append([]int(nil), indices...), Bits: bits},
+		kind: 3, to: p.id,
+		qr: sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: bits},
 	})
 }
 
@@ -436,6 +729,8 @@ func (c *cctx) Terminate() {
 	c.p.stats.TermTime = c.e.now
 	if c.p.honest {
 		c.e.live--
+	} else if c.p.churn != nil && c.p.churn.Rejoin {
+		c.e.churnLive--
 	}
 	c.e.observe("terminate", c.p.id, -1, "", 0)
 }

@@ -80,4 +80,65 @@ func TestGenerateReplayCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("committee-correct-pinned.dsr: %d choices, hash %s", len(good.Choices), good.EventHash)
+
+	// 4. A pinned-correct run through the faulty source tier: a mid-run
+	// outage window (step time), transient failures, and one crash-rejoin
+	// churn peer. Pins the source-tier event stream — retry scheduling,
+	// breaker transitions, warm-resume accounting — against drift.
+	src := base("naive", 4, 1, 32, 11)
+	src.SourcePlan = "fail=0.2,outage=6..40,seed=9"
+	src.Churn = []ChurnPoint{{Peer: 3, Point: 2, Rejoin: true}}
+	srcRec, srcOut, err := Record(src, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srcOut.Result.Correct {
+		t.Fatalf("pinned source-outage run unexpectedly failed: %v", srcOut.Result)
+	}
+	if srcOut.Result.SourceFailures == 0 || srcOut.Result.BreakerOpens == 0 || srcOut.Result.Rejoins != 1 {
+		t.Fatalf("pinned source-outage run degenerate: failures=%d opens=%d rejoins=%d",
+			srcOut.Result.SourceFailures, srcOut.Result.BreakerOpens, srcOut.Result.Rejoins)
+	}
+	srcRec.Expect = ExpectCorrect
+	srcRec.Note = "Pinned-correct naive execution against a faulty source: an outage window " +
+		"over steps [6, 40), 20% transient failures, and one crash-rejoin churn peer. " +
+		"Pins the source-tier retry/breaker/rejoin event stream; honest peers finish " +
+		"correct without ever trusting a failed reply."
+	if err := srcRec.Save("testdata/replays/naive-source-outage-pinned.dsr"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("naive-source-outage-pinned.dsr: %d choices, hash %s", len(srcRec.Choices), srcRec.EventHash)
+
+	// 5. The acceptance scenario end-to-end: a Byzantine MAJORITY of
+	// strategy-program adversaries (3 of 5), a mid-download source outage
+	// with 25% transient failures, and one crash-rejoin churn peer. naive
+	// tolerates any β < 1, so the lone honest peer must still download X
+	// exactly — with bounded query bits, at least one breaker-open
+	// interval, and one rejoin along the way.
+	maj := base("naive", 5, 3, 40, 17)
+	maj.Fault = FaultByzantine
+	maj.Faulty = []int{0, 1, 3}
+	maj.Strategy = &Strategy{Seed: 5, Ops: []string{"lie", "equivocate", "replay-stale", "flood"}}
+	maj.SourcePlan = "fail=0.25,outage=0..60,seed=15"
+	maj.Churn = []ChurnPoint{{Peer: 2, Point: 2, Rejoin: true}}
+	majRec, majOut, err := Record(maj, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !majOut.Result.Correct {
+		t.Fatalf("pinned Byzantine-majority source-chaos run unexpectedly failed: %v", majOut.Result)
+	}
+	if majOut.Result.BreakerOpens == 0 || majOut.Result.Rejoins != 1 || majOut.Result.Q != 40 {
+		t.Fatalf("pinned Byzantine-majority run degenerate: opens=%d rejoins=%d Q=%d",
+			majOut.Result.BreakerOpens, majOut.Result.Rejoins, majOut.Result.Q)
+	}
+	majRec.Expect = ExpectCorrect
+	majRec.Note = "Acceptance scenario for the resilient source tier: a Byzantine majority " +
+		"(3 of 5 strategy-program adversaries), a source outage over steps [0, 60) with " +
+		"25% transient failures, and one crash-rejoin churn peer. The lone honest peer " +
+		"still outputs X with Q = L and at least one breaker-open interval."
+	if err := majRec.Save("testdata/replays/naive-byzmajority-source-churn.dsr"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("naive-byzmajority-source-churn.dsr: %d choices, hash %s", len(majRec.Choices), majRec.EventHash)
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/sim"
+	"repro/internal/source"
 )
 
 // Version is the current replay file format version. Readers accept only
@@ -41,6 +42,18 @@ type CrashPoint struct {
 	Point int `json:"point"`
 }
 
+// ChurnPoint is one crash-recovery churn entry: Peer runs the honest
+// protocol, crashes after Point actions, and — when Rejoin is set — comes
+// back with a fresh protocol instance resuming warm from its persisted
+// source-verified bits, at a moment the scheduler chooses. Churn peers
+// count as faulty (correctness never depends on them) and are disjoint
+// from the Faulty set.
+type ChurnPoint struct {
+	Peer   int  `json:"peer"`
+	Point  int  `json:"point"`
+	Rejoin bool `json:"rejoin,omitempty"`
+}
+
 // Strategy serializes a Byzantine strategy program (see
 // adversary.Strategy).
 type Strategy struct {
@@ -67,6 +80,14 @@ type Replay struct {
 	Faulty      []int        `json:"faulty,omitempty"`
 	CrashPoints []CrashPoint `json:"crash_points,omitempty"`
 	Strategy    *Strategy    `json:"strategy,omitempty"`
+	// SourcePlan, when non-empty, makes the external source faulty per
+	// source.ParsePlan's grammar; its time-valued fields (outage windows,
+	// latency) count delivered-event steps, the engine's clock. Queries
+	// then ride the per-peer retry/breaker client and source retries,
+	// wakes, and failures become chooser-scheduled events.
+	SourcePlan string `json:"source_plan,omitempty"`
+	// Churn lists crash-recovery churn peers, orthogonal to Fault/Faulty.
+	Churn []ChurnPoint `json:"churn,omitempty"`
 	// Choices is the recorded scheduling-decision list; decisions beyond
 	// it default to FIFO (0), so a truncated list is still a schedule.
 	Choices []int `json:"choices"`
@@ -129,6 +150,25 @@ func (r *Replay) Validate() error {
 	default:
 		return fmt.Errorf("dst: unknown fault model %q", r.Fault)
 	}
+	for _, cp := range r.Churn {
+		if cp.Peer < 0 || cp.Peer >= r.N {
+			return fmt.Errorf("dst: churn peer %d out of range", cp.Peer)
+		}
+		if seen[cp.Peer] {
+			return fmt.Errorf("dst: churn peer %d also listed faulty", cp.Peer)
+		}
+		seen[cp.Peer] = true
+		if cp.Point < 0 {
+			return fmt.Errorf("dst: negative churn crash point for peer %d", cp.Peer)
+		}
+	}
+	if len(r.Faulty)+len(r.Churn) >= r.N {
+		return fmt.Errorf("dst: %d faulty peers (incl. churn) leaves no honest peer",
+			len(r.Faulty)+len(r.Churn))
+	}
+	if _, err := source.ParsePlan(r.SourcePlan); err != nil {
+		return err
+	}
 	switch r.Expect {
 	case "", ExpectViolation, ExpectDeadlock, ExpectCorrect:
 	default:
@@ -155,6 +195,7 @@ func (r *Replay) Clone() *Replay {
 	out := *r
 	out.Faulty = append([]int(nil), r.Faulty...)
 	out.CrashPoints = append([]CrashPoint(nil), r.CrashPoints...)
+	out.Churn = append([]ChurnPoint(nil), r.Churn...)
 	out.Choices = append([]int(nil), r.Choices...)
 	if r.Strategy != nil {
 		s := *r.Strategy
@@ -169,6 +210,7 @@ func (r *Replay) Clone() *Replay {
 func (r *Replay) normalize() {
 	sort.Ints(r.Faulty)
 	sort.Slice(r.CrashPoints, func(i, j int) bool { return r.CrashPoints[i].Peer < r.CrashPoints[j].Peer })
+	sort.Slice(r.Churn, func(i, j int) bool { return r.Churn[i].Peer < r.Churn[j].Peer })
 	if r.Fault == FaultNone {
 		r.Fault = ""
 	}
@@ -234,10 +276,16 @@ func (r *Replay) spec(obs sim.Observer) (*runSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	plan, err := source.ParsePlan(r.SourcePlan)
+	if err != nil {
+		return nil, err
+	}
 	spec := &runSpec{
 		n: r.N, t: r.T, l: r.L, b: r.MsgBits, seed: r.Seed,
 		newPeer:  proto.New,
 		observer: obs,
+		srcPlan:  plan,
+		churn:    append([]ChurnPoint(nil), r.Churn...),
 	}
 	for _, p := range r.Faulty {
 		spec.faulty = append(spec.faulty, sim.PeerID(p))

@@ -36,6 +36,14 @@ type SearchOptions struct {
 	// Deadline, when non-zero, time-boxes the search (checked between
 	// runs) — this is what the nightly job sets.
 	Deadline time.Time
+	// SourcePlan, when non-empty, runs every search execution against a
+	// faulty source (source.ParsePlan grammar, step-time units): the
+	// search then answers "does the adversary beat the protocol even
+	// while the source misbehaves".
+	SourcePlan string
+	// Churn adds crash-recovery churn peers to every search execution
+	// (disjoint from the faulty sets the search enumerates).
+	Churn []ChurnPoint
 	// Shrink minimizes each finding before returning it.
 	Shrink bool
 	// ShrinkRuns caps shrink executions per finding (0 = default).
@@ -93,6 +101,28 @@ func Search(opts SearchOptions) (*SearchReport, error) {
 	seen := make(map[string]bool) // failure-signature dedup
 
 	faultySets := faultySets(opts.N, opts.T)
+	if len(opts.Churn) > 0 {
+		// Churn peers are extra faulty peers outside the search's control:
+		// drop enumerated faulty sets that collide with them.
+		churned := make(map[int]bool, len(opts.Churn))
+		for _, cp := range opts.Churn {
+			churned[cp.Peer] = true
+		}
+		kept := faultySets[:0]
+		for _, set := range faultySets {
+			overlap := false
+			for _, p := range set {
+				if churned[p] {
+					overlap = true
+					break
+				}
+			}
+			if !overlap {
+				kept = append(kept, set)
+			}
+		}
+		faultySets = kept
+	}
 	logf := func(format string, args ...any) {
 		if opts.Log != nil {
 			opts.Log(format, args...)
@@ -115,10 +145,12 @@ func Search(opts SearchOptions) (*SearchReport, error) {
 			base := &Replay{
 				Version: Version, Protocol: opts.Protocol,
 				N: opts.N, T: opts.T, L: opts.L, MsgBits: opts.MsgBits,
-				Fault:    FaultByzantine,
-				Faulty:   faulty,
-				Strategy: &Strategy{Seed: strat.Seed, Ops: ops},
-				Expect:   ExpectViolation,
+				Fault:      FaultByzantine,
+				Faulty:     faulty,
+				Strategy:   &Strategy{Seed: strat.Seed, Ops: ops},
+				SourcePlan: opts.SourcePlan,
+				Churn:      append([]ChurnPoint(nil), opts.Churn...),
+				Expect:     ExpectViolation,
 			}
 			for sc := 0; sc < opts.Schedules; sc++ {
 				if rep.timedOut(&opts) {

@@ -1,0 +1,218 @@
+package dst
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSourceFaultedReplayDeterminism records runs against a faulty source
+// and requires the recorded replay to re-execute byte-identically: same
+// result, same event hash — with the source-tier retry/breaker events in
+// the stream.
+func TestSourceFaultedReplayDeterminism(t *testing.T) {
+	sawFailures := false
+	for seed := int64(1); seed <= 5; seed++ {
+		r := base("naive", 4, 1, 32, seed)
+		r.SourcePlan = "fail=0.3,timeout=0.1,outage=5..25,seed=4"
+		rec, recOut, err := Record(r, seed*313)
+		if err != nil {
+			t.Fatalf("seed %d: record: %v", seed, err)
+		}
+		if !recOut.Result.Correct {
+			t.Fatalf("seed %d: source-faulted naive run failed: %v", seed, recOut.Result)
+		}
+		if recOut.Result.SourceFailures > 0 {
+			sawFailures = true
+		}
+		first, err := Run(rec)
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		second, err := Run(rec)
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		if first.EventHash != recOut.EventHash || second.EventHash != recOut.EventHash {
+			t.Fatalf("seed %d: event hash drift: record %s replay %s/%s", seed,
+				HashString(recOut.EventHash), HashString(first.EventHash), HashString(second.EventHash))
+		}
+		if !reflect.DeepEqual(first.Result, second.Result) {
+			t.Fatalf("seed %d: two replays disagree", seed)
+		}
+	}
+	if !sawFailures {
+		t.Fatal("fixture degenerate: no seed recorded a source failure")
+	}
+}
+
+// TestChurnRejoinWarmResume finds a schedule where a crash1 churn peer
+// learns part of its block before crashing, then verifies the rejoined
+// incarnation answers queries warm from the persisted bits.
+func TestChurnRejoinWarmResume(t *testing.T) {
+	for point := 2; point <= 6; point++ {
+		for seed := int64(1); seed <= 30; seed++ {
+			r := base("crash1", 4, 1, 64, 7)
+			r.Churn = []ChurnPoint{{Peer: 3, Point: point, Rejoin: true}}
+			r.Expect = ExpectCorrect
+			rec, out, err := Record(r, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Result.Correct {
+				t.Fatalf("point %d seed %d: honest peers must survive churn: %v",
+					point, seed, out.Result)
+			}
+			cp := out.Result.PerPeer[3]
+			if !cp.Rejoined || cp.WarmHitBits == 0 {
+				continue
+			}
+			// Found a warm-resume schedule: it must replay identically.
+			rep, err := Verify(rec)
+			if err != nil {
+				t.Fatalf("point %d seed %d: verify: %v", point, seed, err)
+			}
+			rp := rep.Result.PerPeer[3]
+			if rp.WarmHitBits != cp.WarmHitBits || !rp.Rejoined {
+				t.Fatalf("replay warm stats drifted: %d vs %d", rp.WarmHitBits, cp.WarmHitBits)
+			}
+			if rep.Result.Rejoins != 1 {
+				t.Fatalf("Rejoins = %d, want 1", rep.Result.Rejoins)
+			}
+			return
+		}
+	}
+	t.Fatal("no schedule produced a warm resume (crash1 churn peer)")
+}
+
+// TestChurnNoRejoinIsPlainCrash pins the Rejoin=false semantics.
+func TestChurnNoRejoinIsPlainCrash(t *testing.T) {
+	r := base("crashk", 4, 1, 32, 3)
+	r.Churn = []ChurnPoint{{Peer: 0, Point: 2}}
+	_, out, err := Record(r, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Correct {
+		t.Fatalf("crashk must tolerate one churn crash: %v", out.Result)
+	}
+	if out.Result.Rejoins != 0 || out.Result.PerPeer[0].Rejoined {
+		t.Fatalf("Rejoin=false churn peer rejoined: %v", out.Result.PerPeer[0])
+	}
+}
+
+// TestReplayValidateSourceChurn covers the new format fields' validation.
+func TestReplayValidateSourceChurn(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Replay)
+	}{
+		{"bad source plan", func(r *Replay) { r.SourcePlan = "fail=2" }},
+		{"unknown plan field", func(r *Replay) { r.SourcePlan = "frobnicate=1" }},
+		{"churn out of range", func(r *Replay) { r.Churn = []ChurnPoint{{Peer: 9, Point: 1}} }},
+		{"churn negative point", func(r *Replay) { r.Churn = []ChurnPoint{{Peer: 1, Point: -1}} }},
+		{"churn duplicates faulty", func(r *Replay) {
+			r.Fault = FaultCrash
+			r.Faulty = []int{1}
+			r.CrashPoints = []CrashPoint{{Peer: 1, Point: 2}}
+			r.Churn = []ChurnPoint{{Peer: 1, Point: 1}}
+		}},
+		{"churn leaves no honest peer", func(r *Replay) {
+			r.Churn = []ChurnPoint{
+				{Peer: 0, Point: 1}, {Peer: 1, Point: 1},
+				{Peer: 2, Point: 1}, {Peer: 3, Point: 1},
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := base("naive", 4, 1, 32, 1)
+			tc.mut(r)
+			if err := r.Validate(); err == nil {
+				t.Fatalf("invalid replay accepted")
+			}
+		})
+	}
+	// And a valid one round-trips through the canonical encoding.
+	r := base("naive", 4, 1, 32, 1)
+	r.SourcePlan = "fail=0.1,outage=2..9,seed=3"
+	r.Churn = []ChurnPoint{{Peer: 2, Point: 1, Rejoin: true}}
+	b, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := back.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("marshal round trip not byte-identical:\n%s\n%s", b, b2)
+	}
+}
+
+// TestSearchWithSourceFaults runs the Byzantine strategy search against
+// naive with a flaky source and a churn peer: naive tolerates any fault
+// pattern (it trusts only the source, and the source tier retries until
+// truth), so the search must complete and report no violations — the
+// faulty source and churn are recovery concerns, not safety holes.
+func TestSearchWithSourceFaults(t *testing.T) {
+	rep, err := Search(SearchOptions{
+		Protocol: "naive",
+		N:        4, T: 1, L: 16,
+		Seed:       5,
+		Strategies: 4, Schedules: 2,
+		SourcePlan: "fail=0.2,seed=6",
+		Churn:      []ChurnPoint{{Peer: 3, Point: 3, Rejoin: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs == 0 {
+		t.Fatal("search ran nothing (churn filtered every faulty set?)")
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("unexpected violation under flaky source: %v", f.Failures)
+	}
+}
+
+// TestPinnedByzantineMajoritySourceChurn re-executes the committed
+// acceptance-scenario artifact byte-for-byte: a Byzantine majority of
+// strategy-program adversaries, a source outage with transient failures,
+// and one crash-rejoin churn peer. Beyond the walker's Expect check, this
+// pins the resilience counters themselves: the honest peer finishes with
+// bounded query bits (Q = L exactly — recovery never inflates Q), the
+// outage opens a breaker, and the churn peer rejoins exactly once.
+func TestPinnedByzantineMajoritySourceChurn(t *testing.T) {
+	r, err := Load("testdata/replays/naive-byzmajority-source-churn.dsr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fault != FaultByzantine || len(r.Faulty) <= r.N/2 {
+		t.Fatalf("artifact lost its Byzantine majority: fault=%q faulty=%v n=%d",
+			r.Fault, r.Faulty, r.N)
+	}
+	out, err := Verify(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.Result
+	if !res.Correct {
+		t.Fatalf("honest peer failed under the pinned chaos schedule: %v", res)
+	}
+	if res.BreakerOpens < 1 {
+		t.Errorf("BreakerOpens = %d, want >= 1", res.BreakerOpens)
+	}
+	if res.SourceFailures == 0 || res.SourceRetries == 0 {
+		t.Errorf("no recovery work recorded: failures=%d retries=%d",
+			res.SourceFailures, res.SourceRetries)
+	}
+	if res.Rejoins != 1 {
+		t.Errorf("Rejoins = %d, want 1", res.Rejoins)
+	}
+	if res.Q != r.L {
+		t.Errorf("Q = %d, want exactly L=%d (recovery must not inflate Q)", res.Q, r.L)
+	}
+}

@@ -1,0 +1,47 @@
+// Package hashmix holds the shared hash-RNG primitives behind every
+// "deterministic by identity" fault schedule in the repo: the adversary's
+// per-channel delay policies, netrt's network fault plan, and the source
+// tier's fault plan all derive their decisions from these mixers, so a
+// fault decision is a pure function of (seed, identity) rather than of
+// goroutine arrival order. It is a leaf package (no repo dependencies)
+// precisely so that both sim-level and sub-sim-level packages can use it
+// without cycles.
+package hashmix
+
+import "math"
+
+// Mix is the 64-bit finalizer of MurmurHash3: a cheap bijection with
+// strong avalanche, good enough to decorrelate structured inputs such as
+// (seed, channel, ordinal).
+func Mix(z uint64) uint64 {
+	z ^= z >> 33
+	z *= 0xFF51AFD7ED558CCD
+	z ^= z >> 33
+	z *= 0xC4CEB9FE1A85EC53
+	z ^= z >> 33
+	return z
+}
+
+// Unit maps a hash to (0, 1].
+func Unit(h uint64) float64 {
+	u := float64(h%(1<<52)+1) / float64(uint64(1)<<52)
+	return math.Min(u, 1)
+}
+
+// Mix64 folds a sequence of words into one well-mixed 64-bit hash. Equal
+// word sequences give equal hashes; any differing word decorrelates the
+// result completely.
+func Mix64(words ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, w := range words {
+		h = Mix(h ^ Mix(w))
+	}
+	return h
+}
+
+// MixUnit maps a word sequence to a uniform value in (0, 1]. It is the
+// decision primitive of seeded fault plans: p < rate decides a fault with
+// probability rate, reproducibly for the same words.
+func MixUnit(words ...uint64) float64 {
+	return Unit(Mix64(words...))
+}

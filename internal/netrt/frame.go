@@ -25,6 +25,7 @@ import (
 //	ack:    uvarint cumulative seq (highest contiguous received)
 //	ping:   empty (heartbeat; refreshes the receiver's idle deadline)
 //	reject: empty (hub refuses this connection permanently)
+//	qerr:   query header, then 1 byte source failure kind (source.Kind)
 
 // Frame kinds.
 const (
@@ -36,6 +37,12 @@ const (
 	kAck
 	kPing
 	kReject
+	// kQErr reports an injected source failure for one query: the hub
+	// refused the fetch (outage, rate limit, transient) and tells the
+	// client actively instead of leaving it to the silence deadline. It
+	// rides the best-effort reply stream — a lost QERR just degrades to
+	// the timeout path.
+	kQErr
 )
 
 // kindName renders a frame kind for debug output and timeout reports.
@@ -57,6 +64,8 @@ func kindName(k byte) string {
 		return "PING"
 	case kReject:
 		return "REJECT"
+	case kQErr:
+		return "QERR"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/bitarray"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/source"
 	"repro/internal/wire"
 )
 
@@ -79,6 +80,17 @@ type Config struct {
 	// Unlike Absent/KillAfter, a FaultPlan never counts toward T: honest
 	// peers are expected to survive it via the resilience layer.
 	Faults *FaultPlan
+	// SourceFaults optionally makes the hub's source tier misbehave:
+	// queries crossing it suffer the plan's outage windows, rate limit,
+	// transient failures, and reply latency (source.FaultPlan units are
+	// seconds here). Active refusals come back as QERR frames, which feed
+	// each client's source.Client retry/backoff/breaker state machine.
+	// Like Faults, a source plan never counts toward T.
+	SourceFaults *source.FaultPlan
+	// SourcePolicy tunes the clients' source resilience layer (times in
+	// seconds); zero fields default per source.Policy, and a zero Seed
+	// derives from Seed so backoff jitter is reproducible.
+	SourcePolicy source.Policy
 	// IdleTimeout overrides the dead-link detection window (default 5s).
 	IdleTimeout time.Duration
 	// Resilience tunes retry/reconnect behavior; zero fields default.
@@ -120,6 +132,11 @@ func (c *Config) validate() error {
 	if c.Faults != nil {
 		if err := c.Faults.validate(c.N); err != nil {
 			return err
+		}
+	}
+	if c.SourceFaults != nil {
+		if err := c.SourceFaults.Validate(); err != nil {
+			return fmt.Errorf("netrt: %w", err)
 		}
 	}
 	return nil
@@ -166,6 +183,9 @@ func (e *TimeoutError) Error() string {
 // once at client exit and read after the clients WaitGroup settles.
 type clientStats struct {
 	queryRetries, reconnects, dupsDeduped int
+	// src is the source resilience accounting (failures by kind, retries,
+	// breaker opens, deferred queries, degraded time).
+	src source.Stats
 }
 
 // Run executes the configuration and reports the outcome in the same
@@ -233,6 +253,11 @@ func Run(cfg Config) (*sim.Result, error) {
 		res.PerPeer[i].QueryRetries = cs.queryRetries
 		res.PerPeer[i].Reconnects = cs.reconnects
 		res.PerPeer[i].DupFramesDropped += cs.dupsDeduped
+		res.PerPeer[i].SourceRetries = cs.src.Retries
+		res.PerPeer[i].SourceFailures = cs.src.Failures
+		res.PerPeer[i].BreakerOpens = cs.src.BreakerOpens
+		res.PerPeer[i].DeferredQueries = cs.src.Deferred
+		res.PerPeer[i].DegradedTime = cs.src.DegradedTime
 	}
 	res.Finalize(input)
 	return res, nil
@@ -266,6 +291,10 @@ type hubPeer struct {
 	queryCalls int
 	msgsSent   int
 	msgBits    int
+	// srcServes counts query arrivals from this peer; it is the Ordinal
+	// fed to the source fault plan, so every retried serve rolls fresh
+	// fault decisions (a failure rate < 1 answers eventually).
+	srcServes uint64
 	// Robustness counters: fault-plan events on deliveries toward this
 	// peer, and duplicate inbound frames the hub discarded.
 	planDropped, planDuped, dupsDeduped int
@@ -278,11 +307,14 @@ type hubPeer struct {
 }
 
 type hub struct {
-	cfg    Config
-	res    Resilience
-	idle   time.Duration
-	plan   *FaultPlan
-	input  *bitarray.Array
+	cfg   Config
+	res   Resilience
+	idle  time.Duration
+	plan  *FaultPlan
+	input *bitarray.Array
+	// src answers queries; the trusted array, wrapped in the source fault
+	// plan when one is configured (Wrap is a no-op otherwise).
+	src    source.Source
 	ln     net.Listener
 	addr   string
 	start  time.Time
@@ -335,6 +367,7 @@ func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
 		idle:    idle,
 		plan:    cfg.Faults,
 		input:   input,
+		src:     source.Wrap(source.NewTrusted(input), cfg.SourceFaults),
 		ln:      ln,
 		addr:    ln.Addr().String(),
 		start:   time.Now(),
@@ -624,20 +657,51 @@ func (h *hub) writeData(hp *hubPeer, kind byte, seq uint64, payload []byte) {
 	_ = writeFrame(conn, &hp.writeMu, kind, seq, payload)
 }
 
-// answerQuery serves the source: decode tag + delta indices, reply with
-// the requested bits. Replies ride the best-effort stream — a lost reply
-// is recovered by the client re-issuing the query.
+// answerQuery serves the source: decode tag + delta indices, route the
+// fetch through the source tier, and reply with the requested bits.
+// Replies ride the best-effort stream — a lost reply is recovered by the
+// client re-issuing the query. An injected source failure comes back as a
+// QERR frame instead, so the client learns of active refusals without
+// waiting out its silence deadline; query bits are only charged for
+// fetches that actually served bits.
 func (h *hub) answerQuery(hp *hubPeer, payload []byte) {
 	tag, indices, ok := decodeQuery(payload, h.cfg.L)
 	if !ok {
 		return
 	}
-	bits := bitarray.New(len(indices))
-	for j, idx := range indices {
+	for _, idx := range indices {
 		if idx < 0 || idx >= h.cfg.L {
 			return
 		}
-		bits.Set(j, h.input.Get(idx))
+	}
+	hp.mu.Lock()
+	hp.srcServes++
+	serve := hp.srcServes
+	hp.mu.Unlock()
+	rep, err := h.src.Fetch(source.Request{
+		Peer:    int(hp.id),
+		Indices: indices,
+		Ordinal: serve,
+		Attempt: 1,
+		Now:     time.Since(h.start).Seconds(),
+	})
+	if err != nil {
+		kind := source.KindOf(err)
+		h.met.sourceFailure(int(hp.id), kind.String())
+		dbg("source: refusing peer %d query: %v", hp.id, err)
+		if kind == source.KindTimeout {
+			// A lost reply: stay silent and let the client's query
+			// deadline discover it, exactly like a dropped QREPLY.
+			return
+		}
+		hp.mu.Lock()
+		hp.replySeq++
+		seq := hp.replySeq
+		hp.mu.Unlock()
+		out := encodeQueryHeader(tag, indices)
+		out = append(out, byte(kind))
+		h.transmit(hp, kQErr, seq, srcID, out, 0)
+		return
 	}
 	hp.mu.Lock()
 	hp.queryBits += len(indices)
@@ -648,9 +712,15 @@ func (h *hub) answerQuery(hp *hubPeer, payload []byte) {
 	h.met.queryServed(int(hp.id), len(indices))
 
 	out := encodeQueryHeader(tag, indices)
-	raw := bits.Bytes()
+	raw := rep.Bits.Bytes()
 	out = binary.AppendUvarint(out, uint64(len(raw)))
 	out = append(out, raw...)
+	if rep.Latency > 0 {
+		// Injected reply latency: the reply is already "delayed inside
+		// the source", so it skips the network plan's per-frame rolls.
+		h.later(hp, kQReply, seq, time.Duration(rep.Latency*float64(time.Second)), out)
+		return
+	}
 	h.transmit(hp, kQReply, seq, srcID, out, 0)
 }
 
@@ -818,6 +888,10 @@ func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *ne
 	if idle <= 0 {
 		idle = defaultIdleTimeout
 	}
+	spol := cfg.SourcePolicy
+	if spol.Seed == 0 {
+		spol.Seed = cfg.Seed ^ 0x50c05eed
+	}
 	c := &client{
 		cfg:     cfg,
 		res:     res,
@@ -829,14 +903,17 @@ func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *ne
 		impl:    cfg.NewPeer(id),
 		start:   time.Now(),
 		met:     met,
+		src:     source.NewClient(int(id), spol),
 		queries: make(map[qkey]*pendingQuery),
 		stopHK:  make(chan struct{}),
 	}
 	defer func() {
 		c.mu.Lock()
+		c.src.Settle(time.Since(c.start).Seconds())
 		st.queryRetries = c.queryRetries
 		st.reconnects = c.reconnects
 		st.dupsDeduped = c.dupsDeduped
+		st.src = c.src.Stats()
 		c.mu.Unlock()
 	}()
 	if err := c.connect(true); err != nil {
@@ -895,6 +972,13 @@ type client struct {
 	// queries tracks outstanding source queries for timeout + retry.
 	queries  map[qkey]*pendingQuery
 	lastPing time.Time
+	// src is the retry/backoff/breaker state machine for source queries,
+	// fed QERR failures and QREPLY successes on the client's wall clock
+	// (seconds since start). Guarded by mu: the read loop and the
+	// housekeeping goroutine both drive it.
+	src *source.Client
+	// qOrd numbers logical queries for the source client's seeded jitter.
+	qOrd uint64
 
 	terminated bool
 	rejected   bool
@@ -1071,6 +1155,7 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 		// as many as are owed reach the protocol, keeping duplicated and
 		// replayed replies idempotent.
 		key := qkeyOf(tag, indices)
+		now := time.Now()
 		c.mu.Lock()
 		pq := c.queries[key]
 		owed := pq != nil && pq.count > 0
@@ -1078,6 +1163,15 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 			pq.count--
 			if pq.count == 0 {
 				delete(c.queries, key)
+			}
+			// A served reply closes an open breaker; wake every parked
+			// query so the next housekeeping tick re-issues it.
+			if c.src.OnSuccess(time.Since(c.start).Seconds()) {
+				for _, q := range c.queries {
+					if q.deadline.After(now) {
+						q.deadline = now
+					}
+				}
 			}
 		} else {
 			c.dupsDeduped++
@@ -1089,6 +1183,51 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 			return
 		}
 		c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+	case kQErr:
+		c.mu.Lock()
+		fresh := c.replies.admit(seq)
+		if !fresh {
+			c.dupsDeduped++
+			c.met.dupDropped(int(c.id))
+		}
+		c.mu.Unlock()
+		if !fresh {
+			return
+		}
+		tag, indices, ok := decodeQuery(payload, c.cfg.L)
+		if !ok {
+			dbg("client %d: malformed qerr", c.id)
+			return
+		}
+		rest := payload[queryHeaderLen(tag, indices):]
+		if len(rest) < 1 {
+			return
+		}
+		kind := source.Kind(rest[0])
+		key := qkeyOf(tag, indices)
+		nowS := time.Since(c.start).Seconds()
+		c.mu.Lock()
+		pq := c.queries[key]
+		if pq == nil || c.terminated {
+			c.mu.Unlock()
+			return
+		}
+		// An active refusal: the source is reachable, just unwilling. The
+		// silence budget guards lost frames, not refusals, so reset it and
+		// let the breaker pace the retry instead. errs stays monotonic —
+		// each breaker probe then rolls fresh hub-side fault decisions.
+		pq.errs++
+		pq.attempts = 1
+		pq.gaveUp = false
+		pq.probe = false
+		retryAt, park := c.src.OnFailure(nowS, kind, pq.ord, pq.errs)
+		if park {
+			retryAt = c.src.WakeAt()
+		}
+		pq.deadline = c.start.Add(time.Duration(retryAt * float64(time.Second)))
+		c.mu.Unlock()
+		dbg("client %d: source %s for query tag=%d (retry in %.2fs, parked=%v)",
+			c.id, kind, tag, retryAt-nowS, park)
 	}
 }
 
@@ -1118,6 +1257,7 @@ func (c *client) housekeeping() {
 		due := c.out.takeDue(now, now.Add(-4*c.res.RTO))
 		var retries [][]byte
 		if !c.terminated {
+			nowS := now.Sub(c.start).Seconds()
 			for _, pq := range c.queries {
 				if pq.gaveUp || now.Before(pq.deadline) {
 					continue
@@ -1127,6 +1267,24 @@ func (c *client) housekeeping() {
 					dbg("client %d: query retry budget exhausted", c.id)
 					continue
 				}
+				// Graceful degradation: with the breaker open, due queries
+				// park until the half-open probe moment instead of hammering
+				// a source known to be down. In half-open, Admit lets exactly
+				// one probe through; a probe that went silent is charged as a
+				// timeout failure so the breaker reopens rather than jamming.
+				state := c.src.State()
+				ok, wake := c.src.Admit(nowS)
+				if !ok {
+					if pq.probe {
+						pq.probe = false
+						pq.errs++
+						c.src.OnFailure(nowS, source.KindTimeout, pq.ord, pq.errs)
+						wake = c.src.WakeAt()
+					}
+					pq.deadline = c.start.Add(time.Duration(wake * float64(time.Second)))
+					continue
+				}
+				pq.probe = state != source.StateClosed
 				pq.attempts++
 				c.queryRetries++
 				c.met.queryRetry(int(c.id))
@@ -1219,7 +1377,8 @@ func (c *client) Query(tag int, indices []int) {
 	}
 	pq := c.queries[key]
 	if pq == nil {
-		pq = &pendingQuery{payload: payload}
+		c.qOrd++
+		pq = &pendingQuery{payload: payload, ord: c.qOrd}
 		c.queries[key] = pq
 	}
 	pq.count++

@@ -23,10 +23,10 @@ type netMetrics struct {
 	// Frame and byte counters by (side, direction, kind). The hub and
 	// all clients run in one process, so "side" distinguishes the two
 	// halves of each link.
-	hubFramesTx, hubFramesRx [kReject + 1]*obs.Counter
-	cliFramesTx, cliFramesRx [kReject + 1]*obs.Counter
-	hubBytesTx, hubBytesRx   [kReject + 1]*obs.Counter
-	cliBytesTx, cliBytesRx   [kReject + 1]*obs.Counter
+	hubFramesTx, hubFramesRx [kQErr + 1]*obs.Counter
+	cliFramesTx, cliFramesRx [kQErr + 1]*obs.Counter
+	hubBytesTx, hubBytesRx   [kQErr + 1]*obs.Counter
+	cliBytesTx, cliBytesRx   [kQErr + 1]*obs.Counter
 
 	backoff *obs.Histogram
 
@@ -36,6 +36,7 @@ type netMetrics struct {
 	reconnects, qretries  []*obs.Counter
 	dups                  []*obs.Counter
 	planDropped, planDup  []*obs.Counter
+	srcFails              []*obs.Counter
 }
 
 // newNetMetrics resolves every handle up front. Returns nil when the
@@ -55,7 +56,7 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 	}
 	frames := reg.CounterVec("dr_net_frames_total", "Frames moved on TCP links.", "side", "dir", "kind")
 	bytes := reg.CounterVec("dr_net_frame_bytes_total", "Frame payload bytes moved on TCP links.", "side", "dir", "kind")
-	for k := byte(kHello); k <= kReject; k++ {
+	for k := byte(kHello); k <= kQErr; k++ {
 		kn := kindName(k)
 		m.hubFramesTx[k] = frames.With("hub", "tx", kn)
 		m.hubFramesRx[k] = frames.With("hub", "rx", kn)
@@ -77,6 +78,7 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 	dups := reg.CounterVec("dr_net_dup_frames_dropped_total", "Duplicate frames discarded by dedup.", "peer")
 	pdrop := reg.CounterVec("dr_net_plan_dropped_total", "Deliveries dropped by the fault plan.", "peer")
 	pdup := reg.CounterVec("dr_net_plan_duped_total", "Deliveries duplicated by the fault plan.", "peer")
+	sfail := reg.CounterVec("dr_net_source_failures_total", "Source queries refused by the source fault plan.", "peer")
 	n := cfg.N
 	m.queryBits = make([]*obs.Counter, n)
 	m.queryCalls = make([]*obs.Counter, n)
@@ -87,6 +89,7 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 	m.dups = make([]*obs.Counter, n)
 	m.planDropped = make([]*obs.Counter, n)
 	m.planDup = make([]*obs.Counter, n)
+	m.srcFails = make([]*obs.Counter, n)
 	for i := 0; i < n; i++ {
 		id := strconv.Itoa(i)
 		m.queryBits[i] = qBits.With(label, id)
@@ -98,11 +101,12 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 		m.dups[i] = dups.With(id)
 		m.planDropped[i] = pdrop.With(id)
 		m.planDup[i] = pdup.With(id)
+		m.srcFails[i] = sfail.With(id)
 	}
 	return m
 }
 
-func validKind(k byte) bool { return k >= kHello && k <= kReject }
+func validKind(k byte) bool { return k >= kHello && k <= kQErr }
 
 func (m *netMetrics) hubTx(kind byte, payloadLen int) {
 	if m == nil || !validKind(kind) {
@@ -202,6 +206,16 @@ func (m *netMetrics) planDupe(peer int) {
 		return
 	}
 	peerAdd(m.planDup, peer, 1)
+}
+
+// sourceFailure records one injected source refusal toward a peer; the
+// timeline mark carries the failure kind.
+func (m *netMetrics) sourceFailure(peer int, kind string) {
+	if m == nil {
+		return
+	}
+	peerAdd(m.srcFails, peer, 1)
+	m.mark(peer, "srcfail", kind)
 }
 
 // mark records a timeline event stamped with wall-clock seconds since

@@ -214,9 +214,20 @@ func qkeyOf(tag int, indices []int) qkey {
 type pendingQuery struct {
 	payload  []byte // encoded query header, re-sent verbatim on retry
 	count    int    // outstanding identical queries (replies owed)
-	attempts int    // send attempts so far
+	attempts int    // send attempts so far (the silence budget)
 	deadline time.Time
 	gaveUp   bool
+	// ord is the client's monotonic logical-query counter, identifying
+	// this query for the source client's seeded backoff jitter.
+	ord uint64
+	// errs counts QERR frames (active source refusals) for this query.
+	// It is never reset: like the simulation runtimes' attempt counter,
+	// it stays monotonic so breaker probes keep making progress.
+	errs int
+	// probe marks this query as the breaker's outstanding half-open
+	// probe; if it goes silent, its deadline expiry is fed back as a
+	// timeout failure so the breaker reopens instead of waiting forever.
+	probe bool
 }
 
 // nextQueryDeadline backs off the retry deadline exponentially, capped.

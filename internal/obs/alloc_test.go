@@ -48,3 +48,34 @@ func TestEnabledCounterAddAllocFree(t *testing.T) {
 		t.Fatalf("enabled Counter.Add allocated %.2f times per op, want 0", allocs)
 	}
 }
+
+// The source-tier instruments (dr_source_*, dr_net_source_failures_total)
+// ride the same nil-handle contract: a run without -obs resolves them all
+// through a nil registry, and every per-failure/per-retry update in the
+// des result export and the netrt hub path must stay allocation-free.
+func TestDisabledSourceMetricsAllocFree(t *testing.T) {
+	var r *Registry
+	fails := r.CounterVec("dr_source_failures_total",
+		"Source query attempts that failed, by failure kind.", "protocol", "kind")
+	retries := r.CounterVec("dr_source_retries_total",
+		"Source query attempts re-issued after a failure.", "protocol").With("naive")
+	opens := r.CounterVec("dr_source_breaker_opens_total",
+		"Circuit-breaker open transitions.", "protocol").With("naive")
+	deferred := r.CounterVec("dr_source_deferred_total",
+		"Queries parked while a breaker was open.", "protocol").With("naive")
+	netFails := r.CounterVec("dr_net_source_failures_total",
+		"Source queries refused by the source fault plan.", "peer").With("0")
+	var tl *Timeline
+	allocs := testing.AllocsPerRun(1000, func() {
+		fails.With("naive", "outage").Add(1)
+		fails.With("naive", "timeout").Add(1)
+		retries.Add(1)
+		opens.Inc()
+		deferred.Add(2)
+		netFails.Inc()
+		tl.Mark(1.0, 0, "srcfail", "outage")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled source-metrics path allocated %.2f times per op, want 0", allocs)
+	}
+}

@@ -29,16 +29,23 @@ import (
 	"repro/internal/protocols/segproto"
 	"repro/internal/protocols/twocycle"
 	"repro/internal/sim"
+	"repro/internal/source"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/goldens.json from the current engine")
 
-// golden captures one pinned execution.
+// golden captures one pinned execution. The source-tier counters are
+// omitted when zero, so pre-existing goldens keep their exact encoding.
 type golden struct {
 	Q      int    `json:"q"`
 	Msgs   int    `json:"msgs"`
 	Events int    `json:"events"`
 	Time   string `json:"time"` // %.4f
+	// Resilience counters, pinned only for flaky-source specs.
+	SrcFailures  int `json:"src_failures,omitempty"`
+	SrcRetries   int `json:"src_retries,omitempty"`
+	BreakerOpens int `json:"breaker_opens,omitempty"`
+	Rejoins      int `json:"rejoins,omitempty"`
 }
 
 // frozen is one named spec whose outcome is pinned.
@@ -68,8 +75,33 @@ func freeze() []frozen {
 		return sim.FaultSpec{Model: sim.FaultByzantine,
 			Faulty: adversary.SpreadFaulty(n, t), NewByzantine: b}
 	}
+	// srcFaulted overlays a seeded source fault plan (and optionally one
+	// crash-rejoin churn peer) on a spec: pins the full retry/backoff/
+	// breaker event stream, not just the clean-path schedule.
+	srcFaulted := func(spec func() *sim.Spec, plan string, churn ...sim.ChurnPeer) func() *sim.Spec {
+		return func() *sim.Spec {
+			s := spec()
+			p, err := source.ParsePlan(plan)
+			if err != nil {
+				panic(err)
+			}
+			s.SourceFaults = p
+			s.Faults.Churn = append(s.Faults.Churn, churn...)
+			return s
+		}
+	}
 	return []frozen{
 		{"naive", mk(6, 2, 512, naive.New, byz(6, 2, adversary.NewSilent))},
+		{"naive-flaky-source", srcFaulted(
+			mk(6, 2, 512, naive.New, byz(6, 2, adversary.NewSilent)),
+			"fail=0.2,timeout=0.1,outage=0..2,seed=11")},
+		{"crashk-flaky-churn", srcFaulted(
+			mk(12, 6, 2048, crashk.New, crash(12, 5)),
+			"fail=0.15,outage=2..4,seed=13",
+			sim.ChurnPeer{Peer: 11, CrashAfter: 3, Downtime: 2})},
+		{"committee-flaky-source", srcFaulted(
+			mk(9, 4, 540, committee.New, byz(9, 4, committee.NewLiar)),
+			"fail=0.2,latency=0.3,seed=17")},
 		{"naive-batched", mk(6, 2, 512, naive.NewBatched(64), byz(6, 2, adversary.NewSilent))},
 		{"crash1", mk(8, 1, 1024, crash1.New, crash(8, 1))},
 		{"crashk", mk(12, 6, 2048, crashk.New, crash(12, 6))},
@@ -78,6 +110,16 @@ func freeze() []frozen {
 		{"committee-equivocator", mk(9, 4, 540, committee.New, byz(9, 4, committee.NewEquivocator))},
 		{"twocycle", mk(128, 16, 4096, twocycle.New, byz(128, 16, segproto.NewColludingLiar))},
 		{"multicycle", mk(128, 16, 4096, multicycle.New, byz(128, 16, segproto.NewColludingLiar))},
+	}
+}
+
+// capture projects a result onto the pinned fields.
+func capture(res *sim.Result) golden {
+	return golden{
+		Q: res.Q, Msgs: res.Msgs, Events: res.Events,
+		Time:        fmt.Sprintf("%.4f", res.Time),
+		SrcFailures: res.SourceFailures, SrcRetries: res.SourceRetries,
+		BreakerOpens: res.BreakerOpens, Rejoins: res.Rejoins,
 	}
 }
 
@@ -107,8 +149,7 @@ func TestGoldens(t *testing.T) {
 			if !res.Correct {
 				t.Fatalf("%s incorrect: %v", g.name, res.Failures)
 			}
-			pinned[g.name] = golden{Q: res.Q, Msgs: res.Msgs, Events: res.Events,
-				Time: fmt.Sprintf("%.4f", res.Time)}
+			pinned[g.name] = capture(res)
 		}
 		data, err := json.MarshalIndent(pinned, "", "  ")
 		if err != nil {
@@ -138,12 +179,9 @@ func TestGoldens(t *testing.T) {
 			if !res.Correct {
 				t.Fatalf("incorrect: %v", res)
 			}
-			got := golden{Q: res.Q, Msgs: res.Msgs, Events: res.Events,
-				Time: fmt.Sprintf("%.4f", res.Time)}
+			got := capture(res)
 			if got != want {
-				t.Errorf("golden drift:\n got  q=%d msgs=%d events=%d time=%s\n want q=%d msgs=%d events=%d time=%s",
-					got.Q, got.Msgs, got.Events, got.Time,
-					want.Q, want.Msgs, want.Events, want.Time)
+				t.Errorf("golden drift:\n got  %+v\n want %+v", got, want)
 			}
 		})
 	}

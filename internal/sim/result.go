@@ -45,6 +45,27 @@ type PeerStats struct {
 	// deliveries toward this peer.
 	PlanDropped int
 	PlanDuped   int
+
+	// Source-resilience counters (runtimes executing a source.FaultPlan;
+	// zero elsewhere). Like the robustness counters above they measure
+	// recovery work: Q still charges each logical query exactly once.
+
+	// SourceRetries counts query attempts re-issued after a source
+	// failure (backoff retries).
+	SourceRetries int
+	// SourceFailures counts failed query attempts (all kinds).
+	SourceFailures int
+	// BreakerOpens counts this peer's circuit-breaker open transitions.
+	BreakerOpens int
+	// DeferredQueries counts queries parked while the breaker was open.
+	DeferredQueries int
+	// DegradedTime is time this peer spent with its breaker not closed.
+	DegradedTime float64
+	// WarmHitBits counts query bits served from persisted state after a
+	// churn rejoin instead of from the source.
+	WarmHitBits int
+	// Rejoined reports this churn peer crashed and rejoined.
+	Rejoined bool
 }
 
 // Result aggregates an execution's outcome. Aggregates follow the paper's
@@ -78,6 +99,17 @@ type Result struct {
 	// over honest peers (netrt runtime; zero elsewhere).
 	QueryRetries int
 	Reconnects   int
+	// Source-resilience aggregates over honest peers (runtimes executing
+	// a source.FaultPlan; zero elsewhere). DegradedTime is the max
+	// degraded interval of any honest peer, the others are sums.
+	SourceRetries   int
+	SourceFailures  int
+	BreakerOpens    int
+	DeferredQueries int
+	DegradedTime    float64
+	// Rejoins counts churn peers (faulty by definition) that crashed and
+	// rejoined, over all peers.
+	Rejoins int
 }
 
 // Finalize computes aggregates and correctness from PerPeer against the
@@ -86,6 +118,9 @@ func (r *Result) Finalize(input *bitarray.Array) {
 	r.Correct = true
 	for i := range r.PerPeer {
 		s := &r.PerPeer[i]
+		if s.Rejoined {
+			r.Rejoins++
+		}
 		if !s.Honest {
 			continue
 		}
@@ -112,6 +147,13 @@ func (r *Result) Finalize(input *bitarray.Array) {
 		r.MsgBits += s.MsgBitsSent
 		r.QueryRetries += s.QueryRetries
 		r.Reconnects += s.Reconnects
+		r.SourceRetries += s.SourceRetries
+		r.SourceFailures += s.SourceFailures
+		r.BreakerOpens += s.BreakerOpens
+		r.DeferredQueries += s.DeferredQueries
+		if s.DegradedTime > r.DegradedTime {
+			r.DegradedTime = s.DegradedTime
+		}
 		if s.TermTime > r.Time {
 			r.Time = s.TermTime
 		}

@@ -169,12 +169,38 @@ type Knowledge struct {
 	Shared map[string]any
 }
 
+// ChurnPeer schedules one crash-recovery peer: it runs the honest
+// protocol, crashes at an adversary-chosen action count (CrashPolicy
+// semantics), stays down for Downtime time units, and then rejoins as a
+// fresh protocol instance that resumes from its persisted verified-index
+// state (the bits it had learned from the source before crashing, served
+// warm without re-querying — the PR 5 warm-start cache shape applied to
+// recovery). Churn peers count toward the fault bound t and are reported
+// faulty, so correctness aggregates never depend on them; rejoining is
+// extra credit the adversary cannot exploit.
+type ChurnPeer struct {
+	// Peer is the churning peer.
+	Peer PeerID
+	// CrashAfter is the action count after which the peer crashes
+	// (each send and each event delivery is one action).
+	CrashAfter int
+	// Downtime is how long the peer stays down before rejoining, in
+	// runtime time units. Negative means it never rejoins (plain crash).
+	Downtime float64
+}
+
 // FaultSpec describes the execution's failure pattern.
 type FaultSpec struct {
 	Model  FaultModel
 	Faulty []PeerID
 	// Crash is required when Model is FaultCrash.
 	Crash CrashPolicy
+	// Churn lists crash-recovery peers. Churn is orthogonal to Model:
+	// it combines with any fault model (including FaultByzantine, where
+	// the Faulty set lies while the churn peer crashes and recovers).
+	// Churn peers must not appear in Faulty; together the two sets are
+	// checked against the bound t (AllowExcess lifts the check).
+	Churn []ChurnPeer
 	// NewByzantine is required when Model is FaultByzantine; it builds
 	// the behavior run in place of the honest protocol at faulty peers.
 	NewByzantine func(id PeerID, k *Knowledge) Peer
@@ -197,4 +223,14 @@ func (f *FaultSpec) IsFaulty(p PeerID) bool {
 		}
 	}
 	return false
+}
+
+// ChurnFor returns p's churn schedule, or nil.
+func (f *FaultSpec) ChurnFor(p PeerID) *ChurnPeer {
+	for i := range f.Churn {
+		if f.Churn[i].Peer == p {
+			return &f.Churn[i]
+		}
+	}
+	return nil
 }

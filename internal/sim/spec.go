@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bitarray"
 	"repro/internal/obs"
+	"repro/internal/source"
 )
 
 // Config carries the DR-model parameters of one execution.
@@ -83,6 +84,15 @@ type Spec struct {
 	Delays DelayPolicy
 	// Faults describes the failure pattern; zero value means FaultNone.
 	Faults FaultSpec
+	// SourceFaults, when non-nil and enabled, makes the external source
+	// unreliable per the plan; runtimes route every query through it and
+	// drive a per-peer retry/backoff/breaker client (package source).
+	// Nil keeps the paper's perfectly available oracle.
+	SourceFaults *source.FaultPlan
+	// SourcePolicy tunes the per-peer resilience client. The zero value
+	// selects defaults; it is consulted only when SourceFaults is
+	// enabled (a clean source needs no resilience).
+	SourcePolicy source.Policy
 	// Trace, when non-nil, receives Logf output and runtime traces.
 	Trace io.Writer
 	// Observer, when non-nil, receives a structured callback for every
@@ -124,7 +134,8 @@ type ObservedEvent struct {
 	// Time is the virtual time of the event.
 	Time float64 `json:"t"`
 	// Kind is one of "start", "send", "deliver", "query", "qreply",
-	// "crash", "terminate", "phase".
+	// "qfail", "crash", "rejoin", "terminate", "phase". For "qfail"
+	// events MsgType carries the source failure kind.
 	Kind string `json:"kind"`
 	// Peer is the acting peer (sender, receiver, querier, …).
 	Peer PeerID `json:"peer"`
@@ -170,14 +181,15 @@ func (s *Spec) Validate() error {
 	default:
 		return fmt.Errorf("sim: unknown fault model %d", s.Faults.Model)
 	}
-	if len(s.Faults.Faulty) > s.Config.T && !s.Faults.AllowExcess {
-		return fmt.Errorf("sim: %d faulty peers exceeds bound t=%d",
-			len(s.Faults.Faulty), s.Config.T)
+	faulty := len(s.Faults.Faulty) + len(s.Faults.Churn)
+	if faulty > s.Config.T && !s.Faults.AllowExcess {
+		return fmt.Errorf("sim: %d faulty peers (incl. churn) exceeds bound t=%d",
+			faulty, s.Config.T)
 	}
-	if len(s.Faults.Faulty) >= s.Config.N {
-		return fmt.Errorf("sim: %d faulty peers leaves no honest peer", len(s.Faults.Faulty))
+	if faulty >= s.Config.N {
+		return fmt.Errorf("sim: %d faulty peers leaves no honest peer", faulty)
 	}
-	seen := make(map[PeerID]bool, len(s.Faults.Faulty))
+	seen := make(map[PeerID]bool, faulty)
 	for _, p := range s.Faults.Faulty {
 		if p < 0 || int(p) >= s.Config.N {
 			return fmt.Errorf("sim: faulty peer %d out of range", p)
@@ -186,6 +198,23 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sim: duplicate faulty peer %d", p)
 		}
 		seen[p] = true
+	}
+	for _, cp := range s.Faults.Churn {
+		if cp.Peer < 0 || int(cp.Peer) >= s.Config.N {
+			return fmt.Errorf("sim: churn peer %d out of range", cp.Peer)
+		}
+		if seen[cp.Peer] {
+			return fmt.Errorf("sim: churn peer %d also listed faulty", cp.Peer)
+		}
+		seen[cp.Peer] = true
+		if cp.CrashAfter < 0 {
+			return fmt.Errorf("sim: churn peer %d has negative crash point", cp.Peer)
+		}
+	}
+	if s.SourceFaults != nil {
+		if err := s.SourceFaults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

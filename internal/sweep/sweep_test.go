@@ -13,6 +13,7 @@ import (
 	"repro/internal/protocols/segproto"
 	"repro/internal/protocols/twocycle"
 	"repro/internal/sim"
+	"repro/internal/source"
 	"repro/internal/sweep"
 )
 
@@ -152,5 +153,52 @@ func TestErrorNamesCell(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), `"bad-cell"`) {
 		t.Fatalf("error %q does not name the cell", err)
+	}
+}
+
+// TestSourceFaultedParallelMatchesSerial is the source-tier determinism
+// property: a sweep whose cells run against a faulty source — retries,
+// breaker trips, outage parking, and one crash-rejoin churn peer — must
+// still be byte-identical between the serial and the parallel driver,
+// because every fault decision is a pure function of (plan seed, peer,
+// ordinal, attempt) and the churn schedule lives in virtual time.
+func TestSourceFaultedParallelMatchesSerial(t *testing.T) {
+	plan, err := source.ParsePlan("fail=0.25,timeout=0.1,latency=0.4,outage=1..2.5,seed=13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seed int64) *sim.Spec {
+		return &sim.Spec{
+			Config:       sim.Config{N: 8, T: 2, L: 512, MsgBits: 64, Seed: seed},
+			NewPeer:      naive.NewBatched(64),
+			Delays:       adversary.NewRandomUnit(seed + 3),
+			Faults:       sim.FaultSpec{Churn: []sim.ChurnPeer{{Peer: 0, CrashAfter: 6, Downtime: 3}}},
+			SourceFaults: plan,
+		}
+	}
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	serial, err := sweep.Run(sweep.Seeds("srcfault", mk, seeds), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sweep.Run(sweep.Seeds("srcfault", mk, seeds), sweep.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFailures := false
+	for i, seed := range seeds {
+		if !serial[i].Correct {
+			t.Fatalf("seed=%d: source-faulted run incorrect: %v", seed, serial[i].Failures)
+		}
+		if serial[i].SourceFailures > 0 {
+			sawFailures = true
+		}
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("seed=%d: parallel result differs from serial:\n serial   %v\n parallel %v",
+				seed, serial[i], parallel[i])
+		}
+	}
+	if !sawFailures {
+		t.Fatal("property fixture degenerate: no cell recorded a source failure")
 	}
 }
