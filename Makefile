@@ -9,7 +9,7 @@ FUZZTIME ?= 30s
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2024.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 
-.PHONY: all build fmt vet test race bench bench-ci conform chaos source-chaos experiments fuzz lint cover dst-search dst-regen harden clean
+.PHONY: all build fmt vet test race bench bench-ci conform conformance chaos source-chaos experiments fuzz lint cover dst-search dst-regen harden clean
 
 all: build vet test
 
@@ -47,6 +47,18 @@ bench-ci:
 
 conform:
 	$(GO) run ./cmd/drconform -n 16 -L 2048 -seeds 3 -tcp
+
+# Cross-runtime conformance gate (see docs/SPEC.md + docs/TESTING.md
+# "The conformance tier"): the conformance package suite (drift refusal,
+# negative controls, des-vs-live equivalence, fixture round-trips), the
+# drconform exit-code regressions, then the committed golden corpus
+# executed on every runtime — des, live, and real TCP sockets — diffed
+# field-by-field into a protocol × runtime pass matrix. Regenerate the
+# corpus with `go test ./internal/conformance -update` (refuses semantic
+# drift unless CorpusVersion is bumped).
+conformance:
+	$(GO) test -count=1 ./internal/conformance/ ./cmd/drconform/
+	$(GO) run ./cmd/drconform -fixtures -tcp
 
 # Tier-2 robustness gate: the chaos and live-runtime suites under the race
 # detector, then a quick drchaos survival sweep over real sockets.

@@ -1,236 +1,104 @@
-// Command drconform runs the full conformance grid: every protocol
-// against every compatible fault behavior across several seeds, printing
-// a pass/fail matrix with one column per enabled runtime (deterministic,
-// and optionally the concurrent and real-socket ones). It is the
-// library's smoke-screen for regressions that individual unit tests might
-// miss.
+// Command drconform is the cross-runtime conformance gate.
 //
-// Example:
+// Sweep mode (default) runs the full grid: every protocol against every
+// compatible fault behavior across several seeds, printing a pass/fail
+// matrix with one column per enabled runtime. Every cell is additionally
+// checked against the protocol's Q/M complexity envelope (docs/SPEC.md);
+// a correct-but-over-budget run fails the row and the exit code.
+//
+// Fixture mode (-fixtures) runs the committed golden corpus
+// (internal/conformance/fixtures): every pinned case on every enabled
+// runtime, diffed field-by-field against the recorded expectation, plus
+// the wire-frame round-trip and .dsr replay integrity checks. This is
+// the contract any new runtime must pass before it can land.
+//
+// Examples:
 //
 //	drconform -n 16 -L 2048 -seeds 5
 //	drconform -live -tcp -seeds 2
+//	drconform -fixtures -tcp
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
+	"time"
 
-	"repro/download"
-	"repro/internal/harden"
+	"repro/internal/conformance"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-// behaviorsFor returns the fault behaviors meaningful for a protocol's
-// fault model, plus the failure-free baseline.
-func behaviorsFor(info download.Info) []download.FaultBehavior {
-	switch info.FaultModel {
-	case "crash":
-		return []download.FaultBehavior{
-			download.NoFaults, download.CrashImmediate, download.CrashRandom,
-		}
-	case "byzantine":
-		return []download.FaultBehavior{
-			download.NoFaults, download.CrashRandom, download.Silent,
-			download.Spam, download.Liar, download.Equivocate,
-		}
-	default: // "any"
-		return []download.FaultBehavior{
-			download.NoFaults, download.CrashImmediate, download.Silent,
-			download.Spam, download.Liar,
-		}
-	}
-}
-
-// faultBoundFor picks the maximal T the protocol's resilience permits.
-func faultBoundFor(info download.Info, n int) int {
-	switch {
-	case info.Protocol == download.Crash1:
-		return 1
-	case info.FaultModel == "crash":
-		return 3 * n / 4
-	case info.FaultModel == "byzantine":
-		return n/2 - 1
-	default:
-		return n / 2
-	}
-}
-
-// runtimeSpec describes one runtime column of the grid.
-type runtimeSpec struct {
-	name   string
-	live   bool
-	tcp    bool
-	source string // non-empty: des runtime with this source fault plan
-}
-
-// supports reports whether the runtime can execute the behavior: the
-// real-socket runtime only injects crash-from-start faults (its richer
-// fault repertoire — drops, flaps, partitions — lives in drchaos).
-func (r runtimeSpec) supports(behavior download.FaultBehavior) bool {
-	if !r.tcp {
-		return true
-	}
-	return behavior == download.NoFaults || behavior == download.CrashImmediate
-}
-
-func run() int {
+// run executes the CLI and returns its exit code: 0 only when every
+// cell-run passed — correctness, field-level fixture conformance, AND
+// the Q/M envelopes. (A sweep that printed a failing row but exited 0
+// would make the CI gate decorative; the regression test in main_test.go
+// pins the nonzero exit.)
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("drconform", flag.ContinueOnError)
 	var (
-		n        = flag.Int("n", 16, "peers")
-		l        = flag.Int("L", 2048, "input bits")
-		seeds    = flag.Int("seeds", 3, "seeds per cell")
-		liveRT   = flag.Bool("live", false, "also run the concurrent runtime")
-		tcpRT    = flag.Bool("tcp", false, "also run the real-socket runtime")
-		hardenRT = flag.Bool("harden", false, "add a column re-running each des cell under the hardening supervisor")
-		srcCol   = flag.Bool("flaky-source", false, "add a SRC column re-running each des cell against a flaky source")
-		srcSpec  = flag.String("source-faults", "fail=0.2,timeout=0.1,outage=1..3,seed=11",
+		n        = fs.Int("n", 16, "peers (sweep mode)")
+		l        = fs.Int("L", 2048, "input bits (sweep mode)")
+		seeds    = fs.Int("seeds", 3, "seeds per cell (sweep mode)")
+		liveRT   = fs.Bool("live", false, "also run the concurrent runtime")
+		tcpRT    = fs.Bool("tcp", false, "also run the real-socket runtime")
+		hardenRT = fs.Bool("harden", false, "add a column re-running each des cell under the hardening supervisor")
+		srcCol   = fs.Bool("flaky-source", false, "add a SRC column re-running each des cell against a flaky source")
+		srcSpec  = fs.String("source-faults", "fail=0.2,timeout=0.1,outage=1..3,seed=11",
 			"source fault plan used by the -flaky-source column")
+		fixtures = fs.Bool("fixtures", false, "run the committed golden fixture corpus instead of the sweep grid")
+		fixDir   = fs.String("fixture-dir", conformance.DefaultDir, "fixture corpus directory (fixture mode)")
+		liveOff  = fs.Bool("no-live", false, "drop the live column from fixture mode (it is on by default there)")
+		scale    = fs.Duration("live-scale", 500*time.Microsecond, "live runtime time scale in fixture mode")
 	)
-	flag.Parse()
-
-	runtimes := []runtimeSpec{{name: "des"}}
-	if *liveRT {
-		runtimes = append(runtimes, runtimeSpec{name: "live", live: true})
-	}
-	if *tcpRT {
-		runtimes = append(runtimes, runtimeSpec{name: "tcp", tcp: true})
-	}
-	if *srcCol {
-		// The flaky-source column is the des runtime again, but with every
-		// query routed through the seeded fault plan: same grid, plus
-		// outages, lost replies, and transient refusals to recover from.
-		runtimes = append(runtimes, runtimeSpec{name: "src", source: *srcSpec})
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	type cell struct {
-		proto    download.Protocol
-		behavior download.FaultBehavior
-		pass     map[string]int
-		fail     map[string]int
-		lastFail string
-		// Hardened-column tallies: runs where the supervisor detected a
-		// violation, escalated, and whether it ended correct.
-		hPass, hFail, hDetect, hEscal, hCorrect int
-	}
-	var cells []*cell
-	failures := 0
-
-	for _, info := range download.Protocols() {
-		tBound := faultBoundFor(info, *n)
-		for _, behavior := range behaviorsFor(info) {
-			c := &cell{
-				proto: info.Protocol, behavior: behavior,
-				pass: make(map[string]int), fail: make(map[string]int),
-			}
-			cells = append(cells, c)
-			for seed := 0; seed < *seeds; seed++ {
-				for _, rt := range runtimes {
-					if !rt.supports(behavior) {
-						continue
-					}
-					rep, err := download.Run(download.Options{
-						Protocol: info.Protocol,
-						N:        *n, T: tBound, L: *l,
-						Seed:         int64(seed),
-						Behavior:     behavior,
-						Live:         rt.live,
-						TCP:          rt.tcp,
-						SourceFaults: rt.source,
-					})
-					switch {
-					case err != nil:
-						c.fail[rt.name]++
-						c.lastFail = err.Error()
-					case !rep.Correct:
-						c.fail[rt.name]++
-						if len(rep.Failures) > 0 {
-							c.lastFail = rep.Failures[0]
-						}
-					default:
-						c.pass[rt.name]++
-					}
-				}
-				if *hardenRT {
-					rep, err := download.RunHardened(download.Options{
-						Protocol: info.Protocol,
-						N:        *n, T: tBound, L: *l,
-						Seed:     int64(seed),
-						Behavior: behavior,
-					}, harden.Policy{})
-					switch {
-					case err != nil:
-						c.hFail++
-						c.lastFail = err.Error()
-					case !rep.Correct:
-						c.hFail++
-						if len(rep.Failures) > 0 {
-							c.lastFail = rep.Failures[0]
-						}
-					default:
-						c.hPass++
-						h := rep.Hardening
-						if h.Detected {
-							c.hDetect++
-						}
-						if len(h.Escalations) > 1 {
-							c.hEscal++
-						}
-						if h.Corrected {
-							c.hCorrect++
-						}
-					}
-				}
-			}
-			for _, rt := range runtimes {
-				failures += c.fail[rt.name]
-			}
-			failures += c.hFail
-		}
+	if *fixtures {
+		return runFixtures(stdout, *fixDir, *tcpRT, !*liveOff, *scale)
 	}
 
-	name := func(b download.FaultBehavior) string {
-		if b == download.NoFaults {
-			return "(none)"
-		}
-		return string(b)
-	}
-	fmt.Printf("%-12s %-14s", "PROTOCOL", "BEHAVIOR")
-	for _, rt := range runtimes {
-		fmt.Printf(" %-8s", strings.ToUpper(rt.name))
-	}
-	if *hardenRT {
-		fmt.Printf(" %-16s", "HARDEN(d/e/c)")
-	}
-	fmt.Printf(" %s\n", "LAST FAILURE")
-	for _, c := range cells {
-		fmt.Printf("%-12s %-14s", c.proto, name(c.behavior))
-		for _, rt := range runtimes {
-			if !rt.supports(c.behavior) {
-				fmt.Printf(" %-8s", "-")
-				continue
-			}
-			fmt.Printf(" %-8s", fmt.Sprintf("%d/%d", c.pass[rt.name], c.fail[rt.name]))
-		}
-		if *hardenRT {
-			// d/e/c: runs where a violation was detected, where the ladder
-			// escalated, and where the escalation ended corrected.
-			fmt.Printf(" %-16s", fmt.Sprintf("%d/%d d%d e%d c%d",
-				c.hPass, c.hFail, c.hDetect, c.hEscal, c.hCorrect))
-		}
-		last := ""
-		if c.lastFail != "" {
-			last = c.lastFail
-		}
-		fmt.Printf(" %s\n", last)
-	}
-	if failures > 0 {
-		fmt.Printf("\nFAILED: %d cell-runs failed\n", failures)
+	rep := conformance.RunGrid(conformance.GridConfig{
+		N: *n, L: *l, Seeds: *seeds,
+		Live: *liveRT, TCP: *tcpRT, Harden: *hardenRT,
+		FlakySource: *srcCol, SourcePlan: *srcSpec,
+	})
+	rep.Write(stdout)
+	if rep.Failures > 0 {
 		return 1
 	}
-	fmt.Printf("\nOK: %d cells, all runs correct\n", len(cells))
+	return 0
+}
+
+func runFixtures(stdout io.Writer, dir string, tcp, live bool, scale time.Duration) int {
+	corpus, err := conformance.Load(dir)
+	if err != nil {
+		fmt.Fprintf(stdout, "drconform: %v\n", err)
+		return 1
+	}
+	runtimes := []conformance.Runtime{conformance.DES}
+	if live {
+		runtimes = append(runtimes, conformance.Live)
+	}
+	if tcp {
+		runtimes = append(runtimes, conformance.TCP)
+	}
+	rep := conformance.RunFixtures(corpus, conformance.Config{
+		Runtimes:  runtimes,
+		LiveScale: scale,
+	})
+	rep.WriteMatrix(stdout)
+	if rep.Failed() {
+		fmt.Fprintf(stdout, "\nFAILED: fixture conformance\n")
+		return 1
+	}
+	fmt.Fprintf(stdout, "\nOK: %d cases × %d runtimes conform (corpus v%d, %d frames, %d replays)\n",
+		len(corpus.Results.Cases), len(runtimes), conformance.CorpusVersion,
+		len(corpus.Frames.Frames), len(corpus.Replays.Replays))
 	return 0
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/download"
+	"repro/internal/conformance"
+)
+
+// TestExitCodePropagatesEnvelopeFailure is the regression test for the
+// bug where drconform printed a failing row but still exited 0, making
+// the CI gate decorative: a protocol row that violates its Q/M bound
+// must drive a nonzero exit. The violation is provoked by substituting
+// an impossible envelope for naive (Q must be ≤ 0 bits), so the same
+// small grid that passes below fails here.
+func TestExitCodePropagatesEnvelopeFailure(t *testing.T) {
+	saved := conformance.Envelopes[download.Naive]
+	conformance.Envelopes[download.Naive] = conformance.Envelope{
+		MaxQ: func(n, tb, L, b int) int { return 0 },
+	}
+	defer func() { conformance.Envelopes[download.Naive] = saved }()
+
+	var out strings.Builder
+	code := run([]string{"-n", "6", "-L", "64", "-seeds", "1"}, &out)
+	if code == 0 {
+		t.Fatalf("envelope violation exited 0:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "envelope: Q") {
+		t.Fatalf("violation not reported in output:\n%s", out.String())
+	}
+}
+
+// TestExitCodeCleanGrid pins the passing path of the same grid: exit 0
+// and an OK summary.
+func TestExitCodeCleanGrid(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-n", "6", "-L", "64", "-seeds", "1"}, &out); code != 0 {
+		t.Fatalf("clean grid exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "OK:") {
+		t.Fatalf("no OK summary:\n%s", out.String())
+	}
+}
+
+// TestExitCodeFixtureMode runs the committed corpus (des column only,
+// for speed) through the CLI path and requires exit 0.
+func TestExitCodeFixtureMode(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-fixtures", "-no-live",
+		"-fixture-dir", "../../internal/conformance/fixtures"}, &out)
+	if code != 0 {
+		t.Fatalf("fixture mode exited %d:\n%s", code, out.String())
+	}
+}
+
+// TestExitCodeBadFlags pins usage errors to exit 2, distinct from
+// conformance failures.
+func TestExitCodeBadFlags(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out); code != 2 {
+		t.Fatalf("bad flag exited %d", code)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/bitarray"
@@ -176,6 +177,10 @@ type Options struct {
 	// Live runs the goroutine runtime instead of the deterministic
 	// discrete-event runtime.
 	Live bool
+	// LiveTimeScale overrides the live runtime's wall duration of one
+	// virtual time unit (default 2ms). Conformance sweeps run hundreds
+	// of live executions and use a sub-millisecond scale. Requires Live.
+	LiveTimeScale time.Duration
 	// TCP runs the real-socket runtime (internal/netrt): peers exchange
 	// wire-encoded frames through a local hub. Only crash-from-start
 	// faults are supported there (Behavior CrashImmediate); other
@@ -233,6 +238,9 @@ type Report struct {
 	// Time is the virtual (or scaled wall) time of the last honest
 	// termination.
 	Time float64
+	// Events is the number of delivered events (des runtime; zero on the
+	// live and TCP runtimes, which have no global event loop).
+	Events int
 	// Correct reports that every nonfaulty peer output X exactly.
 	Correct bool
 	// Failures describes violations when Correct is false.
@@ -278,7 +286,11 @@ func Run(opts Options) (*Report, error) {
 	}
 	var rt sim.Runtime = des.New()
 	if opts.Live {
-		rt = live.New()
+		lr := live.New()
+		if opts.LiveTimeScale > 0 {
+			lr.TimeScale = opts.LiveTimeScale
+		}
+		rt = lr
 	}
 	res, err := rt.Run(spec)
 	if err != nil {
@@ -317,6 +329,10 @@ func (o *Options) validate() error {
 		return fmt.Errorf("download: input length %d != L=%d", len(o.Input), o.L)
 	case o.Live && o.TCP:
 		return errors.New("download: Live and TCP are mutually exclusive")
+	case o.LiveTimeScale < 0:
+		return fmt.Errorf("download: LiveTimeScale=%v must not be negative", o.LiveTimeScale)
+	case o.LiveTimeScale > 0 && !o.Live:
+		return errors.New("download: LiveTimeScale requires Live")
 	}
 	if o.SourceFaults != "" {
 		if _, err := source.ParsePlan(o.SourceFaults); err != nil {
@@ -531,6 +547,7 @@ func buildReport(res *sim.Result) *Report {
 		Msgs:     res.Msgs,
 		MsgBits:  res.MsgBits,
 		Time:     res.Time,
+		Events:   res.Events,
 		Correct:  res.Correct,
 		Failures: append([]string(nil), res.Failures...),
 

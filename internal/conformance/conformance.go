@@ -1,0 +1,222 @@
+// Package conformance pins the cross-runtime protocol contract: a
+// versioned golden fixture corpus (result vectors, encoded wire frames,
+// and references into the dst replay corpus) plus a runner that executes
+// every protocol on every runtime against it and diffs the outcomes
+// field by field.
+//
+// The canonical contract itself is prose — docs/SPEC.md — and this
+// package is its executable half. Any new runtime (the planned
+// state-machine peer core included) must produce the committed result
+// vectors before it can claim to implement the protocols; any change to
+// the wire format must reproduce the committed frame bytes; and any
+// deliberate semantic change must bump CorpusVersion, because the
+// regeneration path refuses to overwrite fixtures whose meaning drifted
+// under an unchanged version (see gen.go).
+//
+// Layout of the corpus (internal/conformance/fixtures/):
+//
+//	results.json — per-case expected result vectors over a seeded grid
+//	               of (protocol, N, t, behavior, seed, source plan)
+//	frames.json  — hex-encoded wire frames, one per message type
+//	replays.json — sha256-pinned references into the .dsr replay corpus
+//
+// Regenerate with:
+//
+//	go test ./internal/conformance -update
+//
+// which re-runs the grid on the des runtime, re-encodes the frames, and
+// re-hashes the replay corpus — and fails instead of writing when the
+// result differs semantically from the committed corpus while
+// CorpusVersion is unchanged.
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+)
+
+// CorpusVersion is the fixture corpus format-and-semantics version.
+// Bump it on any deliberate semantic change to a runtime, a protocol,
+// the wire format, or the fixture schema; regeneration with -update
+// refuses to rewrite changed expectations under an unchanged version.
+const CorpusVersion = 1
+
+// Fixture file names within a corpus directory.
+const (
+	ResultsFile = "results.json"
+	FramesFile  = "frames.json"
+	ReplaysFile = "replays.json"
+)
+
+// DefaultDir is the committed corpus location relative to the repo root
+// (where `go run ./cmd/drconform` executes).
+const DefaultDir = "internal/conformance/fixtures"
+
+// Expect is the pinned result vector of one case, produced on the des
+// runtime. Which fields other runtimes must reproduce is governed by
+// the comparison mask (see fieldsFor in runner.go): output and
+// correctness are runtime-invariant, Q is invariant on fault-free runs,
+// and the remaining fields are deterministic on des only.
+type Expect struct {
+	// Correct reports every honest peer output X exactly.
+	Correct bool `json:"correct"`
+	// OutputFNV is the %016x FNV-1a hash of the honest output bits.
+	OutputFNV string `json:"output_fnv"`
+	// Q is the query complexity (max bits queried by an honest peer).
+	Q int `json:"q"`
+	// Msgs and MsgBits are the honest message complexity.
+	Msgs    int `json:"msgs"`
+	MsgBits int `json:"msg_bits"`
+	// Events is the des event count; Time the virtual completion time.
+	Events int    `json:"events"`
+	Time   string `json:"time"` // %.4f
+	// Source-resilience counters, nonzero only for flaky-source cases.
+	SrcFailures  int `json:"src_failures,omitempty"`
+	SrcRetries   int `json:"src_retries,omitempty"`
+	BreakerOpens int `json:"breaker_opens,omitempty"`
+}
+
+// Case is one conformance cell: a fully specified execution plus its
+// pinned outcome.
+type Case struct {
+	// Name is the stable identity of the case ("protocol/n6t2/liar/s1");
+	// drift detection is keyed on it.
+	Name     string `json:"name"`
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	T        int    `json:"t"`
+	L        int    `json:"l"`
+	MsgBits  int    `json:"msg_bits"`
+	Seed     int64  `json:"seed"`
+	// Behavior is the download.FaultBehavior name; empty = fault-free.
+	Behavior string `json:"behavior,omitempty"`
+	// SourceFaults is a source.ParsePlan plan for flaky-source cases.
+	SourceFaults string `json:"source_faults,omitempty"`
+	Expect       Expect `json:"expect"`
+}
+
+// FaultFree reports whether the case injects no peer or source faults —
+// the regime where Q and the output are invariant across all runtimes.
+func (c *Case) FaultFree() bool { return c.Behavior == "" && c.SourceFaults == "" }
+
+// Results is the decoded results.json.
+type Results struct {
+	Version int    `json:"version"`
+	Cases   []Case `json:"cases"`
+}
+
+// Frame is one pinned wire encoding: Hex must decode via wire.Unmarshal
+// (with input length L) and re-encode to the identical bytes.
+type Frame struct {
+	Name string `json:"name"`
+	L    int    `json:"l"`
+	Hex  string `json:"hex"`
+}
+
+// Frames is the decoded frames.json.
+type Frames struct {
+	Version int     `json:"version"`
+	Frames  []Frame `json:"frames"`
+}
+
+// ReplayRef pins one file of the dst replay corpus byte-for-byte: the
+// committed .dsr artifacts are part of the cross-runtime contract (they
+// encode exact schedules any des-compatible engine must reproduce), so
+// silent edits to them must fail conformance.
+type ReplayRef struct {
+	// File is the replay path relative to the corpus directory.
+	File string `json:"file"`
+	// SHA256 is the hex digest of the file bytes.
+	SHA256 string `json:"sha256"`
+	// Expect and EventHash mirror the replay's own pinned outcome for
+	// human inspection; Verify re-checks them against the file.
+	Expect    string `json:"expect"`
+	EventHash string `json:"event_hash,omitempty"`
+}
+
+// Replays is the decoded replays.json.
+type Replays struct {
+	Version int         `json:"version"`
+	Replays []ReplayRef `json:"replays"`
+}
+
+// Corpus is a fully loaded fixture directory.
+type Corpus struct {
+	Dir     string
+	Results Results
+	Frames  Frames
+	Replays Replays
+}
+
+// marshalCanonical renders a fixture file in the corpus's canonical
+// encoding: two-space indented JSON with a trailing newline. Committed
+// fixtures must be byte-identical to this rendering of their decoded
+// content (TestFixtureRoundTrip), so hand edits cannot drift the
+// canonical form.
+func marshalCanonical(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+func loadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("conformance: parse %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a fixture corpus from dir and validates its version.
+func Load(dir string) (*Corpus, error) {
+	c := &Corpus{Dir: dir}
+	if err := loadJSON(filepath.Join(dir, ResultsFile), &c.Results); err != nil {
+		return nil, err
+	}
+	if err := loadJSON(filepath.Join(dir, FramesFile), &c.Frames); err != nil {
+		return nil, err
+	}
+	if err := loadJSON(filepath.Join(dir, ReplaysFile), &c.Replays); err != nil {
+		return nil, err
+	}
+	for name, v := range map[string]int{
+		ResultsFile: c.Results.Version,
+		FramesFile:  c.Frames.Version,
+		ReplaysFile: c.Replays.Version,
+	} {
+		if v != CorpusVersion {
+			return nil, fmt.Errorf("conformance: %s version %d, runner wants %d (regenerate with -update after bumping CorpusVersion)",
+				name, v, CorpusVersion)
+		}
+	}
+	if len(c.Results.Cases) == 0 {
+		return nil, fmt.Errorf("conformance: %s has no cases", ResultsFile)
+	}
+	return c, nil
+}
+
+// HashBits is the corpus's output fingerprint: the %016x FNV-1a hash
+// over the output bits, one byte per bit. Every runtime's honest output
+// must hash to the case's OutputFNV.
+func HashBits(bits []bool) string {
+	h := fnv.New64a()
+	buf := make([]byte, len(bits))
+	for i, b := range bits {
+		if b {
+			buf[i] = 1
+		}
+	}
+	h.Write(buf)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,116 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/download"
+)
+
+// Envelope bounds a protocol's per-run complexity. The bounds are the
+// executable half of the per-protocol Q/M/T envelopes pinned in
+// docs/SPEC.md: asymptotic theorems instantiated with explicit constants
+// and roughly 2× headroom over the worst value observed across the
+// conformance grid, so they catch gross cost regressions (a protocol
+// silently degenerating toward naive, a message storm) without flaking
+// on legitimate schedule variance. A violated envelope fails the cell —
+// and the run — even when the output is correct.
+type Envelope struct {
+	// MaxQ bounds the query complexity Q (bits). Negative disables.
+	MaxQ func(n, t, L, b int) int
+	// MaxMsgs bounds the honest message complexity. Negative disables.
+	MaxMsgs func(n, t, L, b int) int
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// Envelopes maps each protocol to its complexity envelope. It is a
+// package variable so tests can substitute a deliberately violated
+// envelope (the drconform exit-code regression test does).
+var Envelopes = map[download.Protocol]Envelope{
+	download.Naive: {
+		// Q = L exactly (Thm 3.1/3.2 optimum at β ≥ 1/2); no messages.
+		MaxQ:    func(n, t, L, b int) int { return L },
+		MaxMsgs: func(n, t, L, b int) int { return 0 },
+	},
+	download.Crash1: {
+		// Thm 2.3: L/n + L/(n(n−1)) fault-free; a crash at most doubles
+		// a survivor's share. Messages: O(n) rounds of O(n) pushes, each
+		// chunked into ≤ ceil(L/(n·b))+1 frames.
+		MaxQ: func(n, t, L, b int) int {
+			return 2*ceilDiv(L, n-1) + 2*ceilDiv(L, n*(n-1)) + 2*b
+		},
+		MaxMsgs: func(n, t, L, b int) int {
+			return 16 * n * n * (ceilDiv(L, n*b) + 2)
+		},
+	},
+	download.CrashK: {
+		// Thm 2.13: O(L/n) for any β < 1; the constant scales with the
+		// surviving fraction, so bound by the per-survivor share L/(n−t).
+		// Messages grow with the crash count: every crash can trigger a
+		// reassignment round of O(n²) chunked frames.
+		MaxQ: func(n, t, L, b int) int {
+			return 4*ceilDiv(L, n-t) + 2*b
+		},
+		MaxMsgs: func(n, t, L, b int) int {
+			return 16 * n * n * (t + 2) * (ceilDiv(L, n*b) + 2)
+		},
+	},
+	download.Committee: {
+		// Thm 3.4: each bit is served by a (2t+1)-committee, so a peer
+		// owns ≤ ceil(L/n) indices queried by 2t+1 members, and every
+		// member reports its values to all n peers in chunked frames.
+		MaxQ: func(n, t, L, b int) int {
+			return (2*t+1)*ceilDiv(L, n) + b
+		},
+		MaxMsgs: func(n, t, L, b int) int {
+			return 8 * n * n * (2*t + 2) * (ceilDiv(L, n*b) + 1)
+		},
+	},
+	download.TwoCycle: {
+		// Thm 3.7: Õ(L/n) whp at scale; at conformance-grid sizes the
+		// fallback cycle dominates, so the sound universal bound is the
+		// naive ceiling per cycle (2 cycles).
+		MaxQ:    func(n, t, L, b int) int { return 2 * L },
+		MaxMsgs: func(n, t, L, b int) int { return 4 * n * n * (ceilDiv(L, b) + 2) },
+	},
+	download.MultiCycle: {
+		// Thm 3.12: expected Õ(L/n); bounded per cycle like twocycle
+		// with O(log n) cycles.
+		MaxQ:    func(n, t, L, b int) int { return 2 * L },
+		MaxMsgs: func(n, t, L, b int) int { return 4 * n * n * (ceilDiv(L, b) + 2) },
+	},
+}
+
+func init() {
+	// CrashKFast shares CrashK's envelope: the fast stage-3 rule trades
+	// time, not queries.
+	Envelopes[download.CrashKFast] = Envelopes[download.CrashK]
+}
+
+// CheckEnvelope returns human-readable Q/M bound violations for one
+// report (empty when within the envelope or no envelope is registered).
+func CheckEnvelope(p download.Protocol, n, t, L, b int, rep *download.Report) []string {
+	env, ok := Envelopes[p]
+	if !ok {
+		return nil
+	}
+	var violations []string
+	if env.MaxQ != nil {
+		if maxQ := env.MaxQ(n, t, L, b); maxQ >= 0 && rep.Q > maxQ {
+			violations = append(violations,
+				fmt.Sprintf("envelope: Q %d exceeds bound %d", rep.Q, maxQ))
+		}
+	}
+	if env.MaxMsgs != nil {
+		if maxM := env.MaxMsgs(n, t, L, b); maxM >= 0 && rep.Msgs > maxM {
+			violations = append(violations,
+				fmt.Sprintf("envelope: msgs %d exceeds bound %d", rep.Msgs, maxM))
+		}
+	}
+	return violations
+}

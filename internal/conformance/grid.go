@@ -1,0 +1,223 @@
+package conformance
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/download"
+	"repro/internal/harden"
+)
+
+// GridConfig configures a conformance sweep grid (the drconform default
+// mode): every protocol × compatible behavior × seed, one column per
+// enabled runtime.
+type GridConfig struct {
+	N, L  int
+	Seeds int
+	// Live and TCP add the concurrent and real-socket columns.
+	Live bool
+	TCP  bool
+	// Harden adds a column re-running each des cell under the hardening
+	// supervisor.
+	Harden bool
+	// FlakySource adds a SRC column re-running each des cell against
+	// SourcePlan.
+	FlakySource bool
+	SourcePlan  string
+}
+
+// gridRuntime describes one runtime column of the grid.
+type gridRuntime struct {
+	name   string
+	live   bool
+	tcp    bool
+	source string // non-empty: des runtime with this source fault plan
+}
+
+// supports reports whether the runtime can execute the behavior: the
+// real-socket runtime only injects crash-from-start faults (its richer
+// fault repertoire — drops, flaps, partitions — lives in drchaos).
+func (r gridRuntime) supports(behavior download.FaultBehavior) bool {
+	if !r.tcp {
+		return true
+	}
+	return behavior == download.NoFaults || behavior == download.CrashImmediate
+}
+
+// GridCell is one (protocol, behavior) row of the sweep.
+type GridCell struct {
+	Proto    download.Protocol
+	Behavior download.FaultBehavior
+	Pass     map[string]int
+	Fail     map[string]int
+	LastFail string
+	// Hardened-column tallies: runs where the supervisor detected a
+	// violation, escalated, and whether it ended correct.
+	HPass, HFail, HDetect, HEscal, HCorrect int
+}
+
+// GridReport is the outcome of a sweep.
+type GridReport struct {
+	Runtimes []string
+	Cells    []*GridCell
+	Harden   bool
+	// Failures counts failed cell-runs: incorrect outputs, runtime
+	// errors, AND Q/M envelope violations — all of them must fail the
+	// sweep's exit code.
+	Failures int
+}
+
+// RunGrid executes the sweep. Every cell-run is checked for correctness
+// and against the protocol's Q/M complexity envelope; both kinds of
+// failure count toward GridReport.Failures.
+func RunGrid(cfg GridConfig) *GridReport {
+	runtimes := []gridRuntime{{name: "des"}}
+	if cfg.Live {
+		runtimes = append(runtimes, gridRuntime{name: "live", live: true})
+	}
+	if cfg.TCP {
+		runtimes = append(runtimes, gridRuntime{name: "tcp", tcp: true})
+	}
+	if cfg.FlakySource {
+		// The flaky-source column is the des runtime again, but with every
+		// query routed through the seeded fault plan: same grid, plus
+		// outages, lost replies, and transient refusals to recover from.
+		runtimes = append(runtimes, gridRuntime{name: "src", source: cfg.SourcePlan})
+	}
+	rep := &GridReport{Harden: cfg.Harden}
+	for _, rt := range runtimes {
+		rep.Runtimes = append(rep.Runtimes, rt.name)
+	}
+
+	for _, info := range download.Protocols() {
+		tBound := FaultBound(info, cfg.N)
+		for _, behavior := range BehaviorsFor(info) {
+			c := &GridCell{
+				Proto: info.Protocol, Behavior: behavior,
+				Pass: make(map[string]int), Fail: make(map[string]int),
+			}
+			rep.Cells = append(rep.Cells, c)
+			for seed := 0; seed < cfg.Seeds; seed++ {
+				for _, rt := range runtimes {
+					if !rt.supports(behavior) {
+						continue
+					}
+					r, err := download.Run(download.Options{
+						Protocol: info.Protocol,
+						N:        cfg.N, T: tBound, L: cfg.L,
+						Seed:         int64(seed),
+						Behavior:     behavior,
+						Live:         rt.live,
+						TCP:          rt.tcp,
+						SourceFaults: rt.source,
+					})
+					switch {
+					case err != nil:
+						c.Fail[rt.name]++
+						c.LastFail = err.Error()
+					case !r.Correct:
+						c.Fail[rt.name]++
+						if len(r.Failures) > 0 {
+							c.LastFail = r.Failures[0]
+						}
+					default:
+						// A correct output that blew its complexity envelope
+						// still fails the row: the Q/M contract is part of
+						// conformance, not advice (see docs/SPEC.md).
+						b := derivedMsgBits(cfg.N, cfg.L)
+						if v := CheckEnvelope(info.Protocol, cfg.N, tBound, cfg.L, b, r); len(v) > 0 {
+							c.Fail[rt.name]++
+							c.LastFail = v[0]
+						} else {
+							c.Pass[rt.name]++
+						}
+					}
+				}
+				if cfg.Harden {
+					r, err := download.RunHardened(download.Options{
+						Protocol: info.Protocol,
+						N:        cfg.N, T: tBound, L: cfg.L,
+						Seed:     int64(seed),
+						Behavior: behavior,
+					}, harden.Policy{})
+					switch {
+					case err != nil:
+						c.HFail++
+						c.LastFail = err.Error()
+					case !r.Correct:
+						c.HFail++
+						if len(r.Failures) > 0 {
+							c.LastFail = r.Failures[0]
+						}
+					default:
+						c.HPass++
+						h := r.Hardening
+						if h.Detected {
+							c.HDetect++
+						}
+						if len(h.Escalations) > 1 {
+							c.HEscal++
+						}
+						if h.Corrected {
+							c.HCorrect++
+						}
+					}
+				}
+			}
+			for _, rt := range runtimes {
+				rep.Failures += c.Fail[rt.name]
+			}
+			rep.Failures += c.HFail
+		}
+	}
+	return rep
+}
+
+// Write renders the sweep as the drconform pass/fail table.
+func (r *GridReport) Write(w io.Writer) {
+	name := func(b download.FaultBehavior) string {
+		if b == download.NoFaults {
+			return "(none)"
+		}
+		return string(b)
+	}
+	fmt.Fprintf(w, "%-12s %-14s", "PROTOCOL", "BEHAVIOR")
+	for _, rt := range r.Runtimes {
+		fmt.Fprintf(w, " %-8s", strings.ToUpper(rt))
+	}
+	if r.Harden {
+		fmt.Fprintf(w, " %-16s", "HARDEN(d/e/c)")
+	}
+	fmt.Fprintf(w, " %s\n", "LAST FAILURE")
+	tcpCol := false
+	for _, rt := range r.Runtimes {
+		if rt == "tcp" {
+			tcpCol = true
+		}
+	}
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "%-12s %-14s", c.Proto, name(c.Behavior))
+		for _, rt := range r.Runtimes {
+			tcpUnsupported := rt == "tcp" && tcpCol &&
+				c.Behavior != download.NoFaults && c.Behavior != download.CrashImmediate
+			if tcpUnsupported {
+				fmt.Fprintf(w, " %-8s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %-8s", fmt.Sprintf("%d/%d", c.Pass[rt], c.Fail[rt]))
+		}
+		if r.Harden {
+			// d/e/c: runs where a violation was detected, where the ladder
+			// escalated, and where the escalation ended corrected.
+			fmt.Fprintf(w, " %-16s", fmt.Sprintf("%d/%d d%d e%d c%d",
+				c.HPass, c.HFail, c.HDetect, c.HEscal, c.HCorrect))
+		}
+		fmt.Fprintf(w, " %s\n", c.LastFail)
+	}
+	if r.Failures > 0 {
+		fmt.Fprintf(w, "\nFAILED: %d cell-runs failed\n", r.Failures)
+	} else {
+		fmt.Fprintf(w, "\nOK: %d cells, all runs correct and within envelopes\n", len(r.Cells))
+	}
+}

@@ -1,0 +1,78 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtureRoundTrip decodes every committed fixture file and
+// re-encodes it through the canonical marshaller: the bytes must be
+// identical to what is on disk. This pins the canonical encoding (key
+// order, indentation, trailing newline) so that -update regeneration
+// and hand inspection always agree, and a fixture edited by hand in a
+// non-canonical way is caught before it rots.
+func TestFixtureRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		file   string
+		decode func([]byte) (interface{}, error)
+	}{
+		{ResultsFile, func(b []byte) (interface{}, error) {
+			var v Results
+			err := strictUnmarshal(b, &v)
+			return &v, err
+		}},
+		{FramesFile, func(b []byte) (interface{}, error) {
+			var v Frames
+			err := strictUnmarshal(b, &v)
+			return &v, err
+		}},
+		{ReplaysFile, func(b []byte) (interface{}, error) {
+			var v Replays
+			err := strictUnmarshal(b, &v)
+			return &v, err
+		}},
+	} {
+		t.Run(tc.file, func(t *testing.T) {
+			disk, err := os.ReadFile(filepath.Join(fixturesDir, tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := tc.decode(disk)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			enc, err := marshalCanonical(v)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(disk, enc) {
+				t.Fatalf("%s is not canonically encoded: re-encoding differs from disk (len %d vs %d); regenerate with -update", tc.file, len(disk), len(enc))
+			}
+		})
+	}
+}
+
+func strictUnmarshal(b []byte, v interface{}) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// TestFrameFixturesRoundTrip verifies every committed wire frame
+// decodes and re-encodes byte-identically, and that the pinned replay
+// references still match the .dsr corpus on disk.
+func TestFrameFixturesRoundTrip(t *testing.T) {
+	corpus, err := Load(fixturesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range VerifyFrames(&corpus.Frames) {
+		t.Errorf("frame: %v", e)
+	}
+	for _, e := range VerifyReplays(corpus.Dir, &corpus.Replays) {
+		t.Errorf("replay: %v", e)
+	}
+}

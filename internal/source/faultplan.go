@@ -212,6 +212,10 @@ func (p *FaultPlan) String() string {
 //	rate=64/256        token bucket: 64 bits/unit, burst 256
 //	seed=7             fault landscape selector
 //
+// Every key except outage may appear at most once: a duplicated scalar
+// key is a plan bug (the second value would silently win), so it is
+// rejected rather than last-writer-wins.
+//
 // Time-valued fields are virtual units in des/dst and seconds in netrt.
 // The empty string parses to nil (no plan).
 func ParsePlan(s string) (*FaultPlan, error) {
@@ -220,6 +224,7 @@ func ParsePlan(s string) (*FaultPlan, error) {
 		return nil, nil
 	}
 	p := &FaultPlan{}
+	seen := make(map[string]bool)
 	for _, field := range strings.Split(s, ",") {
 		field = strings.TrimSpace(field)
 		if field == "" {
@@ -230,6 +235,12 @@ func ParsePlan(s string) (*FaultPlan, error) {
 			return nil, fmt.Errorf("source: plan field %q is not key=value", field)
 		}
 		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if key != "outage" {
+			if seen[key] {
+				return nil, fmt.Errorf("source: plan field %q duplicated", key)
+			}
+			seen[key] = true
+		}
 		switch key {
 		case "fail", "timeout", "corrupt", "latency":
 			f, err := strconv.ParseFloat(val, 64)

@@ -1,0 +1,106 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParsePlanAcceptReject is the table-driven grammar contract for
+// source fault plans: every accepted plan round-trips through the
+// canonical String form, every rejected plan names the offending field.
+func TestParsePlanAcceptReject(t *testing.T) {
+	accept := []struct {
+		name  string
+		in    string
+		check func(t *testing.T, p *FaultPlan)
+	}{
+		{"empty is nil plan", "", func(t *testing.T, p *FaultPlan) {
+			if p != nil {
+				t.Fatalf("want nil plan, got %+v", p)
+			}
+		}},
+		{"whitespace is nil plan", "   ", func(t *testing.T, p *FaultPlan) {
+			if p != nil {
+				t.Fatalf("want nil plan, got %+v", p)
+			}
+		}},
+		{"all scalar fields", "fail=0.25,timeout=0.1,corrupt=0.01,latency=0.5,rate=64/256,seed=7",
+			func(t *testing.T, p *FaultPlan) {
+				if p.FailRate != 0.25 || p.TimeoutRate != 0.1 || p.CorruptRate != 0.01 ||
+					p.Latency != 0.5 || p.RateBits != 64 || p.RateBurst != 256 || p.Seed != 7 {
+					t.Fatalf("fields mis-parsed: %+v", p)
+				}
+			}},
+		{"rate without burst defaults burst to rate", "rate=64", func(t *testing.T, p *FaultPlan) {
+			if p.RateBits != 64 || p.RateBurst != 0 || p.burst() != 64 {
+				t.Fatalf("rate mis-parsed: %+v", p)
+			}
+		}},
+		{"outage is repeatable and sorted", "outage=7..9,outage=1..3", func(t *testing.T, p *FaultPlan) {
+			if len(p.Outages) != 2 || p.Outages[0].Start != 1 || p.Outages[1].Start != 7 {
+				t.Fatalf("outages mis-parsed: %+v", p.Outages)
+			}
+		}},
+		{"spaces around fields tolerated", " fail = 0.1 , seed = 3 ", func(t *testing.T, p *FaultPlan) {
+			if p.FailRate != 0.1 || p.Seed != 3 {
+				t.Fatalf("fields mis-parsed: %+v", p)
+			}
+		}},
+		{"zero rates accepted", "fail=0,timeout=0", func(t *testing.T, p *FaultPlan) {
+			if p.Enabled() {
+				t.Fatalf("zero-rate plan reports Enabled: %+v", p)
+			}
+		}},
+	}
+	for _, tc := range accept {
+		t.Run("accept/"+tc.name, func(t *testing.T) {
+			p, err := ParsePlan(tc.in)
+			if err != nil {
+				t.Fatalf("ParsePlan(%q): %v", tc.in, err)
+			}
+			tc.check(t, p)
+			if p != nil {
+				// Canonical form must re-parse to itself (idempotent grammar).
+				if _, err := ParsePlan(p.String()); err != nil {
+					t.Fatalf("canonical form %q does not re-parse: %v", p.String(), err)
+				}
+			}
+		})
+	}
+
+	reject := []struct {
+		name, in, wantErr string
+	}{
+		{"bare word", "flaky", "not key=value"},
+		{"unknown key", "drop=0.5", "unknown plan field"},
+		{"malformed fail rate", "fail=lots", "fail="},
+		{"fail rate at one", "fail=1", "outside [0, 1)"},
+		{"fail rate above one", "fail=1.5", "outside [0, 1)"},
+		{"negative timeout rate", "timeout=-0.1", "outside [0, 1)"},
+		{"negative latency", "latency=-1", "negative"},
+		{"malformed rate", "rate=fast", "rate="},
+		{"malformed rate burst", "rate=64/lots", "rate="},
+		{"negative rate", "rate=-64", "negative"},
+		{"inverted outage window", "outage=5..2", "must heal"},
+		{"empty outage window", "outage=3..3", "must heal"},
+		{"negative outage start", "outage=-1..2", "must heal"},
+		{"outage missing range", "outage=5", "wants start..end"},
+		{"outage bad bounds", "outage=a..b", "bad bounds"},
+		{"malformed seed", "seed=0x7", "seed="},
+		{"duplicate fail", "fail=0.1,fail=0.2", "duplicated"},
+		{"duplicate seed", "seed=1,seed=2", "duplicated"},
+		{"duplicate rate", "rate=64,rate=128", "duplicated"},
+		{"duplicate latency", "latency=0.5,latency=0.7", "duplicated"},
+	}
+	for _, tc := range reject {
+		t.Run("reject/"+tc.name, func(t *testing.T) {
+			p, err := ParsePlan(tc.in)
+			if err == nil {
+				t.Fatalf("ParsePlan(%q) accepted: %+v", tc.in, p)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParsePlan(%q) error %q does not mention %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+}
