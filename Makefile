@@ -9,7 +9,13 @@ FUZZTIME ?= 30s
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2024.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 
-.PHONY: all build fmt vet test race bench bench-ci conform conformance chaos source-chaos experiments fuzz lint cover dst-search dst-regen harden clean
+# Every test invocation carries an explicit -timeout so a hung suite
+# fails its CI job in minutes instead of idling until the runner's
+# global kill (the per-job timeout-minutes then only bounds true
+# pathologies). Override for slow local machines: make test TIMEOUT=20m.
+TIMEOUT ?= 10m
+
+.PHONY: all build fmt vet test race bench bench-ci conform conformance chaos source-chaos scale-smoke experiments fuzz lint cover dst-search dst-regen harden clean
 
 all: build vet test
 
@@ -29,10 +35,14 @@ vet: build
 # seed is printed on failure for reproduction with -shuffle=<seed>),
 # keeping the suites free of inter-test order dependence.
 test:
-	$(GO) test -shuffle=on ./...
+	$(GO) test -shuffle=on -timeout $(TIMEOUT) ./...
 
+# The concurrency suites under the race detector: the live scheduler,
+# the sharded socket hub + load generator, the download facade, and the
+# des parallel sweep driver (TestWorkerDeterminism: same seed ⇒ identical
+# results across worker counts, raced).
 race:
-	$(GO) test -race ./internal/live/ ./internal/netrt/ ./download/
+	$(GO) test -race -timeout $(TIMEOUT) ./internal/des/ ./internal/live/ ./internal/netrt/ ./download/
 
 bench:
 	$(GO) test -bench=. -benchmem . | tee bench_output.txt
@@ -43,7 +53,7 @@ bench:
 # sweep driver's determinism test runs under the race detector.
 bench-ci:
 	$(GO) run ./cmd/drbench -bench -quick -out bench
-	$(GO) test -race -count=1 ./internal/sweep/
+	$(GO) test -race -count=1 -timeout $(TIMEOUT) ./internal/sweep/
 
 conform:
 	$(GO) run ./cmd/drconform -n 16 -L 2048 -seeds 3 -tcp
@@ -52,18 +62,19 @@ conform:
 # "The conformance tier"): the conformance package suite (drift refusal,
 # negative controls, des-vs-live equivalence, fixture round-trips), the
 # drconform exit-code regressions, then the committed golden corpus
-# executed on every runtime — des, live, and real TCP sockets — diffed
-# field-by-field into a protocol × runtime pass matrix. Regenerate the
-# corpus with `go test ./internal/conformance -update` (refuses semantic
-# drift unless CorpusVersion is bumped).
+# executed on every runtime — des, the sm multiplexed-scheduler column,
+# live, and real TCP sockets — diffed field-by-field into a protocol ×
+# runtime pass matrix. Regenerate the corpus with
+# `go test ./internal/conformance -update` (refuses semantic drift
+# unless CorpusVersion is bumped).
 conformance:
-	$(GO) test -count=1 ./internal/conformance/ ./cmd/drconform/
+	$(GO) test -count=1 -timeout $(TIMEOUT) ./internal/conformance/ ./cmd/drconform/
 	$(GO) run ./cmd/drconform -fixtures -tcp
 
 # Tier-2 robustness gate: the chaos and live-runtime suites under the race
 # detector, then a quick drchaos survival sweep over real sockets.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaos|TestLive' ./...
+	$(GO) test -race -count=1 -timeout $(TIMEOUT) -run 'TestChaos|TestLive' ./...
 	$(GO) run ./cmd/drchaos -seeds 2
 
 # Flaky-source robustness gate (see docs/RUNTIMES.md "Source faults"):
@@ -73,10 +84,20 @@ chaos:
 #     protocol × behavior cell re-run against a seeded faulty source;
 #  3. a drchaos sweep layering source faults on network chaos.
 source-chaos:
-	$(GO) test -count=1 ./internal/source/ ./internal/dst/
-	$(GO) test -count=1 -run 'TestSource|TestChurn|TestE2ESourceChaos|TestPinned' ./internal/des/ ./internal/netrt/ ./download/
+	$(GO) test -count=1 -timeout $(TIMEOUT) ./internal/source/ ./internal/dst/
+	$(GO) test -count=1 -timeout $(TIMEOUT) -run 'TestSource|TestChurn|TestE2ESourceChaos|TestPinned' ./internal/des/ ./internal/netrt/ ./download/
 	$(GO) run ./cmd/drconform -n 12 -L 1024 -seeds 2 -flaky-source
 	$(GO) run ./cmd/drchaos -seeds 2 -drops 0,0.1 -flaps 0 -source-faults "fail=0.2,timeout=0.1,seed=3"
+
+# Million-peer scale gate (see docs/SCALING.md): the load-generator and
+# shard suites, then a 50k-client drload run against one sharded hub
+# with hard SLOs — p99 closed-loop latency under 2s and zero dropped
+# queries (exit 3 on breach, drbench's regression convention). The
+# LOAD_<timestamp>.json artifact lands in load/ for upload.
+scale-smoke:
+	$(GO) test -count=1 -timeout $(TIMEOUT) ./internal/benchfmt/ ./cmd/drload/
+	$(GO) run ./cmd/drload -clients 50000 -conns 32 -shards 8 \
+		-slo-p99 2000 -slo-zero-drop -out load
 
 experiments:
 	$(GO) run ./cmd/drbench -suite all | tee experiments_full.txt
@@ -103,7 +124,7 @@ lint:
 # coverage via -coverpkg, so e.g. protocol code exercised from dst tests
 # counts). Writes coverage.out + a per-function summary.
 cover:
-	$(GO) test -shuffle=on -covermode=atomic -coverpkg=./... -coverprofile=coverage.out ./...
+	$(GO) test -shuffle=on -timeout $(TIMEOUT) -covermode=atomic -coverpkg=./... -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
 # Deterministic-simulation harness deep gate (see docs/TESTING.md):
@@ -115,7 +136,7 @@ cover:
 #     same search MUST find a violation, or the harness itself is broken.
 DST_BUDGET ?= 3m
 dst-search:
-	$(GO) test -count=1 ./internal/dst/ ./internal/adversary/
+	$(GO) test -count=1 -timeout $(TIMEOUT) ./internal/dst/ ./internal/adversary/
 	$(GO) run ./cmd/drshrink search -protocol committee  -n 4 -t 1 -L 32 -seed 101 -strategies 48 -schedules 6 -budget $(DST_BUDGET) -out-dir dst-findings
 	$(GO) run ./cmd/drshrink search -protocol committee  -n 7 -t 3 -L 70 -seed 102 -strategies 24 -schedules 4 -budget $(DST_BUDGET) -out-dir dst-findings
 	$(GO) run ./cmd/drshrink search -protocol twocycle   -n 4 -t 1 -L 32 -seed 103 -strategies 24 -schedules 4 -budget $(DST_BUDGET) -out-dir dst-findings
@@ -139,8 +160,8 @@ dst-regen:
 #  3. positive control: against committee-weak the search MUST find
 #     violations AND the supervisor must correct every one of them.
 harden:
-	$(GO) test -count=1 ./internal/harden/
-	$(GO) test -count=1 -run 'TestHardened|TestUnhardened|TestOptionValidationMatrix' ./download/
+	$(GO) test -count=1 -timeout $(TIMEOUT) ./internal/harden/
+	$(GO) test -count=1 -timeout $(TIMEOUT) -run 'TestHardened|TestUnhardened|TestOptionValidationMatrix' ./download/
 	$(GO) run ./cmd/drshrink search -protocol committee -n 4 -t 1 -L 32 -seed 201 -strategies 24 -schedules 4 -no-shrink -harden -out-dir harden-findings
 	$(GO) run ./cmd/drshrink search -protocol twocycle  -n 4 -t 1 -L 32 -seed 202 -strategies 16 -schedules 4 -no-shrink -harden -out-dir harden-findings
 	$(GO) run ./cmd/drshrink search -protocol committee-weak -n 4 -t 1 -L 16 -seed 203 -strategies 16 -schedules 4 -no-shrink -harden -expect-finding -out-dir harden-findings
@@ -148,4 +169,4 @@ harden:
 # Scratch outputs only — committed testdata (fuzz seed corpora, replay
 # regression files) must survive a clean.
 clean:
-	rm -rf bench_output.txt experiments_full.txt coverage.out dst-findings harden-findings
+	rm -rf bench_output.txt experiments_full.txt coverage.out dst-findings harden-findings load

@@ -14,9 +14,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/download"
@@ -28,7 +31,23 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, notifyInterrupt()))
+}
+
+// notifyInterrupt converts SIGINT/SIGTERM into a closed channel so the
+// soak can stop at a run boundary and still flush its partial survival
+// matrix (CI kills a timed-out job with SIGTERM; the evidence must
+// survive the kill).
+func notifyInterrupt() <-chan struct{} {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-sig
+		signal.Stop(sig)
+		close(done)
+	}()
+	return done
 }
 
 // tally accumulates one protocol's robustness counters across its runs.
@@ -91,27 +110,34 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func run() int {
+// run executes the soak and returns its exit code: 0 when every run
+// survived, 1 on failures, 2 on usage errors, 130 when interrupted —
+// in which case the partial survival matrix is still flushed first.
+func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
+	fs := flag.NewFlagSet("drchaos", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		protoList = flag.String("protocols", "naive,crashk,committee", "comma-separated protocols to soak")
-		n         = flag.Int("n", 6, "peers")
-		t         = flag.Int("t", 0, "fault bound")
-		faulty    = flag.Int("faulty", 0, "peers absent from the start (≤ t)")
-		l         = flag.Int("L", 512, "input bits")
-		b         = flag.Int("b", 128, "message size parameter")
-		drops     = flag.String("drops", "0,0.1,0.2", "comma-separated drop rates to sweep")
-		flaps     = flag.String("flaps", "0,2", "comma-separated flap counts to sweep")
-		dup       = flag.Float64("dup", 0.1, "duplication probability")
-		delay     = flag.Duration("delay", 2*time.Millisecond, "max jitter per delivery")
-		reorder   = flag.Float64("reorder", 0.05, "forced-reordering probability")
-		partition = flag.Bool("partition", true, "include one healed partition (needs n ≥ 4)")
-		srcSpec   = flag.String("source-faults", "", `seeded source fault plan layered on every run, e.g. "fail=0.25,outage=0..0.5,seed=7"`)
-		seeds     = flag.Int("seeds", 3, "seeds per cell")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-run timeout")
-		verbose   = flag.Bool("v", false, "print every run")
-		obsAddr   = flag.String("obs", "", "serve observability endpoints on this address for the whole soak (one registry accumulates across runs)")
+		protoList = fs.String("protocols", "naive,crashk,committee", "comma-separated protocols to soak")
+		n         = fs.Int("n", 6, "peers")
+		t         = fs.Int("t", 0, "fault bound")
+		faulty    = fs.Int("faulty", 0, "peers absent from the start (≤ t)")
+		l         = fs.Int("L", 512, "input bits")
+		b         = fs.Int("b", 128, "message size parameter")
+		drops     = fs.String("drops", "0,0.1,0.2", "comma-separated drop rates to sweep")
+		flaps     = fs.String("flaps", "0,2", "comma-separated flap counts to sweep")
+		dup       = fs.Float64("dup", 0.1, "duplication probability")
+		delay     = fs.Duration("delay", 2*time.Millisecond, "max jitter per delivery")
+		reorder   = fs.Float64("reorder", 0.05, "forced-reordering probability")
+		partition = fs.Bool("partition", true, "include one healed partition (needs n ≥ 4)")
+		srcSpec   = fs.String("source-faults", "", `seeded source fault plan layered on every run, e.g. "fail=0.25,outage=0..0.5,seed=7"`)
+		seeds     = fs.Int("seeds", 3, "seeds per cell")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-run timeout")
+		verbose   = fs.Bool("v", false, "print every run")
+		obsAddr   = fs.String("obs", "", "serve observability endpoints on this address for the whole soak (one registry accumulates across runs)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	dropRates, err := parseFloats(*drops)
 	if err != nil {
@@ -167,6 +193,18 @@ func run() int {
 	results := make(map[string][]string) // protocol → cell strings
 	tallies := make(map[string]*tally)
 	failures := 0
+	interrupted := false
+	// check polls the interrupt channel at run boundaries so a SIGTERM'd
+	// soak stops promptly but never mid-run.
+	check := func() bool {
+		select {
+		case <-interrupt:
+			interrupted = true
+			return true
+		default:
+			return false
+		}
+	}
 
 	for _, ps := range protos {
 		proto := download.Protocol(strings.TrimSpace(ps))
@@ -178,8 +216,8 @@ func run() int {
 		tl := &tally{}
 		tallies[string(proto)] = tl
 		for _, c := range combos {
-			pass := 0
-			for seed := 1; seed <= *seeds; seed++ {
+			pass, done := 0, 0
+			for seed := 1; seed <= *seeds && !check(); seed++ {
 				plan := &netrt.FaultPlan{
 					Seed:    int64(seed) * 7919,
 					Drop:    c.drop,
@@ -212,6 +250,7 @@ func run() int {
 					Timeline: timeline,
 					Label:    string(proto),
 				})
+				done++
 				ok := err == nil && res.Correct
 				if ok {
 					pass++
@@ -228,47 +267,68 @@ func run() int {
 					} else if !res.Correct {
 						detail = strings.Join(res.Failures, "; ")
 					}
-					fmt.Printf("  %-10s drop=%.2f flaps=%d seed=%d: %s\n",
+					fmt.Fprintf(stdout, "  %-10s drop=%.2f flaps=%d seed=%d: %s\n",
 						proto, c.drop, c.flaps, seed, detail)
 				}
 			}
-			results[string(proto)] = append(results[string(proto)],
-				fmt.Sprintf("%d/%d", pass, *seeds))
+			// A cell cut short by the interrupt reports pass/done rather
+			// than pass/seeds so the flushed matrix never overstates
+			// coverage; completed cells have done == seeds.
+			if done > 0 || !interrupted {
+				results[string(proto)] = append(results[string(proto)],
+					fmt.Sprintf("%d/%d", pass, done))
+			}
+			if interrupted {
+				break
+			}
+		}
+		if interrupted {
+			break
 		}
 	}
 
-	fmt.Printf("\nsurvival matrix (pass/seeds; dup=%.2f delay=%v reorder=%.2f partition=%v):\n\n",
+	fmt.Fprintf(stdout, "\nsurvival matrix (pass/seeds; dup=%.2f delay=%v reorder=%.2f partition=%v):\n\n",
 		*dup, *delay, *reorder, *partition && *n >= 4)
-	fmt.Printf("%-12s", "PROTOCOL")
+	fmt.Fprintf(stdout, "%-12s", "PROTOCOL")
 	for _, c := range combos {
-		fmt.Printf(" %-12s", fmt.Sprintf("d=%.2f/f=%d", c.drop, c.flaps))
+		fmt.Fprintf(stdout, " %-12s", fmt.Sprintf("d=%.2f/f=%d", c.drop, c.flaps))
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, ps := range protos {
 		p := strings.TrimSpace(ps)
-		fmt.Printf("%-12s", p)
-		for _, cell := range results[p] {
-			fmt.Printf(" %-12s", cell)
+		if _, ran := tallies[p]; !ran {
+			continue // protocol never started before the interrupt
 		}
-		fmt.Println()
+		fmt.Fprintf(stdout, "%-12s", p)
+		for _, cell := range results[p] {
+			fmt.Fprintf(stdout, " %-12s", cell)
+		}
+		fmt.Fprintln(stdout)
 	}
 
-	fmt.Printf("\nrecovery work (totals across all runs):\n")
+	fmt.Fprintf(stdout, "\nrecovery work (totals across all runs):\n")
 	for _, ps := range protos {
 		p := strings.TrimSpace(ps)
 		tl := tallies[p]
-		fmt.Printf("%-12s query-retries=%-5d reconnects=%-5d plan-dropped=%-6d plan-duped=%-5d dups-deduped=%d\n",
+		if tl == nil {
+			continue
+		}
+		fmt.Fprintf(stdout, "%-12s query-retries=%-5d reconnects=%-5d plan-dropped=%-6d plan-duped=%-5d dups-deduped=%d\n",
 			p, tl.retries, tl.reconnects, tl.planDropped, tl.planDuped, tl.dupsDropped)
 		if srcFaults != nil {
-			fmt.Printf("%-12s src-failures=%-5d src-retries=%-5d breaker-opens=%-5d deferred=%d\n",
+			fmt.Fprintf(stdout, "%-12s src-failures=%-5d src-retries=%-5d breaker-opens=%-5d deferred=%d\n",
 				"", tl.srcFailures, tl.srcRetries, tl.breakerOpens, tl.deferred)
 		}
 	}
 
+	if interrupted {
+		fmt.Fprintf(stdout, "\nINTERRUPTED: partial matrix flushed (%d failures so far)\n", failures)
+		return 130
+	}
 	if failures > 0 {
-		fmt.Printf("\nFAILED: %d runs did not survive\n", failures)
+		fmt.Fprintf(stdout, "\nFAILED: %d runs did not survive\n", failures)
 		return 1
 	}
-	fmt.Printf("\nOK: all runs survived\n")
+	fmt.Fprintf(stdout, "\nOK: all runs survived\n")
 	return 0
 }

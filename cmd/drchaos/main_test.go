@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExitCodeCleanSoak pins the passing path on a tiny fast sweep:
+// exit 0 and an OK summary.
+func TestExitCodeCleanSoak(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{
+		"-protocols", "naive", "-n", "4", "-L", "128",
+		"-drops", "0", "-flaps", "0", "-seeds", "1", "-partition=false",
+	}, &out, nil)
+	if code != 0 {
+		t.Fatalf("clean soak exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "OK: all runs survived") {
+		t.Fatalf("no OK summary:\n%s", out.String())
+	}
+}
+
+// TestExitCodeInterrupt pins the signal contract: a soak whose interrupt
+// channel fires must still flush the (partial) survival matrix and exit
+// 130, so an interrupted CI job uploads the evidence it has instead of
+// dying silently.
+func TestExitCodeInterrupt(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt) // fires before the first run
+	var out strings.Builder
+	code := run([]string{
+		"-protocols", "naive,crashk", "-n", "4", "-L", "128",
+		"-drops", "0,0.1", "-flaps", "0", "-seeds", "3", "-partition=false",
+	}, &out, interrupt)
+	if code != 130 {
+		t.Fatalf("interrupted soak exited %d, want 130:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "INTERRUPTED: partial matrix flushed") {
+		t.Fatalf("partial matrix not flushed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "survival matrix") {
+		t.Fatalf("matrix header missing from flush:\n%s", out.String())
+	}
+}
+
+// TestExitCodeBadFlags pins usage errors to exit 2, distinct from
+// survival failures.
+func TestExitCodeBadFlags(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, nil); code != 2 {
+		t.Fatalf("bad flag exited %d", code)
+	}
+}

@@ -24,21 +24,39 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/conformance"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout))
+	os.Exit(run(os.Args[1:], os.Stdout, notifyInterrupt()))
+}
+
+// notifyInterrupt converts SIGINT/SIGTERM into a closed channel so the
+// sweep can stop at a cell boundary and still flush its partial matrix
+// (CI kills a timed-out job with SIGTERM; the evidence must survive).
+func notifyInterrupt() <-chan struct{} {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		<-sig
+		signal.Stop(sig)
+		close(done)
+	}()
+	return done
 }
 
 // run executes the CLI and returns its exit code: 0 only when every
 // cell-run passed — correctness, field-level fixture conformance, AND
 // the Q/M envelopes. (A sweep that printed a failing row but exited 0
 // would make the CI gate decorative; the regression test in main_test.go
-// pins the nonzero exit.)
-func run(args []string, stdout io.Writer) int {
+// pins the nonzero exit.) An interrupted sweep flushes the partial
+// matrix and exits 130, the shell convention for death-by-SIGINT.
+func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 	fs := flag.NewFlagSet("drconform", flag.ContinueOnError)
 	var (
 		n        = fs.Int("n", 16, "peers (sweep mode)")
@@ -53,6 +71,7 @@ func run(args []string, stdout io.Writer) int {
 		fixtures = fs.Bool("fixtures", false, "run the committed golden fixture corpus instead of the sweep grid")
 		fixDir   = fs.String("fixture-dir", conformance.DefaultDir, "fixture corpus directory (fixture mode)")
 		liveOff  = fs.Bool("no-live", false, "drop the live column from fixture mode (it is on by default there)")
+		smOff    = fs.Bool("no-sm", false, "drop the state-machine scheduler column from fixture mode (on by default there)")
 		scale    = fs.Duration("live-scale", 500*time.Microsecond, "live runtime time scale in fixture mode")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -60,28 +79,35 @@ func run(args []string, stdout io.Writer) int {
 	}
 
 	if *fixtures {
-		return runFixtures(stdout, *fixDir, *tcpRT, !*liveOff, *scale)
+		return runFixtures(stdout, *fixDir, *tcpRT, !*liveOff, !*smOff, *scale)
 	}
 
 	rep := conformance.RunGrid(conformance.GridConfig{
 		N: *n, L: *l, Seeds: *seeds,
 		Live: *liveRT, TCP: *tcpRT, Harden: *hardenRT,
 		FlakySource: *srcCol, SourcePlan: *srcSpec,
+		Interrupt: interrupt,
 	})
 	rep.Write(stdout)
+	if rep.Interrupted {
+		return 130
+	}
 	if rep.Failures > 0 {
 		return 1
 	}
 	return 0
 }
 
-func runFixtures(stdout io.Writer, dir string, tcp, live bool, scale time.Duration) int {
+func runFixtures(stdout io.Writer, dir string, tcp, live, sm bool, scale time.Duration) int {
 	corpus, err := conformance.Load(dir)
 	if err != nil {
 		fmt.Fprintf(stdout, "drconform: %v\n", err)
 		return 1
 	}
 	runtimes := []conformance.Runtime{conformance.DES}
+	if sm {
+		runtimes = append(runtimes, conformance.SM)
+	}
 	if live {
 		runtimes = append(runtimes, conformance.Live)
 	}

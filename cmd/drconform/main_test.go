@@ -22,7 +22,7 @@ func TestExitCodePropagatesEnvelopeFailure(t *testing.T) {
 	defer func() { conformance.Envelopes[download.Naive] = saved }()
 
 	var out strings.Builder
-	code := run([]string{"-n", "6", "-L", "64", "-seeds", "1"}, &out)
+	code := run([]string{"-n", "6", "-L", "64", "-seeds", "1"}, &out, nil)
 	if code == 0 {
 		t.Fatalf("envelope violation exited 0:\n%s", out.String())
 	}
@@ -35,7 +35,7 @@ func TestExitCodePropagatesEnvelopeFailure(t *testing.T) {
 // and an OK summary.
 func TestExitCodeCleanGrid(t *testing.T) {
 	var out strings.Builder
-	if code := run([]string{"-n", "6", "-L", "64", "-seeds", "1"}, &out); code != 0 {
+	if code := run([]string{"-n", "6", "-L", "64", "-seeds", "1"}, &out, nil); code != 0 {
 		t.Fatalf("clean grid exited %d:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "OK:") {
@@ -48,7 +48,7 @@ func TestExitCodeCleanGrid(t *testing.T) {
 func TestExitCodeFixtureMode(t *testing.T) {
 	var out strings.Builder
 	code := run([]string{"-fixtures", "-no-live",
-		"-fixture-dir", "../../internal/conformance/fixtures"}, &out)
+		"-fixture-dir", "../../internal/conformance/fixtures"}, &out, nil)
 	if code != 0 {
 		t.Fatalf("fixture mode exited %d:\n%s", code, out.String())
 	}
@@ -58,7 +58,27 @@ func TestExitCodeFixtureMode(t *testing.T) {
 // conformance failures.
 func TestExitCodeBadFlags(t *testing.T) {
 	var out strings.Builder
-	if code := run([]string{"-definitely-not-a-flag"}, &out); code != 2 {
+	if code := run([]string{"-definitely-not-a-flag"}, &out, nil); code != 2 {
 		t.Fatalf("bad flag exited %d", code)
+	}
+}
+
+// TestExitCodeInterrupt pins the signal contract: a sweep whose
+// interrupt channel fires must still flush the (partial) matrix and
+// exit 130, so an interrupted CI job uploads the evidence it has
+// instead of dying silently.
+func TestExitCodeInterrupt(t *testing.T) {
+	interrupt := make(chan struct{})
+	close(interrupt) // fires before the first cell-run
+	var out strings.Builder
+	code := run([]string{"-n", "6", "-L", "64", "-seeds", "3"}, &out, interrupt)
+	if code != 130 {
+		t.Fatalf("interrupted sweep exited %d, want 130:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "INTERRUPTED") {
+		t.Fatalf("partial matrix not flushed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "PROTOCOL") {
+		t.Fatalf("matrix header missing from flush:\n%s", out.String())
 	}
 }

@@ -174,6 +174,13 @@ type Options struct {
 	// from its persisted verified-index state. Churn peers count toward
 	// T alongside Faulty ones. des runtime only.
 	Churn []ChurnPeer
+	// Workers, when > 1, multiplexes peers M-per-worker over this many
+	// scheduler workers: the des runtime speculates honest-peer state
+	// machines on a worker pool and applies their effects in exact serial
+	// order (results are byte-identical at any worker count), and the
+	// live runtime serves peers from a shared run queue instead of one
+	// goroutine each. Ignored by TCP runs.
+	Workers int
 	// Live runs the goroutine runtime instead of the deterministic
 	// discrete-event runtime.
 	Live bool
@@ -454,6 +461,7 @@ func buildSpec(opts Options) (*sim.Spec, error) {
 		Timeline: opts.Timeline,
 		Label:    string(opts.Protocol),
 		Deadline: opts.Deadline,
+		Workers:  opts.Workers,
 	}
 	srcPlan, err := source.ParsePlan(opts.SourceFaults)
 	if err != nil {

@@ -36,6 +36,25 @@ func TestCorpus(t *testing.T) {
 	}
 }
 
+// TestCorpusSM is the state-machine column of the conformance tier: the
+// corpus re-executed on the multiplexed des scheduler (Workers > 1) and
+// held to the full des field mask — byte-identical results or fail.
+func TestCorpusSM(t *testing.T) {
+	if *update {
+		t.Skip("regeneration runs in TestCorpus")
+	}
+	corpus, err := Load(fixturesDir)
+	if err != nil {
+		t.Fatalf("load corpus (regenerate with -update): %v", err)
+	}
+	rep := RunFixtures(corpus, Config{Runtimes: []Runtime{SM}})
+	if rep.Failed() {
+		var b strings.Builder
+		rep.WriteMatrix(&b)
+		t.Fatalf("sm fixture conformance failed:\n%s", b.String())
+	}
+}
+
 // TestCorpusCoversAllProtocols guards the grid enumeration: a protocol
 // added to the registry without fixture coverage must fail here, not
 // silently skip conformance.

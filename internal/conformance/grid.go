@@ -25,6 +25,11 @@ type GridConfig struct {
 	// SourcePlan.
 	FlakySource bool
 	SourcePlan  string
+	// Interrupt, when it becomes readable (usually by being closed from a
+	// signal handler), stops the sweep at the next cell-run boundary. The
+	// partial report is still returned with Interrupted set, so an
+	// interrupted CI job can flush the matrix it has before dying.
+	Interrupt <-chan struct{}
 }
 
 // gridRuntime describes one runtime column of the grid.
@@ -62,6 +67,9 @@ type GridReport struct {
 	Runtimes []string
 	Cells    []*GridCell
 	Harden   bool
+	// Interrupted marks a sweep stopped early by GridConfig.Interrupt:
+	// the matrix covers only the cell-runs finished before the signal.
+	Interrupted bool
 	// Failures counts failed cell-runs: incorrect outputs, runtime
 	// errors, AND Q/M envelope violations — all of them must fail the
 	// sweep's exit code.
@@ -89,6 +97,15 @@ func RunGrid(cfg GridConfig) *GridReport {
 	for _, rt := range runtimes {
 		rep.Runtimes = append(rep.Runtimes, rt.name)
 	}
+	interrupted := func() bool {
+		select {
+		case <-cfg.Interrupt:
+			rep.Interrupted = true
+			return true
+		default:
+			return false
+		}
+	}
 
 	for _, info := range download.Protocols() {
 		tBound := FaultBound(info, cfg.N)
@@ -98,7 +115,7 @@ func RunGrid(cfg GridConfig) *GridReport {
 				Pass: make(map[string]int), Fail: make(map[string]int),
 			}
 			rep.Cells = append(rep.Cells, c)
-			for seed := 0; seed < cfg.Seeds; seed++ {
+			for seed := 0; seed < cfg.Seeds && !interrupted(); seed++ {
 				for _, rt := range runtimes {
 					if !rt.supports(behavior) {
 						continue
@@ -169,6 +186,9 @@ func RunGrid(cfg GridConfig) *GridReport {
 				rep.Failures += c.Fail[rt.name]
 			}
 			rep.Failures += c.HFail
+			if rep.Interrupted {
+				return rep
+			}
 		}
 	}
 	return rep
@@ -215,9 +235,13 @@ func (r *GridReport) Write(w io.Writer) {
 		}
 		fmt.Fprintf(w, " %s\n", c.LastFail)
 	}
-	if r.Failures > 0 {
+	switch {
+	case r.Interrupted:
+		fmt.Fprintf(w, "\nINTERRUPTED: partial matrix (%d cells started, %d cell-runs failed so far)\n",
+			len(r.Cells), r.Failures)
+	case r.Failures > 0:
 		fmt.Fprintf(w, "\nFAILED: %d cell-runs failed\n", r.Failures)
-	} else {
+	default:
 		fmt.Fprintf(w, "\nOK: %d cells, all runs correct and within envelopes\n", len(r.Cells))
 	}
 }

@@ -48,7 +48,11 @@ func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
 		return nil, fmt.Errorf("des: %w", err)
 	}
 	e := newEngine(spec)
-	e.run()
+	if e.parallelOK() {
+		e.runParallel()
+	} else {
+		e.run()
+	}
 	return e.result(), nil
 }
 
@@ -133,6 +137,11 @@ type peerState struct {
 	churn    *sim.ChurnPeer
 	persist  *bitarray.Tracker // source-verified bits, survives the crash
 	rejoined bool
+	// Parallel-scheduler state (see parallel.go); nil/zero in serial runs.
+	mach    sim.Machine
+	menv    sim.Env
+	sem     sim.Emitter
+	specNow float64
 	// Metric handles, resolved once at engine construction. All nil when
 	// spec.Metrics is nil; nil obs handles are allocation-free no-ops, so
 	// the hot paths below call them unconditionally.
@@ -926,6 +935,11 @@ func (c *peerCtx) Terminate() {
 
 func (c *peerCtx) Rand() *rand.Rand { return c.p.rng }
 func (c *peerCtx) Now() float64     { return c.e.now }
+
+// TracingEnabled implements sim.Tracer: Logf output is consumed exactly
+// when the spec carries a trace writer, so machine drivers (sim.AsPeer,
+// the parallel scheduler) capture log actions only when they will print.
+func (c *peerCtx) TracingEnabled() bool { return c.e.spec.Trace != nil }
 
 // MarkPhase implements sim.PhaseMarker: it records a phase-transition
 // mark on the spec's timeline at the current virtual time and forwards a

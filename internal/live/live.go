@@ -175,8 +175,12 @@ func (w *world) honestDone() {
 
 // runAll starts the peer loops and waits for the last honest termination
 // or the deadline; it reports whether the deadline expired with honest
-// peers still running.
+// peers still running. With Spec.Workers > 1 the peers are multiplexed
+// M-per-worker over a shared ready queue instead of one goroutine each.
 func (w *world) runAll(deadline time.Duration) bool {
+	if ws := w.spec.Workers; ws > 1 {
+		return w.runSched(ws, deadline)
+	}
 	var loops sync.WaitGroup
 	for _, p := range w.peers {
 		loops.Add(1)
@@ -204,6 +208,96 @@ func (w *world) runAll(deadline time.Duration) bool {
 	loops.Wait()
 	w.timers.Wait()
 	return expired
+}
+
+// runSched is the M-per-worker execution mode: `workers` scheduler
+// goroutines serve peers from a shared ready queue. A peer becomes ready
+// when it has started and has pending work; the queued flag guarantees at
+// most one worker serves a given peer at a time, preserving the
+// single-threaded-per-peer invariant the Context implementation relies
+// on. This is what lets one process carry far more peers than it could
+// afford goroutine stacks and channel buffers for.
+func (w *world) runSched(workers int, deadline time.Duration) bool {
+	rq := newReadyQueue()
+	for _, p := range w.peers {
+		p.ready = rq
+		startDelay := w.spec.Delays.StartDelay(p.id)
+		w.after(startDelay, func() { p.enqueueStart() })
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p, ok := rq.pop()
+				if !ok {
+					return
+				}
+				p.serve()
+			}
+		}()
+	}
+
+	expired := false
+	select {
+	case <-w.done:
+	case <-time.After(deadline):
+		w.mu.Lock()
+		expired = w.liveHonest > 0
+		w.mu.Unlock()
+	}
+	for _, p := range w.peers {
+		p.stop()
+	}
+	rq.close()
+	wg.Wait()
+	w.timers.Wait()
+	return expired
+}
+
+// readyQueue is the scheduler's unbounded FIFO of peers with work.
+type readyQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*livePeer
+	closed bool
+}
+
+func newReadyQueue() *readyQueue {
+	q := &readyQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *readyQueue) push(p *livePeer) {
+	q.mu.Lock()
+	q.items = append(q.items, p)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// pop blocks for the next ready peer; ok is false once the queue is
+// closed and drained.
+func (q *readyQueue) pop() (*livePeer, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	p := q.items[0]
+	q.items = q.items[1:]
+	return p, true
+}
+
+func (q *readyQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // after schedules fn once the scaled delay elapses, tracking the timer so
@@ -236,6 +330,12 @@ type livePeer struct {
 	queue   []delivery
 	started bool
 	stopped bool
+	// Scheduler mode (Spec.Workers > 1): ready is the shared run queue,
+	// queued marks the peer as enqueued or being served (at most one
+	// worker touches a peer at a time), inited latches the Init call.
+	ready  *readyQueue
+	queued bool
+	inited bool
 
 	// Fields below are owned by the loop goroutine (guarded by mu only
 	// for the final stats snapshot in Run).
@@ -251,6 +351,7 @@ func (p *livePeer) enqueueStart() {
 	p.mu.Lock()
 	p.started = true
 	p.cond.Broadcast()
+	p.markReady()
 	p.mu.Unlock()
 }
 
@@ -258,7 +359,62 @@ func (p *livePeer) enqueue(d delivery) {
 	p.mu.Lock()
 	p.queue = append(p.queue, d)
 	p.cond.Broadcast()
+	p.markReady()
 	p.mu.Unlock()
+}
+
+// markReady (mu held) hands the peer to the scheduler when it has work: a
+// pending Init once started, or queued deliveries. The queued flag makes
+// the hand-off single-shot — serve() clears it under mu after draining,
+// so no wakeup is lost and no two workers ever share a peer.
+func (p *livePeer) markReady() {
+	if p.ready == nil || p.queued || p.stopped || p.crashed || p.terminated || !p.started {
+		return
+	}
+	if p.inited && len(p.queue) == 0 {
+		return
+	}
+	p.queued = true
+	p.ready.push(p)
+}
+
+// serve runs one scheduling quantum: Init if still owed, then drain the
+// delivery queue. It returns with queued cleared under the same lock that
+// checked for emptiness, so a concurrent enqueue re-queues the peer.
+func (p *livePeer) serve() {
+	p.mu.Lock()
+	if p.stopped || p.crashed || p.terminated {
+		p.queued = false
+		p.mu.Unlock()
+		return
+	}
+	if !p.inited {
+		p.inited = true
+		p.mu.Unlock()
+		p.impl.Init(p)
+	} else {
+		p.mu.Unlock()
+	}
+	for {
+		p.mu.Lock()
+		if p.stopped || p.crashed || p.terminated || len(p.queue) == 0 {
+			p.queued = false
+			p.mu.Unlock()
+			return
+		}
+		d := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		if d.kind == dlStop {
+			p.mu.Lock()
+			p.queued = false
+			p.mu.Unlock()
+			return
+		}
+		if !p.dispatch(d) {
+			return
+		}
+	}
 }
 
 func (p *livePeer) stop() {
@@ -462,6 +618,10 @@ func (p *livePeer) Rand() *rand.Rand { return p.rng }
 
 // Now implements sim.Context.
 func (p *livePeer) Now() float64 { return p.w.now() }
+
+// TracingEnabled implements sim.Tracer: Logf output is consumed exactly
+// when the spec carries a trace writer.
+func (p *livePeer) TracingEnabled() bool { return p.w.spec.Trace != nil }
 
 // Logf implements sim.Context.
 func (p *livePeer) Logf(format string, args ...any) {

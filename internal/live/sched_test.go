@@ -1,0 +1,59 @@
+package live_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/live"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/naive"
+	"repro/internal/sim"
+)
+
+// TestSchedulerMode exercises the M-per-worker execution path: many more
+// peers than workers, still every honest peer downloads correctly. Run
+// under -race this also validates the one-worker-per-peer invariant.
+func TestSchedulerMode(t *testing.T) {
+	rt := live.New()
+	rt.TimeScale = 200 * time.Microsecond
+	spec := &sim.Spec{
+		Config:  sim.Config{N: 24, T: 0, L: 256, MsgBits: 64, Seed: 42},
+		NewPeer: naive.New,
+		Delays:  adversary.NewRandomUnit(42),
+		Workers: 4,
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("scheduler-mode run incorrect: %v", res.Failures)
+	}
+}
+
+// TestSchedulerModeCrashFaults runs a crash-faulted protocol through the
+// scheduler: crashed peers must stop being served without wedging the
+// workers that multiplex the surviving peers.
+func TestSchedulerModeCrashFaults(t *testing.T) {
+	rt := live.New()
+	rt.TimeScale = 200 * time.Microsecond
+	faulty := adversary.SpreadFaulty(12, 3)
+	spec := &sim.Spec{
+		Config:  sim.Config{N: 12, T: 3, L: 192, MsgBits: 64, Seed: 7},
+		NewPeer: crashk.New,
+		Delays:  adversary.NewRandomUnit(7),
+		Faults: sim.FaultSpec{
+			Model: sim.FaultCrash, Faulty: faulty,
+			Crash: &adversary.CrashAll{Point: 0},
+		},
+		Workers: 3,
+	}
+	res, err := rt.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("scheduler-mode crash run incorrect: %v", res.Failures)
+	}
+}

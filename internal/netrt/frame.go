@@ -91,6 +91,18 @@ func writeFrame(w io.Writer, mu *sync.Mutex, kind byte, seq uint64, payload []by
 	return err
 }
 
+// appendFrame appends one encoded frame to dst and returns the extended
+// slice. The shard writers use it to coalesce several frames into a
+// single socket write; the encoding is byte-identical to writeFrame.
+func appendFrame(dst []byte, kind byte, seq uint64, payload []byte) []byte {
+	at := len(dst)
+	dst = append(dst, 0, 0, 0, 0, kind)
+	dst = binary.AppendUvarint(dst, seq)
+	dst = append(dst, payload...)
+	binary.BigEndian.PutUint32(dst[at:], uint32(len(dst)-at-4))
+	return dst
+}
+
 // readFrame reads one frame. It accepts any io.Reader so fuzz targets can
 // drive it from byte slices; runtime callers pass a net.Conn with a read
 // deadline already set.

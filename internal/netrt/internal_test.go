@@ -211,7 +211,7 @@ func newTestHub(t *testing.T, cfg Config) *hub {
 func TestIdleDeadlineDetectsDeadLink(t *testing.T) {
 	const idle = 200 * time.Millisecond
 	h := newTestHub(t, Config{N: 1, T: 0, L: 64, MsgBits: 64, Seed: 1, IdleTimeout: idle})
-	conn, err := net.Dial("tcp", h.addr)
+	conn, err := net.Dial("tcp", h.shards[0].addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +253,7 @@ func TestHostileFramesCannotPanicHub(t *testing.T) {
 		},
 	}
 	for i, raw := range hostile {
-		conn, err := net.Dial("tcp", h.addr)
+		conn, err := net.Dial("tcp", h.shards[0].addr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -270,7 +270,7 @@ func TestHostileFramesCannotPanicHub(t *testing.T) {
 		conn.Close()
 	}
 	// The hub must still serve a well-formed peer.
-	conn, err := net.Dial("tcp", h.addr)
+	conn, err := net.Dial("tcp", h.shards[0].addr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestRejectUnknownPeer(t *testing.T) {
 	h := newTestHub(t, Config{N: 2, T: 1, L: 64, MsgBits: 64, Seed: 3,
 		Absent: []sim.PeerID{1}, IdleTimeout: time.Second})
 	for _, id := range []uint64{1, 17} {
-		conn, err := net.Dial("tcp", h.addr)
+		conn, err := net.Dial("tcp", h.shards[0].addr)
 		if err != nil {
 			t.Fatal(err)
 		}

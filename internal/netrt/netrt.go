@@ -93,6 +93,15 @@ type Config struct {
 	SourcePolicy source.Policy
 	// IdleTimeout overrides the dead-link detection window (default 5s).
 	IdleTimeout time.Duration
+	// Shards sets the number of hub listener shards. Peer id i dials the
+	// shard i % Shards, and each shard owns its accept loop, a bounded
+	// outbound frame queue, and a writer goroutine that coalesces queued
+	// frames into batched socket writes. 0 or 1 keeps a single shard.
+	Shards int
+	// ShardQueue bounds each shard's outbound queue in frames (default
+	// 1024). A full queue applies backpressure: enqueues block until the
+	// writer drains, counted by the shard's backpressure counter.
+	ShardQueue int
 	// Resilience tunes retry/reconnect behavior; zero fields default.
 	Resilience Resilience
 	// Timeout bounds the whole run (default 30s). When it fires, Run
@@ -138,6 +147,9 @@ func (c *Config) validate() error {
 		if err := c.SourceFaults.Validate(); err != nil {
 			return fmt.Errorf("netrt: %w", err)
 		}
+	}
+	if c.Shards < 0 || c.ShardQueue < 0 {
+		return fmt.Errorf("netrt: negative Shards (%d) or ShardQueue (%d)", c.Shards, c.ShardQueue)
 	}
 	return nil
 }
@@ -226,7 +238,7 @@ func Run(cfg Config) (*sim.Result, error) {
 		clients.Add(1)
 		go func(id sim.PeerID) {
 			defer clients.Done()
-			if err := runClient(&cfg, id, h.addr, &cstats[id], met); err != nil {
+			if err := runClient(&cfg, id, h.addrFor(id), &cstats[id], met); err != nil {
 				errs <- fmt.Errorf("peer %d: %w", id, err)
 			}
 		}(id)
@@ -314,9 +326,10 @@ type hub struct {
 	input *bitarray.Array
 	// src answers queries; the trusted array, wrapped in the source fault
 	// plan when one is configured (Wrap is a no-op otherwise).
-	src    source.Source
-	ln     net.Listener
-	addr   string
+	src source.Source
+	// shards are the hub's listener/writer units; peer i belongs to shard
+	// i % len(shards). Built once in newHub, never mutated.
+	shards []*hubShard
 	start  time.Time
 	expect int
 
@@ -344,9 +357,24 @@ type hub struct {
 }
 
 func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, fmt.Errorf("netrt: listen: %w", err)
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	queue := cfg.ShardQueue
+	if queue < 1 {
+		queue = defaultShardQueue
+	}
+	shards := make([]*hubShard, nShards)
+	for i := range shards {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, s := range shards[:i] {
+				s.ln.Close()
+			}
+			return nil, fmt.Errorf("netrt: listen shard %d: %w", i, err)
+		}
+		shards[i] = newHubShard(i, ln, queue)
 	}
 	faulty := make(map[sim.PeerID]bool, len(cfg.Absent)+len(cfg.KillAfter))
 	absent := make(map[sim.PeerID]bool, len(cfg.Absent))
@@ -368,8 +396,7 @@ func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
 		plan:    cfg.Faults,
 		input:   input,
 		src:     source.Wrap(source.NewTrusted(input), cfg.SourceFaults),
-		ln:      ln,
-		addr:    ln.Addr().String(),
+		shards:  shards,
 		start:   time.Now(),
 		expect:  cfg.N - len(faulty),
 		faulty:  faulty,
@@ -420,17 +447,30 @@ func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
 			}
 		}
 	}
-	h.wg.Add(3)
-	go h.acceptLoop()
+	h.wg.Add(2 + 2*len(h.shards))
+	for _, s := range h.shards {
+		go h.acceptLoop(s)
+		go h.shardWriter(s)
+	}
 	go h.retxLoop()
 	go h.pingLoop()
 	return h, nil
 }
 
-func (h *hub) acceptLoop() {
+// shardFor maps a peer to its shard: the same arithmetic clients use to
+// pick which address to dial, so a peer's frames always flow through one
+// queue and stay ordered.
+func (h *hub) shardFor(id sim.PeerID) *hubShard {
+	return h.shards[int(id)%len(h.shards)]
+}
+
+// addrFor is the listen address peer id must dial.
+func (h *hub) addrFor(id sim.PeerID) string { return h.shardFor(id).addr }
+
+func (h *hub) acceptLoop(s *hubShard) {
 	defer h.wg.Done()
 	for {
-		conn, err := h.ln.Accept()
+		conn, err := s.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
@@ -643,18 +683,32 @@ func (h *hub) later(hp *hubPeer, kind byte, seq uint64, d time.Duration, payload
 	h.mu.Unlock()
 }
 
-// writeData writes a frame on the peer's current connection, if any.
-// Failures are ignored: the reliable stream recovers via retransmission,
-// and best-effort frames are recovered end-to-end.
+// writeData hands a frame to the peer's shard writer, which batches it
+// into a coalesced socket write. A disconnected peer drops the frame
+// immediately — the reliable stream recovers via retransmission, and
+// best-effort frames are recovered end-to-end. A full shard queue blocks
+// (backpressure) until the writer drains or the hub stops.
 func (h *hub) writeData(hp *hubPeer, kind byte, seq uint64, payload []byte) {
 	hp.mu.Lock()
-	conn := hp.conn
+	up := hp.conn != nil && !hp.killed
 	hp.mu.Unlock()
-	if conn == nil {
+	if !up {
 		return
 	}
-	h.met.hubTx(kind, len(payload))
-	_ = writeFrame(conn, &hp.writeMu, kind, seq, payload)
+	s := h.shardFor(hp.id)
+	f := shardFrame{hp: hp, kind: kind, seq: seq, payload: payload}
+	select {
+	case s.q <- f:
+	default:
+		s.blocked.Add(1)
+		h.met.shardEvent(s.idx, "backpressure")
+		select {
+		case s.q <- f:
+		case <-h.stop:
+			return
+		}
+	}
+	s.enqueued.Add(1)
 }
 
 // answerQuery serves the source: decode tag + delta indices, route the
@@ -837,7 +891,9 @@ func (h *hub) close() {
 	for _, t := range timers {
 		t.Stop()
 	}
-	h.ln.Close()
+	for _, s := range h.shards {
+		s.ln.Close()
+	}
 	for _, hp := range h.peers {
 		hp.mu.Lock()
 		conn := hp.conn

@@ -37,6 +37,10 @@ type netMetrics struct {
 	dups                  []*obs.Counter
 	planDropped, planDup  []*obs.Counter
 	srcFails              []*obs.Counter
+
+	// Per-shard handles indexed by shard (see shard.go).
+	shardWrittenC, shardDownC, shardBlockedC, shardErrC []*obs.Counter
+	shardBatchH                                         *obs.Histogram
 }
 
 // newNetMetrics resolves every handle up front. Returns nil when the
@@ -103,6 +107,26 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 		m.planDup[i] = pdup.With(id)
 		m.srcFails[i] = sfail.With(id)
 	}
+	nShards := cfg.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	shardVec := reg.CounterVec("dr_net_shard_frames_total",
+		"Hub shard writer events: frames written, dropped on downed links, backpressure stalls, write errors.",
+		"shard", "event")
+	m.shardWrittenC = make([]*obs.Counter, nShards)
+	m.shardDownC = make([]*obs.Counter, nShards)
+	m.shardBlockedC = make([]*obs.Counter, nShards)
+	m.shardErrC = make([]*obs.Counter, nShards)
+	for i := 0; i < nShards; i++ {
+		id := strconv.Itoa(i)
+		m.shardWrittenC[i] = shardVec.With(id, "written")
+		m.shardDownC[i] = shardVec.With(id, "conn_down")
+		m.shardBlockedC[i] = shardVec.With(id, "backpressure")
+		m.shardErrC[i] = shardVec.With(id, "write_err")
+	}
+	m.shardBatchH = reg.Histogram("dr_net_shard_batch_frames",
+		"Frames coalesced per shard writer flush.", obs.ExpBuckets(1, 2, 8))
 	return m
 }
 
@@ -216,6 +240,37 @@ func (m *netMetrics) sourceFailure(peer int, kind string) {
 	}
 	peerAdd(m.srcFails, peer, 1)
 	m.mark(peer, "srcfail", kind)
+}
+
+// shardEvent counts one shard writer event; shardEventN counts n of them.
+func (m *netMetrics) shardEvent(idx int, event string) { m.shardEventN(idx, event, 1) }
+
+func (m *netMetrics) shardEventN(idx int, event string, n int) {
+	if m == nil {
+		return
+	}
+	var handles []*obs.Counter
+	switch event {
+	case "written":
+		handles = m.shardWrittenC
+	case "conn_down":
+		handles = m.shardDownC
+	case "backpressure":
+		handles = m.shardBlockedC
+	case "write_err":
+		handles = m.shardErrC
+	}
+	if idx >= 0 && idx < len(handles) {
+		handles[idx].Add(int64(n))
+	}
+}
+
+// shardBatch records the size of one coalesced writer flush.
+func (m *netMetrics) shardBatch(frames int) {
+	if m == nil || m.shardBatchH == nil {
+		return
+	}
+	m.shardBatchH.Observe(float64(frames))
 }
 
 // mark records a timeline event stamped with wall-clock seconds since

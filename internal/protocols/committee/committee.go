@@ -14,6 +14,9 @@
 //
 // Peers whose configuration violates 2t+1 ≤ n (i.e., β ≥ 1/2) fall back to
 // querying the entire array: the only deterministic option in that regime.
+//
+// The protocol is written against the state-machine API (sim.Machine);
+// New wraps it in sim.AsPeer for the classic sim.Peer surface.
 package committee
 
 import (
@@ -99,7 +102,6 @@ func Assignments(p sim.PeerID, L, n, t int) []int {
 
 // Peer is one protocol instance.
 type Peer struct {
-	ctx     sim.Context
 	idxBits int
 	track   *bitarray.Tracker
 	// votes[i] counts, per reported value, the distinct committee members
@@ -123,45 +125,54 @@ type Peer struct {
 	weakAccept bool
 }
 
-var _ sim.Peer = (*Peer)(nil)
+var _ sim.Machine = (*Peer)(nil)
 
 // New constructs a committee-protocol peer.
-func New(sim.PeerID) sim.Peer { return &Peer{} }
+func New(sim.PeerID) sim.Peer { return sim.AsPeer(&Peer{}) }
 
-// Init implements sim.Peer.
-func (p *Peer) Init(ctx sim.Context) {
-	p.ctx = ctx
-	p.idxBits = indexBits(ctx.L())
-	p.track = bitarray.NewTracker(ctx.L())
-	p.accept = ctx.T() + 1
-	if p.weakAccept && ctx.T() >= 1 {
-		p.accept = ctx.T()
+// Step implements sim.Machine.
+func (p *Peer) Step(env *sim.Env, ev sim.Event, em *sim.Emitter) {
+	switch ev.Kind {
+	case sim.EvInit:
+		p.init(env, em)
+	case sim.EvMessage:
+		p.onMessage(env, ev.From, ev.Msg, em)
+	case sim.EvQueryReply:
+		p.onQueryReply(ev.Reply, em)
 	}
-	sim.MarkPhase(ctx, "elect")
-	if CommitteeSize(ctx.T()) > ctx.N() {
+}
+
+func (p *Peer) init(env *sim.Env, em *sim.Emitter) {
+	p.idxBits = indexBits(env.L)
+	p.track = bitarray.NewTracker(env.L)
+	p.accept = env.T + 1
+	if p.weakAccept && env.T >= 1 {
+		p.accept = env.T
+	}
+	em.MarkPhase("elect")
+	if CommitteeSize(env.T) > env.N {
 		// β ≥ 1/2: deterministic protocols cannot beat naive (Thm 3.1).
 		p.naive = true
-		all := make([]int, ctx.L())
+		all := make([]int, env.L)
 		for i := range all {
 			all[i] = i
 		}
-		sim.MarkPhase(ctx, "download")
-		ctx.Query(0, all)
+		em.MarkPhase("download")
+		em.Query(0, all)
 		return
 	}
-	p.votes = make([][2]int16, ctx.L())
-	p.seenReport = make(map[sim.PeerID]bool, ctx.N())
-	mine := Assignments(ctx.ID(), ctx.L(), ctx.N(), ctx.T())
+	p.votes = make([][2]int16, env.L)
+	p.seenReport = make(map[sim.PeerID]bool, env.N)
+	mine := Assignments(env.ID, env.L, env.N, env.T)
 	if len(mine) == 0 {
 		p.reported = true // nothing to report
 		return
 	}
-	sim.MarkPhase(ctx, "download")
-	ctx.Query(0, mine)
+	em.MarkPhase("download")
+	em.Query(0, mine)
 }
 
-// OnQueryReply implements sim.Peer.
-func (p *Peer) OnQueryReply(r sim.QueryReply) {
+func (p *Peer) onQueryReply(r sim.QueryReply, em *sim.Emitter) {
 	if p.done {
 		return
 	}
@@ -169,7 +180,7 @@ func (p *Peer) OnQueryReply(r sim.QueryReply) {
 		p.track.LearnFromSource(idx, r.Bits.Get(k))
 	}
 	if p.naive {
-		p.maybeFinish()
+		p.maybeFinish(em)
 		return
 	}
 	// Broadcast my committee report.
@@ -178,14 +189,13 @@ func (p *Peer) OnQueryReply(r sim.QueryReply) {
 		v, _ := p.track.Get(idx)
 		vals.Set(k, v)
 	}
-	p.ctx.Broadcast(&Report{Indices: append([]int(nil), r.Indices...), Bits: vals, IdxBits: p.idxBits})
+	em.Broadcast(&Report{Indices: append([]int(nil), r.Indices...), Bits: vals, IdxBits: p.idxBits})
 	p.reported = true
-	sim.MarkPhase(p.ctx, "verify")
-	p.maybeFinish()
+	em.MarkPhase("verify")
+	p.maybeFinish(em)
 }
 
-// OnMessage implements sim.Peer.
-func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
+func (p *Peer) onMessage(env *sim.Env, from sim.PeerID, m sim.Message, em *sim.Emitter) {
 	if p.done || p.naive {
 		return
 	}
@@ -206,12 +216,12 @@ func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
 		// Honest reports list strictly increasing indices; rejecting
 		// violations stops a Byzantine member double-voting one bit
 		// inside a single report.
-		if idx <= prev || idx >= p.ctx.L() {
+		if idx <= prev || idx >= env.L {
 			continue
 		}
 		prev = idx
 		// Only committee members of idx may vote.
-		if !InCommittee(from, idx, p.ctx.N(), p.ctx.T()) {
+		if !InCommittee(from, idx, env.N, env.T) {
 			continue
 		}
 		var v int
@@ -223,10 +233,10 @@ func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
 			p.track.Learn(idx, v == 1)
 		}
 	}
-	p.maybeFinish()
+	p.maybeFinish(em)
 }
 
-func (p *Peer) maybeFinish() {
+func (p *Peer) maybeFinish(em *sim.Emitter) {
 	if p.done || !p.track.Complete() {
 		return
 	}
@@ -237,7 +247,7 @@ func (p *Peer) maybeFinish() {
 	if err != nil {
 		panic("committee: complete tracker failed to output: " + err.Error())
 	}
-	p.ctx.Output(out)
+	em.Output(out)
 	p.done = true
-	p.ctx.Terminate()
+	em.Terminate()
 }

@@ -23,6 +23,9 @@
 // or all n−1 others are alive (their shares cover q's block), so waiting
 // until no bit is unknown is deadlock-free. Every peer then outputs and
 // terminates.
+//
+// The protocol is written against the state-machine API (sim.Machine);
+// New wraps it in sim.AsPeer for the classic sim.Peer surface.
 package crash1
 
 import (
@@ -101,9 +104,12 @@ const (
 	stDone    = 6
 )
 
-// Peer is one Algorithm 1 instance.
+// Peer is one Algorithm 1 instance. env/em are rebound at every Step, so
+// the stage helpers below read like the original blocking code while all
+// effects flow through the Emitter.
 type Peer struct {
-	ctx     sim.Context
+	env     *sim.Env
+	em      *sim.Emitter
 	track   *bitarray.Tracker
 	stage   int
 	idxBits int
@@ -127,10 +133,10 @@ type deferredWho struct {
 	req  *WhoIsMissing
 }
 
-var _ sim.Peer = (*Peer)(nil)
+var _ sim.Machine = (*Peer)(nil)
 
 // New constructs an Algorithm 1 peer.
-func New(sim.PeerID) sim.Peer { return &Peer{} }
+func New(sim.PeerID) sim.Peer { return sim.AsPeer(&Peer{}) }
 
 // NewLegacy constructs a peer with the PRE-FIX termination behavior:
 // finish() terminates silently instead of broadcasting the full array.
@@ -140,18 +146,30 @@ func New(sim.PeerID) sim.Peer { return &Peer{} }
 // TEST HOOK ONLY: it exists so the deterministic-simulation harness
 // (internal/dst) has a real, historically observed bug to find, shrink,
 // and pin as a replay regression. Production code must use New.
-func NewLegacy(sim.PeerID) sim.Peer { return &Peer{legacy: true} }
+func NewLegacy(sim.PeerID) sim.Peer { return sim.AsPeer(&Peer{legacy: true}) }
 
-// Init implements sim.Peer.
-func (p *Peer) Init(ctx sim.Context) {
-	p.ctx = ctx
-	p.track = bitarray.NewTracker(ctx.L())
-	p.idxBits = indexBits(ctx.L())
+// Step implements sim.Machine.
+func (p *Peer) Step(env *sim.Env, ev sim.Event, em *sim.Emitter) {
+	p.env, p.em = env, em
+	switch ev.Kind {
+	case sim.EvInit:
+		p.init()
+	case sim.EvMessage:
+		p.onMessage(ev.From, ev.Msg)
+	case sim.EvQueryReply:
+		p.onQueryReply(ev.Reply)
+	}
+	p.env, p.em = nil, nil
+}
+
+func (p *Peer) init() {
+	p.track = bitarray.NewTracker(p.env.L)
+	p.idxBits = indexBits(p.env.L)
 	p.heard1 = make(map[sim.PeerID]bool)
 	p.missing = -1
 	p.stage = stP1Query
-	sim.MarkPhase(ctx, "phase1")
-	lo, hi := sim.BlockRange(ctx.L(), ctx.N(), ctx.ID())
+	p.em.MarkPhase("phase1")
+	lo, hi := sim.BlockRange(p.env.L, p.env.N, p.env.ID)
 	if lo == hi {
 		p.afterP1Query()
 		return
@@ -160,20 +178,20 @@ func (p *Peer) Init(ctx sim.Context) {
 	for i := lo; i < hi; i++ {
 		idx = append(idx, i)
 	}
-	ctx.Query(1, idx)
+	p.em.Query(1, idx)
 }
 
 func (p *Peer) afterP1Query() {
-	p.ctx.Logf("crash1: stage1 done, pushing block")
+	p.em.Logf("crash1: stage1 done, pushing block")
 	p.stage = stP1Wait1
 	// Push my block to everyone.
-	lo, hi := sim.BlockRange(p.ctx.L(), p.ctx.N(), p.ctx.ID())
+	lo, hi := sim.BlockRange(p.env.L, p.env.N, p.env.ID)
 	set := intset.FromRange(lo, hi)
 	vals, ok := p.track.KnownSegment(lo, hi-lo)
 	if !ok {
 		panic("crash1: own block unknown after query")
 	}
-	p.ctx.Broadcast(&Push{Phase: 1, Indices: set, Values: vals, IdxBits: p.idxBits})
+	p.em.Broadcast(&Push{Phase: 1, Indices: set, Values: vals, IdxBits: p.idxBits})
 	// Answer deferred missing-peer questions now that stage 1 is done.
 	for _, d := range p.deferredWho {
 		p.answerWho(d.from, d.req)
@@ -187,27 +205,27 @@ func (p *Peer) checkP1Wait1() {
 		return
 	}
 	// Count myself: n−1 peers total means n−2 pushes from others.
-	if len(p.heard1) < p.ctx.N()-2 {
+	if len(p.heard1) < p.env.N-2 {
 		return
 	}
-	if len(p.heard1) == p.ctx.N()-1 || p.track.Complete() {
+	if len(p.heard1) == p.env.N-1 || p.track.Complete() {
 		// Heard everyone — nothing missing.
 		p.enterCompletion()
 		return
 	}
 	// Exactly one peer missing.
-	for j := 0; j < p.ctx.N(); j++ {
+	for j := 0; j < p.env.N; j++ {
 		id := sim.PeerID(j)
-		if id != p.ctx.ID() && !p.heard1[id] {
+		if id != p.env.ID && !p.heard1[id] {
 			p.missing = id
 			break
 		}
 	}
-	p.ctx.Logf("crash1: missing=%d, asking", p.missing)
+	p.em.Logf("crash1: missing=%d, asking", p.missing)
 	p.stage = stP1Wait2
 	p.opinions = 1 // my own "me neither"
 	p.gotValues = false
-	p.ctx.Broadcast(&WhoIsMissing{Phase: 1, Missing: p.missing})
+	p.em.Broadcast(&WhoIsMissing{Phase: 1, Missing: p.missing})
 	p.checkP1Wait2()
 }
 
@@ -219,7 +237,7 @@ func (p *Peer) checkP1Wait2() {
 		p.enterCompletion()
 		return
 	}
-	if p.opinions < p.ctx.N()-1 {
+	if p.opinions < p.env.N-1 {
 		return
 	}
 	if p.gotValues && p.track.Complete() {
@@ -233,9 +251,9 @@ func (p *Peer) checkP1Wait2() {
 // spreadShare returns the indices of q's block assigned to peer `who`
 // when the block is spread evenly over all peers except q.
 func (p *Peer) spreadShare(q, who sim.PeerID) []int {
-	lo, hi := sim.BlockRange(p.ctx.L(), p.ctx.N(), q)
-	others := make([]sim.PeerID, 0, p.ctx.N()-1)
-	for j := 0; j < p.ctx.N(); j++ {
+	lo, hi := sim.BlockRange(p.env.L, p.env.N, q)
+	others := make([]sim.PeerID, 0, p.env.N-1)
+	for j := 0; j < p.env.N; j++ {
 		if sim.PeerID(j) != q {
 			others = append(others, sim.PeerID(j))
 		}
@@ -252,10 +270,10 @@ func (p *Peer) spreadShare(q, who sim.PeerID) []int {
 }
 
 func (p *Peer) enterPhase2() {
-	p.ctx.Logf("crash1: entering phase 2 (missing=%d)", p.missing)
-	sim.MarkPhase(p.ctx, "phase2")
+	p.em.Logf("crash1: entering phase 2 (missing=%d)", p.missing)
+	p.em.MarkPhase("phase2")
 	p.stage = stP2Query
-	mine := p.spreadShare(p.missing, p.ctx.ID())
+	mine := p.spreadShare(p.missing, p.env.ID)
 	// Drop already-known bits (none expected, but harmless).
 	need := mine[:0]
 	for _, x := range mine {
@@ -267,12 +285,12 @@ func (p *Peer) enterPhase2() {
 		p.afterP2Query()
 		return
 	}
-	p.ctx.Query(2, need)
+	p.em.Query(2, need)
 }
 
 func (p *Peer) afterP2Query() {
 	p.stage = stP2Wait
-	mine := p.spreadShare(p.missing, p.ctx.ID())
+	mine := p.spreadShare(p.missing, p.env.ID)
 	if len(mine) > 0 {
 		set := intset.FromSorted(mine)
 		vals := bitarray.New(len(mine))
@@ -283,7 +301,7 @@ func (p *Peer) afterP2Query() {
 			}
 			vals.Set(i, v)
 		}
-		p.ctx.Broadcast(&Push{Phase: 2, Indices: set, Values: vals, IdxBits: p.idxBits})
+		p.em.Broadcast(&Push{Phase: 2, Indices: set, Values: vals, IdxBits: p.idxBits})
 	}
 	p.checkP2()
 }
@@ -299,8 +317,8 @@ func (p *Peer) checkP2() {
 
 // enterCompletion marks completion mode and terminates via finish.
 func (p *Peer) enterCompletion() {
-	p.ctx.Logf("crash1: completion mode")
-	sim.MarkPhase(p.ctx, "completion")
+	p.em.Logf("crash1: completion mode")
+	p.em.MarkPhase("completion")
 	p.completion = true
 	p.finish()
 }
@@ -320,20 +338,19 @@ func (p *Peer) finish() {
 		panic("crash1: finish without full knowledge: " + err.Error())
 	}
 	if !p.legacy {
-		p.ctx.Broadcast(&Push{
+		p.em.Broadcast(&Push{
 			Phase:   2,
-			Indices: intset.FromRange(0, p.ctx.L()),
+			Indices: intset.FromRange(0, p.env.L),
 			Values:  out,
 			IdxBits: p.idxBits,
 		})
 	}
-	p.ctx.Output(out)
+	p.em.Output(out)
 	p.stage = stDone
-	p.ctx.Terminate()
+	p.em.Terminate()
 }
 
-// OnQueryReply implements sim.Peer.
-func (p *Peer) OnQueryReply(r sim.QueryReply) {
+func (p *Peer) onQueryReply(r sim.QueryReply) {
 	for j, idx := range r.Indices {
 		p.track.LearnFromSource(idx, r.Bits.Get(j))
 	}
@@ -345,14 +362,13 @@ func (p *Peer) OnQueryReply(r sim.QueryReply) {
 	}
 }
 
-// OnMessage implements sim.Peer.
-func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
+func (p *Peer) onMessage(from sim.PeerID, m sim.Message) {
 	if p.stage == stDone {
 		return
 	}
 	switch msg := m.(type) {
 	case *Push:
-		if !validPayload(msg.Indices, msg.Values, p.ctx.L()) {
+		if !validPayload(msg.Indices, msg.Values, p.env.L) {
 			return // malformed (possible only from faulty senders)
 		}
 		p.learnSet(msg.Indices, msg.Values)
@@ -361,7 +377,7 @@ func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
 		}
 		p.progress()
 	case *WhoIsMissing:
-		if msg.Missing < 0 || int(msg.Missing) >= p.ctx.N() {
+		if msg.Missing < 0 || int(msg.Missing) >= p.env.N {
 			return // malformed
 		}
 		// Answer once my own phase-1 stage-1 wait is done.
@@ -372,7 +388,7 @@ func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
 		}
 	case *MissingReply:
 		if !msg.MeNeither {
-			if !validPayload(msg.Indices, msg.Values, p.ctx.L()) {
+			if !validPayload(msg.Indices, msg.Values, p.env.L) {
 				return // malformed
 			}
 			p.learnSet(msg.Indices, msg.Values)
@@ -400,13 +416,13 @@ func (p *Peer) progress() {
 }
 
 func (p *Peer) answerWho(from sim.PeerID, req *WhoIsMissing) {
-	lo, hi := sim.BlockRange(p.ctx.L(), p.ctx.N(), req.Missing)
+	lo, hi := sim.BlockRange(p.env.L, p.env.N, req.Missing)
 	vals, ok := p.track.KnownSegment(lo, hi-lo)
 	if !ok {
-		p.ctx.Send(from, &MissingReply{Phase: req.Phase, About: req.Missing, MeNeither: true})
+		p.em.Send(from, &MissingReply{Phase: req.Phase, About: req.Missing, MeNeither: true})
 		return
 	}
-	p.ctx.Send(from, &MissingReply{
+	p.em.Send(from, &MissingReply{
 		Phase:   req.Phase,
 		About:   req.Missing,
 		Indices: intset.FromRange(lo, hi),

@@ -78,7 +78,7 @@ func NewFast(id sim.PeerID) sim.Peer { return NewWithOptions(Options{Fast: true}
 
 // NewWithOptions returns a peer factory with explicit options.
 func NewWithOptions(opts Options) func(sim.PeerID) sim.Peer {
-	return func(sim.PeerID) sim.Peer { return &Peer{opts: opts} }
+	return func(sim.PeerID) sim.Peer { return sim.AsPeer(&Peer{opts: opts}) }
 }
 
 // owner returns the globally agreed owner of bit x in phase r. Phase 1
@@ -110,9 +110,12 @@ const (
 	stDone  = 5
 )
 
-// Peer is one protocol instance.
+// Peer is one protocol instance. env/em are rebound at every Step, so the
+// stage helpers below read like the original blocking code while all
+// effects flow through the Emitter.
 type Peer struct {
-	ctx  sim.Context
+	env  *sim.Env
+	em   *sim.Emitter
 	opts Options
 
 	track *bitarray.Tracker
@@ -151,18 +154,30 @@ type deferred2 struct {
 	req  *Req2
 }
 
-var _ sim.Peer = (*Peer)(nil)
+var _ sim.Machine = (*Peer)(nil)
 
-// Init implements sim.Peer.
-func (p *Peer) Init(ctx sim.Context) {
-	p.ctx = ctx
-	p.track = bitarray.NewTracker(ctx.L())
-	p.idxBits = indexBits(ctx.L())
+// Step implements sim.Machine.
+func (p *Peer) Step(env *sim.Env, ev sim.Event, em *sim.Emitter) {
+	p.env, p.em = env, em
+	switch ev.Kind {
+	case sim.EvInit:
+		p.init()
+	case sim.EvMessage:
+		p.onMessage(ev.From, ev.Msg)
+	case sim.EvQueryReply:
+		p.onQueryReply(ev.Reply)
+	}
+	p.env, p.em = nil, nil
+}
+
+func (p *Peer) init() {
+	p.track = bitarray.NewTracker(p.env.L)
+	p.idxBits = indexBits(p.env.L)
 	p.heard = make(map[int]map[sim.PeerID]bool)
 	p.defer1 = make(map[int][]deferred1)
 	p.defer2 = make(map[int][]deferred2)
 	if p.opts.Threshold <= 0 {
-		p.opts.Threshold = (ctx.L() + ctx.N() - 1) / ctx.N()
+		p.opts.Threshold = (p.env.L + p.env.N - 1) / p.env.N
 	}
 	if p.opts.MaxPhases <= 0 {
 		p.opts.MaxPhases = 64
@@ -180,7 +195,7 @@ func (p *Peer) startPhase(r int) {
 	}
 	p.phase = r
 	p.stage = stQuery
-	sim.MarkPhase(p.ctx, phaseName(r))
+	p.em.MarkPhase(phaseName(r))
 	p.heard[r] = make(map[sim.PeerID]bool)
 	p.needs = nil
 	p.resp2Count = 0
@@ -189,18 +204,18 @@ func (p *Peer) startPhase(r int) {
 	byOwner := p.unknownByOwner(r)
 
 	// Stage 1: query my own bits, request the rest.
-	mine := byOwner[p.ctx.ID()]
+	mine := byOwner[p.env.ID]
 	p.queryWait = 0
 	if !mine.Empty() {
 		p.queryWait = 1
-		p.ctx.Query(r, mine.Elements())
+		p.em.Query(r, mine.Elements())
 	}
-	for j := 0; j < p.ctx.N(); j++ {
+	for j := 0; j < p.env.N; j++ {
 		id := sim.PeerID(j)
-		if id == p.ctx.ID() {
+		if id == p.env.ID {
 			continue
 		}
-		p.ctx.Send(id, &Req1{Phase: r, Indices: byOwner[id], IdxBits: p.idxBits})
+		p.em.Send(id, &Req1{Phase: r, Indices: byOwner[id], IdxBits: p.idxBits})
 	}
 	if p.queryWait == 0 {
 		p.enterWait1()
@@ -209,12 +224,12 @@ func (p *Peer) startPhase(r int) {
 
 // unknownByOwner groups the currently unknown bits by their phase-r owner.
 func (p *Peer) unknownByOwner(r int) []intset.Set {
-	builders := make([]intset.Builder, p.ctx.N())
+	builders := make([]intset.Builder, p.env.N)
 	unknown := p.track.UnknownAll()
 	for _, x := range unknown {
-		builders[owner(p.opts.Reassign, r, x, p.ctx.L(), p.ctx.N())].Add(x)
+		builders[owner(p.opts.Reassign, r, x, p.env.L, p.env.N)].Add(x)
 	}
-	sets := make([]intset.Set, p.ctx.N())
+	sets := make([]intset.Set, p.env.N)
 	for i := range builders {
 		sets[i] = builders[i].Set()
 	}
@@ -238,7 +253,7 @@ func (p *Peer) checkWait1() {
 		return
 	}
 	// Count myself: wait for n−t−1 others.
-	if len(p.heard[p.phase]) < p.ctx.N()-p.ctx.T()-1 {
+	if len(p.heard[p.phase]) < p.env.N-p.env.T-1 {
 		return
 	}
 	p.enterWait2()
@@ -260,9 +275,9 @@ func (p *Peer) enterWait2() {
 
 	byOwner := p.unknownByOwner(r)
 	var items []Req2Item
-	for j := 0; j < p.ctx.N(); j++ {
+	for j := 0; j < p.env.N; j++ {
 		id := sim.PeerID(j)
-		if id == p.ctx.ID() || p.heard[r][id] {
+		if id == p.env.ID || p.heard[r][id] {
 			continue
 		}
 		if byOwner[id].Empty() {
@@ -276,7 +291,7 @@ func (p *Peer) enterWait2() {
 		p.endPhase()
 		return
 	}
-	p.ctx.Broadcast(&Req2{Phase: r, Items: items, IdxBits: p.idxBits})
+	p.em.Broadcast(&Req2{Phase: r, Items: items, IdxBits: p.idxBits})
 	p.checkWait2()
 }
 
@@ -288,7 +303,7 @@ func (p *Peer) checkWait2() {
 		p.endPhase()
 		return
 	}
-	if p.resp2Count < p.ctx.N()-p.ctx.T()-1 {
+	if p.resp2Count < p.env.N-p.env.T-1 {
 		return
 	}
 	p.endPhase()
@@ -338,14 +353,14 @@ func phaseName(r int) string {
 
 // finishDirect queries every remaining unknown bit, then terminates.
 func (p *Peer) finishDirect() {
-	sim.MarkPhase(p.ctx, "direct")
+	p.em.MarkPhase("direct")
 	p.stage = stFinal
 	unknown := p.track.UnknownAll()
 	if len(unknown) == 0 {
 		p.complete()
 		return
 	}
-	p.ctx.Query(-1, unknown)
+	p.em.Query(-1, unknown)
 }
 
 // complete broadcasts the full array, outputs, and terminates.
@@ -354,14 +369,13 @@ func (p *Peer) complete() {
 	if err != nil {
 		panic("crashk: complete() with unknown bits: " + err.Error())
 	}
-	p.ctx.Broadcast(&Full{Values: out})
-	p.ctx.Output(out)
+	p.em.Broadcast(&Full{Values: out})
+	p.em.Output(out)
 	p.stage = stDone
-	p.ctx.Terminate()
+	p.em.Terminate()
 }
 
-// OnQueryReply implements sim.Peer.
-func (p *Peer) OnQueryReply(r sim.QueryReply) {
+func (p *Peer) onQueryReply(r sim.QueryReply) {
 	for j, idx := range r.Indices {
 		p.track.LearnFromSource(idx, r.Bits.Get(j))
 	}
@@ -380,8 +394,7 @@ func (p *Peer) OnQueryReply(r sim.QueryReply) {
 	}
 }
 
-// OnMessage implements sim.Peer.
-func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
+func (p *Peer) onMessage(from sim.PeerID, m sim.Message) {
 	if p.stage == stDone {
 		return
 	}
@@ -395,7 +408,7 @@ func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
 			p.defer1[msg.Phase] = append(p.defer1[msg.Phase], deferred1{from, msg})
 		}
 	case *Resp1:
-		if !validPayload(msg.Indices, msg.Values, p.ctx.L()) {
+		if !validPayload(msg.Indices, msg.Values, p.env.L) {
 			return // malformed (possible only from faulty senders)
 		}
 		p.learnSet(msg.Indices, msg.Values)
@@ -414,7 +427,7 @@ func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
 		}
 	case *Resp2:
 		for _, it := range msg.Items {
-			if !it.MeNeither && validPayload(it.Indices, it.Values, p.ctx.L()) {
+			if !it.MeNeither && validPayload(it.Indices, it.Values, p.env.L) {
 				p.learnSet(it.Indices, it.Values)
 			}
 		}
@@ -424,7 +437,7 @@ func (p *Peer) OnMessage(from sim.PeerID, m sim.Message) {
 		}
 		p.recheck()
 	case *Full:
-		if msg.Values == nil || msg.Values.Len() != p.ctx.L() {
+		if msg.Values == nil || msg.Values.Len() != p.env.L {
 			return // malformed
 		}
 		p.track.LearnRange(0, msg.Values.Len(), msg.Values, 0)
@@ -442,7 +455,7 @@ func (p *Peer) recheck() {
 }
 
 func (p *Peer) answerReq1(from sim.PeerID, req *Req1) {
-	if !inRange(req.Indices, p.ctx.L()) {
+	if !inRange(req.Indices, p.env.L) {
 		return // malformed request
 	}
 	vals, complete := p.extract(req.Indices)
@@ -451,7 +464,7 @@ func (p *Peer) answerReq1(from sim.PeerID, req *Req1) {
 		// tolerate Byzantine-malformed requests by simply not answering.
 		return
 	}
-	p.ctx.Send(from, &Resp1{Phase: req.Phase, Indices: req.Indices, Values: vals, IdxBits: p.idxBits})
+	p.em.Send(from, &Resp1{Phase: req.Phase, Indices: req.Indices, Values: vals, IdxBits: p.idxBits})
 }
 
 // extract gathers the tracked values of set into a fresh array, a word-
@@ -506,12 +519,12 @@ func (p *Peer) answerReq2(from sim.PeerID, req *Req2) {
 		})
 		items = append(items, Resp2Item{Q: it.Q, Indices: it.Indices, Values: vals})
 	}
-	p.ctx.Send(from, &Resp2{Phase: req.Phase, Items: items, IdxBits: p.idxBits})
+	p.em.Send(from, &Resp2{Phase: req.Phase, Items: items, IdxBits: p.idxBits})
 }
 
 // answerable reports whether a stage-2 item is in range and fully known.
 func (p *Peer) answerable(set intset.Set) bool {
-	if !inRange(set, p.ctx.L()) {
+	if !inRange(set, p.env.L) {
 		return false
 	}
 	known := true

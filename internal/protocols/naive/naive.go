@@ -5,6 +5,10 @@
 // baseline and — by Theorems 3.1 and 3.2 of the paper — essentially the
 // only correct deterministic protocol once the Byzantine fraction reaches
 // one half: it tolerates any number of faults of any kind.
+//
+// The protocol is written against the state-machine API (sim.Machine):
+// one Step per event, effects emitted as actions. New wraps it in
+// sim.AsPeer, so runtimes and tests see the classic sim.Peer surface.
 package naive
 
 import (
@@ -15,50 +19,54 @@ import (
 // Peer queries every bit of X and terminates. It works under any fault
 // model and any β < 1 because it trusts only the source.
 type Peer struct {
-	ctx   sim.Context
 	track *bitarray.Tracker
 	// batch bounds the indices per query call, exercising multi-reply
 	// assembly; 0 means one query for the whole array.
 	batch int
 }
 
-var _ sim.Peer = (*Peer)(nil)
+var _ sim.Machine = (*Peer)(nil)
 
 // New constructs a naive peer that fetches the whole array in one query.
-func New(sim.PeerID) sim.Peer { return &Peer{} }
+func New(sim.PeerID) sim.Peer { return sim.AsPeer(&Peer{}) }
 
 // NewBatched returns a factory whose peers fetch the array in query
 // batches of the given size.
 func NewBatched(batch int) func(sim.PeerID) sim.Peer {
-	return func(sim.PeerID) sim.Peer { return &Peer{batch: batch} }
+	return func(sim.PeerID) sim.Peer { return sim.AsPeer(&Peer{batch: batch}) }
 }
 
-// Init implements sim.Peer.
-func (p *Peer) Init(ctx sim.Context) {
-	p.ctx = ctx
-	p.track = bitarray.NewTracker(ctx.L())
+// Step implements sim.Machine.
+func (p *Peer) Step(env *sim.Env, ev sim.Event, em *sim.Emitter) {
+	switch ev.Kind {
+	case sim.EvInit:
+		p.init(env, em)
+	case sim.EvQueryReply:
+		p.onQueryReply(ev.Reply, em)
+	}
+	// EvMessage: naive peers ignore all traffic.
+}
+
+func (p *Peer) init(env *sim.Env, em *sim.Emitter) {
+	p.track = bitarray.NewTracker(env.L)
 	batch := p.batch
 	if batch <= 0 {
-		batch = ctx.L()
+		batch = env.L
 	}
-	for start := 0; start < ctx.L(); start += batch {
+	for start := 0; start < env.L; start += batch {
 		end := start + batch
-		if end > ctx.L() {
-			end = ctx.L()
+		if end > env.L {
+			end = env.L
 		}
 		indices := make([]int, 0, end-start)
 		for i := start; i < end; i++ {
 			indices = append(indices, i)
 		}
-		ctx.Query(0, indices)
+		em.Query(0, indices)
 	}
 }
 
-// OnMessage implements sim.Peer. Naive peers ignore all traffic.
-func (p *Peer) OnMessage(sim.PeerID, sim.Message) {}
-
-// OnQueryReply implements sim.Peer.
-func (p *Peer) OnQueryReply(r sim.QueryReply) {
+func (p *Peer) onQueryReply(r sim.QueryReply, em *sim.Emitter) {
 	for j, idx := range r.Indices {
 		p.track.LearnFromSource(idx, r.Bits.Get(j))
 	}
@@ -67,7 +75,7 @@ func (p *Peer) OnQueryReply(r sim.QueryReply) {
 		if err != nil {
 			panic("naive: complete tracker failed to output: " + err.Error())
 		}
-		p.ctx.Output(out)
-		p.ctx.Terminate()
+		em.Output(out)
+		em.Terminate()
 	}
 }

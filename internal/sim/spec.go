@@ -120,6 +120,16 @@ type Spec struct {
 	// Zero means no deadline (the event cap and the live runtime's
 	// wall-clock default still apply).
 	Deadline float64
+	// Workers, when > 1, multiplexes peers over this many scheduler
+	// workers instead of the default execution strategy: the des runtime
+	// speculates honest-peer state-machine steps on a worker pool and
+	// applies their effects in exact serial order — the Result is
+	// byte-identical at every worker count — and the live runtime runs
+	// peers M-per-worker instead of goroutine-per-peer. Values ≤ 1 keep
+	// the classic single-threaded (des) or goroutine-per-peer (live)
+	// execution. The des scheduler falls back to serial when a feature
+	// incompatible with speculation is set (Trace, SourceFaults, Churn).
+	Workers int
 }
 
 // Observer receives structured execution events from the des runtime.
