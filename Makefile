@@ -15,7 +15,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 # pathologies). Override for slow local machines: make test TIMEOUT=20m.
 TIMEOUT ?= 10m
 
-.PHONY: all build fmt vet test race bench bench-ci conform conformance chaos source-chaos scale-smoke experiments fuzz lint cover dst-search dst-regen harden clean
+.PHONY: all build fmt vet test race bench bench-ci conform conformance chaos source-chaos mirrors scale-smoke experiments fuzz lint cover dst-search dst-regen harden clean
 
 all: build vet test
 
@@ -89,6 +89,19 @@ source-chaos:
 	$(GO) run ./cmd/drconform -n 12 -L 1024 -seeds 2 -flaky-source
 	$(GO) run ./cmd/drchaos -seeds 2 -drops 0,0.1 -flaps 0 -source-faults "fail=0.2,timeout=0.1,seed=3"
 
+# Merkle-mirror gate (see docs/MODEL.md "The mirror tier" +
+# docs/SPEC.md frames): the commitment scheme's property and forgery
+# suites, the mirror fleet suite, every mirror test across the runtimes
+# (des, live under the race detector, real TCP sockets with the
+# QPROOF/QUERYSRC frames, dst replay, download e2e), then a drconform
+# sweep with the mirror column — every protocol × fleet cell re-run
+# against a Byzantine-majority mirror fleet.
+mirrors:
+	$(GO) test -count=1 -timeout $(TIMEOUT) ./internal/merkle/ ./internal/source/
+	$(GO) test -count=1 -timeout $(TIMEOUT) -run 'TestMirror' ./internal/des/ ./internal/netrt/ ./internal/dst/ ./download/
+	$(GO) test -race -count=1 -timeout $(TIMEOUT) -run 'TestLiveMirror' ./internal/live/
+	$(GO) run ./cmd/drconform -n 12 -L 1024 -seeds 2 -mirrors "mirrors=5,byz=3,behavior=mixed,seed=7"
+
 # Million-peer scale gate (see docs/SCALING.md): the load-generator and
 # shard suites, then a 50k-client drload run against one sharded hub
 # with hard SLOs — p99 closed-loop latency under 2s and zero dropped
@@ -113,6 +126,10 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=$(FUZZTIME) -run '^$$' ./internal/netrt/
 	$(GO) test -fuzz=FuzzDecodeQuery -fuzztime=$(FUZZTIME) -run '^$$' ./internal/netrt/
 	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=$(FUZZTIME) -run '^$$' ./internal/netrt/
+	$(GO) test -fuzz=FuzzDecodeProofReply -fuzztime=$(FUZZTIME) -run '^$$' ./internal/netrt/
+	$(GO) test -fuzz=FuzzHostileProofFrame -fuzztime=$(FUZZTIME) -run '^$$' ./internal/netrt/
+	$(GO) test -fuzz=FuzzDecodeProof -fuzztime=$(FUZZTIME) -run '^$$' ./internal/merkle/
+	$(GO) test -fuzz=FuzzVerifyHostileProof -fuzztime=$(FUZZTIME) -run '^$$' ./internal/merkle/
 
 # Optional static analysis + vulnerability scan; needs network the first
 # time to fetch the pinned tools. Non-blocking in CI (see ci.yml).

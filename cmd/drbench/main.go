@@ -177,6 +177,17 @@ func runPipeline(cfg pipelineConfig) int {
 		file.Rows = append(file.Rows, row)
 	}
 
+	// Proof-verify micro rows: the mirror tier's per-reply decode+verify
+	// cost, gated on allocs/op like every other cell (see merkle.go).
+	for _, mc := range merkleCells(cfg.quick) {
+		row, err := measureMerkle(mc, cfg.seed, cfg.iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drbench: %s: %v\n", mc.name, err)
+			return 1
+		}
+		file.Rows = append(file.Rows, row)
+	}
+
 	path, err := benchfmt.Write(cfg.out, file)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "drbench: %v\n", err)

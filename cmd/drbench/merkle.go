@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/bitarray"
+	"repro/internal/merkle"
+)
+
+// merkleCell is one proof-verify micro-benchmark row: decode + verify a
+// fixed set of sub-range proofs against a committed root, exactly the
+// per-reply work a peer does for every mirror answer. The pipeline's
+// regression gate guards its allocs/op (the mirror tier's hot path must
+// stay allocation-lean) and pins the proof geometry through the paper
+// metrics: query_q = bits verified per op, msgs = proof hashes consumed
+// per op. Either drifting means the commitment or codec changed shape,
+// which must be an explicit decision (commit a new baseline).
+type merkleCell struct {
+	name     string
+	l        int      // committed input bits
+	leafBits int      // commitment leaf granularity
+	spans    [][2]int // [leafLo, leafHi) ranges verified per op
+}
+
+// merkleCells mirrors the two mirror-reply shapes that matter: narrow
+// single-leaf proofs (deep audit spot-checks) and wide span proofs
+// (bulk sub-range retrieval). Full mode uses the Table-1 input scale.
+func merkleCells(quick bool) []merkleCell {
+	l, leafBits := 1<<14, 64
+	if quick {
+		l, leafBits = 1<<12, 32
+	}
+	leaves := l / leafBits
+	return []merkleCell{
+		{
+			name: "mverify-leaf", l: l, leafBits: leafBits,
+			spans: [][2]int{
+				{0, 1}, {1, 2}, {leaves / 4, leaves/4 + 1}, {leaves / 2, leaves/2 + 1},
+				{leaves - 2, leaves - 1}, {leaves - 1, leaves}, {7, 8}, {leaves - 7, leaves - 6},
+			},
+		},
+		{
+			name: "mverify-span", l: l, leafBits: leafBits,
+			spans: [][2]int{
+				{0, leaves / 4}, {leaves / 4, leaves / 2},
+				{leaves / 3, 2 * leaves / 3}, {leaves - leaves/4, leaves},
+			},
+		},
+	}
+}
+
+// measureMerkle times reps decode+verify passes over the cell's spans.
+// Proofs are built and encoded once up front; the timed loop measures
+// only what a peer pays per proof-carrying reply: DecodeProof on the
+// wire bytes, then Verify against the pinned root.
+func measureMerkle(c merkleCell, seed int64, iters int) (benchfmt.Row, error) {
+	x := bitarray.Random(rand.New(rand.NewSource(seed)), c.l)
+	tree := merkle.Build(x, c.leafBits)
+	root, p := tree.Root(), tree.Params()
+
+	bits := make([]*bitarray.Array, len(c.spans))
+	encoded := make([][]byte, len(c.spans))
+	var qBits, hashes int
+	for i, sp := range c.spans {
+		lo, hi := sp[0], sp[1]
+		n := p.SpanBits(lo, hi)
+		bits[i] = x.Slice(lo*c.leafBits, n)
+		pr := tree.Prove(lo, hi)
+		encoded[i] = pr.AppendTo(nil)
+		qBits += n
+		hashes += len(pr.Hashes)
+	}
+
+	// One op = the full span set; reps amortizes memstats noise for what
+	// is a microsecond-scale operation.
+	const reps = 256
+	n := reps * iters
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for r := 0; r < n; r++ {
+		for i, sp := range c.spans {
+			pr, rest, ok := merkle.DecodeProof(encoded[i])
+			if !ok || len(rest) != 0 {
+				return benchfmt.Row{}, fmt.Errorf("%s: proof round-trip broke", c.name)
+			}
+			if !merkle.Verify(root, p, sp[0], sp[1], bits[i], pr) {
+				return benchfmt.Row{}, fmt.Errorf("%s: genuine proof rejected", c.name)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	fn := float64(n)
+	return benchfmt.Row{
+		Name:        c.name,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / fn,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / fn,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / fn,
+		QueryQ:      float64(qBits),
+		AvgQ:        float64(qBits),
+		Msgs:        float64(hashes),
+		VTime:       0,
+	}, nil
+}

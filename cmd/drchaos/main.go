@@ -54,6 +54,7 @@ func notifyInterrupt() <-chan struct{} {
 type tally struct {
 	retries, reconnects, planDropped, planDuped, dupsDropped int
 	srcFailures, srcRetries, breakerOpens, deferred          int
+	mirrorHits, proofFailures, fallbackQueries               int
 }
 
 func (a *tally) add(res *sim.Result) {
@@ -63,6 +64,9 @@ func (a *tally) add(res *sim.Result) {
 	a.srcRetries += res.SourceRetries
 	a.breakerOpens += res.BreakerOpens
 	a.deferred += res.DeferredQueries
+	a.mirrorHits += res.MirrorHits
+	a.proofFailures += res.ProofFailures
+	a.fallbackQueries += res.FallbackQueries
 	for i := range res.PerPeer {
 		ps := &res.PerPeer[i]
 		a.planDropped += ps.PlanDropped
@@ -130,6 +134,7 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 		reorder   = fs.Float64("reorder", 0.05, "forced-reordering probability")
 		partition = fs.Bool("partition", true, "include one healed partition (needs n ≥ 4)")
 		srcSpec   = fs.String("source-faults", "", `seeded source fault plan layered on every run, e.g. "fail=0.25,outage=0..0.5,seed=7"`)
+		mirSpec   = fs.String("mirrors", "", `untrusted mirror fleet plan layered on every run, e.g. "mirrors=5,byz=3,behavior=mixed,seed=7" (QPROOF frames ride the chaotic links too)`)
 		seeds     = fs.Int("seeds", 3, "seeds per cell")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-run timeout")
 		verbose   = fs.Bool("v", false, "print every run")
@@ -161,6 +166,15 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 			return 2
 		}
 		srcFaults = plan
+	}
+	var mirPlan *source.MirrorPlan
+	if *mirSpec != "" {
+		plan, err := source.ParseMirrorPlan(*mirSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drchaos: bad -mirrors: %v\n", err)
+			return 2
+		}
+		mirPlan = plan
 	}
 	var (
 		reg      *obs.Registry
@@ -241,6 +255,7 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 					Absent:       absent,
 					Faults:       plan,
 					SourceFaults: srcFaults,
+					Mirrors:      mirPlan,
 					Timeout:      *timeout,
 					Resilience: netrt.Resilience{
 						QueryTimeout: 250 * time.Millisecond,
@@ -318,6 +333,10 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 		if srcFaults != nil {
 			fmt.Fprintf(stdout, "%-12s src-failures=%-5d src-retries=%-5d breaker-opens=%-5d deferred=%d\n",
 				"", tl.srcFailures, tl.srcRetries, tl.breakerOpens, tl.deferred)
+		}
+		if mirPlan != nil {
+			fmt.Fprintf(stdout, "%-12s mirror-hits=%-5d proof-failures=%-5d fallback-queries=%d\n",
+				"", tl.mirrorHits, tl.proofFailures, tl.fallbackQueries)
 		}
 	}
 

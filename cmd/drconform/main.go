@@ -16,6 +16,7 @@
 //
 //	drconform -n 16 -L 2048 -seeds 5
 //	drconform -live -tcp -seeds 2
+//	drconform -mirrors "mirrors=5,byz=3,behavior=mixed,seed=7"
 //	drconform -fixtures -tcp
 package main
 
@@ -68,6 +69,8 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 		srcCol   = fs.Bool("flaky-source", false, "add a SRC column re-running each des cell against a flaky source")
 		srcSpec  = fs.String("source-faults", "fail=0.2,timeout=0.1,outage=1..3,seed=11",
 			"source fault plan used by the -flaky-source column")
+		mirrors = fs.String("mirrors", "",
+			"add a MIR column re-running each des cell through this untrusted mirror fleet plan (source.ParseMirrorPlan grammar)")
 		fixtures = fs.Bool("fixtures", false, "run the committed golden fixture corpus instead of the sweep grid")
 		fixDir   = fs.String("fixture-dir", conformance.DefaultDir, "fixture corpus directory (fixture mode)")
 		liveOff  = fs.Bool("no-live", false, "drop the live column from fixture mode (it is on by default there)")
@@ -86,6 +89,7 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 		N: *n, L: *l, Seeds: *seeds,
 		Live: *liveRT, TCP: *tcpRT, Harden: *hardenRT,
 		FlakySource: *srcCol, SourcePlan: *srcSpec,
+		Mirrors:   *mirrors,
 		Interrupt: interrupt,
 	})
 	rep.Write(stdout)

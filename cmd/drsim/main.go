@@ -40,6 +40,7 @@ func run() int {
 		hardened = flag.Bool("harden", false, "run under the hardening supervisor (detect violations, audit outputs, escalate toward naive)")
 		deadline = flag.Float64("deadline", 0, "cut the run off after this many time units (0: none)")
 		srcPlan  = flag.String("source-faults", "", `seeded source fault plan, e.g. "fail=0.25,outage=2..5,seed=7" (des and TCP runtimes)`)
+		mirrors  = flag.String("mirrors", "", `untrusted mirror fleet plan, e.g. "mirrors=5,byz=3,behavior=mixed,seed=7" (all runtimes; Merkle-verified replies, authoritative fallback)`)
 		liveRT   = flag.Bool("live", false, "run on the concurrent goroutine runtime")
 		tcpRT    = flag.Bool("tcp", false, "run over real TCP sockets (crash-from-start faults only)")
 		verbose  = flag.Bool("v", false, "print per-peer stats")
@@ -73,6 +74,7 @@ func run() int {
 		AllowExcessFaults: *excess,
 		Deadline:          *deadline,
 		SourceFaults:      *srcPlan,
+		Mirrors:           *mirrors,
 		Live:              *liveRT,
 		TCP:               *tcpRT,
 	}
@@ -129,6 +131,10 @@ func run() int {
 		rep.Q, rep.AvgQ, *l)
 	fmt.Printf("messages    %d (%d payload bits)\n", rep.Msgs, rep.MsgBits)
 	fmt.Printf("time        %.2f (virtual units; 1 = max network latency)\n", rep.Time)
+	if *mirrors != "" || rep.MirrorHits > 0 || rep.ProofFailures > 0 {
+		fmt.Printf("mirrors     %d verified hits, %d proof failures, %d fallback queries (only verified bits charge into Q)\n",
+			rep.MirrorHits, rep.ProofFailures, rep.FallbackQueries)
+	}
 	if *srcPlan != "" || rep.SourceFailures > 0 {
 		fmt.Printf("source      %d failures, %d retries, %d breaker opens, %d deferred queries\n",
 			rep.SourceFailures, rep.SourceRetries, rep.BreakerOpens, rep.DeferredQueries)

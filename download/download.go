@@ -169,6 +169,16 @@ type Options struct {
 	// the Report's Source* counters account for the recovery work. Not
 	// supported by the Live runtime.
 	SourceFaults string
+	// Mirrors, when non-empty, routes queries through a fleet of
+	// untrusted replicas per the source.ParseMirrorPlan grammar — e.g.
+	// "mirrors=5,byz=3,behavior=mixed,leaf=64,seed=7". Every mirror
+	// reply carries a Merkle range proof checked against the source's
+	// commitment root; verified bits are charged into Q exactly as a
+	// direct query would be, failed proofs fall back to the
+	// authoritative source (Report.ProofFailures / FallbackQueries).
+	// Supported on every runtime; on TCP the proofs ride real QPROOF
+	// frames (see docs/SPEC.md).
+	Mirrors string
 	// Churn schedules crash-recovery peers: each crashes after its
 	// action count, stays down for Downtime, then rejoins and resumes
 	// from its persisted verified-index state. Churn peers count toward
@@ -263,6 +273,13 @@ type Report struct {
 	DeferredQueries int
 	DegradedTime    float64
 	Rejoins         int
+	// Mirror-tier accounting, nonzero only under Options.Mirrors:
+	// queries answered by a verified mirror reply, mirror replies
+	// rejected by Merkle verification, and queries re-issued to the
+	// authoritative source after a refusal or a failed proof.
+	MirrorHits      int
+	ProofFailures   int
+	FallbackQueries int
 	// PerPeer has one entry per peer, by ID.
 	PerPeer []PeerReport
 	// Output is the first honest peer's output (the downloaded array).
@@ -349,6 +366,11 @@ func (o *Options) validate() error {
 			return errors.New("download: SourceFaults unsupported on the Live runtime (use des or TCP)")
 		}
 	}
+	if o.Mirrors != "" {
+		if _, err := source.ParseMirrorPlan(o.Mirrors); err != nil {
+			return err
+		}
+	}
 	if len(o.Churn) > 0 && (o.Live || o.TCP) {
 		return errors.New("download: Churn is supported on the des runtime only")
 	}
@@ -418,11 +440,15 @@ func runTCP(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mirrorPlan, err := source.ParseMirrorPlan(opts.Mirrors)
+	if err != nil {
+		return nil, err
+	}
 	res, err := netrt.Run(netrt.Config{
 		N: opts.N, T: opts.T, L: opts.L, MsgBits: msgBits,
 		Seed: opts.Seed, NewPeer: factory, Absent: absent, Input: input,
-		SourceFaults: srcPlan,
-		Metrics:      opts.Metrics, Timeline: opts.Timeline, Label: string(opts.Protocol),
+		SourceFaults: srcPlan, Mirrors: mirrorPlan,
+		Metrics: opts.Metrics, Timeline: opts.Timeline, Label: string(opts.Protocol),
 	})
 	if err != nil {
 		return nil, err
@@ -468,6 +494,11 @@ func buildSpec(opts Options) (*sim.Spec, error) {
 		return nil, err
 	}
 	spec.SourceFaults = srcPlan
+	mirrorPlan, err := source.ParseMirrorPlan(opts.Mirrors)
+	if err != nil {
+		return nil, err
+	}
+	spec.Mirrors = mirrorPlan
 	faults, err := buildFaults(opts)
 	if err != nil {
 		return nil, err
@@ -565,6 +596,10 @@ func buildReport(res *sim.Result) *Report {
 		DeferredQueries: res.DeferredQueries,
 		DegradedTime:    res.DegradedTime,
 		Rejoins:         res.Rejoins,
+
+		MirrorHits:      res.MirrorHits,
+		ProofFailures:   res.ProofFailures,
+		FallbackQueries: res.FallbackQueries,
 	}
 	ids := make([]int, 0, len(res.PerPeer))
 	for i := range res.PerPeer {

@@ -43,7 +43,15 @@ import (
 // Bump it on any deliberate semantic change to a runtime, a protocol,
 // the wire format, or the fixture schema; regeneration with -update
 // refuses to rewrite changed expectations under an unchanged version.
-const CorpusVersion = 1
+//
+// Version history:
+//
+//	1 — initial corpus: result grid, wire frames, replay pins.
+//	2 — mirror tier: per-protocol mirror cases (honest and
+//	    Byzantine-majority fleets) with MirrorHits/ProofFailures/
+//	    FallbackQueries expectations, plus pinned netrt-codec frames
+//	    for the ROOT/QPROOF/QUERYSRC mirror frames.
+const CorpusVersion = 2
 
 // Fixture file names within a corpus directory.
 const (
@@ -78,6 +86,11 @@ type Expect struct {
 	SrcFailures  int `json:"src_failures,omitempty"`
 	SrcRetries   int `json:"src_retries,omitempty"`
 	BreakerOpens int `json:"breaker_opens,omitempty"`
+	// Mirror-tier verdict counters, nonzero only for mirror cases
+	// (des-deterministic; see fieldsFor).
+	MirrorHits      int `json:"mirror_hits,omitempty"`
+	ProofFailures   int `json:"proof_failures,omitempty"`
+	FallbackQueries int `json:"fallback_queries,omitempty"`
 }
 
 // Case is one conformance cell: a fully specified execution plus its
@@ -96,11 +109,18 @@ type Case struct {
 	Behavior string `json:"behavior,omitempty"`
 	// SourceFaults is a source.ParsePlan plan for flaky-source cases.
 	SourceFaults string `json:"source_faults,omitempty"`
-	Expect       Expect `json:"expect"`
+	// Mirrors is a source.ParseMirrorPlan plan routing queries through
+	// an untrusted mirror fleet (Merkle-verified, authoritative
+	// fallback).
+	Mirrors string `json:"mirrors,omitempty"`
+	Expect  Expect `json:"expect"`
 }
 
 // FaultFree reports whether the case injects no peer or source faults —
 // the regime where Q and the output are invariant across all runtimes.
+// A mirror fleet deliberately does NOT count as a fault: Byzantine
+// mirrors cost fallback latency, never bits, so Q stays pinned (only
+// verified bits are charged, wherever they came from).
 func (c *Case) FaultFree() bool { return c.Behavior == "" && c.SourceFaults == "" }
 
 // Results is the decoded results.json.
@@ -109,12 +129,18 @@ type Results struct {
 	Cases   []Case `json:"cases"`
 }
 
-// Frame is one pinned wire encoding: Hex must decode via wire.Unmarshal
-// (with input length L) and re-encode to the identical bytes.
+// Frame is one pinned wire encoding: Hex must decode and re-encode to
+// the identical bytes under the frame's codec — wire.Unmarshal/Marshal
+// (with input length L) for protocol messages, or the netrt socket
+// framing for the mirror-tier frames.
 type Frame struct {
 	Name string `json:"name"`
 	L    int    `json:"l"`
 	Hex  string `json:"hex"`
+	// Codec selects the round-trip codec: "" (default) is the wire
+	// message codec; "netrt" is the socket framing of the mirror-tier
+	// ROOT/QPROOF/QUERYSRC frames (netrt.RoundTripMirrorFrame).
+	Codec string `json:"codec,omitempty"`
 }
 
 // Frames is the decoded frames.json.

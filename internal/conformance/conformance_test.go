@@ -4,6 +4,7 @@ import (
 	"flag"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/download"
 )
@@ -52,6 +53,44 @@ func TestCorpusSM(t *testing.T) {
 		var b strings.Builder
 		rep.WriteMatrix(&b)
 		t.Fatalf("sm fixture conformance failed:\n%s", b.String())
+	}
+}
+
+// TestCorpusMirrors is the live and tcp half of the mirror-row
+// acceptance gate (des and sm run the full corpus in TestCorpus and
+// TestCorpusSM): every pinned mirror case — honest fleet and
+// Byzantine-majority fleet — must conform on the concurrent and
+// real-socket runtimes too, which exercises the ROOT/QPROOF/QUERYSRC
+// frames end to end.
+func TestCorpusMirrors(t *testing.T) {
+	if *update {
+		t.Skip("regeneration runs in TestCorpus")
+	}
+	if testing.Short() {
+		t.Skip("socket runtime corpus in -short mode")
+	}
+	corpus, err := Load(fixturesDir)
+	if err != nil {
+		t.Fatalf("load corpus (regenerate with -update): %v", err)
+	}
+	mirrors := 0
+	for _, c := range corpus.Results.Cases {
+		if c.Mirrors != "" {
+			mirrors++
+		}
+	}
+	if mirrors == 0 {
+		t.Fatal("corpus has no mirror cases (regenerate with -update)")
+	}
+	rep := RunFixtures(corpus, Config{
+		Runtimes:  []Runtime{Live, TCP},
+		LiveScale: 200 * time.Microsecond,
+		Filter:    func(c *Case) bool { return c.Mirrors != "" },
+	})
+	if rep.Failed() {
+		var b strings.Builder
+		rep.WriteMatrix(&b)
+		t.Fatalf("mirror rows failed live/tcp conformance:\n%s", b.String())
 	}
 }
 
@@ -127,6 +166,26 @@ func TestNegativeControl(t *testing.T) {
 		frames.Frames[0].Hex = "ff" + frames.Frames[0].Hex[2:]
 		if errs := VerifyFrames(&frames); len(errs) == 0 {
 			t.Fatal("perturbed frame verified")
+		}
+	})
+
+	t.Run("perturbed-netrt-frame", func(t *testing.T) {
+		frames := Frames{Version: CorpusVersion, Frames: append([]Frame(nil), corpus.Frames.Frames...)}
+		idx := -1
+		for i, f := range frames.Frames {
+			if f.Codec == "netrt" && f.Name == "netrt-qproof" {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			t.Fatal("no pinned netrt-qproof frame (regenerate with -update)")
+		}
+		// Truncate the final proof hash: the strict decoder must reject.
+		f := frames.Frames[idx]
+		f.Hex = f.Hex[:len(f.Hex)-2]
+		frames.Frames[idx] = f
+		if errs := VerifyFrames(&frames); len(errs) == 0 {
+			t.Fatal("truncated netrt proof frame verified")
 		}
 	})
 

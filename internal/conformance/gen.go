@@ -15,11 +15,14 @@ import (
 	"repro/internal/bitarray"
 	"repro/internal/dst"
 	"repro/internal/intset"
+	"repro/internal/merkle"
+	"repro/internal/netrt"
 	"repro/internal/protocols/committee"
 	"repro/internal/protocols/crash1"
 	"repro/internal/protocols/crashk"
 	"repro/internal/protocols/segproto"
 	"repro/internal/sim"
+	"repro/internal/source"
 	"repro/internal/wire"
 )
 
@@ -68,6 +71,14 @@ var (
 	// flakyPlan is the seeded source fault plan of the per-protocol
 	// flaky-source cases (virtual time units; des-only cells).
 	flakyPlan = "fail=0.2,timeout=0.1,outage=1..3,seed=11"
+	// The per-protocol mirror plans: an all-honest fleet (every query
+	// should verify against the commitment) and a Byzantine-majority
+	// fleet cycling the concrete misbehaviors (forged, truncated,
+	// reordered proofs; wrong bits; stale snapshots) — fault-free cells
+	// that run on every runtime column, pinning that Byzantine mirrors
+	// cost fallbacks, never bits or correctness.
+	honestMirrorPlan = "mirrors=4,leaf=32,seed=5"
+	byzMirrorPlan    = "mirrors=5,byz=3,behavior=mixed,leaf=32,seed=5"
 )
 
 func derivedMsgBits(n, l int) int {
@@ -117,6 +128,24 @@ func gridCases() []Case {
 			Seed:         3,
 			SourceFaults: flakyPlan,
 		})
+		// Two mirror cells per protocol: queries routed through an
+		// untrusted mirror fleet, honest and Byzantine-majority. Both
+		// are fault-free (mirrors cost fallbacks, not bits), so every
+		// runtime column runs them and the Q pin holds wherever the
+		// protocol's query pattern is schedule-invariant.
+		for _, mp := range []struct{ slug, plan string }{
+			{"mirrors-honest", honestMirrorPlan},
+			{"mirrors-byzmajority", byzMirrorPlan},
+		} {
+			cases = append(cases, Case{
+				Name:     fmt.Sprintf("%s/n%dt%d/%s/s5", info.Protocol, shape.n, t, mp.slug),
+				Protocol: string(info.Protocol),
+				N:        shape.n, T: t, L: shape.l,
+				MsgBits: derivedMsgBits(shape.n, shape.l),
+				Seed:    5,
+				Mirrors: mp.plan,
+			})
+		}
 	}
 	return cases
 }
@@ -134,12 +163,18 @@ func generateResults() (*Results, error) {
 			Seed:         c.Seed,
 			Behavior:     download.FaultBehavior(c.Behavior),
 			SourceFaults: c.SourceFaults,
+			Mirrors:      c.Mirrors,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("conformance: generate %s: %w", c.Name, err)
 		}
 		if !rep.Correct {
 			return nil, fmt.Errorf("conformance: generate %s: incorrect run: %v", c.Name, rep.Failures)
+		}
+		if c.Mirrors != "" && rep.MirrorHits+rep.FallbackQueries == 0 {
+			// A mirror cell whose fleet never served or failed a single
+			// query pins nothing; the plan seed needs retuning.
+			return nil, fmt.Errorf("conformance: generate %s: degenerate mirror cell (no fleet traffic)", c.Name)
 		}
 		if v := CheckEnvelope(download.Protocol(c.Protocol), c.N, c.T, c.L, c.MsgBits, rep); len(v) > 0 {
 			return nil, fmt.Errorf("conformance: generate %s: %s (tighten the run or widen the documented envelope)",
@@ -157,6 +192,10 @@ func generateResults() (*Results, error) {
 			SrcFailures:  rep.SourceFailures,
 			SrcRetries:   rep.SourceRetries,
 			BreakerOpens: rep.BreakerOpens,
+
+			MirrorHits:      rep.MirrorHits,
+			ProofFailures:   rep.ProofFailures,
+			FallbackQueries: rep.FallbackQueries,
 		}
 	}
 	return &Results{Version: CorpusVersion, Cases: cases}, nil
@@ -202,6 +241,36 @@ func generateFrames() (*Frames, error) {
 			return nil, fmt.Errorf("conformance: encode frame %s: %w", m.name, err)
 		}
 		out.Frames = append(out.Frames, Frame{Name: m.name, L: frameL, Hex: hex.EncodeToString(raw)})
+	}
+
+	// The mirror-tier socket frames (netrt codec): a ROOT commitment
+	// push, a proof-carrying QPROOF reply over a seeded committed array,
+	// a refused QPROOF, and the QUERYSRC verified fallback. Pinned as
+	// full frames (length header included) so framing drift fails too.
+	mrng := rand.New(rand.NewSource(21))
+	mx := bitarray.Random(mrng, frameL)
+	tree := merkle.Build(mx, 64)
+	p := tree.Params()
+	leafLo, leafHi := 3, 7
+	rep := source.RangeReply{
+		Root:   tree.Root(),
+		LeafLo: leafLo, LeafHi: leafHi,
+		Bits:  mx.Slice(leafLo*p.LeafBits, p.SpanBits(leafLo, leafHi)),
+		Proof: tree.Prove(leafLo, leafHi),
+	}
+	qIdx := []int{200, 201, 300, 420}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{"netrt-root", netrt.MarshalRootFrame(tree.Root())},
+		{"netrt-qproof", netrt.MarshalProofFrame(9, 2, qIdx, rep)},
+		{"netrt-qproof-refused", netrt.MarshalProofFrame(10, 2, qIdx, source.RangeReply{Refused: true})},
+		{"netrt-querysrc", netrt.MarshalQuerySrcFrame(11, 2, qIdx)},
+	} {
+		out.Frames = append(out.Frames, Frame{
+			Name: f.name, L: frameL, Hex: hex.EncodeToString(f.data), Codec: "netrt",
+		})
 	}
 	return out, nil
 }

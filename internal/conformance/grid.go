@@ -25,6 +25,11 @@ type GridConfig struct {
 	// SourcePlan.
 	FlakySource bool
 	SourcePlan  string
+	// Mirrors, when non-empty, adds a MIR column re-running each des
+	// cell with every query routed through the untrusted mirror fleet
+	// described by this source.ParseMirrorPlan plan (Merkle-verified
+	// replies, authoritative fallback).
+	Mirrors string
 	// Interrupt, when it becomes readable (usually by being closed from a
 	// signal handler), stops the sweep at the next cell-run boundary. The
 	// partial report is still returned with Interrupted set, so an
@@ -34,10 +39,11 @@ type GridConfig struct {
 
 // gridRuntime describes one runtime column of the grid.
 type gridRuntime struct {
-	name   string
-	live   bool
-	tcp    bool
-	source string // non-empty: des runtime with this source fault plan
+	name    string
+	live    bool
+	tcp     bool
+	source  string // non-empty: des runtime with this source fault plan
+	mirrors string // non-empty: des runtime behind this mirror fleet plan
 }
 
 // supports reports whether the runtime can execute the behavior: the
@@ -93,6 +99,13 @@ func RunGrid(cfg GridConfig) *GridReport {
 		// outages, lost replies, and transient refusals to recover from.
 		runtimes = append(runtimes, gridRuntime{name: "src", source: cfg.SourcePlan})
 	}
+	if cfg.Mirrors != "" {
+		// The mirror column is the des runtime with the fleet in front of
+		// the source: same grid, but every query must survive Byzantine
+		// mirrors — verified hits or authoritative fallbacks, identical
+		// outputs, identical Q.
+		runtimes = append(runtimes, gridRuntime{name: "mir", mirrors: cfg.Mirrors})
+	}
 	rep := &GridReport{Harden: cfg.Harden}
 	for _, rt := range runtimes {
 		rep.Runtimes = append(rep.Runtimes, rt.name)
@@ -128,6 +141,7 @@ func RunGrid(cfg GridConfig) *GridReport {
 						Live:         rt.live,
 						TCP:          rt.tcp,
 						SourceFaults: rt.source,
+						Mirrors:      rt.mirrors,
 					})
 					switch {
 					case err != nil:

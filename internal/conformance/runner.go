@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 
 	"repro/download"
 	"repro/internal/dst"
+	"repro/internal/netrt"
 	"repro/internal/wire"
 )
 
@@ -85,9 +87,13 @@ func fieldsFor(rt Runtime, c *Case) []string {
 	if rt == DES || rt == SM {
 		// The sm column must be byte-identical to des: the speculative
 		// scheduler applies every Result-visible effect at the serial
-		// position, so the full des mask applies unchanged.
+		// position, so the full des mask applies unchanged. (Mirror
+		// cases additionally pin the des parallelOK gate: the mirror
+		// tier falls back to the serial loop at any worker count, so
+		// the sm column must reproduce des exactly there too.)
 		return append(fields, "q", "msgs", "msg_bits", "events", "time",
-			"src_failures", "src_retries", "breaker_opens")
+			"src_failures", "src_retries", "breaker_opens",
+			"mirror_hits", "proof_failures", "fallback_queries")
 	}
 	if c.FaultFree() && qScheduleInvariant[c.Protocol] {
 		fields = append(fields, "q")
@@ -173,6 +179,7 @@ func RunCase(c *Case, rt Runtime, cfg *Config) CaseOutcome {
 		Seed:         c.Seed,
 		Behavior:     download.FaultBehavior(c.Behavior),
 		SourceFaults: c.SourceFaults,
+		Mirrors:      c.Mirrors,
 		Live:         rt == Live,
 		TCP:          rt == TCP,
 	}
@@ -208,6 +215,10 @@ func diff(c *Case, rep *download.Report, fields []string) []FieldDiff {
 		SrcFailures:  rep.SourceFailures,
 		SrcRetries:   rep.SourceRetries,
 		BreakerOpens: rep.BreakerOpens,
+
+		MirrorHits:      rep.MirrorHits,
+		ProofFailures:   rep.ProofFailures,
+		FallbackQueries: rep.FallbackQueries,
 	}
 	var diffs []FieldDiff
 	add := func(field string, gotV, wantV any) {
@@ -237,19 +248,41 @@ func diff(c *Case, rep *download.Report, fields []string) []FieldDiff {
 			add(f, got.SrcRetries, want.SrcRetries)
 		case "breaker_opens":
 			add(f, got.BreakerOpens, want.BreakerOpens)
+		case "mirror_hits":
+			add(f, got.MirrorHits, want.MirrorHits)
+		case "proof_failures":
+			add(f, got.ProofFailures, want.ProofFailures)
+		case "fallback_queries":
+			add(f, got.FallbackQueries, want.FallbackQueries)
 		}
 	}
 	return diffs
 }
 
-// VerifyFrames round-trips every pinned frame: decode with
-// wire.Unmarshal, re-encode with wire.Marshal, require byte identity.
+// VerifyFrames round-trips every pinned frame under its codec: decode,
+// re-encode, require byte identity. Protocol-message frames go through
+// wire.Unmarshal/Marshal; the mirror-tier frames go through the netrt
+// socket codec.
 func VerifyFrames(frames *Frames) []error {
 	var errs []error
 	for _, f := range frames.Frames {
 		raw, err := hex.DecodeString(f.Hex)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("frame %s: bad hex: %w", f.Name, err))
+			continue
+		}
+		if f.Codec == "netrt" {
+			enc, err := netrt.RoundTripMirrorFrame(raw)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("frame %s: decode: %w", f.Name, err))
+			} else if !bytes.Equal(enc, raw) {
+				errs = append(errs, fmt.Errorf("frame %s: re-encode drift:\n got  %x\n want %s",
+					f.Name, enc, f.Hex))
+			}
+			continue
+		}
+		if f.Codec != "" {
+			errs = append(errs, fmt.Errorf("frame %s: unknown codec %q", f.Name, f.Codec))
 			continue
 		}
 		msg, err := wire.Unmarshal(raw, f.L)

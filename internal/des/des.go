@@ -177,6 +177,10 @@ type engine struct {
 	// fast path, which keeps the no-fault goldens and allocation
 	// budgets byte-identical).
 	src source.Source
+	// mirror is the untrusted mirror fleet when spec.Mirrors is
+	// enabled (src then points at it); its per-peer hit/failure
+	// counters are folded into the result.
+	mirror *source.Mirrored
 	// Observability handles (see peerState): nil handles are no-ops, and
 	// timing/depth sampling is additionally gated on mDispatch so the
 	// disabled path never touches the wall clock.
@@ -278,8 +282,17 @@ func newEngine(spec *sim.Spec) *engine {
 		}
 	}
 	e.tl = spec.Timeline
-	if spec.SourceFaults.Enabled() {
+	if spec.SourceFaults.Enabled() || spec.Mirrors.Enabled() {
+		// The authoritative tier (fault-wrapped when a plan is set); the
+		// mirror fleet, when enabled, sits in front of it and falls back
+		// to it on verification failure.
 		e.src = source.Wrap(source.NewTrusted(e.input), spec.SourceFaults)
+		if spec.Mirrors.Enabled() {
+			e.mirror = source.NewMirrored(e.input, spec.Mirrors, cfg.N, e.src)
+			e.src = e.mirror
+		}
+	}
+	if spec.SourceFaults.Enabled() {
 		pol := spec.SourcePolicy
 		if pol.Seed == 0 {
 			// Derive the jitter seed from the run seed so backoff
@@ -707,7 +720,31 @@ func (e *engine) result() *sim.Result {
 				deferred.Add(int64(st.Deferred))
 			}
 		}
+		if e.mirror != nil {
+			ms := e.mirror.PeerStats(int(p.id))
+			p.stats.MirrorHits = ms.MirrorHits
+			p.stats.ProofFailures = ms.ProofFailures
+			p.stats.FallbackQueries = ms.FallbackQueries
+		}
 		e.res.PerPeer[i] = p.stats
+	}
+	if e.mirror != nil && e.spec.Metrics != nil {
+		label := e.spec.Label
+		if label == "" {
+			label = "unknown"
+		}
+		m := e.spec.Metrics
+		hits := m.CounterVec("dr_mirror_hits_total",
+			"Queries answered by a verified mirror reply.", "protocol").With(label)
+		pfails := m.CounterVec("dr_mirror_proof_failures_total",
+			"Mirror replies rejected by Merkle verification.", "protocol").With(label)
+		fb := m.CounterVec("dr_mirror_fallback_total",
+			"Queries re-issued to the authoritative source.", "protocol").With(label)
+		for i := range e.res.PerPeer {
+			hits.Add(int64(e.res.PerPeer[i].MirrorHits))
+			pfails.Add(int64(e.res.PerPeer[i].ProofFailures))
+			fb.Add(int64(e.res.PerPeer[i].FallbackQueries))
+		}
 	}
 	e.res.Events = e.events
 	e.res.Finalize(e.input)

@@ -30,11 +30,14 @@ import (
 
 // parallelOK reports whether the spec can run under the speculative
 // scheduler. Trace output interleaves with handler execution, the source
-// fault tier schedules engine-internal events, and churn revives peers
-// mid-run; all three are served by the serial loop instead.
+// fault tier schedules engine-internal events, churn revives peers
+// mid-run, and the mirror tier mutates shared fleet counters at fetch
+// time (which speculation could double-count); all are served by the
+// serial loop instead.
 func (e *engine) parallelOK() bool {
 	return e.spec.Workers > 1 && e.spec.Trace == nil &&
-		!e.spec.SourceFaults.Enabled() && len(e.spec.Faults.Churn) == 0
+		!e.spec.SourceFaults.Enabled() && !e.spec.Mirrors.Enabled() &&
+		len(e.spec.Faults.Churn) == 0
 }
 
 type recState uint8

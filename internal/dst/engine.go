@@ -60,6 +60,12 @@ type runSpec struct {
 	// srcPlan, when enabled, routes queries through a faulty source; its
 	// time-valued fields count delivered-event steps (the engine's clock).
 	srcPlan *source.FaultPlan
+	// mirrorPlan, when enabled, fronts the source with the untrusted
+	// mirror fleet: replies are Merkle-verified and fall back to the
+	// authoritative tier on failure, exactly as in des. Mirror selection
+	// is seeded per (peer, ordinal), so the chooser controls only when a
+	// query runs, never which mirror it lands on.
+	mirrorPlan *source.MirrorPlan
 	// churn lists crash-recovery churn peers (disjoint from faulty).
 	churn []ChurnPoint
 }
@@ -171,7 +177,8 @@ type cengine struct {
 	// keeps scheduling for them after every honest peer finished, so
 	// recovery runs to completion (matching the des runtime).
 	churnLive int
-	src       source.Source // nil without an enabled plan
+	src       source.Source    // nil without an enabled plan
+	mirror    *source.Mirrored // nil without an enabled mirror plan
 	hash      uint64
 	out       *Outcome
 	res       sim.Result
@@ -243,8 +250,12 @@ func execute(spec *runSpec, choose chooser) *Outcome {
 	for i := range spec.churn {
 		churnFor[sim.PeerID(spec.churn[i].Peer)] = &spec.churn[i]
 	}
-	if spec.srcPlan.Enabled() {
+	if spec.srcPlan.Enabled() || spec.mirrorPlan.Enabled() {
 		e.src = source.Wrap(source.NewTrusted(input), spec.srcPlan)
+		if spec.mirrorPlan.Enabled() {
+			e.mirror = source.NewMirrored(input, spec.mirrorPlan, spec.n, e.src)
+			e.src = e.mirror
+		}
 	}
 	for i := 0; i < spec.n; i++ {
 		id := sim.PeerID(i)
@@ -315,6 +326,12 @@ func execute(spec *runSpec, choose chooser) *Outcome {
 			p.stats.BreakerOpens = st.BreakerOpens
 			p.stats.DeferredQueries = st.Deferred
 			p.stats.DegradedTime = st.DegradedTime
+		}
+		if e.mirror != nil {
+			ms := e.mirror.PeerStats(int(p.id))
+			p.stats.MirrorHits = ms.MirrorHits
+			p.stats.ProofFailures = ms.ProofFailures
+			p.stats.FallbackQueries = ms.FallbackQueries
 		}
 		e.res.PerPeer[i] = p.stats
 	}

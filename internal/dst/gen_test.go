@@ -141,4 +141,35 @@ func TestGenerateReplayCorpus(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("naive-byzmajority-source-churn.dsr: %d choices, hash %s", len(majRec.Choices), majRec.EventHash)
+
+	// 6. The Merkle-mirror acceptance scenario: a Byzantine MAJORITY of
+	// mirrors (3 of 5, mixed behaviors) fronting the source. Every bad
+	// reply fails Merkle verification and falls back to the authoritative
+	// tier, so honest peers output X exactly and Q never exceeds L —
+	// only verified bits charge, wherever they came from.
+	mir := base("crash1", 5, 1, 100, 23)
+	mir.MirrorPlan = "mirrors=5,byz=3,behavior=mixed,leaf=16,seed=7"
+	mirRec, mirOut, err := Record(mir, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mirOut.Result.Correct {
+		t.Fatalf("pinned Byzantine-mirror run unexpectedly failed: %v", mirOut.Result)
+	}
+	if mirOut.Result.MirrorHits == 0 || mirOut.Result.ProofFailures == 0 ||
+		mirOut.Result.FallbackQueries == 0 || mirOut.Result.Q > mir.L {
+		t.Fatalf("pinned Byzantine-mirror run degenerate: hits=%d pfails=%d fallbacks=%d Q=%d",
+			mirOut.Result.MirrorHits, mirOut.Result.ProofFailures,
+			mirOut.Result.FallbackQueries, mirOut.Result.Q)
+	}
+	mirRec.Expect = ExpectCorrect
+	mirRec.Note = "Acceptance scenario for the Merkle-mirror tier: crash1 downloads through " +
+		"a Byzantine-majority mirror fleet (3 of 5, mixed behaviors). Forged, stale, and " +
+		"truncated proofs are all rejected; fallbacks re-serve the bits authoritatively; " +
+		"honest peers output X exactly with Q <= L. Pins the mirror-tier event stream " +
+		"and verdict counters against drift."
+	if err := mirRec.Save("testdata/replays/crash1-byzmajority-mirrors-pinned.dsr"); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("crash1-byzmajority-mirrors-pinned.dsr: %d choices, hash %s", len(mirRec.Choices), mirRec.EventHash)
 }

@@ -1,0 +1,121 @@
+package dst
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mirrorReplay returns a replay skeleton routing queries through a
+// Byzantine-majority mirror fleet.
+func mirrorReplay(proto string, n, t, l int, seed int64, plan string) *Replay {
+	r := base(proto, n, t, l, seed)
+	r.MirrorPlan = plan
+	return r
+}
+
+// TestMirrorReplayDeterminism: recording a mirror-tier run and
+// re-executing the recorded replay reproduces the identical event hash,
+// choices, result metrics, and mirror verdict counters — the chooser
+// controls scheduling, never which mirror a query lands on.
+func TestMirrorReplayDeterminism(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rec, recOut, err := Record(
+			mirrorReplay("crash1", 5, 1, 100, seed, "mirrors=5,byz=3,behavior=mixed,leaf=16,seed=7"),
+			seed*313)
+		if err != nil {
+			t.Fatalf("seed %d: record: %v", seed, err)
+		}
+		out, err := Run(rec)
+		if err != nil {
+			t.Fatalf("seed %d: replay: %v", seed, err)
+		}
+		if out.EventHash != recOut.EventHash {
+			t.Fatalf("seed %d: hash %s != recorded %s",
+				seed, HashString(out.EventHash), HashString(recOut.EventHash))
+		}
+		if !reflect.DeepEqual(out.Result.PerPeer, recOut.Result.PerPeer) {
+			t.Fatalf("seed %d: per-peer stats diverged across replay", seed)
+		}
+		if out.Result.MirrorHits != recOut.Result.MirrorHits ||
+			out.Result.ProofFailures != recOut.Result.ProofFailures ||
+			out.Result.FallbackQueries != recOut.Result.FallbackQueries {
+			t.Fatalf("seed %d: mirror counters diverged: %d/%d/%d vs %d/%d/%d", seed,
+				out.Result.MirrorHits, out.Result.ProofFailures, out.Result.FallbackQueries,
+				recOut.Result.MirrorHits, recOut.Result.ProofFailures, recOut.Result.FallbackQueries)
+		}
+	}
+}
+
+// TestMirrorByzantineMajorityStaysCorrect: under every recorded
+// schedule, a 3-of-5 Byzantine fleet costs fallbacks, never
+// correctness, and Q stays within L (only verified bits charge).
+func TestMirrorByzantineMajorityStaysCorrect(t *testing.T) {
+	rec, out, err := Record(
+		mirrorReplay("naive", 4, 1, 48, 5, "mirrors=5,byz=3,behavior=mixed,leaf=16,seed=9"),
+		777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Correct {
+		t.Fatalf("Byzantine mirrors broke correctness: %v", out.Result)
+	}
+	if out.Result.Q != 48 {
+		t.Errorf("Q = %d, want L = 48", out.Result.Q)
+	}
+	if out.Result.MirrorHits+out.Result.FallbackQueries == 0 {
+		t.Error("mirror tier saw no traffic")
+	}
+	// The recorded artifact round-trips through the file format with the
+	// plan intact.
+	b, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MirrorPlan != rec.MirrorPlan {
+		t.Fatalf("mirror plan lost in round trip: %q", back.MirrorPlan)
+	}
+}
+
+// TestMirrorReplayValidation: malformed mirror plans are rejected at
+// load time, before any execution.
+func TestMirrorReplayValidation(t *testing.T) {
+	for _, bad := range []string{"mirrors=0,byz=1", "byz=2", "mirrors=3,behavior=gossip", "leaf=64"} {
+		r := mirrorReplay("naive", 3, 0, 32, 1, bad)
+		if err := r.Validate(); err == nil {
+			t.Errorf("plan %q accepted", bad)
+		}
+	}
+}
+
+// TestMirrorWithSourceFaults layers the mirror fleet over a flaky
+// authoritative tier: fallback queries ride the retry/breaker client
+// and the recorded schedule still replays byte-identically.
+func TestMirrorWithSourceFaults(t *testing.T) {
+	r := mirrorReplay("naive", 4, 1, 32, 3, "mirrors=3,byz=3,behavior=forge,seed=2")
+	r.SourcePlan = "fail=0.5,seed=1"
+	rec, out, err := Record(r, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Result.Correct {
+		t.Fatalf("mirrors over a flaky source failed: %v", out.Result)
+	}
+	if out.Result.MirrorHits != 0 {
+		t.Errorf("all-forge fleet produced %d verified hits", out.Result.MirrorHits)
+	}
+	if out.Result.FallbackQueries == 0 || out.Result.SourceFailures == 0 {
+		t.Errorf("expected fallbacks and source failures: %d/%d",
+			out.Result.FallbackQueries, out.Result.SourceFailures)
+	}
+	again, err := Run(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.EventHash != out.EventHash {
+		t.Fatalf("replay hash diverged under mirrors+source faults")
+	}
+}

@@ -86,6 +86,14 @@ type Replay struct {
 	// then ride the per-peer retry/breaker client and source retries,
 	// wakes, and failures become chooser-scheduled events.
 	SourcePlan string `json:"source_plan,omitempty"`
+	// MirrorPlan, when non-empty, fronts the source with an untrusted
+	// mirror fleet per source.ParseMirrorPlan's grammar
+	// ("mirrors=5,byz=3,behavior=mixed,leaf=32,seed=7"): replies carry
+	// Merkle range proofs, verification failures fall back to the
+	// authoritative tier, and only verified bits charge into Q. Mirror
+	// choice and misbehavior are seeded per (peer, ordinal), so replays
+	// stay byte-deterministic under any recorded schedule.
+	MirrorPlan string `json:"mirror_plan,omitempty"`
 	// Churn lists crash-recovery churn peers, orthogonal to Fault/Faulty.
 	Churn []ChurnPoint `json:"churn,omitempty"`
 	// Choices is the recorded scheduling-decision list; decisions beyond
@@ -167,6 +175,9 @@ func (r *Replay) Validate() error {
 			len(r.Faulty)+len(r.Churn))
 	}
 	if _, err := source.ParsePlan(r.SourcePlan); err != nil {
+		return err
+	}
+	if _, err := source.ParseMirrorPlan(r.MirrorPlan); err != nil {
 		return err
 	}
 	switch r.Expect {
@@ -280,12 +291,17 @@ func (r *Replay) spec(obs sim.Observer) (*runSpec, error) {
 	if err != nil {
 		return nil, err
 	}
+	mplan, err := source.ParseMirrorPlan(r.MirrorPlan)
+	if err != nil {
+		return nil, err
+	}
 	spec := &runSpec{
 		n: r.N, t: r.T, l: r.L, b: r.MsgBits, seed: r.Seed,
-		newPeer:  proto.New,
-		observer: obs,
-		srcPlan:  plan,
-		churn:    append([]ChurnPoint(nil), r.Churn...),
+		newPeer:    proto.New,
+		observer:   obs,
+		srcPlan:    plan,
+		mirrorPlan: mplan,
+		churn:      append([]ChurnPoint(nil), r.Churn...),
 	}
 	for _, p := range r.Faulty {
 		spec.faulty = append(spec.faulty, sim.PeerID(p))

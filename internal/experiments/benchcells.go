@@ -10,6 +10,7 @@ import (
 	"repro/internal/protocols/segproto"
 	"repro/internal/protocols/twocycle"
 	"repro/internal/sim"
+	"repro/internal/source"
 )
 
 // BenchCell is one benchmarkable Table-1 row: a named, seedable spec
@@ -59,7 +60,7 @@ func BenchCells(cfg Config) []BenchCell {
 	byz := func(tf int, liar func(sim.PeerID, *sim.Knowledge) sim.Peer) func(int64) sim.FaultSpec {
 		return func(int64) sim.FaultSpec { return mkByz(tf, liar) }
 	}
-	return []BenchCell{
+	cells := []BenchCell{
 		cell("naive", tNineTenths, naive.New, byz(tNineTenths, adversary.NewSilent)),
 		cell("crash1", 1, crash1.New, func(seed int64) sim.FaultSpec { return mkCrash(seed, 1) }),
 		cell("crashk", tNineTenths, crashk.NewFast, func(seed int64) sim.FaultSpec { return mkCrash(seed, tNineTenths) }),
@@ -67,4 +68,17 @@ func BenchCells(cfg Config) []BenchCell {
 		cell("twocycle", tQuarter, twocycle.New, byz(tQuarter, segproto.NewColludingLiar)),
 		cell("multicycle", tQuarter, multicycle.New, byz(tQuarter, segproto.NewColludingLiar)),
 	}
+	// Mirror-tier cell: the naive cell re-run through a Byzantine-majority
+	// mirror fleet. Every peer streams all L bits through proof-carrying
+	// mirror replies, so this cell's allocs/op tracks the Merkle verify +
+	// decode path under realistic forgery pressure (3 of 5 mirrors lie;
+	// their replies fail verification and fall back to the source).
+	mirPlan := &source.MirrorPlan{Mirrors: 5, Byz: 3, Behavior: source.BehaviorMixed, LeafBits: 64, Seed: 9}
+	base := cells[0].Spec
+	cells = append(cells, BenchCell{Name: "naive-mir", Spec: func(seed int64) *sim.Spec {
+		s := base(seed)
+		s.Mirrors = mirPlan
+		return s
+	}})
+	return cells
 }

@@ -15,7 +15,11 @@
 //     the runtime's own deadlock/event-cap/deadline signals.
 //   - A budgeted source audit: each honest output is spot-checked on k
 //     seeded-random indices against the source before the attempt is
-//     declared clean. Audit bits are charged into Q.
+//     declared clean. Audit bits are charged into Q. Policy.MerkleAudit
+//     (automatic under an untrusted-mirror plan) upgrades this to the
+//     commitment audit: one root fetch verifies a whole clean output,
+//     and a wrong one is localized by a logarithmic hash descent, so a
+//     forgery can never slip through a sampling gap.
 //   - An escalation ladder with warm start: on any confirmed violation
 //     the run restarts under the next, weaker-assumption rung, carrying
 //     a per-peer cache of source-verified bits so verified indices are
@@ -35,6 +39,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/intset"
+	"repro/internal/merkle"
 	"repro/internal/sim"
 )
 
@@ -89,8 +94,19 @@ type Rung struct {
 // Policy tunes the supervisor.
 type Policy struct {
 	// AuditBits is the per-peer source-audit budget k; 0 selects
-	// DefaultAuditBits, negative disables the audit.
+	// DefaultAuditBits, negative disables the audit (both modes).
 	AuditBits int
+	// MerkleAudit switches the source audit from k spot-checks to the
+	// commitment audit (see runMerkleAudit): one root fetch verifies a
+	// whole clean output, and a wrong one is localized by a logarithmic
+	// hash descent — a forgery can never slip through a sampling gap.
+	// The mode also engages automatically when the base spec runs an
+	// untrusted-mirror plan (the commitment already exists there).
+	MerkleAudit bool
+	// MerkleLeafBits sets the audit tree's leaf granularity; 0 inherits
+	// the mirror plan's effective granularity (source.DefaultLeafBits
+	// when no plan is set).
+	MerkleLeafBits int
 	// AuditSeed decorrelates audit index choices from the execution seed
 	// (it is mixed with the spec seed and attempt number).
 	AuditSeed int64
@@ -238,6 +254,18 @@ func Run(cfg Config) (*Outcome, error) {
 		caches[i] = NewCache(base.Config.L)
 	}
 
+	// The commitment tree over the pinned input doubles as the audit's
+	// source side: roots and interior hashes fetched from it are what a
+	// real deployment would read from the authoritative source.
+	var srcTree *merkle.Tree
+	if pol.MerkleAudit || base.Mirrors.Enabled() {
+		leafBits := pol.MerkleLeafBits
+		if leafBits == 0 {
+			leafBits = base.Mirrors.EffectiveLeafBits()
+		}
+		srcTree = merkle.Build(input, leafBits)
+	}
+
 	out := &Outcome{PerPeerQ: make([]int, n)}
 	for ai := 0; ai < maxAttempts; ai++ {
 		rung := cfg.Rungs[ai]
@@ -329,8 +357,15 @@ func Run(cfg Config) (*Outcome, error) {
 
 		// Budgeted source audit. It runs even after a cut-off: peers that
 		// did terminate get checked, and every audited bit enters the warm
-		// cache either way.
-		aud := runAudit(res, input, auditK, pol.AuditSeed^spec.Config.Seed, caches)
+		// cache either way. The Merkle mode replaces the k spot-checks
+		// with one root fetch plus a log-proof descent on mismatch.
+		var aud *AuditReport
+		if srcTree != nil && auditK > 0 {
+			aud = runMerkleAudit(res, srcTree, input, caches)
+			met.merkleAudits.With(rung.Name).Add(int64(aud.Peers))
+		} else {
+			aud = runAudit(res, input, auditK, pol.AuditSeed^spec.Config.Seed, caches)
+		}
 		att.AuditedPeers, att.AuditBits = aud.Peers, aud.Bits
 		out.AuditBits += aud.Bits
 		met.auditChecks.With(rung.Name).Add(int64(aud.Peers))

@@ -6,14 +6,15 @@ import "repro/internal/obs"
 // nil registry yields nil vecs whose children are no-op counters, so the
 // disabled path costs nothing (see package obs).
 type metrics struct {
-	attempts    *obs.CounterVec // rung
-	violations  *obs.CounterVec // rung, kind
-	escalations *obs.CounterVec // from, to
-	auditBits   *obs.CounterVec // rung, peer
-	auditChecks *obs.CounterVec // rung
-	mismatches  *obs.CounterVec // rung
-	warmHits    *obs.CounterVec // rung, peer
-	equivocates *obs.CounterVec // rung
+	attempts     *obs.CounterVec // rung
+	violations   *obs.CounterVec // rung, kind
+	escalations  *obs.CounterVec // from, to
+	auditBits    *obs.CounterVec // rung, peer
+	auditChecks  *obs.CounterVec // rung
+	mismatches   *obs.CounterVec // rung
+	warmHits     *obs.CounterVec // rung, peer
+	equivocates  *obs.CounterVec // rung
+	merkleAudits *obs.CounterVec // rung
 }
 
 func newMetrics(r *obs.Registry) *metrics {
@@ -34,5 +35,7 @@ func newMetrics(r *obs.Registry) *metrics {
 			"Query bits served from the warm-start cache instead of the source.", "rung", "peer"),
 		equivocates: r.CounterVec("dr_harden_equivocating_peers_total",
 			"Distinct peers with equivocation evidence.", "rung"),
+		merkleAudits: r.CounterVec("dr_harden_merkle_audits_total",
+			"Peer outputs audited against the Merkle commitment root.", "rung"),
 	}
 }

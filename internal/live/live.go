@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bitarray"
 	"repro/internal/sim"
+	"repro/internal/source"
 )
 
 // Runtime runs peers as goroutines with wall-clock delays.
@@ -68,6 +69,10 @@ func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
 		peers: make([]*livePeer, spec.Config.N),
 		done:  make(chan struct{}),
 	}
+	if spec.Mirrors.Enabled() {
+		w.mirror = source.NewMirrored(w.input, spec.Mirrors, w.cfg.N,
+			source.NewTrusted(w.input))
+	}
 	var know *sim.Knowledge
 	if spec.Faults.Model == sim.FaultByzantine {
 		know = &sim.Knowledge{
@@ -113,6 +118,12 @@ func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
 		p.mu.Lock()
 		res.PerPeer[i] = p.stats
 		p.mu.Unlock()
+		if w.mirror != nil {
+			ms := w.mirror.PeerStats(i)
+			res.PerPeer[i].MirrorHits = ms.MirrorHits
+			res.PerPeer[i].ProofFailures = ms.ProofFailures
+			res.PerPeer[i].FallbackQueries = ms.FallbackQueries
+		}
 	}
 	res.Finalize(w.input)
 	return res, nil
@@ -146,6 +157,10 @@ type world struct {
 	input *bitarray.Array
 	scale time.Duration
 	start time.Time
+	// mirror, when non-nil, fronts the source with the untrusted mirror
+	// fleet: queries verify Merkle proofs and fall back to the
+	// authoritative array on failure (Spec.Mirrors).
+	mirror *source.Mirrored
 
 	peers []*livePeer
 
@@ -342,7 +357,10 @@ type livePeer struct {
 	crashed    bool
 	terminated bool
 	actions    int
-	stats      sim.PeerStats
+	// ordinal is the monotonic logical-query counter seeding mirror
+	// picks; owned by the peer's serving goroutine like actions.
+	ordinal uint64
+	stats   sim.PeerStats
 }
 
 var _ sim.Context = (*livePeer)(nil)
@@ -567,12 +585,29 @@ func (p *livePeer) Query(tag int, indices []int) {
 			return
 		}
 	}
-	bits := bitarray.New(len(indices))
-	for j, idx := range indices {
+	for _, idx := range indices {
 		if idx < 0 || idx >= p.w.cfg.L {
 			panic(fmt.Sprintf("live: peer %d queried out-of-range index %d", p.id, idx))
 		}
-		bits.Set(j, p.w.input.Get(idx))
+	}
+	var bits *bitarray.Array
+	if p.w.mirror != nil {
+		// Mirror-first with verified fallback: every returned bit is
+		// verified, so Q charges exactly as on the direct path.
+		rep, err := p.w.mirror.Fetch(source.Request{
+			Peer: int(p.id), Ordinal: p.ordinal, Indices: indices, Attempt: 1,
+			Now: p.w.now(),
+		})
+		if err != nil {
+			panic(fmt.Sprintf("live: mirror fallback failed: %v", err))
+		}
+		p.ordinal++
+		bits = rep.Bits
+	} else {
+		bits = bitarray.New(len(indices))
+		for j, idx := range indices {
+			bits.Set(j, p.w.input.Get(idx))
+		}
 	}
 	p.mu.Lock()
 	p.stats.QueryBits += len(indices)

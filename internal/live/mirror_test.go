@@ -1,0 +1,96 @@
+package live_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/protocols/naive"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+func mirrorPlan(t *testing.T, s string) *source.MirrorPlan {
+	t.Helper()
+	p, err := source.ParseMirrorPlan(s)
+	if err != nil {
+		t.Fatalf("ParseMirrorPlan(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestLiveMirrorHonestFleet(t *testing.T) {
+	res, err := fastRuntime().Run(&sim.Spec{
+		Config:  sim.Config{N: 6, T: 0, L: 256, MsgBits: 64, Seed: 2},
+		NewPeer: naive.NewBatched(32),
+		Delays:  adversary.NewRandomUnit(2),
+		Mirrors: mirrorPlan(t, "mirrors=4,leaf=64,seed=5"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	if res.Q != 256 {
+		t.Errorf("Q = %d, want 256 (verified bits charge exactly once)", res.Q)
+	}
+	if res.MirrorHits == 0 || res.ProofFailures != 0 || res.FallbackQueries != 0 {
+		t.Errorf("honest fleet counters: hits=%d pfails=%d fallbacks=%d",
+			res.MirrorHits, res.ProofFailures, res.FallbackQueries)
+	}
+}
+
+func TestLiveMirrorByzantineMajority(t *testing.T) {
+	res, err := fastRuntime().Run(&sim.Spec{
+		Config:  sim.Config{N: 6, T: 1, L: 256, MsgBits: 64, Seed: 7},
+		NewPeer: naive.NewBatched(32),
+		Delays:  adversary.NewRandomUnit(7),
+		Mirrors: mirrorPlan(t, "mirrors=5,byz=3,behavior=mixed,leaf=32,seed=9"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("Byzantine mirrors broke correctness: %v", res)
+	}
+	if res.Q != 256 {
+		t.Errorf("Q = %d under fallback, want 256", res.Q)
+	}
+	if res.ProofFailures == 0 || res.FallbackQueries == 0 {
+		t.Errorf("Byzantine majority: pfails=%d fallbacks=%d, want both > 0",
+			res.ProofFailures, res.FallbackQueries)
+	}
+}
+
+// TestLiveMirrorWorkers runs the scheduler mode (M peers per worker)
+// through an all-Byzantine fleet: the shared fleet counters must stay
+// consistent under true concurrency (race detector covers this file).
+func TestLiveMirrorWorkers(t *testing.T) {
+	res, err := fastRuntime().Run(&sim.Spec{
+		Config:  sim.Config{N: 10, T: 0, L: 256, MsgBits: 64, Seed: 11},
+		NewPeer: naive.NewBatched(16),
+		Delays:  adversary.NewRandomUnit(11),
+		Mirrors: mirrorPlan(t, "mirrors=3,byz=3,behavior=forge,seed=4"),
+		Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	if res.MirrorHits != 0 {
+		t.Errorf("all-forge fleet produced %d verified hits", res.MirrorHits)
+	}
+	if res.FallbackQueries == 0 {
+		t.Errorf("no fallbacks recorded")
+	}
+	// Every query fell back exactly once.
+	for i := range res.PerPeer {
+		s := &res.PerPeer[i]
+		if s.FallbackQueries != s.QueryCalls {
+			t.Errorf("peer %d: %d fallbacks for %d query calls",
+				s.ID, s.FallbackQueries, s.QueryCalls)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitarray"
+)
+
+// The proof-verify hot path runs once per mirror reply, so its
+// allocation budget is guarded by drbench (merkle_verify row in
+// BENCH_*.json) on top of these local benchmarks.
+
+func benchCase(l, leafBits int) (root [32]byte, p Params, lo, hi int, bits *bitarray.Array, proof Proof) {
+	rng := rand.New(rand.NewSource(11))
+	x := bitarray.Random(rng, l)
+	tr := Build(x, leafBits)
+	p = tr.Params()
+	lo, hi = p.Leaves()/4, p.Leaves()/4+max(1, p.Leaves()/8)
+	return tr.Root(), p, lo, hi, x.Slice(lo*leafBits, p.SpanBits(lo, hi)), tr.Prove(lo, hi)
+}
+
+func BenchmarkVerify(b *testing.B) {
+	root, p, lo, hi, bits, proof := benchCase(1<<16, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(root, p, lo, hi, bits, proof) {
+			b.Fatal("honest proof rejected")
+		}
+	}
+}
+
+func BenchmarkProve(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := bitarray.Random(rng, 1<<16)
+	tr := Build(x, 64)
+	lo, hi := 100, 140
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Prove(lo, hi)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := bitarray.Random(rng, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(x, 64)
+	}
+}
+
+// TestVerifyAllocBudget pins the allocation count of one Verify call:
+// the frontier slice, the scratch buffer, and nothing else.
+func TestVerifyAllocBudget(t *testing.T) {
+	root, p, lo, hi, bits, proof := benchCase(1<<14, 64)
+	allocs := testing.AllocsPerRun(200, func() {
+		if !Verify(root, p, lo, hi, bits, proof) {
+			t.Fatal("honest proof rejected")
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("Verify allocates %.1f objects/op, budget 4", allocs)
+	}
+}

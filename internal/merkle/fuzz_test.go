@@ -1,0 +1,95 @@
+package merkle
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitarray"
+)
+
+// FuzzDecodeProof drives the proof decoder with hostile bytes: it must
+// never panic, and anything it accepts must survive an
+// encode/decode round trip unchanged (a fixpoint — the count varint
+// may arrive non-minimal, so the re-encoding can be shorter than what
+// was consumed, but never semantically different).
+func FuzzDecodeProof(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(Proof{Hashes: [][32]byte{{1}, {2}, {3}}}.AppendTo(nil))
+	f.Add(binary.AppendUvarint(nil, maxProofHashes+1))
+	f.Add(append(binary.AppendUvarint(nil, 2), make([]byte, 33)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, rest, ok := DecodeProof(data)
+		if !ok {
+			return
+		}
+		consumed := len(data) - len(rest)
+		re := pr.AppendTo(nil)
+		if len(re) > consumed {
+			t.Fatalf("re-encoding longer than consumed input: %d > %d", len(re), consumed)
+		}
+		pr2, rest2, ok2 := DecodeProof(re)
+		if !ok2 || len(rest2) != 0 || len(pr2.Hashes) != len(pr.Hashes) {
+			t.Fatalf("encode/decode not a fixpoint: ok=%v rest=%d", ok2, len(rest2))
+		}
+		for i := range pr.Hashes {
+			if pr.Hashes[i] != pr2.Hashes[i] {
+				t.Fatalf("hash %d changed across round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzVerifyHostileProof mutates honestly produced proofs and bits and
+// asserts Verify never panics and never accepts a mutated instance.
+func FuzzVerifyHostileProof(f *testing.F) {
+	f.Add(int64(1), uint16(256), uint8(64), []byte{})
+	f.Add(int64(2), uint16(100), uint8(7), []byte{0xff, 0x00})
+	f.Add(int64(3), uint16(1), uint8(1), []byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, seed int64, l16 uint16, leaf8 uint8, mut []byte) {
+		L := int(l16)%1024 + 1
+		leafBits := int(leaf8)%96 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := bitarray.Random(rng, L)
+		tr := Build(x, leafBits)
+		p := tr.Params()
+		leaves := p.Leaves()
+		lo := rng.Intn(leaves)
+		hi := lo + 1 + rng.Intn(leaves-lo)
+		bits := x.Slice(lo*leafBits, p.SpanBits(lo, hi))
+		proof := tr.Prove(lo, hi)
+		if !Verify(tr.Root(), p, lo, hi, bits, proof) {
+			t.Fatal("honest proof rejected")
+		}
+		if len(mut) == 0 {
+			return
+		}
+		// Apply the fuzzer's mutation bytes as bit flips across the
+		// encoded proof and the bits, then require rejection whenever
+		// anything actually changed.
+		enc := proof.AppendTo(nil)
+		orig := append([]byte(nil), enc...)
+		origBits := bits.Clone()
+		for i, m := range mut {
+			if m == 0 {
+				continue
+			}
+			if i%2 == 0 && len(enc) > 0 {
+				enc[int(m)%len(enc)] ^= 1 << (uint(m) % 8)
+			} else if bits.Len() > 0 {
+				j := int(m) % bits.Len()
+				bits.Set(j, !bits.Get(j))
+			}
+		}
+		// Flips can cancel; only a net change demands rejection.
+		changed := string(enc) != string(orig) || !bits.Equal(origBits)
+		dec, _, ok := DecodeProof(enc)
+		if !ok {
+			return // decoder refused the mutation — also a rejection
+		}
+		if changed && Verify(tr.Root(), p, lo, hi, bits, dec) {
+			t.Fatalf("mutated instance accepted: L=%d leaf=%d range=[%d,%d)", L, leafBits, lo, hi)
+		}
+	})
+}

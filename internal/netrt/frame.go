@@ -43,6 +43,22 @@ const (
 	// rides the best-effort reply stream — a lost QERR just degrades to
 	// the timeout path.
 	kQErr
+	// kRoot publishes the authoritative Merkle root (32 bytes) to a
+	// client of a mirrored run. The hub pushes it right after HELLO on
+	// every connection, so TCP ordering guarantees the client holds the
+	// root before any QPROOF reply arrives on that link. Control frame:
+	// seq 0, idempotent, never charged into Q (out-of-band commitment).
+	kRoot
+	// kQProof is the mirror tier's proof-carrying reply to a QUERY: the
+	// span bits of the covering leaf range plus the Merkle path claimed
+	// to authenticate them. Nothing in it is trusted — the client
+	// verifies against the kRoot commitment and falls back to QUERYSRC
+	// on failure. Rides the best-effort reply stream like QREPLY.
+	kQProof
+	// kQuerySrc is the verified-fallback query: same payload as QUERY,
+	// but the hub answers it from the authoritative source tier
+	// (bypassing the mirror fleet) with a plain QREPLY/QERR.
+	kQuerySrc
 )
 
 // kindName renders a frame kind for debug output and timeout reports.
@@ -66,6 +82,12 @@ func kindName(k byte) string {
 		return "REJECT"
 	case kQErr:
 		return "QERR"
+	case kRoot:
+		return "ROOT"
+	case kQProof:
+		return "QPROOF"
+	case kQuerySrc:
+		return "QUERYSRC"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/bitarray"
+	"repro/internal/merkle"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/source"
@@ -91,6 +92,13 @@ type Config struct {
 	// seconds); zero fields default per source.Policy, and a zero Seed
 	// derives from Seed so backoff jitter is reproducible.
 	SourcePolicy source.Policy
+	// Mirrors, when non-nil and enabled, fronts the source with an
+	// untrusted mirror fleet: QUERY frames draw proof-carrying QPROOF
+	// replies that the client verifies against the hub-published ROOT
+	// commitment, falling back to QUERYSRC (the authoritative tier,
+	// itself subject to SourceFaults) when a proof fails. Only verified
+	// bits are charged into Q. Like Faults, mirrors never count toward T.
+	Mirrors *source.MirrorPlan
 	// IdleTimeout overrides the dead-link detection window (default 5s).
 	IdleTimeout time.Duration
 	// Shards sets the number of hub listener shards. Peer id i dials the
@@ -148,6 +156,11 @@ func (c *Config) validate() error {
 			return fmt.Errorf("netrt: %w", err)
 		}
 	}
+	if c.Mirrors != nil {
+		if err := c.Mirrors.Validate(); err != nil {
+			return fmt.Errorf("netrt: %w", err)
+		}
+	}
 	if c.Shards < 0 || c.ShardQueue < 0 {
 		return fmt.Errorf("netrt: negative Shards (%d) or ShardQueue (%d)", c.Shards, c.ShardQueue)
 	}
@@ -198,6 +211,11 @@ type clientStats struct {
 	// src is the source resilience accounting (failures by kind, retries,
 	// breaker opens, deferred queries, degraded time).
 	src source.Stats
+	// mirrorBits are bits this client verified from mirror replies; they
+	// are the client-charged half of Q (the hub charges authoritative
+	// serves). mirror carries the hit/failure/fallback counters.
+	mirrorBits int
+	mirror     source.MirrorStats
 }
 
 // Run executes the configuration and reports the outcome in the same
@@ -270,6 +288,14 @@ func Run(cfg Config) (*sim.Result, error) {
 		res.PerPeer[i].BreakerOpens = cs.src.BreakerOpens
 		res.PerPeer[i].DeferredQueries = cs.src.Deferred
 		res.PerPeer[i].DegradedTime = cs.src.DegradedTime
+		// Mirror-verified bits are charged client-side (the hub only
+		// charges authoritative serves), so Q = hub charge + client
+		// charge covers exactly the verified bits.
+		res.PerPeer[i].QueryBits += cs.mirrorBits
+		res.PerPeer[i].QueryCalls += cs.mirror.MirrorHits
+		res.PerPeer[i].MirrorHits = cs.mirror.MirrorHits
+		res.PerPeer[i].ProofFailures = cs.mirror.ProofFailures
+		res.PerPeer[i].FallbackQueries = cs.mirror.FallbackQueries
 	}
 	res.Finalize(input)
 	return res, nil
@@ -327,6 +353,9 @@ type hub struct {
 	// src answers queries; the trusted array, wrapped in the source fault
 	// plan when one is configured (Wrap is a no-op otherwise).
 	src source.Source
+	// mirror, when non-nil, is the untrusted fleet QUERY frames are
+	// served from; QUERYSRC fallbacks bypass it through src.
+	mirror *source.Mirrored
 	// shards are the hub's listener/writer units; peer i belongs to shard
 	// i % len(shards). Built once in newHub, never mutated.
 	shards []*hubShard
@@ -404,6 +433,9 @@ func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
 		met:     met,
 		stop:    make(chan struct{}),
 		allDone: make(chan struct{}),
+	}
+	if cfg.Mirrors.Enabled() {
+		h.mirror = source.NewMirrored(input, cfg.Mirrors, cfg.N, h.src)
 	}
 	for i := 0; i < cfg.N; i++ {
 		if id := sim.PeerID(i); !absent[id] {
@@ -530,6 +562,13 @@ func (h *hub) serve(conn net.Conn) {
 		return
 	}
 	dbg("peer %d connected (reconnect=%v)", hp.id, old != nil)
+	if h.mirror != nil {
+		// Publish the authoritative commitment before any reply can be
+		// queued on this connection: the shard queue is FIFO and TCP is
+		// ordered, so the client always verifies against a known root.
+		root := h.mirror.Root()
+		h.transmit(hp, kRoot, 0, srcID, root[:], 0)
+	}
 	h.pump(hp)
 
 	for {
@@ -557,7 +596,7 @@ func (h *hub) serve(conn net.Conn) {
 				hp.out.ackTo(v)
 				hp.mu.Unlock()
 			}
-		case kMsg, kQuery, kDone:
+		case kMsg, kQuery, kQuerySrc, kDone:
 			hp.mu.Lock()
 			fresh := hp.recv.admit(seq)
 			if !fresh {
@@ -577,6 +616,13 @@ func (h *hub) serve(conn net.Conn) {
 				h.route(hp, payload)
 			case kQuery:
 				dbg("peer %d query %dB", hp.id, len(payload))
+				if h.mirror != nil {
+					h.answerMirrorQuery(hp, payload)
+				} else {
+					h.answerQuery(hp, payload)
+				}
+			case kQuerySrc:
+				dbg("peer %d fallback query %dB", hp.id, len(payload))
 				h.answerQuery(hp, payload)
 			case kDone:
 				dbg("peer %d done", hp.id)
@@ -778,6 +824,50 @@ func (h *hub) answerQuery(hp *hubPeer, payload []byte) {
 	h.transmit(hp, kQReply, seq, srcID, out, 0)
 }
 
+// answerMirrorQuery serves a QUERY from the mirror fleet: pick the
+// seeded mirror for this serve, forward the covering leaf-range request,
+// and put its (possibly Byzantine) proof-carrying reply on the wire
+// verbatim. Verification — and therefore all Q charging — happens on the
+// client; the hub never vouches for a mirror's bits.
+func (h *hub) answerMirrorQuery(hp *hubPeer, payload []byte) {
+	tag, indices, ok := decodeQuery(payload, h.cfg.L)
+	if !ok {
+		return
+	}
+	if len(indices) == 0 {
+		h.answerQuery(hp, payload)
+		return
+	}
+	for _, idx := range indices {
+		if idx < 0 || idx >= h.cfg.L {
+			return
+		}
+	}
+	lo, hi := indices[0], indices[0]
+	for _, idx := range indices[1:] {
+		if idx < lo {
+			lo = idx
+		}
+		if idx > hi {
+			hi = idx
+		}
+	}
+	hp.mu.Lock()
+	hp.srcServes++
+	serve := hp.srcServes
+	hp.replySeq++
+	seq := hp.replySeq
+	hp.mu.Unlock()
+	p := h.mirror.Params()
+	leafLo, leafHi := p.LeafSpan(lo, hi)
+	rep := h.mirror.ServeMirror(source.RangeRequest{
+		Peer: int(hp.id), Ordinal: serve, LeafLo: leafLo, LeafHi: leafHi,
+	})
+	out := encodeQueryHeader(tag, indices)
+	out = encodeProofReply(out, rep)
+	h.transmit(hp, kQProof, seq, srcID, out, 0)
+}
+
 func (h *hub) markDone(hp *hubPeer, payload []byte) {
 	n64, n := binary.Uvarint(payload)
 	if n <= 0 || int(n64) > len(payload[n:]) {
@@ -961,6 +1051,7 @@ func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *ne
 		met:     met,
 		src:     source.NewClient(int(id), spol),
 		queries: make(map[qkey]*pendingQuery),
+		mparams: merkle.Params{TotalBits: cfg.L, LeafBits: cfg.Mirrors.EffectiveLeafBits()},
 		stopHK:  make(chan struct{}),
 	}
 	defer func() {
@@ -970,6 +1061,8 @@ func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *ne
 		st.reconnects = c.reconnects
 		st.dupsDeduped = c.dupsDeduped
 		st.src = c.src.Stats()
+		st.mirrorBits = c.mirrorBits
+		st.mirror = c.mstats
 		c.mu.Unlock()
 	}()
 	if err := c.connect(true); err != nil {
@@ -1035,6 +1128,15 @@ type client struct {
 	src *source.Client
 	// qOrd numbers logical queries for the source client's seeded jitter.
 	qOrd uint64
+	// Mirror-tier state (Config.Mirrors): the authoritative commitment
+	// from the hub's ROOT frame, the tree shape for verification, and
+	// the client-side accounting — Q charges only bits this client
+	// verified (mirrorBits) or the hub served authoritatively.
+	mparams    merkle.Params
+	root       [merkle.HashBytes]byte
+	rootKnown  bool
+	mirrorBits int
+	mstats     source.MirrorStats
 
 	terminated bool
 	rejected   bool
@@ -1239,6 +1341,26 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 			return
 		}
 		c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+	case kRoot:
+		if len(payload) != merkle.HashBytes {
+			return
+		}
+		c.mu.Lock()
+		copy(c.root[:], payload)
+		c.rootKnown = true
+		c.mu.Unlock()
+	case kQProof:
+		c.mu.Lock()
+		fresh := c.replies.admit(seq)
+		if !fresh {
+			c.dupsDeduped++
+			c.met.dupDropped(int(c.id))
+		}
+		c.mu.Unlock()
+		if !fresh {
+			return
+		}
+		c.handleProofReply(payload)
 	case kQErr:
 		c.mu.Lock()
 		fresh := c.replies.admit(seq)
@@ -1287,6 +1409,91 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 	}
 }
 
+// handleProofReply runs the mirror tier's client half: verify the
+// proof-carrying reply against the authoritative root and either serve
+// the verified bits to the protocol (charging them into Q) or flip the
+// pending query to the QUERYSRC fallback. A malformed body is dropped
+// like line noise — the silence deadline re-issues the query.
+func (c *client) handleProofReply(payload []byte) {
+	tag, indices, ok := decodeQuery(payload, c.cfg.L)
+	if !ok {
+		dbg("client %d: malformed qproof header", c.id)
+		return
+	}
+	rep, ok := decodeProofReply(payload[queryHeaderLen(tag, indices):])
+	if !ok {
+		dbg("client %d: malformed qproof body", c.id)
+		return
+	}
+	c.mu.Lock()
+	rootKnown, root := c.rootKnown, c.root
+	c.mu.Unlock()
+	// Verify outside the lock: SHA-256 over the span must not stall the
+	// housekeeping timers. An unknown root (reply raced a reconnect's
+	// ROOT) counts as unverified and takes the fallback path.
+	verified := rootKnown && !rep.Refused &&
+		merkle.Verify(root, c.mparams, rep.LeafLo, rep.LeafHi, rep.Bits, rep.Proof)
+	var bits *bitarray.Array
+	if verified {
+		base := rep.LeafLo * c.mparams.LeafBits
+		bits = bitarray.New(len(indices))
+		for j, idx := range indices {
+			off := idx - base
+			if off < 0 || off >= rep.Bits.Len() {
+				// Verified span does not cover the request: treat as a
+				// mirror failure rather than trusting partial coverage.
+				verified, bits = false, nil
+				break
+			}
+			bits.Set(j, rep.Bits.Get(off))
+		}
+	}
+	key := qkeyOf(tag, indices)
+	now := time.Now()
+	c.mu.Lock()
+	pq := c.queries[key]
+	owed := pq != nil && pq.count > 0
+	if !owed {
+		c.dupsDeduped++
+		c.met.dupDropped(int(c.id))
+		c.mu.Unlock()
+		return
+	}
+	if verified {
+		pq.count--
+		if pq.count == 0 {
+			delete(c.queries, key)
+		}
+		c.mirrorBits += len(indices)
+		c.mstats.MirrorHits++
+		term := c.terminated
+		c.mu.Unlock()
+		c.met.queryServed(int(c.id), len(indices))
+		c.met.mirrorVerdict(int(c.id), true, false)
+		if !term {
+			c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+		}
+		return
+	}
+	// Unverified: the reply is owed but worthless. Re-issue immediately
+	// on the authoritative path; every later retry of this key follows.
+	if !rep.Refused {
+		c.mstats.ProofFailures++
+	}
+	c.mstats.FallbackQueries++
+	pq.srcKind = kQuerySrc
+	pq.gaveUp = false
+	pq.attempts = 1
+	pq.deadline = nextQueryDeadline(now, c.res.QueryTimeout, 0)
+	fp := pq.payload
+	term := c.terminated
+	c.mu.Unlock()
+	c.met.mirrorVerdict(int(c.id), false, rep.Refused)
+	if !term {
+		c.enqueue(kQuerySrc, fp)
+	}
+}
+
 // housekeeping drives the client's timers: heartbeats, query timeout
 // retries, and belt-and-braces retransmission of long-unacked frames. It
 // never calls into the protocol, so the sequential contract holds.
@@ -1311,7 +1518,11 @@ func (c *client) housekeeping() {
 			c.lastPing = now
 		}
 		due := c.out.takeDue(now, now.Add(-4*c.res.RTO))
-		var retries [][]byte
+		type retryFrame struct {
+			kind    byte
+			payload []byte
+		}
+		var retries []retryFrame
 		if !c.terminated {
 			nowS := now.Sub(c.start).Seconds()
 			for _, pq := range c.queries {
@@ -1345,7 +1556,11 @@ func (c *client) housekeeping() {
 				c.queryRetries++
 				c.met.queryRetry(int(c.id))
 				pq.deadline = nextQueryDeadline(now, c.res.QueryTimeout, pq.attempts)
-				retries = append(retries, pq.payload)
+				kind := pq.srcKind
+				if kind == 0 {
+					kind = kQuery
+				}
+				retries = append(retries, retryFrame{kind, pq.payload})
 			}
 		}
 		c.mu.Unlock()
@@ -1357,8 +1572,8 @@ func (c *client) housekeeping() {
 				_ = c.write(conn, f.kind, f.seq, f.payload)
 			}
 		}
-		for _, p := range retries {
-			c.enqueue(kQuery, p)
+		for _, f := range retries {
+			c.enqueue(f.kind, f.payload)
 		}
 	}
 }
@@ -1434,15 +1649,16 @@ func (c *client) Query(tag int, indices []int) {
 	pq := c.queries[key]
 	if pq == nil {
 		c.qOrd++
-		pq = &pendingQuery{payload: payload, ord: c.qOrd}
+		pq = &pendingQuery{payload: payload, ord: c.qOrd, srcKind: kQuery}
 		c.queries[key] = pq
 	}
 	pq.count++
 	pq.gaveUp = false
 	pq.attempts = 1
 	pq.deadline = nextQueryDeadline(now, c.res.QueryTimeout, 0)
+	kind := pq.srcKind
 	c.mu.Unlock()
-	c.enqueue(kQuery, payload)
+	c.enqueue(kind, payload)
 }
 
 // Output implements sim.Context.

@@ -23,10 +23,10 @@ type netMetrics struct {
 	// Frame and byte counters by (side, direction, kind). The hub and
 	// all clients run in one process, so "side" distinguishes the two
 	// halves of each link.
-	hubFramesTx, hubFramesRx [kQErr + 1]*obs.Counter
-	cliFramesTx, cliFramesRx [kQErr + 1]*obs.Counter
-	hubBytesTx, hubBytesRx   [kQErr + 1]*obs.Counter
-	cliBytesTx, cliBytesRx   [kQErr + 1]*obs.Counter
+	hubFramesTx, hubFramesRx [kQuerySrc + 1]*obs.Counter
+	cliFramesTx, cliFramesRx [kQuerySrc + 1]*obs.Counter
+	hubBytesTx, hubBytesRx   [kQuerySrc + 1]*obs.Counter
+	cliBytesTx, cliBytesRx   [kQuerySrc + 1]*obs.Counter
 
 	backoff *obs.Histogram
 
@@ -37,6 +37,9 @@ type netMetrics struct {
 	dups                  []*obs.Counter
 	planDropped, planDup  []*obs.Counter
 	srcFails              []*obs.Counter
+	// Mirror-tier verdicts per peer: verified hits, Merkle rejections,
+	// and authoritative fallbacks.
+	mirHits, mirPfails, mirFallbacks []*obs.Counter
 
 	// Per-shard handles indexed by shard (see shard.go).
 	shardWrittenC, shardDownC, shardBlockedC, shardErrC []*obs.Counter
@@ -60,7 +63,7 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 	}
 	frames := reg.CounterVec("dr_net_frames_total", "Frames moved on TCP links.", "side", "dir", "kind")
 	bytes := reg.CounterVec("dr_net_frame_bytes_total", "Frame payload bytes moved on TCP links.", "side", "dir", "kind")
-	for k := byte(kHello); k <= kQErr; k++ {
+	for k := byte(kHello); k <= kQuerySrc; k++ {
 		kn := kindName(k)
 		m.hubFramesTx[k] = frames.With("hub", "tx", kn)
 		m.hubFramesRx[k] = frames.With("hub", "rx", kn)
@@ -83,6 +86,9 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 	pdrop := reg.CounterVec("dr_net_plan_dropped_total", "Deliveries dropped by the fault plan.", "peer")
 	pdup := reg.CounterVec("dr_net_plan_duped_total", "Deliveries duplicated by the fault plan.", "peer")
 	sfail := reg.CounterVec("dr_net_source_failures_total", "Source queries refused by the source fault plan.", "peer")
+	mhits := reg.CounterVec("dr_net_mirror_hits_total", "Queries answered by a verified mirror reply.", "peer")
+	mpfail := reg.CounterVec("dr_net_mirror_proof_failures_total", "Mirror replies rejected by Merkle verification.", "peer")
+	mfb := reg.CounterVec("dr_net_mirror_fallback_total", "Queries re-issued to the authoritative source.", "peer")
 	n := cfg.N
 	m.queryBits = make([]*obs.Counter, n)
 	m.queryCalls = make([]*obs.Counter, n)
@@ -94,6 +100,9 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 	m.planDropped = make([]*obs.Counter, n)
 	m.planDup = make([]*obs.Counter, n)
 	m.srcFails = make([]*obs.Counter, n)
+	m.mirHits = make([]*obs.Counter, n)
+	m.mirPfails = make([]*obs.Counter, n)
+	m.mirFallbacks = make([]*obs.Counter, n)
 	for i := 0; i < n; i++ {
 		id := strconv.Itoa(i)
 		m.queryBits[i] = qBits.With(label, id)
@@ -106,6 +115,9 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 		m.planDropped[i] = pdrop.With(id)
 		m.planDup[i] = pdup.With(id)
 		m.srcFails[i] = sfail.With(id)
+		m.mirHits[i] = mhits.With(id)
+		m.mirPfails[i] = mpfail.With(id)
+		m.mirFallbacks[i] = mfb.With(id)
 	}
 	nShards := cfg.Shards
 	if nShards < 1 {
@@ -130,7 +142,7 @@ func newNetMetrics(cfg *Config, start time.Time) *netMetrics {
 	return m
 }
 
-func validKind(k byte) bool { return k >= kHello && k <= kQErr }
+func validKind(k byte) bool { return k >= kHello && k <= kQuerySrc }
 
 func (m *netMetrics) hubTx(kind byte, payloadLen int) {
 	if m == nil || !validKind(kind) {
@@ -230,6 +242,24 @@ func (m *netMetrics) planDupe(peer int) {
 		return
 	}
 	peerAdd(m.planDup, peer, 1)
+}
+
+// mirrorVerdict records the outcome of one proof-carrying mirror reply:
+// a verified hit, or a rejection (with its fallback re-issue). The
+// timeline mark makes proof failures visible in drtrace.
+func (m *netMetrics) mirrorVerdict(peer int, verified, refused bool) {
+	if m == nil {
+		return
+	}
+	if verified {
+		peerAdd(m.mirHits, peer, 1)
+		return
+	}
+	if !refused {
+		peerAdd(m.mirPfails, peer, 1)
+		m.mark(peer, "prooffail", "")
+	}
+	peerAdd(m.mirFallbacks, peer, 1)
 }
 
 // sourceFailure records one injected source refusal toward a peer; the

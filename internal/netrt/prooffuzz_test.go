@@ -1,0 +1,99 @@
+package netrt
+
+import (
+	"testing"
+
+	"repro/internal/bitarray"
+	"repro/internal/merkle"
+	"repro/internal/source"
+)
+
+// honestProofReply builds a well-formed QPROOF body for the seed corpus
+// and for the hostile-mutation fuzz target.
+func honestProofReply(l, leafBits int, lo, hi int) (source.RangeReply, merkle.Params, [merkle.HashBytes]byte, []byte) {
+	x := bitarray.New(l)
+	for i := 0; i < l; i += 3 {
+		x.Set(i, true)
+	}
+	tree := merkle.Build(x, leafBits)
+	p := tree.Params()
+	rep := source.RangeReply{
+		Root:   tree.Root(),
+		LeafLo: lo, LeafHi: hi,
+		Bits:  x.Slice(lo*p.LeafBits, p.SpanBits(lo, hi)),
+		Proof: tree.Prove(lo, hi),
+	}
+	return rep, p, tree.Root(), encodeProofReply(nil, rep)
+}
+
+// FuzzDecodeProofReply: the QPROOF body decoder must never panic, never
+// over-allocate (every structure is bounded by its own input bytes), and
+// whatever it accepts must re-encode/re-decode to the same reply.
+func FuzzDecodeProofReply(f *testing.F) {
+	_, _, _, enc := honestProofReply(640, 64, 2, 5)
+	f.Add(enc)
+	f.Add([]byte{qproofRefused})
+	f.Add([]byte{0})                   // truncated after flags
+	f.Add([]byte{0, 3, 2})             // hi <= lo
+	f.Add([]byte{qproofRefused, 0xFF}) // refused with trailing bytes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, ok := decodeProofReply(data)
+		if !ok {
+			return
+		}
+		if rep.Refused {
+			if rep.Bits != nil || len(rep.Proof.Hashes) != 0 {
+				t.Fatalf("refused reply carries data")
+			}
+			return
+		}
+		if rep.LeafHi <= rep.LeafLo {
+			t.Fatalf("accepted empty range [%d, %d)", rep.LeafLo, rep.LeafHi)
+		}
+		if rep.Bits.Len() > 8*len(data) {
+			t.Fatalf("bits longer than input: %d bits from %d bytes", rep.Bits.Len(), len(data))
+		}
+		enc := encodeProofReply(nil, rep)
+		rep2, ok2 := decodeProofReply(enc)
+		if !ok2 || rep2.LeafLo != rep.LeafLo || rep2.LeafHi != rep.LeafHi ||
+			!rep2.Bits.Equal(rep.Bits) || len(rep2.Proof.Hashes) != len(rep.Proof.Hashes) {
+			t.Fatalf("re-decode mismatch: [%d,%d) → ok=%v [%d,%d)",
+				rep.LeafLo, rep.LeafHi, ok2, rep2.LeafLo, rep2.LeafHi)
+		}
+		for i := range rep.Proof.Hashes {
+			if rep2.Proof.Hashes[i] != rep.Proof.Hashes[i] {
+				t.Fatalf("proof hash %d changed across round trip", i)
+			}
+		}
+	})
+}
+
+// FuzzHostileProofFrame mutates an honest QPROOF body and requires that
+// any decodable mutation either equals the original reply or fails
+// Merkle verification — the client never accepts altered bits through
+// the wire path.
+func FuzzHostileProofFrame(f *testing.F) {
+	f.Add(uint16(0), uint16(0))
+	f.Add(uint16(5), uint16(200))
+	f.Add(uint16(40), uint16(9999))
+	f.Fuzz(func(t *testing.T, pos, xor uint16) {
+		rep, p, root, enc := honestProofReply(640, 64, 2, 5)
+		if xor == 0 {
+			return
+		}
+		mut := append([]byte(nil), enc...)
+		mut[int(pos)%len(mut)] ^= byte(xor) | byte(xor>>8)
+		dec, ok := decodeProofReply(mut)
+		if !ok || dec.Refused {
+			return
+		}
+		if !merkle.Verify(root, p, dec.LeafLo, dec.LeafHi, dec.Bits, dec.Proof) {
+			return
+		}
+		// The mutation survived verification: it must be semantically
+		// identical to the honest reply.
+		if dec.LeafLo != rep.LeafLo || dec.LeafHi != rep.LeafHi || !dec.Bits.Equal(rep.Bits) {
+			t.Fatalf("mutated frame verified with altered content: [%d,%d)", dec.LeafLo, dec.LeafHi)
+		}
+	})
+}

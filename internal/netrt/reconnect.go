@@ -228,6 +228,10 @@ type pendingQuery struct {
 	// probe; if it goes silent, its deadline expiry is fed back as a
 	// timeout failure so the breaker reopens instead of waiting forever.
 	probe bool
+	// srcKind is the frame kind this query (re-)issues as: kQuery on the
+	// mirror path, flipped to kQuerySrc once a proof fails so every
+	// retry goes authoritative.
+	srcKind byte
 }
 
 // nextQueryDeadline backs off the retry deadline exponentially, capped.

@@ -66,6 +66,20 @@ type PeerStats struct {
 	WarmHitBits int
 	// Rejoined reports this churn peer crashed and rejoined.
 	Rejoined bool
+
+	// Mirror-tier counters (runtimes executing a source.MirrorPlan;
+	// zero elsewhere). Q semantics are unchanged: only verified bits
+	// are charged, whether a mirror or the fallback served them.
+
+	// MirrorHits counts queries fully answered by a verified mirror
+	// reply.
+	MirrorHits int
+	// ProofFailures counts mirror replies rejected by Merkle
+	// verification (wrong bits, forged/mangled proofs, stale roots).
+	ProofFailures int
+	// FallbackQueries counts queries re-issued to the authoritative
+	// source after a mirror refusal or verification failure.
+	FallbackQueries int
 }
 
 // Result aggregates an execution's outcome. Aggregates follow the paper's
@@ -110,6 +124,11 @@ type Result struct {
 	// Rejoins counts churn peers (faulty by definition) that crashed and
 	// rejoined, over all peers.
 	Rejoins int
+	// Mirror-tier aggregates over honest peers (runtimes executing a
+	// source.MirrorPlan; zero elsewhere).
+	MirrorHits      int
+	ProofFailures   int
+	FallbackQueries int
 }
 
 // Finalize computes aggregates and correctness from PerPeer against the
@@ -151,6 +170,9 @@ func (r *Result) Finalize(input *bitarray.Array) {
 		r.SourceFailures += s.SourceFailures
 		r.BreakerOpens += s.BreakerOpens
 		r.DeferredQueries += s.DeferredQueries
+		r.MirrorHits += s.MirrorHits
+		r.ProofFailures += s.ProofFailures
+		r.FallbackQueries += s.FallbackQueries
 		if s.DegradedTime > r.DegradedTime {
 			r.DegradedTime = s.DegradedTime
 		}

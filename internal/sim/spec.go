@@ -93,6 +93,12 @@ type Spec struct {
 	// selects defaults; it is consulted only when SourceFaults is
 	// enabled (a clean source needs no resilience).
 	SourcePolicy source.Policy
+	// Mirrors, when non-nil and enabled, routes queries through an
+	// untrusted mirror fleet with Merkle-verified replies: peers prefer
+	// a seeded mirror choice and fall back to the authoritative source
+	// (itself subject to SourceFaults) whenever a proof fails. Only
+	// verified bits are charged into Q. Nil keeps direct source access.
+	Mirrors *source.MirrorPlan
 	// Trace, when non-nil, receives Logf output and runtime traces.
 	Trace io.Writer
 	// Observer, when non-nil, receives a structured callback for every
@@ -223,6 +229,11 @@ func (s *Spec) Validate() error {
 	}
 	if s.SourceFaults != nil {
 		if err := s.SourceFaults.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Mirrors != nil {
+		if err := s.Mirrors.Validate(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,196 @@
+package source
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitarray"
+	"repro/internal/merkle"
+)
+
+func testInput(seed int64, l int) *bitarray.Array {
+	return bitarray.Random(rand.New(rand.NewSource(seed)), l)
+}
+
+func fetchAll(t *testing.T, src Source, peer, l int) *bitarray.Array {
+	t.Helper()
+	out := bitarray.New(l)
+	ord := uint64(0)
+	for lo := 0; lo < l; lo += 50 {
+		hi := min(lo+50, l)
+		idx := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		ord++
+		rep, err := src.Fetch(Request{Peer: peer, Indices: idx, Ordinal: ord, Attempt: 1})
+		if err != nil {
+			t.Fatalf("fetch [%d,%d): %v", lo, hi, err)
+		}
+		for j, i := range idx {
+			out.Set(i, rep.Bits.Get(j))
+		}
+	}
+	return out
+}
+
+// TestMirroredHonestFleet: an all-honest fleet serves every query from
+// mirrors — zero fallbacks, bits identical to X.
+func TestMirroredHonestFleet(t *testing.T) {
+	x := testInput(1, 777)
+	plan := &MirrorPlan{Mirrors: 4, Seed: 3}
+	m := NewMirrored(x, plan, 2, NewTrusted(x))
+	got := fetchAll(t, m, 0, x.Len())
+	if !got.Equal(x) {
+		t.Fatal("mirror-served bits differ from X")
+	}
+	st := m.PeerStats(0)
+	if st.MirrorHits == 0 || st.ProofFailures != 0 || st.FallbackQueries != 0 {
+		t.Fatalf("honest fleet stats: %+v", st)
+	}
+}
+
+// TestMirroredByzantineMajority: with every concrete behavior and a
+// Byzantine majority, the verified-fallback flow still returns X
+// exactly, and every Byzantine serve is either a counted proof failure
+// or a refusal-driven fallback — never an accepted wrong bit.
+func TestMirroredByzantineMajority(t *testing.T) {
+	behaviors := []string{
+		BehaviorWrong, BehaviorForge, BehaviorTruncate,
+		BehaviorReorder, BehaviorStale, BehaviorSelective, BehaviorMixed,
+	}
+	for _, b := range behaviors {
+		t.Run(b, func(t *testing.T) {
+			x := testInput(2, 901)
+			plan := &MirrorPlan{Mirrors: 5, Byz: 4, Behavior: b, LeafBits: 32, Seed: 7}
+			m := NewMirrored(x, plan, 3, NewTrusted(x))
+			for peer := 0; peer < 3; peer++ {
+				got := fetchAll(t, m, peer, x.Len())
+				if !got.Equal(x) {
+					t.Fatalf("peer %d: output differs from X under %s mirrors", peer, b)
+				}
+			}
+			var tot MirrorStats
+			for peer := 0; peer < 3; peer++ {
+				tot.add(m.PeerStats(peer))
+			}
+			if tot.FallbackQueries == 0 {
+				t.Fatalf("%s: Byzantine majority produced no fallbacks: %+v", b, tot)
+			}
+			if b != BehaviorSelective && tot.ProofFailures == 0 {
+				t.Fatalf("%s: no proof failures counted: %+v", b, tot)
+			}
+		})
+	}
+}
+
+// TestMirroredDeterministic: equal plans give equal pick/serve/verdict
+// sequences — the counters are a pure function of the traffic.
+func TestMirroredDeterministic(t *testing.T) {
+	run := func() []MirrorStats {
+		x := testInput(5, 640)
+		plan := &MirrorPlan{Mirrors: 5, Byz: 3, Behavior: BehaviorMixed, Seed: 11}
+		m := NewMirrored(x, plan, 2, NewTrusted(x))
+		fetchAll(t, m, 0, x.Len())
+		fetchAll(t, m, 1, x.Len())
+		return []MirrorStats{m.PeerStats(0), m.PeerStats(1)}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("peer %d stats differ across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMirrorReplyShapes pins each Byzantine behavior's reply shape:
+// selective refuses, stale stays self-consistent under its own root,
+// and every non-refused Byzantine reply fails authoritative
+// verification.
+func TestMirrorReplyShapes(t *testing.T) {
+	x := testInput(9, 500)
+	plan := &MirrorPlan{Mirrors: 6, Byz: 6, Behavior: BehaviorMixed, LeafBits: 64, Seed: 13}
+	m := NewMirrored(x, plan, 1, NewTrusted(x))
+	p := m.Params()
+	refused, failed := 0, 0
+	for ord := uint64(1); ord <= 40; ord++ {
+		req := RangeRequest{Peer: 0, Ordinal: ord, LeafLo: 1, LeafHi: 4}
+		behavior := mixedBehaviors[m.Pick(0, ord)%len(mixedBehaviors)]
+		rep := m.ServeMirror(req)
+		if rep.Refused {
+			refused++
+			continue
+		}
+		if merkle.Verify(m.Root(), p, req.LeafLo, req.LeafHi, rep.Bits, rep.Proof) {
+			// The selective mirror serves honestly when it serves at
+			// all; every other behavior must fail verification.
+			if behavior != BehaviorSelective {
+				t.Fatalf("ordinal %d: %s reply verified against authoritative root", ord, behavior)
+			}
+			continue
+		}
+		failed++
+		// A stale mirror's reply is self-consistent: it verifies against
+		// its own claimed root (that is what makes it "stale" rather
+		// than garbage) yet the claimed root differs from authoritative.
+		if rep.Root != m.Root() {
+			if !merkle.Verify(rep.Root, p, req.LeafLo, req.LeafHi, rep.Bits, rep.Proof) {
+				t.Fatalf("ordinal %d: stale reply not self-consistent", ord)
+			}
+		}
+	}
+	if refused == 0 || failed == 0 {
+		t.Fatalf("mixed fleet shapes degenerate: refused=%d failed=%d", refused, failed)
+	}
+}
+
+// TestParseMirrorPlan is the grammar accept/reject table.
+func TestParseMirrorPlan(t *testing.T) {
+	good := []struct {
+		in   string
+		want MirrorPlan
+	}{
+		{"mirrors=5", MirrorPlan{Mirrors: 5}},
+		{"mirrors=5,byz=3", MirrorPlan{Mirrors: 5, Byz: 3}},
+		{"mirrors=5,byz=3,behavior=forge,leaf=32,seed=7",
+			MirrorPlan{Mirrors: 5, Byz: 3, Behavior: "forge", LeafBits: 32, Seed: 7}},
+		{" mirrors=2 , behavior=mixed ", MirrorPlan{Mirrors: 2, Behavior: "mixed"}},
+	}
+	for _, c := range good {
+		p, err := ParseMirrorPlan(c.in)
+		if err != nil {
+			t.Errorf("ParseMirrorPlan(%q): %v", c.in, err)
+			continue
+		}
+		if *p != c.want {
+			t.Errorf("ParseMirrorPlan(%q) = %+v, want %+v", c.in, *p, c.want)
+		}
+		// String round trip re-parses to the same plan.
+		rt, err := ParseMirrorPlan(p.String())
+		if err != nil || *rt != *p {
+			t.Errorf("round trip of %q via %q failed: %v", c.in, p.String(), err)
+		}
+	}
+	if p, err := ParseMirrorPlan(""); p != nil || err != nil {
+		t.Errorf("empty plan: %v, %v", p, err)
+	}
+	bad := []string{
+		"mirrors",                  // not key=value
+		"mirrors=0",                // missing fleet
+		"byz=2",                    // fields without mirrors
+		"mirrors=2,byz=3",          // byz > mirrors
+		"mirrors=2,byz=-1",         // negative
+		"mirrors=2,leaf=123456789", // over MaxLeafBits
+		"mirrors=2,leaf=-1",        // negative leaf
+		"mirrors=2,behavior=nope",
+		"mirrors=2,mirrors=3", // duplicate key
+		"mirrors=x",
+		"mirrors=2,seed=x",
+		"mirrors=2,weird=1",
+	}
+	for _, in := range bad {
+		if _, err := ParseMirrorPlan(in); err == nil {
+			t.Errorf("ParseMirrorPlan(%q) accepted", in)
+		}
+	}
+}
