@@ -15,7 +15,7 @@ GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.3
 # pathologies). Override for slow local machines: make test TIMEOUT=20m.
 TIMEOUT ?= 10m
 
-.PHONY: all build fmt vet test race bench bench-ci conform conformance chaos source-chaos mirrors scale-smoke experiments fuzz lint cover dst-search dst-regen harden clean
+.PHONY: all build fmt vet test race bench bench-ci conform conformance chaos source-chaos mirrors scale-smoke storm experiments fuzz lint cover dst-search dst-regen harden clean
 
 all: build vet test
 
@@ -112,6 +112,26 @@ scale-smoke:
 	$(GO) run ./cmd/drload -clients 50000 -conns 32 -shards 8 \
 		-slo-p99 2000 -slo-zero-drop -out load
 
+# Composed-fault storm gate (see docs/RUNTIMES.md "Crash recovery" and
+# internal/storm): the storm suites — generator determinism, invariant
+# checkers with negative controls, the pinned acceptance storm over real
+# TCP plus its byte-identical committed .dsr — the checkpoint codec
+# property suite and the drstorm exit-code regressions; the churn /
+# resume-handshake / shard-bounce netrt suites under the race detector;
+# then a drstorm matrix: every protocol × STORMS seeded storms, each
+# composing network chaos × source outage × Byzantine-majority mirrors ×
+# crash-recovery churn × a hub shard bounce on real sockets. drstorm
+# exits 3 on any invariant breach; failing storms leave their spec JSON
+# and a (des-shrunk) .dsr replay in storm-findings/. STORMTIME mirrors
+# FUZZTIME: non-zero turns the fixed matrix into a wall-clock soak that
+# cycles storm rounds until the budget is spent (the nightly uses 10m).
+STORMTIME ?= 0s
+STORMS ?= 3
+storm:
+	$(GO) test -count=1 -timeout $(TIMEOUT) ./internal/storm/ ./internal/checkpoint/ ./cmd/drstorm/
+	$(GO) test -race -count=1 -timeout $(TIMEOUT) -run 'TestChurn|TestShard' ./internal/netrt/
+	$(GO) run ./cmd/drstorm -storms $(STORMS) -budget $(STORMTIME) -out storm-findings
+
 experiments:
 	$(GO) run ./cmd/drbench -suite all | tee experiments_full.txt
 
@@ -186,4 +206,4 @@ harden:
 # Scratch outputs only — committed testdata (fuzz seed corpora, replay
 # regression files) must survive a clean.
 clean:
-	rm -rf bench_output.txt experiments_full.txt coverage.out dst-findings harden-findings load
+	rm -rf bench_output.txt experiments_full.txt coverage.out dst-findings harden-findings storm-findings load

@@ -5,10 +5,18 @@
 // fault schedule is a pure function of its seed, so a failing cell can be
 // replayed exactly.
 //
+// With -churn (or a seeded schedule via -storm-seed) the matrix gains a
+// crash-recovery column: churn peers crash themselves mid-run and, when
+// scheduled to rejoin, restore warm from durable checkpoints over the
+// RESUME handshake; the summary then reports rejoin and checkpoint
+// counters alongside the network-recovery work.
+//
 // Example:
 //
 //	drchaos -seeds 3
 //	drchaos -protocols committee -drops 0,0.1,0.25 -flaps 0,3 -partition=false
+//	drchaos -protocols naive -churn 1:2:0.2,3:4:-1
+//	drchaos -storm-seed 3
 package main
 
 import (
@@ -24,10 +32,12 @@ import (
 
 	"repro/download"
 	"repro/internal/adversary"
+	"repro/internal/conformance"
 	"repro/internal/netrt"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/source"
+	"repro/internal/storm"
 )
 
 func main() {
@@ -55,9 +65,13 @@ type tally struct {
 	retries, reconnects, planDropped, planDuped, dupsDropped int
 	srcFailures, srcRetries, breakerOpens, deferred          int
 	mirrorHits, proofFailures, fallbackQueries               int
+	rejoins, ckptSaves, ckptRestores                         int
 }
 
 func (a *tally) add(res *sim.Result) {
+	a.rejoins += res.Rejoins
+	a.ckptSaves += res.CheckpointSaves
+	a.ckptRestores += res.CheckpointRestores
 	a.retries += res.QueryRetries
 	a.reconnects += res.Reconnects
 	a.srcFailures += res.SourceFailures
@@ -135,6 +149,8 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 		partition = fs.Bool("partition", true, "include one healed partition (needs n ≥ 4)")
 		srcSpec   = fs.String("source-faults", "", `seeded source fault plan layered on every run, e.g. "fail=0.25,outage=0..0.5,seed=7"`)
 		mirSpec   = fs.String("mirrors", "", `untrusted mirror fleet plan layered on every run, e.g. "mirrors=5,byz=3,behavior=mixed,seed=7" (QPROOF frames ride the chaotic links too)`)
+		churnSpec = fs.String("churn", "", `churn schedule "peer:crashAfter:downtime,..." layered on every run (negative downtime crashes for good; rejoining peers restore from durable checkpoints over the RESUME handshake)`)
+		stormSeed = fs.Int64("storm-seed", 0, "derive a seeded per-protocol churn schedule from the storm generator's crash plane instead of -churn (0 = off)")
 		seeds     = fs.Int("seeds", 3, "seeds per cell")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-run timeout")
 		verbose   = fs.Bool("v", false, "print every run")
@@ -175,6 +191,19 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 			return 2
 		}
 		mirPlan = plan
+	}
+	if *churnSpec != "" && *stormSeed != 0 {
+		fmt.Fprintln(os.Stderr, "drchaos: -churn and -storm-seed are mutually exclusive")
+		return 2
+	}
+	baseChurn, err := download.ParseChurn(*churnSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drchaos: bad -churn: %v\n", err)
+		return 2
+	}
+	infoByName := make(map[string]download.Info)
+	for _, info := range download.Protocols() {
+		infoByName[string(info.Protocol)] = info
 	}
 	var (
 		reg      *obs.Registry
@@ -227,6 +256,30 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 			fmt.Fprintf(os.Stderr, "drchaos: %v\n", err)
 			return 2
 		}
+		// Crash-recovery plane: an explicit -churn schedule, or the storm
+		// generator's seeded crash plane (which schedules rejoining churn
+		// only where a cold protocol restart converges). When churn is
+		// active and no -t was given, the per-protocol conformance fault
+		// bound keeps the churn peers inside the budget.
+		tb := *t
+		if (len(baseChurn) > 0 || *stormSeed != 0) && tb == 0 {
+			tb = conformance.FaultBound(infoByName[string(proto)], *n)
+		}
+		var churn []sim.ChurnPeer
+		for _, cp := range baseChurn {
+			churn = append(churn, sim.ChurnPeer{Peer: sim.PeerID(cp.Peer), CrashAfter: cp.CrashAfter, Downtime: cp.Downtime})
+		}
+		if *stormSeed != 0 {
+			for _, ce := range storm.Generate(proto, *n, tb, *l, *b, *stormSeed).Churn {
+				churn = append(churn, sim.ChurnPeer{Peer: sim.PeerID(ce.Peer), CrashAfter: ce.CrashAfter, Downtime: ce.Downtime})
+			}
+		}
+		rejoins := 0
+		for _, cp := range churn {
+			if cp.Downtime >= 0 {
+				rejoins++
+			}
+		}
 		tl := &tally{}
 		tallies[string(proto)] = tl
 		for _, c := range combos {
@@ -248,15 +301,29 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 						Heal:  400 * time.Millisecond,
 					}}
 				}
+				// Rejoining churn needs a durable checkpoint store; each run
+				// gets a fresh one so no incarnation restores state a prior
+				// seed's run persisted.
+				var ckptDir string
+				if rejoins > 0 {
+					dir, err := os.MkdirTemp("", "drchaos-ckpt")
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "drchaos: checkpoint dir: %v\n", err)
+						return 1
+					}
+					ckptDir = dir
+				}
 				res, err := netrt.Run(netrt.Config{
-					N: *n, T: *t, L: *l, MsgBits: *b,
-					Seed:         int64(seed),
-					NewPeer:      factory,
-					Absent:       absent,
-					Faults:       plan,
-					SourceFaults: srcFaults,
-					Mirrors:      mirPlan,
-					Timeout:      *timeout,
+					N: *n, T: tb, L: *l, MsgBits: *b,
+					Seed:          int64(seed),
+					NewPeer:       factory,
+					Absent:        absent,
+					Churn:         churn,
+					CheckpointDir: ckptDir,
+					Faults:        plan,
+					SourceFaults:  srcFaults,
+					Mirrors:       mirPlan,
+					Timeout:       *timeout,
 					Resilience: netrt.Resilience{
 						QueryTimeout: 250 * time.Millisecond,
 						RTO:          60 * time.Millisecond,
@@ -265,6 +332,9 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 					Timeline: timeline,
 					Label:    string(proto),
 				})
+				if ckptDir != "" {
+					os.RemoveAll(ckptDir)
+				}
 				done++
 				ok := err == nil && res.Correct
 				if ok {
@@ -337,6 +407,10 @@ func run(args []string, stdout io.Writer, interrupt <-chan struct{}) int {
 		if mirPlan != nil {
 			fmt.Fprintf(stdout, "%-12s mirror-hits=%-5d proof-failures=%-5d fallback-queries=%d\n",
 				"", tl.mirrorHits, tl.proofFailures, tl.fallbackQueries)
+		}
+		if len(baseChurn) > 0 || *stormSeed != 0 {
+			fmt.Fprintf(stdout, "%-12s rejoins=%-5d ckpt-saves=%-5d ckpt-restores=%d\n",
+				"", tl.rejoins, tl.ckptSaves, tl.ckptRestores)
 		}
 	}
 

@@ -164,10 +164,10 @@ type Options struct {
 	// SourceFaults, when non-empty, makes the external source misbehave
 	// per the source.ParsePlan grammar — e.g.
 	// "fail=0.25,timeout=0.1,outage=2..5,rate=64/256,seed=7". Time units
-	// are virtual in the des runtime and seconds on TCP. Honest peers
-	// survive via the source resilience layer (retry/backoff/breaker);
-	// the Report's Source* counters account for the recovery work. Not
-	// supported by the Live runtime.
+	// are virtual in the des and live runtimes and seconds on TCP. Honest
+	// peers survive via the source resilience layer (retry/backoff/
+	// breaker); the Report's Source* counters account for the recovery
+	// work. Supported on every runtime.
 	SourceFaults string
 	// Mirrors, when non-empty, routes queries through a fleet of
 	// untrusted replicas per the source.ParseMirrorPlan grammar — e.g.
@@ -182,8 +182,17 @@ type Options struct {
 	// Churn schedules crash-recovery peers: each crashes after its
 	// action count, stays down for Downtime, then rejoins and resumes
 	// from its persisted verified-index state. Churn peers count toward
-	// T alongside Faulty ones. des runtime only.
+	// T alongside Faulty ones. Supported on every runtime; rejoining
+	// churn on TCP additionally needs CheckpointDir, because a socket
+	// peer's process state dies with it and recovery must come from a
+	// durable checkpoint.
 	Churn []ChurnPeer
+	// CheckpointDir is where TCP churn peers persist durable checkpoints
+	// so a rejoining incarnation restarts warm (see internal/checkpoint).
+	// Required when Churn has a rejoining peer (Downtime >= 0) on TCP;
+	// meaningless elsewhere — the des and live runtimes persist in
+	// memory — and rejected there to catch misconfiguration.
+	CheckpointDir string
 	// Workers, when > 1, multiplexes peers M-per-worker over this many
 	// scheduler workers: the des runtime speculates honest-peer state
 	// machines on a worker pool and applies their effects in exact serial
@@ -217,6 +226,35 @@ type Options struct {
 	// Timeline, when non-nil, receives span/event marks (protocol phase
 	// transitions, crashes, reconnects, terminations).
 	Timeline *obs.Timeline
+}
+
+// UnsupportedError reports an option combination the selected runtime
+// cannot execute — a capability gap, as opposed to a malformed option.
+// Callers distinguish it with errors.As and can switch runtimes or fill
+// the missing option instead of treating the run as misconfigured.
+type UnsupportedError struct {
+	// Runtime names the selected runtime: "des", "live", or "tcp".
+	Runtime string
+	// Feature is the option (combination) the runtime lacks.
+	Feature string
+	// Reason says what to change.
+	Reason string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("download: %s unsupported on the %s runtime: %s", e.Feature, e.Runtime, e.Reason)
+}
+
+// runtimeName labels the runtime the options select, for errors.
+func (o *Options) runtimeName() string {
+	switch {
+	case o.TCP:
+		return "tcp"
+	case o.Live:
+		return "live"
+	default:
+		return "des"
+	}
 }
 
 // ChurnPeer schedules one crash-recovery peer (see Options.Churn): it
@@ -273,6 +311,14 @@ type Report struct {
 	DeferredQueries int
 	DegradedTime    float64
 	Rejoins         int
+	// Crash-recovery accounting, nonzero only under Options.Churn:
+	// WarmHitBits counts query bits rejoined peers served from persisted
+	// state without re-charging Q; CheckpointSaves/CheckpointRestores
+	// count durable checkpoint writes and warm restores (TCP runtime,
+	// where recovery crosses a process restart).
+	WarmHitBits        int
+	CheckpointSaves    int
+	CheckpointRestores int
 	// Mirror-tier accounting, nonzero only under Options.Mirrors:
 	// queries answered by a verified mirror reply, mirror replies
 	// rejected by Merkle verification, and queries re-issued to the
@@ -362,17 +408,14 @@ func (o *Options) validate() error {
 		if _, err := source.ParsePlan(o.SourceFaults); err != nil {
 			return err
 		}
-		if o.Live {
-			return errors.New("download: SourceFaults unsupported on the Live runtime (use des or TCP)")
-		}
 	}
 	if o.Mirrors != "" {
 		if _, err := source.ParseMirrorPlan(o.Mirrors); err != nil {
 			return err
 		}
 	}
-	if len(o.Churn) > 0 && (o.Live || o.TCP) {
-		return errors.New("download: Churn is supported on the des runtime only")
+	if err := o.validateChurn(); err != nil {
+		return err
 	}
 	switch o.Behavior {
 	case NoFaults, CrashImmediate, CrashRandom, Silent, Spam, Liar, Equivocate:
@@ -396,7 +439,37 @@ func (o *Options) validate() error {
 		return fmt.Errorf("download: %d faulty exceeds bound T=%d (set AllowExcessFaults to model a violated fault bound)", count, o.T)
 	}
 	if o.TCP && o.Behavior != CrashImmediate {
-		return fmt.Errorf("download: behavior %q unsupported on TCP (only crash-from-start)", o.Behavior)
+		return &UnsupportedError{Runtime: "tcp", Feature: fmt.Sprintf("behavior %q", o.Behavior),
+			Reason: "sockets implement crash-from-start faults only"}
+	}
+	return nil
+}
+
+// validateChurn checks the churn schedule against the selected runtime.
+// Churn itself runs everywhere; the residual gap is durable recovery on
+// sockets — a rejoining TCP peer restarts as a fresh process and can only
+// come back warm from an on-disk checkpoint, so that combination without
+// a CheckpointDir is an UnsupportedError rather than a silent cold start.
+func (o *Options) validateChurn() error {
+	rejoining := false
+	for _, cp := range o.Churn {
+		if cp.Peer < 0 || cp.Peer >= o.N {
+			return fmt.Errorf("download: churn peer %d outside [0, N) for N=%d", cp.Peer, o.N)
+		}
+		if cp.CrashAfter < 0 {
+			return fmt.Errorf("download: churn peer %d has negative CrashAfter %d", cp.Peer, cp.CrashAfter)
+		}
+		if cp.Downtime >= 0 {
+			rejoining = true
+		}
+	}
+	if o.TCP && rejoining && o.CheckpointDir == "" {
+		return &UnsupportedError{Runtime: "tcp", Feature: "Churn rejoin without CheckpointDir",
+			Reason: "a rejoining socket peer restarts cold unless it can restore a durable checkpoint; set CheckpointDir"}
+	}
+	if o.CheckpointDir != "" && !o.TCP {
+		return &UnsupportedError{Runtime: o.runtimeName(), Feature: "CheckpointDir",
+			Reason: "durable checkpoints exist on the TCP runtime only; des and live persist rejoin state in memory"}
 	}
 	return nil
 }
@@ -420,7 +493,14 @@ func runTCP(opts Options) (*Report, error) {
 		}
 		absent = adversary.SpreadFaulty(opts.N, count)
 	default:
-		return nil, fmt.Errorf("download: behavior %q unsupported on TCP (only crash-from-start)", opts.Behavior)
+		return nil, &UnsupportedError{Runtime: "tcp", Feature: fmt.Sprintf("behavior %q", opts.Behavior),
+			Reason: "sockets implement crash-from-start faults only"}
+	}
+	churn := make([]sim.ChurnPeer, 0, len(opts.Churn))
+	for _, cp := range opts.Churn {
+		churn = append(churn, sim.ChurnPeer{
+			Peer: sim.PeerID(cp.Peer), CrashAfter: cp.CrashAfter, Downtime: cp.Downtime,
+		})
 	}
 	var input *bitarray.Array
 	if opts.Input != nil {
@@ -448,6 +528,7 @@ func runTCP(opts Options) (*Report, error) {
 		N: opts.N, T: opts.T, L: opts.L, MsgBits: msgBits,
 		Seed: opts.Seed, NewPeer: factory, Absent: absent, Input: input,
 		SourceFaults: srcPlan, Mirrors: mirrorPlan,
+		Churn: churn, CheckpointDir: opts.CheckpointDir,
 		Metrics: opts.Metrics, Timeline: opts.Timeline, Label: string(opts.Protocol),
 	})
 	if err != nil {
@@ -596,6 +677,10 @@ func buildReport(res *sim.Result) *Report {
 		DeferredQueries: res.DeferredQueries,
 		DegradedTime:    res.DegradedTime,
 		Rejoins:         res.Rejoins,
+
+		WarmHitBits:        res.WarmHitBits,
+		CheckpointSaves:    res.CheckpointSaves,
+		CheckpointRestores: res.CheckpointRestores,
 
 		MirrorHits:      res.MirrorHits,
 		ProofFailures:   res.ProofFailures,

@@ -122,12 +122,12 @@ func TestOptionValidationMatrix(t *testing.T) {
 			o.TCP = true
 			o.Faulty, o.Behavior = 1, download.Silent
 			return o
-		}, "unsupported on TCP"},
+		}, "unsupported on the tcp runtime"},
 		{"tcp with random crash", func(o download.Options) download.Options {
 			o.TCP = true
 			o.Faulty, o.Behavior = 1, download.CrashRandom
 			return o
-		}, "unsupported on TCP"},
+		}, "unsupported on the tcp runtime"},
 		{"every behavior accepted in sim", func(o download.Options) download.Options {
 			o.Faulty, o.Behavior = 1, download.Equivocate
 			return o

@@ -71,15 +71,20 @@ func TestSourceFaultOptionValidation(t *testing.T) {
 			Protocol: download.Naive, N: 4, T: 1, L: 64,
 			SourceFaults: "frobnicate=1",
 		}, "unknown plan field"},
-		{"live unsupported", download.Options{
-			Protocol: download.Naive, N: 4, T: 1, L: 64,
-			SourceFaults: "fail=0.1", Live: true,
-		}, "unsupported on the Live runtime"},
-		{"churn on tcp", download.Options{
+		{"churn rejoin on tcp needs checkpoint dir", download.Options{
 			Protocol: download.Naive, N: 4, T: 1, L: 64,
 			TCP:   true,
 			Churn: []download.ChurnPeer{{Peer: 1, CrashAfter: 2, Downtime: 1}},
-		}, "des runtime only"},
+		}, "set CheckpointDir"},
+		{"checkpoint dir off tcp", download.Options{
+			Protocol: download.Naive, N: 4, T: 1, L: 64,
+			CheckpointDir: "/tmp/ckpt",
+			Churn:         []download.ChurnPeer{{Peer: 1, CrashAfter: 2, Downtime: 1}},
+		}, "TCP runtime only"},
+		{"churn peer out of range", download.Options{
+			Protocol: download.Naive, N: 4, T: 1, L: 64,
+			Churn: []download.ChurnPeer{{Peer: 7, CrashAfter: 2, Downtime: 1}},
+		}, "outside [0, N)"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

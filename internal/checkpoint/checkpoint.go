@@ -1,0 +1,327 @@
+// Package checkpoint persists a peer's download progress across crashes.
+//
+// A checkpoint is the durable complement of the in-memory warm tracker the
+// des runtime keeps for churn peers: the verified-index state (which bits of
+// X the peer has fetched from the source and what they are), the protocol
+// phase it last reported, and the mirror commitment root it had verified
+// against. The socket runtime writes one on every crash and reads it back on
+// rejoin, so a restarted peer re-serves already-paid-for bits locally instead
+// of re-charging the source.
+//
+// The format is deliberately paranoid: a fixed magic, an explicit version
+// byte, an identity header binding the file to one (peer, n, t, l, seed)
+// run, and a CRC32 trailer over everything. Torn writes, bit flips, version
+// skew, and checkpoints from a different run are all detected and reported
+// as errors; callers treat any load error as a cold start. A checkpoint can
+// cost a peer its warm state, but it can never feed it wrong bits.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bitarray"
+)
+
+// Version is the current codec version. Files written by a different
+// version are refused (ErrVersion): the codec has no cross-version
+// compatibility promise, and a stale warm state is worth less than the
+// risk of misparsing one.
+const Version = 1
+
+var magic = [4]byte{'D', 'R', 'C', 'K'}
+
+// Sentinel errors, matchable with errors.Is. Every one of them means
+// "cold start" to a caller; they are distinct so tests (and log lines)
+// can tell torn files from version skew from identity mismatch.
+var (
+	// ErrCorrupt marks a truncated, torn, or bit-flipped file.
+	ErrCorrupt = errors.New("checkpoint: corrupt")
+	// ErrVersion marks a file written by a different codec version.
+	ErrVersion = errors.New("checkpoint: version skew")
+	// ErrMismatch marks a valid checkpoint from a different run
+	// (different peer, shape, or seed).
+	ErrMismatch = errors.New("checkpoint: identity mismatch")
+)
+
+// State is one peer's durable snapshot.
+type State struct {
+	// Identity: which run this checkpoint belongs to. Load refuses a
+	// checkpoint whose identity differs from the caller's.
+	Peer    int
+	N, T, L int
+	Seed    int64
+
+	// Phase is the last protocol phase the peer marked (informational;
+	// restarted peers re-run the protocol from Init and only the verified
+	// bits carry over).
+	Phase string
+
+	// RootKnown/Root carry the mirror commitment root the peer had
+	// verified proofs against, if any.
+	RootKnown bool
+	Root      [32]byte
+
+	// Known/Vals are the verified-index state: Known masks which of the
+	// L source indices the peer has verified bits for, Vals holds those
+	// bits. Both are L bits long.
+	Known *bitarray.Array
+	Vals  *bitarray.Array
+}
+
+// FromTracker captures a tracker's verified bits into st.Known/st.Vals.
+func (st *State) FromTracker(tr *bitarray.Tracker) {
+	st.Known = bitarray.New(tr.Len())
+	st.Vals = bitarray.New(tr.Len())
+	for i := 0; i < tr.Len(); i++ {
+		if v, ok := tr.Get(i); ok {
+			st.Known.Set(i, true)
+			st.Vals.Set(i, v)
+		}
+	}
+}
+
+// Tracker rebuilds a warm tracker from the checkpointed bits.
+func (st *State) Tracker() *bitarray.Tracker {
+	tr := bitarray.NewTracker(st.L)
+	if st.Known == nil || st.Vals == nil {
+		return tr
+	}
+	for i := 0; i < st.L; i++ {
+		if st.Known.Get(i) {
+			tr.LearnFromSource(i, st.Vals.Get(i))
+		}
+	}
+	return tr
+}
+
+// WarmBits reports how many verified bits the checkpoint carries.
+func (st *State) WarmBits() int {
+	if st.Known == nil {
+		return 0
+	}
+	return st.Known.Count()
+}
+
+// Matches reports whether the checkpoint belongs to the given run.
+func (st *State) Matches(peer, n, t, l int, seed int64) bool {
+	return st.Peer == peer && st.N == n && st.T == t && st.L == l && st.Seed == seed
+}
+
+// Marshal encodes the state. The encoding is deterministic: the same
+// state always produces the same bytes (round-trip byte identity is a
+// tested property).
+func Marshal(st *State) []byte {
+	buf := make([]byte, 0, 64+2*(8+st.L/8))
+	buf = append(buf, magic[:]...)
+	buf = append(buf, Version)
+	buf = binary.AppendUvarint(buf, uint64(st.Peer))
+	buf = binary.AppendUvarint(buf, uint64(st.N))
+	buf = binary.AppendUvarint(buf, uint64(st.T))
+	buf = binary.AppendUvarint(buf, uint64(st.L))
+	buf = binary.AppendVarint(buf, st.Seed)
+	buf = binary.AppendUvarint(buf, uint64(len(st.Phase)))
+	buf = append(buf, st.Phase...)
+	if st.RootKnown {
+		buf = append(buf, 1)
+		buf = append(buf, st.Root[:]...)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendArray(buf, st.Known, st.L)
+	buf = appendArray(buf, st.Vals, st.L)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+func appendArray(buf []byte, a *bitarray.Array, l int) []byte {
+	if a == nil {
+		a = bitarray.New(l)
+	}
+	enc := a.Bytes()
+	buf = binary.AppendUvarint(buf, uint64(len(enc)))
+	return append(buf, enc...)
+}
+
+// Unmarshal decodes a checkpoint, verifying magic, version, and CRC.
+func Unmarshal(data []byte) (*State, error) {
+	if len(data) < len(magic)+1+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any checkpoint", ErrCorrupt, len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	body, trailer := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(trailer), crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: CRC %08x, computed %08x", ErrCorrupt, got, want)
+	}
+	// The CRC covers the version byte, so past this point every field is
+	// known-intact; remaining errors are structural (and, because the CRC
+	// passed, indicate an encoder bug rather than disk damage).
+	if v := body[4]; v != Version {
+		return nil, fmt.Errorf("%w: file version %d, codec version %d", ErrVersion, v, Version)
+	}
+	d := decoder{buf: body[5:]}
+	st := &State{
+		Peer: int(d.uvarint()),
+		N:    int(d.uvarint()),
+		T:    int(d.uvarint()),
+		L:    int(d.uvarint()),
+		Seed: d.varint(),
+	}
+	st.Phase = string(d.take(int(d.uvarint())))
+	if d.take(1)[0] != 0 {
+		st.RootKnown = true
+		copy(st.Root[:], d.take(32))
+	}
+	var err error
+	if st.Known, err = d.array(); err != nil {
+		return nil, err
+	}
+	if st.Vals, err = d.array(); err != nil {
+		return nil, err
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	if st.Known.Len() != st.L || st.Vals.Len() != st.L {
+		return nil, fmt.Errorf("%w: bit arrays sized %d/%d for L=%d",
+			ErrCorrupt, st.Known.Len(), st.Vals.Len(), st.L)
+	}
+	return st, nil
+}
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = errors.New("truncated uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = errors.New("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return make([]byte, n)
+	}
+	if n < 0 || n > len(d.buf) {
+		d.err = fmt.Errorf("need %d bytes, have %d", n, len(d.buf))
+		return make([]byte, max(n, 0))
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) array() (*bitarray.Array, error) {
+	n := int(d.uvarint())
+	raw := d.take(n)
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, d.err)
+	}
+	a, err := bitarray.FromBytes(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return a, nil
+}
+
+// Store reads and writes checkpoints under one directory, one file per
+// peer. Writes are atomic: marshal to a temp file in the same directory,
+// fsync, rename. Readers therefore see either the previous checkpoint or
+// the new one, never a torn mix — and if the filesystem tears one anyway,
+// the CRC catches it.
+type Store struct{ dir string }
+
+// NewStore returns a store rooted at dir, creating it if needed.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("checkpoint: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Path returns the checkpoint file path for a peer.
+func (s *Store) Path(peer int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("peer-%d.ckpt", peer))
+}
+
+// Save atomically persists the state.
+func (s *Store) Save(st *State) error {
+	data := Marshal(st)
+	tmp, err := os.CreateTemp(s.dir, fmt.Sprintf("peer-%d-*.tmp", st.Peer))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(st.Peer)); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads a peer's checkpoint and verifies it belongs to the given
+// run. A missing file returns (nil, nil): a cold start with nothing to
+// report. Any other failure — corruption, version skew, identity
+// mismatch — returns a non-nil error the caller should treat as a cold
+// start too.
+func (s *Store) Load(peer, n, t, l int, seed int64) (*State, error) {
+	data, err := os.ReadFile(s.Path(peer))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	st, err := Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	if !st.Matches(peer, n, t, l, seed) {
+		return nil, fmt.Errorf("%w: file is peer %d of n=%d t=%d l=%d seed=%d",
+			ErrMismatch, st.Peer, st.N, st.T, st.L, st.Seed)
+	}
+	return st, nil
+}

@@ -1,0 +1,190 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/bitarray"
+)
+
+func randomState(rng *rand.Rand) *State {
+	l := 1 + rng.Intn(700)
+	st := &State{
+		Peer: rng.Intn(100),
+		N:    1 + rng.Intn(1000),
+		T:    rng.Intn(500),
+		L:    l,
+		Seed: rng.Int63() - rng.Int63(),
+	}
+	phases := []string{"", "init", "download", "cycle-2", "reconstruct"}
+	st.Phase = phases[rng.Intn(len(phases))]
+	if rng.Intn(2) == 0 {
+		st.RootKnown = true
+		rng.Read(st.Root[:])
+	}
+	tr := bitarray.NewTracker(l)
+	for i := 0; i < l; i++ {
+		if rng.Intn(3) != 0 {
+			tr.LearnFromSource(i, rng.Intn(2) == 0)
+		}
+	}
+	st.FromTracker(tr)
+	return st
+}
+
+func statesEqual(a, b *State) bool {
+	return a.Peer == b.Peer && a.N == b.N && a.T == b.T && a.L == b.L &&
+		a.Seed == b.Seed && a.Phase == b.Phase &&
+		a.RootKnown == b.RootKnown && a.Root == b.Root &&
+		a.Known.Equal(b.Known) && a.Vals.Equal(b.Vals)
+}
+
+// Round-trip is lossless and byte-identical: Marshal(Unmarshal(Marshal(s)))
+// reproduces the exact bytes, for many random states.
+func TestRoundTripByteIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		st := randomState(rng)
+		enc := Marshal(st)
+		dec, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("iter %d: Unmarshal: %v", i, err)
+		}
+		if !statesEqual(st, dec) {
+			t.Fatalf("iter %d: round trip changed state:\n  in  %+v\n  out %+v", i, st, dec)
+		}
+		enc2 := Marshal(dec)
+		if string(enc) != string(enc2) {
+			t.Fatalf("iter %d: re-encoding is not byte-identical", i)
+		}
+	}
+}
+
+// Truncation at every possible length is always detected: a torn write
+// can never decode into a state.
+func TestTruncationAlwaysDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		enc := Marshal(randomState(rng))
+		for cut := 0; cut < len(enc); cut++ {
+			if st, err := Unmarshal(enc[:cut]); err == nil {
+				t.Fatalf("iter %d: truncation to %d/%d bytes decoded silently: %+v",
+					i, cut, len(enc), st)
+			}
+		}
+	}
+}
+
+// Any single flipped bit is always detected (CRC32 catches all 1-bit
+// errors), and random multi-bit damage is detected across many trials.
+func TestBitFlipsAlwaysDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	enc := Marshal(randomState(rng))
+	for pos := 0; pos < len(enc)*8; pos++ {
+		bad := append([]byte(nil), enc...)
+		bad[pos/8] ^= 1 << (pos % 8)
+		if _, err := Unmarshal(bad); err == nil {
+			t.Fatalf("single bit flip at bit %d decoded silently", pos)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		bad := append([]byte(nil), enc...)
+		for flips := 1 + rng.Intn(16); flips > 0; flips-- {
+			pos := rng.Intn(len(bad) * 8)
+			bad[pos/8] ^= 1 << (pos % 8)
+		}
+		if string(bad) == string(enc) {
+			continue // flips cancelled out
+		}
+		if _, err := Unmarshal(bad); err == nil {
+			t.Fatalf("iter %d: random corruption decoded silently", i)
+		}
+	}
+}
+
+// A valid file from a different codec version is refused with ErrVersion,
+// not misparsed.
+func TestVersionSkewRefused(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	enc := Marshal(randomState(rng))
+	// Forge a "future" version with a valid CRC: bump the version byte and
+	// recompute the trailer the way a v2 writer would.
+	bad := append([]byte(nil), enc[:len(enc)-4]...)
+	bad[4] = Version + 1
+	bad = appendCRC(bad)
+	_, err := Unmarshal(bad)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("version skew: got %v, want ErrVersion", err)
+	}
+}
+
+func appendCRC(body []byte) []byte {
+	return binary.LittleEndian.AppendUint32(body, crc32.ChecksumIEEE(body))
+}
+
+func TestStoreSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	st := randomState(rng)
+	if err := s.Save(st); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := s.Load(st.Peer, st.N, st.T, st.L, st.Seed)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got == nil || !statesEqual(st, got) {
+		t.Fatalf("Load returned %+v, want the saved state", got)
+	}
+
+	// Missing file is a clean cold start: (nil, nil).
+	none, err := s.Load(st.Peer+1, st.N, st.T, st.L, st.Seed)
+	if none != nil || err != nil {
+		t.Fatalf("missing checkpoint: got (%v, %v), want (nil, nil)", none, err)
+	}
+
+	// Identity mismatch is refused.
+	if _, err := s.Load(st.Peer, st.N, st.T, st.L, st.Seed+1); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("seed mismatch: got %v, want ErrMismatch", err)
+	}
+
+	// A torn file on disk is detected, never decoded.
+	data, err := os.ReadFile(s.Path(st.Peer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.Path(st.Peer), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(st.Peer, st.N, st.T, st.L, st.Seed); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn file: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTrackerRebuild(t *testing.T) {
+	tr := bitarray.NewTracker(64)
+	tr.LearnFromSource(3, true)
+	tr.LearnFromSource(17, false)
+	tr.LearnFromSource(63, true)
+	st := &State{Peer: 1, N: 4, T: 1, L: 64, Seed: 9}
+	st.FromTracker(tr)
+	if st.WarmBits() != 3 {
+		t.Fatalf("WarmBits = %d, want 3", st.WarmBits())
+	}
+	back := st.Tracker()
+	for i := 0; i < 64; i++ {
+		wv, wok := tr.Get(i)
+		gv, gok := back.Get(i)
+		if wv != gv || wok != gok {
+			t.Fatalf("bit %d: rebuilt (%v,%v), want (%v,%v)", i, gv, gok, wv, wok)
+		}
+	}
+}

@@ -51,7 +51,12 @@ import (
 //	    Byzantine-majority fleets) with MirrorHits/ProofFailures/
 //	    FallbackQueries expectations, plus pinned netrt-codec frames
 //	    for the ROOT/QPROOF/QUERYSRC mirror frames.
-const CorpusVersion = 2
+//	3 — crash-recovery churn: churn cases (Case.Churn schedules) with
+//	    Rejoins/WarmHitBits expectations, run on every runtime column
+//	    including a pinned churn-on-tcp row; the live column now runs
+//	    flaky-source cases too (the live runtime gained the source
+//	    resilience tier alongside churn).
+const CorpusVersion = 3
 
 // Fixture file names within a corpus directory.
 const (
@@ -91,6 +96,12 @@ type Expect struct {
 	MirrorHits      int `json:"mirror_hits,omitempty"`
 	ProofFailures   int `json:"proof_failures,omitempty"`
 	FallbackQueries int `json:"fallback_queries,omitempty"`
+	// Crash-recovery counters, nonzero only for churn cases. Rejoins is
+	// runtime-invariant (the action clock is part of the contract), so
+	// every column must reproduce it; WarmHitBits depends on which
+	// deliveries landed before the crash and is pinned on des/sm only.
+	Rejoins     int `json:"rejoins,omitempty"`
+	WarmHitBits int `json:"warm_hit_bits,omitempty"`
 }
 
 // Case is one conformance cell: a fully specified execution plus its
@@ -113,15 +124,23 @@ type Case struct {
 	// an untrusted mirror fleet (Merkle-verified, authoritative
 	// fallback).
 	Mirrors string `json:"mirrors,omitempty"`
-	Expect  Expect `json:"expect"`
+	// Churn is a download.ParseChurn schedule of crash-recovery peers
+	// ("peer:crashAfter:downtime,..."). Downtime is in runtime time
+	// units (virtual on des/live, seconds on TCP); the pinned fields
+	// are time-invariant, so the unit difference cannot drift a cell.
+	Churn  string `json:"churn,omitempty"`
+	Expect Expect `json:"expect"`
 }
 
 // FaultFree reports whether the case injects no peer or source faults —
 // the regime where Q and the output are invariant across all runtimes.
 // A mirror fleet deliberately does NOT count as a fault: Byzantine
 // mirrors cost fallback latency, never bits, so Q stays pinned (only
-// verified bits are charged, wherever they came from).
-func (c *Case) FaultFree() bool { return c.Behavior == "" && c.SourceFaults == "" }
+// verified bits are charged, wherever they came from). Churn counts as
+// a fault: a rejoined peer's replayed queries shift schedules.
+func (c *Case) FaultFree() bool {
+	return c.Behavior == "" && c.SourceFaults == "" && c.Churn == ""
+}
 
 // Results is the decoded results.json.
 type Results struct {

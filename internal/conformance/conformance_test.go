@@ -94,6 +94,46 @@ func TestCorpusMirrors(t *testing.T) {
 	}
 }
 
+// TestCorpusChurn is the live and tcp half of the crash-recovery
+// acceptance gate: every pinned churn case must conform on the
+// concurrent and real-socket runtimes. The tcp cells exercise the full
+// recovery machinery end to end — the peer process crashes at its
+// action count, the rejoined incarnation restores from the durable
+// checkpoint store and resumes over the RESUME handshake — and must
+// still pin the runtime-invariant fields (correctness, output bits,
+// rejoin count).
+func TestCorpusChurn(t *testing.T) {
+	if *update {
+		t.Skip("regeneration runs in TestCorpus")
+	}
+	if testing.Short() {
+		t.Skip("socket runtime corpus in -short mode")
+	}
+	corpus, err := Load(fixturesDir)
+	if err != nil {
+		t.Fatalf("load corpus (regenerate with -update): %v", err)
+	}
+	churn := 0
+	for _, c := range corpus.Results.Cases {
+		if c.Churn != "" {
+			churn++
+		}
+	}
+	if churn == 0 {
+		t.Fatal("corpus has no churn cases (regenerate with -update)")
+	}
+	rep := RunFixtures(corpus, Config{
+		Runtimes:  []Runtime{Live, TCP},
+		LiveScale: 200 * time.Microsecond,
+		Filter:    func(c *Case) bool { return c.Churn != "" },
+	})
+	if rep.Failed() {
+		var b strings.Builder
+		rep.WriteMatrix(&b)
+		t.Fatalf("churn rows failed live/tcp conformance:\n%s", b.String())
+	}
+}
+
 // TestCorpusCoversAllProtocols guards the grid enumeration: a protocol
 // added to the registry without fixture coverage must fail here, not
 // silently skip conformance.

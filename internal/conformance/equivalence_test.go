@@ -2,7 +2,6 @@ package conformance
 
 import (
 	"fmt"
-	"strings"
 	"testing"
 	"time"
 
@@ -74,21 +73,45 @@ func TestDesLiveEquivalence(t *testing.T) {
 	}
 }
 
-// TestLiveRejectsSourceFaults pins the documented limitation the
-// equivalence grid relies on when skipping faulty-source rows: the live
-// runtime refuses source fault plans up front rather than silently
-// ignoring them.
-func TestLiveRejectsSourceFaults(t *testing.T) {
-	_, err := download.Run(download.Options{
-		Protocol: download.Naive,
-		N:        5, T: 2, L: 64,
-		Live:         true,
-		SourceFaults: "fail=0.2,seed=1",
-	})
-	if err == nil {
-		t.Fatal("live run with SourceFaults did not error")
+// TestDesLiveEquivalenceUnderFaults extends the equivalence property
+// into the fault planes the live runtime gained: a flaky source and a
+// crash-rejoin churn peer must leave the outputs bit-identical across
+// des and live (Q is schedule-dependent under recovery, so only
+// correctness and the output bits are compared).
+func TestDesLiveEquivalenceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live runtime in -short mode")
 	}
-	if !strings.Contains(err.Error(), "SourceFaults unsupported on the Live runtime") {
-		t.Fatalf("unexpected rejection error: %v", err)
+	opts := download.Options{
+		Protocol: download.Naive,
+		N:        5, T: 2, L: 128,
+		Seed:         4,
+		SourceFaults: "fail=0.2,seed=1",
+		Churn:        []download.ChurnPeer{{Peer: 0, CrashAfter: 2, Downtime: 2}},
+	}
+	des, err := download.Run(opts)
+	if err != nil {
+		t.Fatalf("des: %v", err)
+	}
+	lopts := opts
+	lopts.Live = true
+	lopts.LiveTimeScale = 200 * time.Microsecond
+	liv, err := download.Run(lopts)
+	if err != nil {
+		t.Fatalf("live: %v", err)
+	}
+	if !des.Correct || !liv.Correct {
+		t.Fatalf("correctness: des=%v live=%v %v", des.Correct, liv.Correct, liv.Failures)
+	}
+	if des.Rejoins != 1 || liv.Rejoins != 1 {
+		t.Fatalf("rejoins: des=%d live=%d, want 1 on both", des.Rejoins, liv.Rejoins)
+	}
+	if len(des.Output) != len(liv.Output) {
+		t.Fatalf("output length diverged: des=%d live=%d", len(des.Output), len(liv.Output))
+	}
+	for i := range des.Output {
+		if des.Output[i] != liv.Output[i] {
+			t.Fatalf("output bit %d diverged: des=%v live=%v", i, des.Output[i], liv.Output[i])
+		}
 	}
 }

@@ -147,6 +147,26 @@ func gridCases() []Case {
 			})
 		}
 	}
+	// Two crash-recovery churn cells on the naive protocol (the one
+	// protocol whose peers are schedule-independent, so the rejoin count
+	// pins identically on every runtime column — including the socket
+	// runtime, where the rejoined incarnation restarts from a durable
+	// checkpoint): one peer that crashes at its first reply and rejoins,
+	// and one that crashes for good.
+	shape := gridShapes[0]
+	for _, cc := range []struct{ slug, churn string }{
+		{"churn-rejoin", "0:2:1"},
+		{"churn-crash", "2:2:-1"},
+	} {
+		cases = append(cases, Case{
+			Name:     fmt.Sprintf("naive/n%dt%d/%s/s9", shape.n, shape.n/2, cc.slug),
+			Protocol: string(download.Naive),
+			N:        shape.n, T: shape.n / 2, L: shape.l,
+			MsgBits: derivedMsgBits(shape.n, shape.l),
+			Seed:    9,
+			Churn:   cc.churn,
+		})
+	}
 	return cases
 }
 
@@ -157,6 +177,10 @@ func generateResults() (*Results, error) {
 	cases := gridCases()
 	for i := range cases {
 		c := &cases[i]
+		churn, err := download.ParseChurn(c.Churn)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: generate %s: %w", c.Name, err)
+		}
 		rep, err := download.Run(download.Options{
 			Protocol: download.Protocol(c.Protocol),
 			N:        c.N, T: c.T, L: c.L, MsgBits: c.MsgBits,
@@ -164,6 +188,7 @@ func generateResults() (*Results, error) {
 			Behavior:     download.FaultBehavior(c.Behavior),
 			SourceFaults: c.SourceFaults,
 			Mirrors:      c.Mirrors,
+			Churn:        churn,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("conformance: generate %s: %w", c.Name, err)
@@ -175,6 +200,13 @@ func generateResults() (*Results, error) {
 			// A mirror cell whose fleet never served or failed a single
 			// query pins nothing; the plan seed needs retuning.
 			return nil, fmt.Errorf("conformance: generate %s: degenerate mirror cell (no fleet traffic)", c.Name)
+		}
+		for _, cp := range churn {
+			if cp.Downtime >= 0 && rep.Rejoins == 0 {
+				// A rejoin cell where nothing rejoined pins nothing; the
+				// crash point never fired.
+				return nil, fmt.Errorf("conformance: generate %s: degenerate churn cell (no rejoin)", c.Name)
+			}
 		}
 		if v := CheckEnvelope(download.Protocol(c.Protocol), c.N, c.T, c.L, c.MsgBits, rep); len(v) > 0 {
 			return nil, fmt.Errorf("conformance: generate %s: %s (tighten the run or widen the documented envelope)",
@@ -196,6 +228,9 @@ func generateResults() (*Results, error) {
 			MirrorHits:      rep.MirrorHits,
 			ProofFailures:   rep.ProofFailures,
 			FallbackQueries: rep.FallbackQueries,
+
+			Rejoins:     rep.Rejoins,
+			WarmHitBits: rep.WarmHitBits,
 		}
 	}
 	return &Results{Version: CorpusVersion, Cases: cases}, nil

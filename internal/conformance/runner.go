@@ -41,21 +41,24 @@ const smWorkers = 4
 func (rt Runtime) Supports(c *Case) bool {
 	switch rt {
 	case Live:
-		// The live runtime rejects source fault plans (documented in
-		// docs/RUNTIMES.md and asserted by TestLiveRejectsSourceFaults).
-		return c.SourceFaults == ""
+		// The live runtime runs every case: it gained the source
+		// resilience tier and churn alongside the socket runtime.
+		return true
 	case TCP:
 		// Real sockets support only crash-from-start faults; source
 		// plans are excluded because their time-valued fields mean
-		// virtual units in fixtures but seconds on sockets.
+		// virtual units in fixtures but seconds on sockets. Churn runs:
+		// its pinned fields (correctness, output, rejoin count) are
+		// time-invariant, so the downtime unit difference cannot drift.
 		return c.SourceFaults == "" &&
 			(c.Behavior == "" || c.Behavior == string(download.CrashImmediate))
 	case SM:
-		// Source fault plans force the des engine back onto the serial
-		// loop (see des.parallelOK), so running them here would re-test
-		// the DES column under another name; the cell is skipped to keep
-		// the sm column an honest gate on the speculative scheduler.
-		return c.SourceFaults == ""
+		// Source fault plans and churn force the des engine back onto
+		// the serial loop (see des.parallelOK), so running them here
+		// would re-test the DES column under another name; the cell is
+		// skipped to keep the sm column an honest gate on the
+		// speculative scheduler.
+		return c.SourceFaults == "" && c.Churn == ""
 	default:
 		return true
 	}
@@ -93,10 +96,18 @@ func fieldsFor(rt Runtime, c *Case) []string {
 		// the sm column must reproduce des exactly there too.)
 		return append(fields, "q", "msgs", "msg_bits", "events", "time",
 			"src_failures", "src_retries", "breaker_opens",
-			"mirror_hits", "proof_failures", "fallback_queries")
+			"mirror_hits", "proof_failures", "fallback_queries",
+			"rejoins", "warm_hit_bits")
 	}
 	if c.FaultFree() && qScheduleInvariant[c.Protocol] {
 		fields = append(fields, "q")
+	}
+	if c.Churn != "" {
+		// The rejoin count is part of the contract on every runtime: a
+		// churn peer crashes at its action count and (Downtime >= 0)
+		// comes back, wall clocks or not. WarmHitBits stays des-only —
+		// it depends on which deliveries landed before the crash.
+		fields = append(fields, "rejoins")
 	}
 	return fields
 }
@@ -173,6 +184,11 @@ func RunCase(c *Case, rt Runtime, cfg *Config) CaseOutcome {
 		out.Skipped = true
 		return out
 	}
+	churn, err := download.ParseChurn(c.Churn)
+	if err != nil {
+		out.Err = err
+		return out
+	}
 	opts := download.Options{
 		Protocol: download.Protocol(c.Protocol),
 		N:        c.N, T: c.T, L: c.L, MsgBits: c.MsgBits,
@@ -180,6 +196,7 @@ func RunCase(c *Case, rt Runtime, cfg *Config) CaseOutcome {
 		Behavior:     download.FaultBehavior(c.Behavior),
 		SourceFaults: c.SourceFaults,
 		Mirrors:      c.Mirrors,
+		Churn:        churn,
 		Live:         rt == Live,
 		TCP:          rt == TCP,
 	}
@@ -188,6 +205,22 @@ func RunCase(c *Case, rt Runtime, cfg *Config) CaseOutcome {
 	}
 	if rt == SM {
 		opts.Workers = smWorkers
+	}
+	if rt == TCP {
+		for _, cp := range churn {
+			if cp.Downtime >= 0 {
+				// Rejoin over sockets crosses a process restart and needs
+				// the durable checkpoint store.
+				dir, err := os.MkdirTemp("", "drconform-ckpt")
+				if err != nil {
+					out.Err = err
+					return out
+				}
+				defer os.RemoveAll(dir)
+				opts.CheckpointDir = dir
+				break
+			}
+		}
 	}
 	rep, err := download.Run(opts)
 	if err != nil {
@@ -219,6 +252,9 @@ func diff(c *Case, rep *download.Report, fields []string) []FieldDiff {
 		MirrorHits:      rep.MirrorHits,
 		ProofFailures:   rep.ProofFailures,
 		FallbackQueries: rep.FallbackQueries,
+
+		Rejoins:     rep.Rejoins,
+		WarmHitBits: rep.WarmHitBits,
 	}
 	var diffs []FieldDiff
 	add := func(field string, gotV, wantV any) {
@@ -254,6 +290,10 @@ func diff(c *Case, rep *download.Report, fields []string) []FieldDiff {
 			add(f, got.ProofFailures, want.ProofFailures)
 		case "fallback_queries":
 			add(f, got.FallbackQueries, want.FallbackQueries)
+		case "rejoins":
+			add(f, got.Rejoins, want.Rejoins)
+		case "warm_hit_bits":
+			add(f, got.WarmHitBits, want.WarmHitBits)
 		}
 	}
 	return diffs

@@ -1,0 +1,230 @@
+package live_test
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/bitarray"
+	"repro/internal/sim"
+	"repro/internal/source"
+)
+
+// halver queries the first half of X, then — after that reply — the whole
+// array. The overlap means a rejoin between the two replies exercises the
+// partial-warm merge path: half the second query is served from persisted
+// state and only the rest goes to the source.
+type halver struct {
+	ctx   sim.Context
+	track *bitarray.Tracker
+}
+
+func newHalver(sim.PeerID) sim.Peer { return &halver{} }
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+func (p *halver) Init(ctx sim.Context) {
+	p.ctx = ctx
+	p.track = bitarray.NewTracker(ctx.L())
+	p.ctx.Query(0, seq(0, ctx.L()/2))
+}
+
+func (p *halver) OnMessage(sim.PeerID, sim.Message) {}
+
+func (p *halver) OnQueryReply(r sim.QueryReply) {
+	for j, idx := range r.Indices {
+		p.track.LearnFromSource(idx, r.Bits.Get(j))
+	}
+	if r.Tag == 0 {
+		p.ctx.Query(1, seq(0, p.ctx.L()))
+		return
+	}
+	out, err := p.track.Output()
+	if err != nil {
+		panic("halver: " + err.Error())
+	}
+	p.ctx.Output(out)
+	p.ctx.Terminate()
+}
+
+func mustPlan(t *testing.T, s string) *source.FaultPlan {
+	t.Helper()
+	p, err := source.ParsePlan(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func churnSpec(seed int64, workers int) *sim.Spec {
+	return &sim.Spec{
+		Config:  sim.Config{N: 4, T: 1, L: 256, MsgBits: 64, Seed: seed},
+		NewPeer: newHalver,
+		Delays:  adversary.NewRandomUnit(seed),
+		Workers: workers,
+		// Actions: start(1), query#1(2), reply#1(3), query#2(4); the
+		// crash lands on the reply#2 delivery, after 128 bits persisted.
+		Faults: sim.FaultSpec{Churn: []sim.ChurnPeer{{Peer: 0, CrashAfter: 4, Downtime: 5}}},
+	}
+}
+
+func assertWarmRejoin(t *testing.T, spec *sim.Spec, res *sim.Result) {
+	t.Helper()
+	if !res.Correct {
+		t.Fatalf("honest peers must be unaffected by churn: %v", res)
+	}
+	if res.Rejoins != 1 {
+		t.Fatalf("Rejoins = %d, want 1", res.Rejoins)
+	}
+	cp := res.PerPeer[0]
+	if !cp.Rejoined || cp.Honest || !cp.Crashed {
+		t.Fatalf("churn peer stats = %+v, want crashed, rejoined, not honest", cp)
+	}
+	if !cp.Terminated {
+		t.Fatalf("rejoined churn peer must run to completion")
+	}
+	// Rejoin replays query#1 (128 bits, fully warm) and query#2 (256 bits,
+	// half warm): 256 warm bits total, and only the cold half re-charged.
+	if cp.WarmHitBits != 256 {
+		t.Errorf("WarmHitBits = %d, want 256", cp.WarmHitBits)
+	}
+	if want := 128 + 256 + 0 + 128; cp.QueryBits != want {
+		t.Errorf("QueryBits = %d, want %d (pre-crash 384 + cold half 128)", cp.QueryBits, want)
+	}
+	if input := spec.Config.ResolveInput(); cp.Output == nil || !cp.Output.Equal(input) {
+		t.Errorf("rejoined peer output wrong")
+	}
+	if res.WarmHitBits != 256 {
+		t.Errorf("aggregate WarmHitBits = %d, want 256", res.WarmHitBits)
+	}
+}
+
+func TestChurnRejoinResumesWarmLive(t *testing.T) {
+	spec := churnSpec(21, 0)
+	res, err := fastRuntime().Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertWarmRejoin(t, spec, res)
+}
+
+func TestChurnRejoinSchedulerMode(t *testing.T) {
+	// Workers > 1 exercises the rejoin path through the shared ready
+	// queue instead of a restarted per-peer loop goroutine.
+	spec := churnSpec(22, 2)
+	res, err := fastRuntime().Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	assertWarmRejoin(t, spec, res)
+}
+
+func TestChurnNeverRejoinsLive(t *testing.T) {
+	spec := &sim.Spec{
+		Config:  sim.Config{N: 4, T: 1, L: 256, MsgBits: 64, Seed: 25},
+		NewPeer: newHalver,
+		Delays:  adversary.NewRandomUnit(25),
+		Faults:  sim.FaultSpec{Churn: []sim.ChurnPeer{{Peer: 2, CrashAfter: 2, Downtime: -1}}},
+	}
+	res, err := fastRuntime().Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Correct {
+		t.Fatalf("a permanently crashed churn peer is just a crash fault: %v", res)
+	}
+	if res.Rejoins != 0 {
+		t.Errorf("Rejoins = %d, want 0 for Downtime < 0", res.Rejoins)
+	}
+	cp := res.PerPeer[2]
+	if !cp.Crashed || cp.Rejoined || cp.Terminated {
+		t.Errorf("churn peer stats = %+v, want crashed and gone", cp)
+	}
+}
+
+func TestSourceFaultsLive(t *testing.T) {
+	// A flaky source alone: every peer retries through its breaker
+	// client and still finishes with output X.
+	spec := &sim.Spec{
+		Config:       sim.Config{N: 4, T: 0, L: 256, MsgBits: 64, Seed: 31},
+		NewPeer:      newHalver,
+		Delays:       adversary.NewRandomUnit(31),
+		SourceFaults: mustPlan(t, "fail=0.3,seed=3"),
+	}
+	res, err := fastRuntime().Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Correct {
+		t.Fatalf("flaky source broke correctness: %v", res)
+	}
+	if res.SourceRetries == 0 {
+		t.Errorf("fail=0.3 produced no retries across %d peers", spec.Config.N)
+	}
+}
+
+func TestChurnRejoinUnderSourceFaultsLive(t *testing.T) {
+	spec := &sim.Spec{
+		Config:       sim.Config{N: 4, T: 1, L: 256, MsgBits: 64, Seed: 23},
+		NewPeer:      newHalver,
+		Delays:       adversary.NewRandomUnit(23),
+		Faults:       sim.FaultSpec{Churn: []sim.ChurnPeer{{Peer: 1, CrashAfter: 4, Downtime: 4}}},
+		SourceFaults: mustPlan(t, "fail=0.2,seed=3"),
+	}
+	res, err := fastRuntime().Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Correct {
+		t.Fatalf("churn + flaky source: %v", res)
+	}
+	if res.Rejoins != 1 {
+		t.Fatalf("Rejoins = %d, want 1", res.Rejoins)
+	}
+	cp := res.PerPeer[1]
+	if !cp.Terminated || cp.WarmHitBits == 0 {
+		t.Errorf("churn peer terminated=%v warm=%d, want recovery with warm hits",
+			cp.Terminated, cp.WarmHitBits)
+	}
+	if input := spec.Config.ResolveInput(); cp.Output == nil || !cp.Output.Equal(input) {
+		t.Errorf("rejoined peer output wrong under flaky source")
+	}
+}
+
+func TestChurnWithMirrorsLive(t *testing.T) {
+	// Compose churn with a Byzantine-majority mirror fleet: the rejoined
+	// peer's cold bits cross proof verification, warm bits stay local.
+	plan, err := source.ParseMirrorPlan("mirrors=3,byz=2,behavior=wrong,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &sim.Spec{
+		Config:  sim.Config{N: 4, T: 1, L: 256, MsgBits: 64, Seed: 27},
+		NewPeer: newHalver,
+		Delays:  adversary.NewRandomUnit(27),
+		Faults:  sim.FaultSpec{Churn: []sim.ChurnPeer{{Peer: 0, CrashAfter: 4, Downtime: 4}}},
+		Mirrors: plan,
+	}
+	res, err := fastRuntime().Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Correct {
+		t.Fatalf("churn + byzantine mirrors: %v", res)
+	}
+	if res.Rejoins != 1 {
+		t.Fatalf("Rejoins = %d, want 1", res.Rejoins)
+	}
+	cp := res.PerPeer[0]
+	if !cp.Terminated || cp.WarmHitBits == 0 {
+		t.Errorf("churn peer terminated=%v warm=%d", cp.Terminated, cp.WarmHitBits)
+	}
+	if input := spec.Config.ResolveInput(); cp.Output == nil || !cp.Output.Equal(input) {
+		t.Errorf("rejoined peer output wrong under byzantine mirrors")
+	}
+}

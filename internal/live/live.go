@@ -69,9 +69,15 @@ func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
 		peers: make([]*livePeer, spec.Config.N),
 		done:  make(chan struct{}),
 	}
-	if spec.Mirrors.Enabled() {
-		w.mirror = source.NewMirrored(w.input, spec.Mirrors, w.cfg.N,
-			source.NewTrusted(w.input))
+	if spec.SourceFaults.Enabled() || spec.Mirrors.Enabled() {
+		// The authoritative tier (fault-wrapped when a plan is set); the
+		// mirror fleet, when enabled, sits in front of it and falls back
+		// to it on verification failure.
+		w.src = source.Wrap(source.NewTrusted(w.input), spec.SourceFaults)
+		if spec.Mirrors.Enabled() {
+			w.mirror = source.NewMirrored(w.input, spec.Mirrors, w.cfg.N, w.src)
+			w.src = w.mirror
+		}
 	}
 	var know *sim.Knowledge
 	if spec.Faults.Model == sim.FaultByzantine {
@@ -104,11 +110,35 @@ func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
 			case sim.FaultByzantine:
 				p.impl = spec.Faults.NewByzantine(id, know)
 			}
+		} else if cp := spec.Faults.ChurnFor(id); cp != nil {
+			// Churn peers run the honest protocol but are accounted
+			// faulty: they crash at their action count and (Downtime ≥ 0)
+			// later rejoin warm from their persisted verified bits.
+			p.honest = false
+			p.stats.Honest = false
+			p.churn = cp
+			p.crashPoint = cp.CrashAfter
+			p.impl = spec.NewPeer(id)
+			p.persist = bitarray.NewTracker(w.cfg.L)
+			if cp.Downtime >= 0 {
+				w.churnLive++
+			}
 		} else {
 			p.impl = spec.NewPeer(id)
 		}
 		w.peers[i] = p
 		w.liveHonest += btoi(p.honest)
+	}
+	if spec.SourceFaults.Enabled() {
+		pol := spec.SourcePolicy
+		if pol.Seed == 0 {
+			// Derive the jitter seed from the run seed so backoff
+			// schedules are reproducible without extra configuration.
+			pol.Seed = w.cfg.Seed ^ 0x50c0_5eed
+		}
+		for _, p := range w.peers {
+			p.client = source.NewClient(int(p.id), pol)
+		}
 	}
 	expired := w.runAll(deadline)
 
@@ -118,6 +148,15 @@ func (rt *Runtime) Run(spec *sim.Spec) (*sim.Result, error) {
 		p.mu.Lock()
 		res.PerPeer[i] = p.stats
 		p.mu.Unlock()
+		if p.client != nil {
+			p.client.Settle(w.now())
+			st := p.client.Stats()
+			res.PerPeer[i].SourceRetries = st.Retries
+			res.PerPeer[i].SourceFailures = st.Failures
+			res.PerPeer[i].BreakerOpens = st.BreakerOpens
+			res.PerPeer[i].DeferredQueries = st.Deferred
+			res.PerPeer[i].DegradedTime = st.DegradedTime
+		}
 		if w.mirror != nil {
 			ms := w.mirror.PeerStats(i)
 			res.PerPeer[i].MirrorHits = ms.MirrorHits
@@ -157,15 +196,18 @@ type world struct {
 	input *bitarray.Array
 	scale time.Duration
 	start time.Time
-	// mirror, when non-nil, fronts the source with the untrusted mirror
-	// fleet: queries verify Merkle proofs and fall back to the
-	// authoritative array on failure (Spec.Mirrors).
+	// src, when non-nil, is the external-source tier queries route
+	// through: the trusted array fault-wrapped by Spec.SourceFaults,
+	// fronted by the untrusted mirror fleet when Spec.Mirrors is set.
+	// mirror aliases the fleet for per-peer verification stats.
+	src    source.Source
 	mirror *source.Mirrored
 
 	peers []*livePeer
 
 	mu         sync.Mutex
 	liveHonest int // honest peers not yet terminated
+	churnLive  int // rejoinable churn peers not yet terminated
 	done       chan struct{}
 	doneOnce   sync.Once
 
@@ -176,12 +218,21 @@ func (w *world) now() float64 {
 	return float64(time.Since(w.start)) / float64(w.scale)
 }
 
-// honestDone records an honest termination; when the last honest peer
-// terminates the run can end without waiting for stragglers.
-func (w *world) honestDone() {
+// honestDone records an honest termination, churnDone a rejoinable churn
+// peer's. The run ends when both counts drain: honest peers for
+// correctness, rejoinable churn peers because recovering to completion
+// is exactly what churn executions assert.
+func (w *world) honestDone() { w.countDone(true) }
+func (w *world) churnDone()  { w.countDone(false) }
+
+func (w *world) countDone(honest bool) {
 	w.mu.Lock()
-	w.liveHonest--
-	last := w.liveHonest == 0
+	if honest {
+		w.liveHonest--
+	} else {
+		w.churnLive--
+	}
+	last := w.liveHonest == 0 && w.churnLive == 0
 	w.mu.Unlock()
 	if last {
 		w.doneOnce.Do(func() { close(w.done) })
@@ -213,7 +264,7 @@ func (w *world) runAll(deadline time.Duration) bool {
 	case <-w.done:
 	case <-time.After(deadline):
 		w.mu.Lock()
-		expired = w.liveHonest > 0
+		expired = w.liveHonest > 0 || w.churnLive > 0
 		w.mu.Unlock()
 	}
 	// Stop all loops and wait for them plus in-flight timers.
@@ -259,7 +310,7 @@ func (w *world) runSched(workers int, deadline time.Duration) bool {
 	case <-w.done:
 	case <-time.After(deadline):
 		w.mu.Lock()
-		expired = w.liveHonest > 0
+		expired = w.liveHonest > 0 || w.churnLive > 0
 		w.mu.Unlock()
 	}
 	for _, p := range w.peers {
@@ -352,6 +403,20 @@ type livePeer struct {
 	queued bool
 	inited bool
 
+	// Source tier (nil/zero without an enabled source fault plan). client
+	// and parked are mu-guarded: timer callbacks (retries, breaker wakes)
+	// feed them alongside the serving goroutine.
+	client  *source.Client
+	parked  []*liveCall // queries waiting out an open breaker
+	wakeSet bool        // a breaker wake timer is armed
+
+	// Churn (nil without a churn schedule for this peer). persist's
+	// contents and the rejoined flag hand off between incarnations
+	// through mu (rejoin writes them before the new incarnation starts).
+	churn    *sim.ChurnPeer
+	persist  *bitarray.Tracker // source-verified bits, survives the crash
+	rejoined bool
+
 	// Fields below are owned by the loop goroutine (guarded by mu only
 	// for the final stats snapshot in Run).
 	crashed    bool
@@ -409,7 +474,11 @@ func (p *livePeer) serve() {
 	if !p.inited {
 		p.inited = true
 		p.mu.Unlock()
-		p.impl.Init(p)
+		if p.countAction() {
+			p.impl.Init(p)
+		}
+		// A crash on the start action falls through to the drain loop,
+		// which sees it and returns.
 	} else {
 		p.mu.Unlock()
 	}
@@ -454,6 +523,9 @@ func (p *livePeer) loop() {
 	}
 	p.mu.Unlock()
 
+	if !p.countAction() {
+		return // crashed on the start action; a churn rejoin restarts the loop
+	}
 	p.impl.Init(p)
 	for {
 		p.mu.Lock()
@@ -483,9 +555,11 @@ func (p *livePeer) loop() {
 	}
 }
 
-// dispatch applies the crash check and invokes the handler; it reports
-// whether the peer is still running.
-func (p *livePeer) dispatch(d delivery) bool {
+// countAction advances the adversary's action clock (start, sends,
+// queries, deliveries — matching the des and socket runtimes) and
+// reports whether the peer survives this action; crossing the crash
+// point crashes the peer and drops the action.
+func (p *livePeer) countAction() bool {
 	if !p.honest && p.crashPoint >= 0 {
 		p.actions++
 		if p.actions > p.crashPoint {
@@ -493,10 +567,26 @@ func (p *livePeer) dispatch(d delivery) bool {
 			return false
 		}
 	}
+	return true
+}
+
+// dispatch applies the crash check and invokes the handler; it reports
+// whether the peer is still running.
+func (p *livePeer) dispatch(d delivery) bool {
+	if !p.countAction() {
+		return false
+	}
 	switch d.kind {
 	case dlMessage:
 		p.impl.OnMessage(d.from, d.msg)
 	case dlQueryReply:
+		if p.persist != nil {
+			// Persist source-verified bits so a churn rejoin resumes
+			// warm instead of re-downloading.
+			for j, idx := range d.qr.Indices {
+				p.persist.LearnFromSource(idx, d.qr.Bits.Get(j))
+			}
+		}
 		p.impl.OnQueryReply(d.qr)
 	}
 	return true
@@ -506,8 +596,12 @@ func (p *livePeer) setCrashed() {
 	p.mu.Lock()
 	p.crashed = true
 	p.stats.Crashed = true
+	rejoin := p.churn != nil && p.churn.Downtime >= 0 && !p.rejoined
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	if rejoin {
+		p.w.after(p.churn.Downtime, p.rejoin)
+	}
 }
 
 func (p *livePeer) isDead() bool {
@@ -541,12 +635,8 @@ func (p *livePeer) Send(to sim.PeerID, m sim.Message) {
 	if to < 0 || int(to) >= p.w.cfg.N || to == p.id {
 		return
 	}
-	if !p.honest && p.crashPoint >= 0 {
-		p.actions++
-		if p.actions > p.crashPoint {
-			p.setCrashed()
-			return
-		}
+	if !p.countAction() {
+		return
 	}
 	size := m.SizeBits()
 	chunks := (size + p.w.cfg.MsgBits - 1) / p.w.cfg.MsgBits
@@ -578,42 +668,80 @@ func (p *livePeer) Query(tag int, indices []int) {
 	if p.isDead() {
 		return
 	}
-	if !p.honest && p.crashPoint >= 0 {
-		p.actions++
-		if p.actions > p.crashPoint {
-			p.setCrashed()
-			return
-		}
+	if !p.countAction() {
+		return
 	}
 	for _, idx := range indices {
 		if idx < 0 || idx >= p.w.cfg.L {
 			panic(fmt.Sprintf("live: peer %d queried out-of-range index %d", p.id, idx))
 		}
 	}
-	var bits *bitarray.Array
-	if p.w.mirror != nil {
-		// Mirror-first with verified fallback: every returned bit is
-		// verified, so Q charges exactly as on the direct path.
-		rep, err := p.w.mirror.Fetch(source.Request{
-			Peer: int(p.id), Ordinal: p.ordinal, Indices: indices, Attempt: 1,
-			Now: p.w.now(),
+	// Rejoined churn peers answer from persisted (source-verified) state
+	// where they can: warm bits are free — only the remainder is charged
+	// to Q and sent to the source.
+	var (
+		warm     *bitarray.Array
+		pos      []int
+		fetchIdx = indices
+	)
+	if p.rejoined && p.persist != nil {
+		warm = bitarray.New(len(indices))
+		for j, idx := range indices {
+			if v, ok := p.persist.Get(idx); ok {
+				warm.Set(j, v)
+			} else {
+				pos = append(pos, j)
+			}
+		}
+		if len(pos) == len(indices) {
+			warm, pos = nil, nil // nothing persisted: plain query
+		} else {
+			fetchIdx = make([]int, len(pos))
+			for k, j := range pos {
+				fetchIdx[k] = indices[j]
+			}
+		}
+	}
+	p.mu.Lock()
+	if warm != nil {
+		p.stats.WarmHitBits += len(indices) - len(fetchIdx)
+	}
+	p.stats.QueryBits += len(fetchIdx)
+	p.stats.QueryCalls++
+	p.mu.Unlock()
+	idxCopy := append([]int(nil), indices...)
+	if warm != nil && len(pos) == 0 {
+		// Full warm hit: answered locally, no source round trip.
+		p.w.after(0, func() {
+			p.enqueue(delivery{kind: dlQueryReply, qr: sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: warm}})
 		})
-		if err != nil {
-			panic(fmt.Sprintf("live: mirror fallback failed: %v", err))
+		return
+	}
+	if p.w.src != nil {
+		// Route through the (possibly faulty, possibly mirrored) source
+		// tier with the peer's retry/breaker client. Every returned bit
+		// is verified, so Q charges exactly as on the direct path.
+		fetch := idxCopy
+		if warm != nil {
+			fetch = fetchIdx // already a fresh slice
 		}
 		p.ordinal++
-		bits = rep.Bits
-	} else {
+		p.issueCall(&liveCall{tag: tag, indices: idxCopy, fetch: fetch,
+			pos: pos, bits: warm, ordinal: p.ordinal})
+		return
+	}
+	// Oracle fast path: the paper's perfectly available source.
+	bits := warm
+	if bits == nil {
 		bits = bitarray.New(len(indices))
 		for j, idx := range indices {
 			bits.Set(j, p.w.input.Get(idx))
 		}
+	} else {
+		for k, j := range pos {
+			bits.Set(j, p.w.input.Get(fetchIdx[k]))
+		}
 	}
-	p.mu.Lock()
-	p.stats.QueryBits += len(indices)
-	p.stats.QueryCalls++
-	p.mu.Unlock()
-	idxCopy := append([]int(nil), indices...)
 	delay := p.w.spec.Delays.QueryDelay(p.id, p.w.now())
 	p.w.after(delay, func() {
 		p.enqueue(delivery{kind: dlQueryReply, qr: sim.QueryReply{Tag: tag, Indices: idxCopy, Bits: bits}})
@@ -645,6 +773,8 @@ func (p *livePeer) Terminate() {
 	p.mu.Unlock()
 	if p.honest {
 		p.w.honestDone()
+	} else if p.churn != nil && p.churn.Downtime >= 0 {
+		p.w.churnDone()
 	}
 }
 

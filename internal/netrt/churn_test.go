@@ -1,0 +1,208 @@
+package netrt_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bitarray"
+	"repro/internal/netrt"
+	"repro/internal/protocols/crashk"
+	"repro/internal/protocols/naive"
+	"repro/internal/sim"
+)
+
+// halver is the churn test protocol (mirroring the des runtime's churn
+// suite): query the first half of X, then all of X, then terminate. Two
+// queries give the action clock room to crash a peer between deliveries,
+// and the second (full) query is where a warm rejoin shows: its first
+// half is already persisted, so only the remainder goes on the wire.
+type halver struct {
+	ctx sim.Context
+}
+
+func newHalver(sim.PeerID) sim.Peer { return &halver{} }
+
+func (p *halver) Init(ctx sim.Context) {
+	p.ctx = ctx
+	half := make([]int, ctx.L()/2)
+	for i := range half {
+		half[i] = i
+	}
+	ctx.Query(1, half)
+}
+
+func (p *halver) OnMessage(sim.PeerID, sim.Message) {}
+
+func (p *halver) OnQueryReply(r sim.QueryReply) {
+	switch r.Tag {
+	case 1:
+		all := make([]int, p.ctx.L())
+		for i := range all {
+			all[i] = i
+		}
+		p.ctx.Query(2, all)
+	case 2:
+		out := bitarray.New(p.ctx.L())
+		for j, idx := range r.Indices {
+			out.Set(idx, r.Bits.Get(j))
+		}
+		p.ctx.Output(out)
+		p.ctx.Terminate()
+	}
+}
+
+func TestChurnRejoinWarmOverTCP(t *testing.T) {
+	// Peer 0 crashes itself after 4 actions (init, query 1, delivery 1,
+	// query 2 — the second delivery is the dropped excess), checkpoints
+	// the 128 bits it verified, and rejoins 300ms later. The rejoined
+	// incarnation must finish with output X, serving its checkpointed
+	// bits warm instead of re-fetching them.
+	res, err := netrt.Run(netrt.Config{
+		N: 4, T: 1, L: 256, MsgBits: 64, Seed: 21,
+		NewPeer:       newHalver,
+		Churn:         []sim.ChurnPeer{{Peer: 0, CrashAfter: 4, Downtime: 0.3}},
+		CheckpointDir: t.TempDir(),
+		Timeout:       30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	if res.Rejoins != 1 {
+		t.Errorf("Rejoins = %d, want 1", res.Rejoins)
+	}
+	if res.CheckpointSaves < 1 || res.CheckpointRestores != 1 {
+		t.Errorf("checkpoint saves/restores = %d/%d, want >=1/1",
+			res.CheckpointSaves, res.CheckpointRestores)
+	}
+	// The rejoined half-query plus the warm half of the full query: the
+	// first 128 bits were served twice from the checkpoint.
+	if res.WarmHitBits != 256 {
+		t.Errorf("WarmHitBits = %d, want 256", res.WarmHitBits)
+	}
+	ps := &res.PerPeer[0]
+	if ps.Honest || !ps.Crashed || !ps.Rejoined {
+		t.Errorf("churn peer flags: honest=%v crashed=%v rejoined=%v", ps.Honest, ps.Crashed, ps.Rejoined)
+	}
+	if !ps.Terminated || ps.Output == nil {
+		t.Fatalf("churn peer did not finish: terminated=%v", ps.Terminated)
+	}
+	if !ps.OutputCorrect && ps.Output != nil {
+		// OutputCorrect is only computed for honest peers; check directly.
+		if d, err := ps.Output.FirstDiff(res.PerPeer[1].Output); err == nil && d >= 0 {
+			t.Errorf("churn peer output differs from an honest peer at bit %d", d)
+		}
+	}
+	if ps.WarmHitBits != 256 {
+		t.Errorf("peer 0 WarmHitBits = %d, want 256", ps.WarmHitBits)
+	}
+}
+
+func TestChurnNeverRejoinsOverTCP(t *testing.T) {
+	// Downtime < 0: a plain mid-run crash. The run must complete without
+	// waiting for the crashed peer, and nothing rejoins.
+	res, err := netrt.Run(netrt.Config{
+		N: 4, T: 1, L: 256, MsgBits: 64, Seed: 22,
+		NewPeer: newHalver,
+		Churn:   []sim.ChurnPeer{{Peer: 2, CrashAfter: 3, Downtime: -1}},
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	if res.Rejoins != 0 || res.CheckpointSaves != 0 {
+		t.Errorf("Rejoins=%d CheckpointSaves=%d, want 0/0", res.Rejoins, res.CheckpointSaves)
+	}
+	if res.PerPeer[2].Terminated {
+		t.Error("crashed churn peer terminated")
+	}
+}
+
+func TestChurnValidationOverTCP(t *testing.T) {
+	base := func() netrt.Config {
+		return netrt.Config{N: 4, T: 1, L: 64, MsgBits: 64, NewPeer: naive.New,
+			CheckpointDir: t.TempDir()}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*netrt.Config)
+	}{
+		{"rejoin without checkpoint dir", func(c *netrt.Config) {
+			c.CheckpointDir = ""
+			c.Churn = []sim.ChurnPeer{{Peer: 0, CrashAfter: 1, Downtime: 1}}
+		}},
+		{"out of range", func(c *netrt.Config) {
+			c.Churn = []sim.ChurnPeer{{Peer: 9, CrashAfter: 1, Downtime: -1}}
+		}},
+		{"duplicate", func(c *netrt.Config) {
+			c.T = 2
+			c.Churn = []sim.ChurnPeer{{Peer: 0, CrashAfter: 1, Downtime: 1}, {Peer: 0, CrashAfter: 2, Downtime: 1}}
+		}},
+		{"negative crash point", func(c *netrt.Config) {
+			c.Churn = []sim.ChurnPeer{{Peer: 0, CrashAfter: -1, Downtime: 1}}
+		}},
+		{"churn plus absent exceeds t", func(c *netrt.Config) {
+			c.Absent = []sim.PeerID{1}
+			c.Churn = []sim.ChurnPeer{{Peer: 0, CrashAfter: 1, Downtime: 1}}
+		}},
+		{"absent and churning", func(c *netrt.Config) {
+			c.T = 2
+			c.Absent = []sim.PeerID{0}
+			c.Churn = []sim.ChurnPeer{{Peer: 0, CrashAfter: 1, Downtime: 1}}
+		}},
+		{"killed and churning", func(c *netrt.Config) {
+			c.T = 2
+			c.KillAfter = map[sim.PeerID]time.Duration{0: time.Millisecond}
+			c.Churn = []sim.ChurnPeer{{Peer: 0, CrashAfter: 1, Downtime: 1}}
+		}},
+		{"bounce shard out of range", func(c *netrt.Config) {
+			c.Shards = 2
+			c.ShardBounces = []netrt.ShardBounce{{Shard: 2, After: time.Millisecond, Down: time.Millisecond}}
+		}},
+		{"bounce without delay", func(c *netrt.Config) {
+			c.ShardBounces = []netrt.ShardBounce{{Shard: 0, After: 0, Down: time.Millisecond}}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mutate(&cfg)
+		if _, err := netrt.Run(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+func TestShardBounceMidDownload(t *testing.T) {
+	// Kill one of two hub listener shards almost immediately and bring it
+	// back 150ms later. Peers homed on the dead shard are severed mid-
+	// download and must redial through backoff until the listener returns;
+	// every client still finishes with output X.
+	res, err := netrt.Run(netrt.Config{
+		N: 8, T: 0, L: 4096, MsgBits: 256, Seed: 23,
+		NewPeer: crashk.New,
+		Shards:  2,
+		ShardBounces: []netrt.ShardBounce{
+			{Shard: 1, After: 2 * time.Millisecond, Down: 150 * time.Millisecond},
+		},
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("incorrect: %v", res)
+	}
+	if res.ShardRestarts < 1 {
+		t.Errorf("ShardRestarts = %d, want >= 1", res.ShardRestarts)
+	}
+	for i := range res.PerPeer {
+		if !res.PerPeer[i].Terminated {
+			t.Errorf("peer %d did not terminate", i)
+		}
+	}
+}

@@ -59,6 +59,16 @@ const (
 	// but the hub answers it from the authoritative source tier
 	// (bypassing the mirror fleet) with a plain QREPLY/QERR.
 	kQuerySrc
+	// kResume answers a resume-flagged HELLO from a rejoined churn peer
+	// (the flag byte trails the uvarint id; old hubs ignore it). Payload:
+	// uvarint send base — the hub has processed everything ≤ it from the
+	// peer's previous incarnations, so the fresh outbox numbers from
+	// base+1 — then uvarint ack base, below which the hub's own reliable
+	// stream retains nothing. Control frame: seq 0, guaranteed first on
+	// the connection; the resuming client discards every frame until it
+	// arrives (reliable ones are retransmitted, best-effort ones are
+	// recovered end-to-end).
+	kResume
 )
 
 // kindName renders a frame kind for debug output and timeout reports.
@@ -88,6 +98,8 @@ func kindName(k byte) string {
 		return "QPROOF"
 	case kQuerySrc:
 		return "QUERYSRC"
+	case kResume:
+		return "RESUME"
 	default:
 		return fmt.Sprintf("kind(%d)", k)
 	}

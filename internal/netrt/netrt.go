@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/bitarray"
+	"repro/internal/checkpoint"
 	"repro/internal/merkle"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -76,6 +77,25 @@ type Config struct {
 	// refuses its reconnects. Killed peers count toward T together with
 	// Absent ones.
 	KillAfter map[sim.PeerID]time.Duration
+	// Churn lists peers that crash themselves mid-run after CrashAfter
+	// protocol actions (sends, queries, deliveries — the same action
+	// clock as the des runtime) and, when Downtime ≥ 0, restart after
+	// roughly Downtime seconds, rejoining warm from their on-disk
+	// checkpoint via the resume handshake. Churn peers count toward T
+	// together with Absent and KillAfter, but rejoining ones are still
+	// expected to terminate: the run waits for their DONE.
+	Churn []sim.ChurnPeer
+	// CheckpointDir is where churn peers persist durable checkpoints
+	// (internal/checkpoint); required when any churn peer rejoins
+	// (Downtime ≥ 0). A missing or corrupt checkpoint at rejoin is a cold
+	// start, never wrong bits.
+	CheckpointDir string
+	// ShardBounces kills hub listener shards mid-run and restarts them
+	// after a downtime window. Clients homed on a bounced shard are
+	// severed and redial with backoff until the listener returns: a
+	// bounce degrades latency, never correctness, and (like Faults) never
+	// counts toward T.
+	ShardBounces []ShardBounce
 	// Faults optionally injects a seeded network fault schedule at the
 	// hub (drops, duplicates, delays, stalls, flaps, healed partitions).
 	// Unlike Absent/KillAfter, a FaultPlan never counts toward T: honest
@@ -137,14 +157,54 @@ func (c *Config) validate() error {
 	if c.NewPeer == nil {
 		return errors.New("netrt: missing NewPeer")
 	}
-	faulty := len(c.Absent) + len(c.KillAfter)
+	faulty := len(c.Absent) + len(c.KillAfter) + len(c.Churn)
 	for _, p := range c.Absent {
 		if _, both := c.KillAfter[p]; both {
 			return fmt.Errorf("netrt: peer %d both absent and killed", p)
 		}
 	}
+	seen := make(map[sim.PeerID]bool, len(c.Churn))
+	needCkpt := false
+	for _, cp := range c.Churn {
+		if cp.Peer < 0 || int(cp.Peer) >= c.N {
+			return fmt.Errorf("netrt: churn peer %d out of range", cp.Peer)
+		}
+		if seen[cp.Peer] {
+			return fmt.Errorf("netrt: duplicate churn peer %d", cp.Peer)
+		}
+		seen[cp.Peer] = true
+		if cp.CrashAfter < 0 {
+			return fmt.Errorf("netrt: churn peer %d has negative crash point", cp.Peer)
+		}
+		for _, a := range c.Absent {
+			if a == cp.Peer {
+				return fmt.Errorf("netrt: peer %d both absent and churning", cp.Peer)
+			}
+		}
+		if _, both := c.KillAfter[cp.Peer]; both {
+			return fmt.Errorf("netrt: peer %d both killed and churning", cp.Peer)
+		}
+		if cp.Downtime >= 0 {
+			needCkpt = true
+		}
+	}
+	if needCkpt && c.CheckpointDir == "" {
+		return errors.New("netrt: churn rejoin requires CheckpointDir for durable checkpoints")
+	}
 	if faulty > c.T {
 		return fmt.Errorf("netrt: %d faulty peers exceeds t=%d", faulty, c.T)
+	}
+	nShards := c.Shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	for _, b := range c.ShardBounces {
+		if b.Shard < 0 || b.Shard >= nShards {
+			return fmt.Errorf("netrt: shard bounce targets shard %d of %d", b.Shard, nShards)
+		}
+		if b.After <= 0 || b.Down < 0 {
+			return fmt.Errorf("netrt: shard bounce needs After > 0 and Down >= 0 (got %v/%v)", b.After, b.Down)
+		}
 	}
 	if c.Faults != nil {
 		if err := c.Faults.validate(c.N); err != nil {
@@ -204,8 +264,9 @@ func (e *TimeoutError) Error() string {
 	return b.String()
 }
 
-// clientStats carries a client's robustness counters back to Run; written
-// once at client exit and read after the clients WaitGroup settles.
+// clientStats carries a client's robustness counters back to Run; a churn
+// peer's incarnations all accumulate into the same struct, and Run reads
+// it after the clients WaitGroup settles.
 type clientStats struct {
 	queryRetries, reconnects, dupsDeduped int
 	// src is the source resilience accounting (failures by kind, retries,
@@ -216,6 +277,32 @@ type clientStats struct {
 	// serves). mirror carries the hit/failure/fallback counters.
 	mirrorBits int
 	mirror     source.MirrorStats
+	// Churn accounting: bits served locally from persisted warm state
+	// (plus the fully-warm query calls that never reached the wire),
+	// whether this peer crashed and came back, and the durable-checkpoint
+	// traffic behind that recovery.
+	warmHitBits, warmCalls              int
+	rejoined                            bool
+	checkpointSaves, checkpointRestores int
+}
+
+// addSourceStats accumulates b into a across a churn peer's incarnations.
+func addSourceStats(a *source.Stats, b source.Stats) {
+	a.Retries += b.Retries
+	a.Failures += b.Failures
+	a.Outages += b.Outages
+	a.Flaky += b.Flaky
+	a.RateLimits += b.RateLimits
+	a.Timeouts += b.Timeouts
+	a.BreakerOpens += b.BreakerOpens
+	a.Deferred += b.Deferred
+	a.DegradedTime += b.DegradedTime
+}
+
+func addMirrorStats(a *source.MirrorStats, b source.MirrorStats) {
+	a.MirrorHits += b.MirrorHits
+	a.ProofFailures += b.ProofFailures
+	a.FallbackQueries += b.FallbackQueries
 }
 
 // Run executes the configuration and reports the outcome in the same
@@ -296,6 +383,16 @@ func Run(cfg Config) (*sim.Result, error) {
 		res.PerPeer[i].MirrorHits = cs.mirror.MirrorHits
 		res.PerPeer[i].ProofFailures = cs.mirror.ProofFailures
 		res.PerPeer[i].FallbackQueries = cs.mirror.FallbackQueries
+		// Warm-served bits never reach the wire, so the hub never charges
+		// them; like the des runtime, they stay out of QueryBits (Q counts
+		// only source-fetched bits). Fully-warm calls still count into
+		// QueryCalls — the protocol issued them — which the hub-side charge
+		// missed for the same reason.
+		res.PerPeer[i].QueryCalls += cs.warmCalls
+		res.PerPeer[i].WarmHitBits = cs.warmHitBits
+		res.PerPeer[i].Rejoined = cs.rejoined
+		res.PerPeer[i].CheckpointSaves = cs.checkpointSaves
+		res.PerPeer[i].CheckpointRestores = cs.checkpointRestores
 	}
 	res.Finalize(input)
 	return res, nil
@@ -329,6 +426,12 @@ type hubPeer struct {
 	queryCalls int
 	msgsSent   int
 	msgBits    int
+	// charged dedups the Q charge per logical query (tag + index-set
+	// key): a client re-sends the identical QUERY frame when its query
+	// timeout fires on a lost reply, and the des runtime's contract is
+	// that retries absorbing faults never double-charge Q. Replies are
+	// still served per arrival — only the charge is once per key.
+	charged map[qkey]bool
 	// srcServes counts query arrivals from this peer; it is the Ordinal
 	// fed to the source fault plan, so every retried serve rolls fresh
 	// fault decisions (a failure rate < 1 answers eventually).
@@ -362,11 +465,14 @@ type hub struct {
 	start  time.Time
 	expect int
 
-	// faulty marks absent and killed peers: their terminations never
-	// count toward the completion quota (a killed peer may finish
+	// faulty marks absent, killed, and churning peers: their terminations
+	// never count toward the completion quota (a killed peer may finish
 	// before its kill fires; ending the run on its DONE would abandon
-	// honest peers mid-protocol).
+	// honest peers mid-protocol) — except the rejoining subset below.
 	faulty map[sim.PeerID]bool
+	// rejoining marks churn peers with a rejoin scheduled (Downtime ≥ 0):
+	// faulty, but still expected to DONE, so the quota counts them.
+	rejoining map[sim.PeerID]bool
 	// peers holds link state for every non-absent peer; the map is
 	// fully built in newHub and never mutated, so reads need no lock.
 	peers map[sim.PeerID]*hubPeer
@@ -399,13 +505,13 @@ func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			for _, s := range shards[:i] {
-				s.ln.Close()
+				s.closeListener()
 			}
 			return nil, fmt.Errorf("netrt: listen shard %d: %w", i, err)
 		}
 		shards[i] = newHubShard(i, ln, queue)
 	}
-	faulty := make(map[sim.PeerID]bool, len(cfg.Absent)+len(cfg.KillAfter))
+	faulty := make(map[sim.PeerID]bool, len(cfg.Absent)+len(cfg.KillAfter)+len(cfg.Churn))
 	absent := make(map[sim.PeerID]bool, len(cfg.Absent))
 	for _, p := range cfg.Absent {
 		faulty[p] = true
@@ -414,25 +520,36 @@ func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
 	for p := range cfg.KillAfter {
 		faulty[p] = true
 	}
+	// Churn peers are faulty by definition, but the rejoining ones still
+	// owe a DONE: the completion quota waits for them, so a run only ends
+	// once recovered peers have actually finished the download.
+	rejoining := make(map[sim.PeerID]bool, len(cfg.Churn))
+	for _, cp := range cfg.Churn {
+		faulty[cp.Peer] = true
+		if cp.Downtime >= 0 {
+			rejoining[cp.Peer] = true
+		}
+	}
 	idle := cfg.IdleTimeout
 	if idle <= 0 {
 		idle = defaultIdleTimeout
 	}
 	h := &hub{
-		cfg:     cfg,
-		res:     cfg.Resilience.withDefaults(),
-		idle:    idle,
-		plan:    cfg.Faults,
-		input:   input,
-		src:     source.Wrap(source.NewTrusted(input), cfg.SourceFaults),
-		shards:  shards,
-		start:   time.Now(),
-		expect:  cfg.N - len(faulty),
-		faulty:  faulty,
-		peers:   make(map[sim.PeerID]*hubPeer, cfg.N),
-		met:     met,
-		stop:    make(chan struct{}),
-		allDone: make(chan struct{}),
+		cfg:       cfg,
+		res:       cfg.Resilience.withDefaults(),
+		idle:      idle,
+		plan:      cfg.Faults,
+		input:     input,
+		src:       source.Wrap(source.NewTrusted(input), cfg.SourceFaults),
+		shards:    shards,
+		start:     time.Now(),
+		expect:    cfg.N - len(faulty) + len(rejoining),
+		faulty:    faulty,
+		rejoining: rejoining,
+		peers:     make(map[sim.PeerID]*hubPeer, cfg.N),
+		met:       met,
+		stop:      make(chan struct{}),
+		allDone:   make(chan struct{}),
 	}
 	if cfg.Mirrors.Enabled() {
 		h.mirror = source.NewMirrored(input, cfg.Mirrors, cfg.N, h.src)
@@ -481,8 +598,17 @@ func newHub(cfg Config, input *bitarray.Array, met *netMetrics) (*hub, error) {
 	}
 	h.wg.Add(2 + 2*len(h.shards))
 	for _, s := range h.shards {
-		go h.acceptLoop(s)
+		go h.acceptLoop(s, s.ln)
 		go h.shardWriter(s)
+	}
+	// Bounce timers arm only after the accept loops own their listeners:
+	// an early bounce must race the running loop, not hub construction.
+	for _, b := range cfg.ShardBounces {
+		s := h.shards[b.Shard]
+		down := b.Down
+		h.timers = append(h.timers, time.AfterFunc(b.After, func() {
+			h.bounceShard(s, down)
+		}))
 	}
 	go h.retxLoop()
 	go h.pingLoop()
@@ -499,10 +625,10 @@ func (h *hub) shardFor(id sim.PeerID) *hubShard {
 // addrFor is the listen address peer id must dial.
 func (h *hub) addrFor(id sim.PeerID) string { return h.shardFor(id).addr }
 
-func (h *hub) acceptLoop(s *hubShard) {
+func (h *hub) acceptLoop(s *hubShard, ln net.Listener) {
 	defer h.wg.Done()
 	for {
-		conn, err := s.ln.Accept()
+		conn, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
@@ -531,6 +657,9 @@ func (h *hub) serve(conn net.Conn) {
 	}
 	h.met.hubRx(kind, len(payload))
 	id64, n := binary.Uvarint(payload)
+	// A flag byte may trail the id (bit 1: resume request from a rejoined
+	// churn peer); anything beyond it is reserved and ignored.
+	resume := n > 0 && len(payload) > n && payload[n]&1 != 0
 	var hp *hubPeer
 	if n > 0 && id64 < uint64(h.cfg.N) {
 		hp = h.peers[sim.PeerID(id64)]
@@ -561,7 +690,26 @@ func (h *hub) serve(conn net.Conn) {
 		conn.Close() // raced the shutdown sweep
 		return
 	}
-	dbg("peer %d connected (reconnect=%v)", hp.id, old != nil)
+	dbg("peer %d connected (reconnect=%v resume=%v)", hp.id, old != nil, resume)
+	if resume {
+		// Resume handshake: realign both stream positions for the rejoined
+		// incarnation. The peer's receive watermark fast-forwards over any
+		// out-of-order admissions — the gaps below them belonged to the
+		// dead incarnation and can never fill — and becomes the send base
+		// its fresh outbox numbers above. The ack base is where the hub's
+		// own reliable stream starts retransmitting from. RESUME is first
+		// in the shard's FIFO queue, so it reaches the client before ROOT
+		// or any replay.
+		hp.mu.Lock()
+		sendBase := hp.recv.fastForward()
+		ackBase := hp.out.base()
+		hp.mu.Unlock()
+		body := binary.AppendUvarint(nil, sendBase)
+		body = binary.AppendUvarint(body, ackBase)
+		h.writeData(hp, kResume, 0, body)
+		h.met.mark(int(hp.id), "rejoin", "")
+		dbg("peer %d resume: sendBase=%d ackBase=%d", hp.id, sendBase, ackBase)
+	}
 	if h.mirror != nil {
 		// Publish the authoritative commitment before any reply can be
 		// queued on this connection: the shard queue is FIFO and TCP is
@@ -803,13 +951,23 @@ func (h *hub) answerQuery(hp *hubPeer, payload []byte) {
 		h.transmit(hp, kQErr, seq, srcID, out, 0)
 		return
 	}
+	key := qkeyOf(tag, indices)
 	hp.mu.Lock()
-	hp.queryBits += len(indices)
-	hp.queryCalls++
+	if hp.charged == nil {
+		hp.charged = make(map[qkey]bool)
+	}
+	charge := !hp.charged[key]
+	if charge {
+		hp.charged[key] = true
+		hp.queryBits += len(indices)
+		hp.queryCalls++
+	}
 	hp.replySeq++
 	seq := hp.replySeq
 	hp.mu.Unlock()
-	h.met.queryServed(int(hp.id), len(indices))
+	if charge {
+		h.met.queryServed(int(hp.id), len(indices))
+	}
 
 	out := encodeQueryHeader(tag, indices)
 	raw := rep.Bits.Bytes()
@@ -886,7 +1044,7 @@ func (h *hub) markDone(hp *hubPeer, payload []byte) {
 	if !already {
 		h.met.mark(int(hp.id), "terminate", "")
 	}
-	if already || h.faulty[hp.id] {
+	if already || (h.faulty[hp.id] && !h.rejoining[hp.id]) {
 		return
 	}
 	h.mu.Lock()
@@ -948,7 +1106,7 @@ func (h *hub) timeoutError(after time.Duration) *TimeoutError {
 	e := &TimeoutError{After: after}
 	for i := 0; i < h.cfg.N; i++ {
 		id := sim.PeerID(i)
-		if h.faulty[id] {
+		if h.faulty[id] && !h.rejoining[id] {
 			continue
 		}
 		hp := h.peers[id]
@@ -982,7 +1140,7 @@ func (h *hub) close() {
 		t.Stop()
 	}
 	for _, s := range h.shards {
-		s.ln.Close()
+		s.closeListener()
 	}
 	for _, hp := range h.peers {
 		hp.mu.Lock()
@@ -997,6 +1155,9 @@ func (h *hub) close() {
 
 func (h *hub) result() *sim.Result {
 	res := &sim.Result{PerPeer: make([]sim.PeerStats, h.cfg.N)}
+	for _, s := range h.shards {
+		res.ShardRestarts += int(s.restarts.Load())
+	}
 	for i := 0; i < h.cfg.N; i++ {
 		id := sim.PeerID(i)
 		ps := sim.PeerStats{ID: id, Honest: !h.faulty[id], Crashed: h.faulty[id]}
@@ -1025,10 +1186,55 @@ func (h *hub) result() *sim.Result {
 // tore the listener down because the run completed, so exit quietly.
 var errHubGone = errors.New("netrt: hub gone after termination")
 
-// runClient dials the hub and drives one protocol instance, reconnecting
-// through connection loss until the protocol terminates and its DONE
-// frame is acknowledged.
+// churnFor returns id's churn schedule, or nil.
+func churnFor(cfg *Config, id sim.PeerID) *sim.ChurnPeer {
+	for i := range cfg.Churn {
+		if cfg.Churn[i].Peer == id {
+			return &cfg.Churn[i]
+		}
+	}
+	return nil
+}
+
+// runClient drives a peer's protocol instance, reconnecting through
+// connection loss until the protocol terminates and its DONE frame is
+// acknowledged. A churn peer may go through two incarnations: the first
+// crashes itself at its action count and persists a durable checkpoint;
+// after the downtime a fresh instance reloads the checkpoint, rejoins via
+// the resume handshake, and runs to completion serving its warm bits
+// locally.
 func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *netMetrics) error {
+	churn := churnFor(cfg, id)
+	var store *checkpoint.Store
+	if churn != nil && cfg.CheckpointDir != "" {
+		var err error
+		if store, err = checkpoint.NewStore(cfg.CheckpointDir); err != nil {
+			return fmt.Errorf("netrt: checkpoint store: %w", err)
+		}
+	}
+	rejoined := false
+	for {
+		crashed, err := runIncarnation(cfg, id, addr, st, met, churn, store, rejoined)
+		if err != nil {
+			return err
+		}
+		if !crashed {
+			return nil
+		}
+		met.mark(int(id), "churn", "")
+		if churn.Downtime < 0 {
+			return nil // never rejoins: a plain mid-run crash
+		}
+		time.Sleep(time.Duration(churn.Downtime * float64(time.Second)))
+		rejoined = true
+	}
+}
+
+// runIncarnation runs one life of the peer: dial, Init, frame loop, and
+// either a clean exit (terminated or rejected) or a self-inflicted churn
+// crash, reported via crashed so runClient can schedule the rejoin.
+func runIncarnation(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *netMetrics,
+	churn *sim.ChurnPeer, store *checkpoint.Store, rejoined bool) (crashed bool, err error) {
 	res := cfg.Resilience.withDefaults()
 	idle := cfg.IdleTimeout
 	if idle <= 0 {
@@ -1054,23 +1260,60 @@ func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *ne
 		mparams: merkle.Params{TotalBits: cfg.L, LeafBits: cfg.Mirrors.EffectiveLeafBits()},
 		stopHK:  make(chan struct{}),
 	}
+	if churn != nil {
+		if !rejoined {
+			// Only the first incarnation crashes; the rejoined one runs the
+			// honest protocol to completion.
+			c.churn = churn
+		}
+		c.persist = bitarray.NewTracker(cfg.L)
+	}
+	if rejoined {
+		c.rejoined = true
+		c.needResume = true
+		st.rejoined = true
+		if store != nil {
+			ck, lerr := store.Load(int(id), cfg.N, cfg.T, cfg.L, cfg.Seed)
+			switch {
+			case lerr != nil:
+				// Torn, corrupt, or mismatched checkpoint: cold rejoin,
+				// never wrong bits.
+				dbg("client %d: checkpoint unusable, cold rejoin: %v", id, lerr)
+			case ck != nil:
+				c.persist = ck.Tracker()
+				if ck.RootKnown {
+					c.root = ck.Root
+					c.rootKnown = true
+				}
+				c.lastPhase = ck.Phase
+				st.checkpointRestores++
+				met.mark(int(id), "restore", "")
+				dbg("client %d: warm rejoin with %d checkpointed bits", id, ck.WarmBits())
+			}
+		}
+	}
 	defer func() {
 		c.mu.Lock()
 		c.src.Settle(time.Since(c.start).Seconds())
-		st.queryRetries = c.queryRetries
-		st.reconnects = c.reconnects
-		st.dupsDeduped = c.dupsDeduped
-		st.src = c.src.Stats()
-		st.mirrorBits = c.mirrorBits
-		st.mirror = c.mstats
+		st.queryRetries += c.queryRetries
+		st.reconnects += c.reconnects
+		st.dupsDeduped += c.dupsDeduped
+		addSourceStats(&st.src, c.src.Stats())
+		st.mirrorBits += c.mirrorBits
+		addMirrorStats(&st.mirror, c.mstats)
+		st.warmHitBits += c.warmHits
+		st.warmCalls += c.warmCalls
 		c.mu.Unlock()
 	}()
 	if err := c.connect(true); err != nil {
-		return err
+		return false, err
 	}
 	go c.housekeeping()
 	defer close(c.stopHK)
-	c.impl.Init(c)
+	if c.countAction() {
+		c.impl.Init(c)
+	}
+	c.drainLocal()
 	dbg("client %d init done, entering loop", id)
 	c.loop()
 	c.mu.Lock()
@@ -1078,20 +1321,44 @@ func runClient(cfg *Config, id sim.PeerID, addr string, st *clientStats, met *ne
 	rejected := c.rejected
 	connErr := c.connErr
 	terminated := c.terminated
+	crashed = c.crashed
 	c.mu.Unlock()
-	dbg("client %d loop exited (terminated=%v rejected=%v err=%v)", id, terminated, rejected, connErr)
+	dbg("client %d loop exited (terminated=%v rejected=%v crashed=%v err=%v)",
+		id, terminated, rejected, crashed, connErr)
+	if crashed {
+		// Persist the durable checkpoint before going down: everything the
+		// dead incarnation verified from the source survives the crash.
+		if store != nil && churn.Downtime >= 0 {
+			cs := &checkpoint.State{Peer: int(id), N: cfg.N, T: cfg.T, L: cfg.L,
+				Seed: cfg.Seed, Phase: c.lastPhase}
+			if c.rootKnown {
+				cs.RootKnown = true
+				cs.Root = c.root
+			}
+			cs.FromTracker(c.persist)
+			if serr := store.Save(cs); serr != nil {
+				dbg("client %d: checkpoint save failed: %v", id, serr)
+			} else {
+				st.checkpointSaves++
+			}
+		}
+		met.mark(int(id), "crash", "")
+		return true, nil
+	}
 	if connErr != nil {
-		return connErr
+		return false, connErr
 	}
 	// Graceful shutdown: the loop only exits cleanly once our DONE frame
 	// is acked (or we were rejected), so nothing of ours is in flight.
 	// Half-close and drain so the hub's own in-flight writes are not RST.
-	if tc, ok := conn.(*net.TCPConn); ok {
-		_ = tc.CloseWrite()
+	if conn != nil {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		}
+		_, _ = io.Copy(io.Discard, conn)
+		conn.Close()
 	}
-	_, _ = io.Copy(io.Discard, conn)
-	conn.Close()
-	return nil
+	return false, nil
 }
 
 type client struct {
@@ -1138,6 +1405,26 @@ type client struct {
 	mirrorBits int
 	mstats     source.MirrorStats
 
+	// Churn state. churn is non-nil only in an incarnation that still owes
+	// its crash; persist is the verified-index tracker fed by every source
+	// reply (non-nil for every churn peer incarnation), whose contents the
+	// checkpoint saves and warm queries are answered from. actions ticks
+	// the des-runtime action clock (init, sends, queries, deliveries);
+	// crashed latches once it exceeds churn.CrashAfter. needResume makes
+	// the next successful dial request the resume handshake. pendingLocal
+	// queues fully-warm query replies for delivery between frames, so the
+	// protocol is never re-entered from inside Query.
+	churn        *sim.ChurnPeer
+	rejoined     bool
+	needResume   bool
+	actions      int
+	crashed      bool
+	persist      *bitarray.Tracker
+	warmHits     int
+	warmCalls    int
+	lastPhase    string
+	pendingLocal []sim.QueryReply
+
 	terminated bool
 	rejected   bool
 	connErr    error
@@ -1146,6 +1433,85 @@ type client struct {
 	queryRetries, reconnects, dupsDeduped int
 
 	stopHK chan struct{}
+}
+
+// countAction ticks the churn action clock; false means the crash point
+// was just passed or already hit: the caller must drop the action (the
+// des runtime's CrashPolicy semantics — the exceeding action is lost).
+// Crashing closes the connection; the frame loop notices and exits.
+func (c *client) countAction() bool {
+	if c.churn == nil {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return false
+	}
+	c.actions++
+	if c.actions > c.churn.CrashAfter {
+		c.crashed = true
+		conn := c.conn
+		c.conn = nil
+		if conn != nil {
+			conn.Close()
+		}
+		dbg("client %d: churn crash at action %d", c.id, c.actions)
+		return false
+	}
+	return true
+}
+
+// drainLocal delivers queued fully-warm query replies. It runs on the
+// loop goroutine between frames (and right after Init), so the sim.Peer
+// sequential contract holds; replies queued by a handler it invokes are
+// picked up by the same drain.
+func (c *client) drainLocal() {
+	for {
+		c.mu.Lock()
+		if len(c.pendingLocal) == 0 || c.terminated {
+			c.pendingLocal = nil
+			c.mu.Unlock()
+			return
+		}
+		qr := c.pendingLocal[0]
+		c.pendingLocal = c.pendingLocal[1:]
+		c.mu.Unlock()
+		if !c.countAction() {
+			return
+		}
+		c.impl.OnQueryReply(qr)
+	}
+}
+
+// finishReply feeds the persist tracker with the fetched bits and, when
+// the wire query was a warm-stripped remainder (full non-nil), rebuilds
+// the protocol's original reply by merging warm and fetched bits.
+func (c *client) finishReply(tag int, indices []int, bits *bitarray.Array, full []int) {
+	if c.persist != nil {
+		for j, idx := range indices {
+			c.persist.LearnFromSource(idx, bits.Get(j))
+		}
+	}
+	if full != nil && c.persist != nil {
+		merged := bitarray.New(len(full))
+		for j, idx := range full {
+			v, ok := c.persist.Get(idx)
+			if !ok {
+				// The warm bit vanished (impossible: trackers only grow) —
+				// deliver the wire reply rather than invent a value.
+				c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+				return
+			}
+			merged.Set(j, v)
+		}
+		c.mu.Lock()
+		c.warmHits += len(full) - len(indices)
+		c.mu.Unlock()
+		c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: full, Bits: merged})
+		return
+	}
+	c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
 }
 
 var _ sim.Context = (*client)(nil)
@@ -1175,10 +1541,23 @@ func (c *client) connect(initial bool) error {
 			}
 			continue
 		}
+		c.mu.Lock()
+		needResume := c.needResume
+		c.mu.Unlock()
 		hello := binary.AppendUvarint(nil, uint64(c.id))
+		if needResume {
+			hello = append(hello, 1) // flag byte: resume request
+		}
 		if err := c.write(conn, kHello, 0, hello); err != nil {
 			conn.Close()
 			continue
+		}
+		if needResume {
+			if err := c.awaitResume(conn); err != nil {
+				dbg("client %d: resume handshake failed: %v", c.id, err)
+				conn.Close()
+				continue
+			}
 		}
 		now := time.Now()
 		c.mu.Lock()
@@ -1205,6 +1584,48 @@ func (c *client) connect(initial bool) error {
 	return fmt.Errorf("netrt: reconnect budget exhausted (%d attempts)", c.res.ReconnectAttempts)
 }
 
+// awaitResume reads frames on a fresh resume connection until the hub's
+// RESUME verdict arrives, then aligns both stream positions to it: the
+// outbox numbers its next push above the hub's receive watermark, and the
+// receive dedup restarts at the hub's outbox base. Everything before the
+// verdict is discarded — reliable frames will be retransmitted against
+// the aligned streams, best-effort ones are recovered end-to-end.
+func (c *client) awaitResume(conn net.Conn) error {
+	for {
+		conn.SetReadDeadline(time.Now().Add(c.idle))
+		kind, _, payload, err := readFrame(conn)
+		if err != nil {
+			return err
+		}
+		c.met.cliRx(kind, len(payload))
+		switch kind {
+		case kResume:
+			sendBase, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return errors.New("netrt: malformed RESUME payload")
+			}
+			ackBase, m := binary.Uvarint(payload[n:])
+			if m <= 0 {
+				return errors.New("netrt: malformed RESUME payload")
+			}
+			c.mu.Lock()
+			c.out.resumeAt(sendBase)
+			c.recv.resumeAt(ackBase)
+			c.needResume = false
+			c.mu.Unlock()
+			dbg("client %d resumed: sendBase=%d ackBase=%d", c.id, sendBase, ackBase)
+			return nil
+		case kReject:
+			c.mu.Lock()
+			c.rejected = true
+			c.mu.Unlock()
+			return nil
+		default:
+			// Pre-resume frame: discard (see kResume's contract).
+		}
+	}
+}
+
 // loop reads frames and dispatches handlers until the protocol has
 // terminated with its DONE frame acked (or the hub rejects us). Protocol
 // handlers run on this single goroutine, preserving the sim.Peer
@@ -1213,7 +1634,7 @@ func (c *client) loop() {
 	for {
 		c.mu.Lock()
 		conn := c.conn
-		finished := c.rejected || (c.terminated && c.out.empty())
+		finished := c.rejected || c.crashed || (c.terminated && c.out.empty())
 		c.mu.Unlock()
 		if finished {
 			return
@@ -1222,7 +1643,7 @@ func (c *client) loop() {
 		kind, seq, payload, err := readFrame(conn)
 		if err != nil {
 			c.mu.Lock()
-			finished := c.rejected || (c.terminated && c.out.empty())
+			finished := c.rejected || c.crashed || (c.terminated && c.out.empty())
 			c.mu.Unlock()
 			if finished {
 				return
@@ -1240,6 +1661,7 @@ func (c *client) loop() {
 		}
 		c.met.cliRx(kind, len(payload))
 		c.handleFrame(kind, seq, payload)
+		c.drainLocal()
 	}
 }
 
@@ -1283,6 +1705,9 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 			dbg("client %d: malformed msg from %d: %v", c.id, from64, err)
 			return // malformed frame: drop, like line noise
 		}
+		if !c.countAction() {
+			return
+		}
 		c.impl.OnMessage(sim.PeerID(from64), m)
 	case kQReply:
 		c.mu.Lock()
@@ -1317,7 +1742,9 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 		c.mu.Lock()
 		pq := c.queries[key]
 		owed := pq != nil && pq.count > 0
+		var full []int
 		if owed {
+			full = pq.full
 			pq.count--
 			if pq.count == 0 {
 				delete(c.queries, key)
@@ -1340,7 +1767,10 @@ func (c *client) handleFrame(kind byte, seq uint64, payload []byte) {
 		if !owed || term {
 			return
 		}
-		c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+		if !c.countAction() {
+			return
+		}
+		c.finishReply(tag, indices, bits, full)
 	case kRoot:
 		if len(payload) != merkle.HashBytes {
 			return
@@ -1460,6 +1890,7 @@ func (c *client) handleProofReply(payload []byte) {
 		return
 	}
 	if verified {
+		full := pq.full
 		pq.count--
 		if pq.count == 0 {
 			delete(c.queries, key)
@@ -1470,8 +1901,8 @@ func (c *client) handleProofReply(payload []byte) {
 		c.mu.Unlock()
 		c.met.queryServed(int(c.id), len(indices))
 		c.met.mirrorVerdict(int(c.id), true, false)
-		if !term {
-			c.impl.OnQueryReply(sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+		if !term && c.countAction() {
+			c.finishReply(tag, indices, bits, full)
 		}
 		return
 	}
@@ -1619,6 +2050,9 @@ func (c *client) Send(to sim.PeerID, m sim.Message) {
 	if to == c.id || to < 0 || int(to) >= c.cfg.N {
 		return
 	}
+	if !c.countAction() {
+		return
+	}
 	out := binary.AppendUvarint(make([]byte, 0, 16+m.SizeBits()/8), uint64(to))
 	out, err := wire.MarshalAppend(out, m)
 	if err != nil {
@@ -1636,10 +2070,46 @@ func (c *client) Broadcast(m sim.Message) {
 	}
 }
 
-// Query implements sim.Context.
+// Query implements sim.Context. On a churn peer, bits the persist tracker
+// already holds are served locally: a fully-warm query never touches the
+// wire (its reply is queued for drainLocal), and a partially-warm one
+// sends only the missing remainder, remembering the original index set so
+// the reply handler can reconstruct the full reply. Warm bits still count
+// into QueryBits (matching the des runtime) but cost the source nothing.
 func (c *client) Query(tag int, indices []int) {
-	payload := encodeQueryHeader(tag, indices)
-	key := qkeyOf(tag, indices)
+	if !c.countAction() {
+		return
+	}
+	wireIdx := indices
+	if c.persist != nil {
+		missing := make([]int, 0, len(indices))
+		for _, idx := range indices {
+			if idx < 0 || idx >= c.cfg.L || !c.persist.Known(idx) {
+				missing = append(missing, idx)
+			}
+		}
+		if len(missing) == 0 && len(indices) > 0 {
+			bits := bitarray.New(len(indices))
+			for j, idx := range indices {
+				v, _ := c.persist.Get(idx)
+				bits.Set(j, v)
+			}
+			c.mu.Lock()
+			if !c.terminated && !c.crashed {
+				c.warmHits += len(indices)
+				c.warmCalls++
+				c.pendingLocal = append(c.pendingLocal,
+					sim.QueryReply{Tag: tag, Indices: indices, Bits: bits})
+			}
+			c.mu.Unlock()
+			return
+		}
+		if len(missing) < len(indices) {
+			wireIdx = missing
+		}
+	}
+	payload := encodeQueryHeader(tag, wireIdx)
+	key := qkeyOf(tag, wireIdx)
 	now := time.Now()
 	c.mu.Lock()
 	if c.terminated {
@@ -1651,6 +2121,9 @@ func (c *client) Query(tag int, indices []int) {
 		c.qOrd++
 		pq = &pendingQuery{payload: payload, ord: c.qOrd, srcKind: kQuery}
 		c.queries[key] = pq
+	}
+	if len(wireIdx) < len(indices) {
+		pq.full = indices
 	}
 	pq.count++
 	pq.gaveUp = false
@@ -1702,6 +2175,9 @@ func (c *client) Terminate() {
 // MarkPhase implements sim.PhaseMarker: it records a phase-transition
 // mark on the run's timeline at wall-clock seconds since run start.
 func (c *client) MarkPhase(name string) {
+	c.mu.Lock()
+	c.lastPhase = name
+	c.mu.Unlock()
 	c.met.mark(int(c.id), "phase", name)
 }
 

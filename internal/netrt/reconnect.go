@@ -107,6 +107,21 @@ func (o *outbox) ackTo(v uint64) {
 
 func (o *outbox) empty() bool { return len(o.frames) == 0 }
 
+// base returns the stream position the receiver is known to hold: every
+// seq ≤ base is either acked (dropped from the outbox) or was never
+// pushed. A resuming receiver restarts its dedup watermark here.
+func (o *outbox) base() uint64 {
+	if len(o.frames) == 0 {
+		return o.nextSeq
+	}
+	return o.frames[0].seq - 1
+}
+
+// resumeAt restarts an empty outbox so its next push is numbered base+1,
+// continuing a predecessor incarnation's stream without reusing seqs the
+// receiver has already admitted.
+func (o *outbox) resumeAt(base uint64) { o.nextSeq = base }
+
 // takeDue marks every frame last sent before `cutoff` as sent now and
 // returns copies for transmission. A zero sentAt is always due.
 func (o *outbox) takeDue(now, cutoff time.Time) []outFrame {
@@ -157,6 +172,29 @@ func (d *dedupReliable) admit(seq uint64) bool {
 
 // cumAck is the cumulative acknowledgment to report to the sender.
 func (d *dedupReliable) cumAck() uint64 { return d.contig }
+
+// fastForward advances the contiguity watermark over every admitted
+// out-of-order frame, clears them, and returns the result. Used when the
+// sender's incarnation died (churn crash): frames in the receive gaps
+// below the returned watermark can never arrive — they are the crashed
+// incarnation's lost sends — so the successor must number strictly above
+// it or its fresh frames would be mistaken for duplicates.
+func (d *dedupReliable) fastForward() uint64 {
+	for s := range d.ahead {
+		if s > d.contig {
+			d.contig = s
+		}
+	}
+	d.ahead = nil
+	return d.contig
+}
+
+// resumeAt restarts the dedup at a sender-supplied watermark (the resume
+// handshake): everything ≤ contig counts as already seen.
+func (d *dedupReliable) resumeAt(contig uint64) {
+	d.contig = contig
+	d.ahead = nil
+}
 
 // dedupWindowSize bounds the memory of a best-effort stream's dedup. Dup
 // copies race their original by at most the plan's jitter, so a window of
@@ -232,6 +270,11 @@ type pendingQuery struct {
 	// mirror path, flipped to kQuerySrc once a proof fails so every
 	// retry goes authoritative.
 	srcKind byte
+	// full is the protocol's original index set when warm checkpoint bits
+	// were stripped from the wire query (churn rejoin): the reply handler
+	// merges the fetched bits with the warm ones and delivers the full
+	// set. Nil when the wire query is the full query.
+	full []int
 }
 
 // nextQueryDeadline backs off the retry deadline exponentially, capped.

@@ -12,12 +12,29 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bitarray"
 	"repro/internal/sim"
 )
+
+// ShardBounce schedules one hub listener-shard kill/restart: After run
+// start the shard's listener closes and every connection homed on it is
+// severed; Down later the listener reopens on the same address, where the
+// severed clients' redial backoff finds it. A bounce degrades latency,
+// never correctness, so (like a FaultPlan) it never counts toward T.
+type ShardBounce struct {
+	// Shard indexes the bounced shard (0-based, < max(1, Config.Shards)).
+	Shard int
+	// After is when the shard dies, measured from run start.
+	After time.Duration
+	// Down is how long the listener stays down before restarting. It must
+	// fit inside the clients' reconnect budget (Resilience.Reconnect*), or
+	// peers homed on the shard exhaust their redials and fail the run.
+	Down time.Duration
+}
 
 // defaultShardQueue bounds a shard's outbound queue when Config.ShardQueue
 // is unset.
@@ -46,9 +63,13 @@ type connBatch struct {
 // hubShard is one listener/writer unit of the hub.
 type hubShard struct {
 	idx  int
-	ln   net.Listener
 	addr string
 	q    chan shardFrame
+
+	// lnMu guards ln, which a ShardBounce swaps at runtime: nil while the
+	// shard is down, a fresh same-address listener after restart.
+	lnMu sync.Mutex
+	ln   net.Listener
 
 	// Flush scratch, owned by the shard's writer goroutine.
 	order  []*connBatch
@@ -63,6 +84,91 @@ type hubShard struct {
 	blocked   atomic.Int64 // enqueues that hit a full queue (backpressure)
 	writeErrs atomic.Int64 // batched writes that failed
 	flushes   atomic.Int64 // writer passes that wrote at least one frame
+	restarts  atomic.Int64 // bounce recoveries: listener came back up
+}
+
+// closeListener tears the shard's listener down (bounce kill or hub
+// shutdown); idempotent.
+func (s *hubShard) closeListener() {
+	s.lnMu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.lnMu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+// bounceShard executes the kill half of a ShardBounce: close the listener,
+// sever every connection homed on the shard, and arm the restart timer.
+// Clients redial with capped backoff until restartShard brings the address
+// back.
+func (h *hub) bounceShard(s *hubShard, down time.Duration) {
+	dbg("shard %d: bounced (down %v)", s.idx, down)
+	h.met.shardEvent(s.idx, "bounce")
+	s.closeListener()
+	for _, hp := range h.peers {
+		if h.shardFor(hp.id) != s {
+			continue
+		}
+		hp.mu.Lock()
+		conn := hp.conn
+		hp.conn = nil
+		hp.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	t := time.AfterFunc(down, func() { h.restartShard(s) })
+	h.mu.Lock()
+	if h.closed {
+		t.Stop()
+	} else {
+		h.timers = append(h.timers, t)
+	}
+	h.mu.Unlock()
+}
+
+// restartShard re-listens on the bounced shard's original address and
+// restarts its accept loop. The address can linger in TIME_WAIT briefly,
+// so the bind retries; clients keep backing off in the meantime. The
+// wg.Add and listener install happen together under h.mu against the
+// closed flag, so a racing hub close either sees the new listener (and
+// closes it, unblocking the accept loop) or the restart abandons cleanly.
+func (h *hub) restartShard(s *hubShard) {
+	var ln net.Listener
+	var err error
+	for a := 0; a < 100; a++ {
+		h.mu.Lock()
+		closed := h.closed
+		h.mu.Unlock()
+		if closed {
+			return
+		}
+		if ln, err = net.Listen("tcp", s.addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		dbg("shard %d: restart failed: %v", s.idx, err)
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		ln.Close()
+		return
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	h.wg.Add(1)
+	h.mu.Unlock()
+	s.restarts.Add(1)
+	h.met.shardEvent(s.idx, "restart")
+	dbg("shard %d: restarted on %s", s.idx, s.addr)
+	go h.acceptLoop(s, ln) // balances the wg.Add above via its own Done
 }
 
 func newHubShard(idx int, ln net.Listener, queue int) *hubShard {

@@ -66,6 +66,12 @@ type PeerStats struct {
 	WarmHitBits int
 	// Rejoined reports this churn peer crashed and rejoined.
 	Rejoined bool
+	// CheckpointSaves/CheckpointRestores count durable checkpoints this
+	// churn peer wrote at crash time and warm states it reloaded at
+	// rejoin (netrt runtime; the simulation runtimes keep warm state in
+	// memory, so they stay zero there).
+	CheckpointSaves    int
+	CheckpointRestores int
 
 	// Mirror-tier counters (runtimes executing a source.MirrorPlan;
 	// zero elsewhere). Q semantics are unchanged: only verified bits
@@ -124,6 +130,17 @@ type Result struct {
 	// Rejoins counts churn peers (faulty by definition) that crashed and
 	// rejoined, over all peers.
 	Rejoins int
+	// WarmHitBits totals query bits served from persisted warm state
+	// after churn rejoins, over all peers (churn peers are faulty, so the
+	// honest-only aggregates never see them).
+	WarmHitBits int
+	// CheckpointSaves/CheckpointRestores aggregate the durable-checkpoint
+	// counters over all peers (netrt runtime; zero elsewhere).
+	CheckpointSaves    int
+	CheckpointRestores int
+	// ShardRestarts counts hub listener shards that were killed and came
+	// back mid-run (netrt runtime; zero elsewhere).
+	ShardRestarts int
 	// Mirror-tier aggregates over honest peers (runtimes executing a
 	// source.MirrorPlan; zero elsewhere).
 	MirrorHits      int
@@ -140,6 +157,9 @@ func (r *Result) Finalize(input *bitarray.Array) {
 		if s.Rejoined {
 			r.Rejoins++
 		}
+		r.WarmHitBits += s.WarmHitBits
+		r.CheckpointSaves += s.CheckpointSaves
+		r.CheckpointRestores += s.CheckpointRestores
 		if !s.Honest {
 			continue
 		}
